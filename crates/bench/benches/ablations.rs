@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * GC victim policy (greedy / cost-benefit / FIFO) — write
+//!   amplification under sustained random overwrites,
+//! * replication factor (1/2/3) — ESSD write path cost,
+//! * chunk size (256 KiB / 4 MiB / 32 MiB) — sequential-write caps.
+//!
+//! Each bench also prints the quantity it ablates (WA, latency, gain) so
+//! `cargo bench` output doubles as the ablation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_blockdev::BlockDevice;
+use uc_essd::{Essd, EssdConfig};
+use uc_flash::{FlashGeometry, FlashTiming};
+use uc_ftl::{Ftl, FtlConfig, GcPolicy};
+use uc_sim::SimTime;
+use uc_workload::{run_job, AccessPattern, JobSpec};
+
+fn gc_policy_wa(policy: GcPolicy) -> f64 {
+    let g = FlashGeometry::new(2, 2, 1, 64, 64, 4096).unwrap();
+    let mut ftl = Ftl::new(
+        FtlConfig::new(g, FlashTiming::mlc())
+            .with_over_provisioning(0.08)
+            .with_gc_policy(policy),
+    );
+    let pages = ftl.logical_pages();
+    let mut now = SimTime::ZERO;
+    let mut state = 77u64;
+    for _ in 0..pages * 3 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        now = ftl.write_page(now, state % pages);
+    }
+    ftl.stats().write_amplification()
+}
+
+fn bench_gc_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gc_policy");
+    group.sample_size(10);
+    for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
+        println!("ablation_gc_policy/{policy}: steady WA = {:.2}", gc_policy_wa(policy));
+        group.bench_function(policy.to_string(), |b| {
+            b.iter(|| black_box(gc_policy_wa(policy)))
+        });
+    }
+    group.finish();
+}
+
+fn replication_latency_us(replication: usize) -> f64 {
+    let mut cfg = EssdConfig::alibaba_pl3(128 << 20);
+    cfg.cluster = cfg.cluster.with_replication(replication);
+    let mut dev = Essd::new(cfg);
+    let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 1).with_io_limit(500);
+    let report = run_job(&mut dev, &spec).expect("job");
+    report.latency.mean().as_micros_f64()
+}
+
+fn bench_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_replication");
+    group.sample_size(10);
+    for r in [1usize, 2, 3] {
+        println!(
+            "ablation_replication/{r}-way: 4K write latency = {:.1} us",
+            replication_latency_us(r)
+        );
+        group.bench_function(format!("{r}-way"), |b| {
+            b.iter(|| black_box(replication_latency_us(r)))
+        });
+    }
+    group.finish();
+}
+
+fn chunk_gain(chunk_bytes: u64) -> f64 {
+    let mut cfg = EssdConfig::alibaba_pl3(256 << 20);
+    cfg.cluster = cfg.cluster.with_chunk_bytes(chunk_bytes);
+    let run = |pattern| {
+        let mut dev = Essd::new(cfg.clone());
+        let spec = JobSpec::new(pattern, 64 << 10, 16).with_io_limit(800);
+        run_job(&mut dev, &spec).expect("job").throughput_gbps()
+    };
+    run(AccessPattern::RandWrite) / run(AccessPattern::SeqWrite)
+}
+
+fn bench_chunk_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_chunk_size");
+    group.sample_size(10);
+    for (label, bytes) in [("256KiB", 256u64 << 10), ("4MiB", 4 << 20), ("32MiB", 32 << 20)] {
+        println!(
+            "ablation_chunk_size/{label}: rand/seq write gain = {:.2}x",
+            chunk_gain(bytes)
+        );
+        group.bench_function(label, |b| b.iter(|| black_box(chunk_gain(bytes))));
+    }
+    group.finish();
+}
+
+fn bench_device_submit(c: &mut Criterion) {
+    // Raw simulator speed: submissions per second through each device.
+    let mut group = c.benchmark_group("device_submit_4k_write");
+    let mut ssd = uc_ssd::Ssd::new(uc_ssd::SsdConfig::samsung_970_pro(128 << 20));
+    let cap = ssd.info().capacity();
+    let mut now = SimTime::ZERO;
+    let mut i = 0u64;
+    group.bench_function("ssd", |b| {
+        b.iter(|| {
+            let off = (i * 4096) % (cap - 4096);
+            i += 1;
+            let done = ssd
+                .submit(&uc_blockdev::IoRequest::write(off, 4096, now))
+                .expect("write");
+            now = done.max(now);
+            black_box(done);
+        })
+    });
+    let mut essd = Essd::new(EssdConfig::aws_io2(128 << 20));
+    let cap = essd.info().capacity();
+    let mut now = SimTime::ZERO;
+    let mut j = 0u64;
+    group.bench_function("essd", |b| {
+        b.iter(|| {
+            let off = (j * 4096) % (cap - 4096);
+            j += 1;
+            let done = essd
+                .submit(&uc_blockdev::IoRequest::write(off, 4096, now))
+                .expect("write");
+            now = done.max(now);
+            black_box(done);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gc_policy, bench_replication, bench_chunk_size, bench_device_submit);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: the cost of Figure 2 latency cells (one cell per
+//! device class), so simulator performance regressions are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig2::{self, Fig2Config};
+
+fn cell_cfg() -> Fig2Config {
+    Fig2Config {
+        io_sizes: vec![4 << 10],
+        queue_depths: vec![8],
+        ios_per_cell: 1_000,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+    let mut group = c.benchmark_group("fig2_cell_1000_ios");
+    group.sample_size(10);
+    for kind in DeviceKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = fig2::run(&roster, kind, &cell_cfg()).expect("cell");
+                black_box(r.cell(0, 0, 0));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: the Figure 3 endurance run at small scale — dominated
+//! by FTL/GC work on the SSD and by the cluster path on the ESSDs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig3::{self, Fig3Config};
+
+fn bench(c: &mut Criterion) {
+    let roster = DeviceRoster::with_capacities(96 << 20, 96 << 20);
+    let cfg = Fig3Config {
+        capacity_multiple: 1.5,
+        ..Fig3Config::paper()
+    };
+    let mut group = c.benchmark_group("fig3_endurance_1_5x");
+    group.sample_size(10);
+    for kind in DeviceKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = fig3::run(&roster, kind, &cfg).expect("run");
+                black_box(r.peak_gbps());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

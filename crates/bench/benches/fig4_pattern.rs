@@ -1,0 +1,30 @@
+//! Criterion bench: one Figure 4 cell pair (random + sequential write
+//! throughput at QD 16), per device class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig4::{self, Fig4Config};
+
+fn bench(c: &mut Criterion) {
+    let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+    let cfg = Fig4Config {
+        io_sizes: vec![64 << 10],
+        queue_depths: vec![16],
+        ios_per_cell: 800,
+    };
+    let mut group = c.benchmark_group("fig4_cell_pair");
+    group.sample_size(10);
+    for kind in DeviceKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = fig4::run(&roster, kind, &cfg).expect("run");
+                black_box(r.max_gain());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

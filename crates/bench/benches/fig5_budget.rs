@@ -1,0 +1,31 @@
+//! Criterion bench: one Figure 5 mix cell (50/50 random read/write at
+//! QD 32), per device class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig5::{self, Fig5Config};
+
+fn bench(c: &mut Criterion) {
+    let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+    let cfg = Fig5Config {
+        write_ratios: vec![0.5],
+        io_size: 128 << 10,
+        queue_depth: 32,
+        ios_per_cell: 800,
+    };
+    let mut group = c.benchmark_group("fig5_mix_cell");
+    group.sample_size(10);
+    for kind in DeviceKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = fig5::run(&roster, kind, &cfg).expect("run");
+                black_box(r.mean_total_gbps());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

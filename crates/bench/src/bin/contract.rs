@@ -1,0 +1,62 @@
+//! Runs every experiment and checks the full unwritten contract, printing
+//! the four observation verdicts with evidence.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin contract [--quick]`
+
+use uc_core::contract::{check_all, ContractInputs};
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::{fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let roster = DeviceRoster::scaled_default();
+    let (f2, f3, f4, f5) = if quick {
+        (
+            Fig2Config::quick(),
+            Fig3Config::quick(),
+            Fig4Config::quick(),
+            Fig5Config::quick(),
+        )
+    } else {
+        (
+            Fig2Config::paper(),
+            Fig3Config::paper(),
+            Fig4Config::paper(),
+            Fig5Config::paper(),
+        )
+    };
+
+    eprintln!("fig2 (latency grids)…");
+    let fig2_ssd = fig2::run(&roster, DeviceKind::LocalSsd, &f2).expect("fig2 ssd");
+    let fig2_essds = vec![
+        fig2::run(&roster, DeviceKind::Essd1, &f2).expect("fig2 essd1"),
+        fig2::run(&roster, DeviceKind::Essd2, &f2).expect("fig2 essd2"),
+    ];
+    eprintln!("fig3 (GC endurance)…");
+    let fig3_all: Vec<_> = DeviceKind::ALL
+        .iter()
+        .map(|&k| fig3::run(&roster, k, &f3).expect("fig3"))
+        .collect();
+    eprintln!("fig4 (write-pattern sweep)…");
+    let fig4_all: Vec<_> = DeviceKind::ALL
+        .iter()
+        .map(|&k| fig4::run(&roster, k, &f4).expect("fig4"))
+        .collect();
+    eprintln!("fig5 (mix sweep)…");
+    let fig5_ssd = fig5::run(&roster, DeviceKind::LocalSsd, &f5).expect("fig5 ssd");
+    let fig5_essds = vec![
+        fig5::run(&roster, DeviceKind::Essd1, &f5).expect("fig5 essd1"),
+        fig5::run(&roster, DeviceKind::Essd2, &f5).expect("fig5 essd2"),
+    ];
+
+    let report = check_all(&ContractInputs {
+        fig2_ssd,
+        fig2_essds,
+        fig3: fig3_all,
+        fig4: fig4_all,
+        fig5_ssd,
+        fig5_essds,
+    });
+    println!("{report}");
+    std::process::exit(if report.all_hold() { 0 } else { 1 });
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 2: latency grids (avg and P99.9) for both ESSDs
+//! versus the local SSD, across pattern × I/O size × queue depth.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin fig2 [--quick]`
+
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig2::{self, Fig2Config};
+use uc_core::report::render_fig2_grid;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Fig2Config::quick()
+    } else {
+        Fig2Config::paper()
+    };
+    let roster = DeviceRoster::scaled_default();
+
+    eprintln!("measuring SSD baseline…");
+    let ssd = fig2::run(&roster, DeviceKind::LocalSsd, &cfg).expect("ssd grid");
+    for essd_kind in [DeviceKind::Essd1, DeviceKind::Essd2] {
+        eprintln!("measuring {essd_kind}…");
+        let essd = fig2::run(&roster, essd_kind, &cfg).expect("essd grid");
+        for (metric_name, p999) in [("Average", false), ("P99.9", true)] {
+            println!("==== {metric_name} latency of {essd_kind} ====");
+            for pattern in 0..4 {
+                println!("{}", render_fig2_grid(&essd, &ssd, pattern, p999));
+            }
+        }
+    }
+    println!(
+        "Paper reference shapes: gaps fall as size/depth scale; random-read \
+         gaps are the smallest column; P99.9 gaps exceed average gaps; at \
+         full scale the write gap can fall below 1x."
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 5: throughput under mixed read/write workloads with
+//! different write ratios.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin fig5`
+
+use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::experiments::fig5::{self, Fig5Config};
+use uc_core::report::render_fig5;
+
+fn main() {
+    let roster = DeviceRoster::scaled_default();
+    let cfg = Fig5Config::paper();
+    for kind in DeviceKind::ALL {
+        eprintln!("sweeping {kind}…");
+        let r = fig5::run(&roster, kind, &cfg).expect("fig5 run");
+        println!("{}", render_fig5(&r));
+    }
+    println!(
+        "Paper reference shapes: both ESSDs sit flat at their budget (3.0 / \
+         1.1 GB/s) for every mix; the SSD varies substantially with the mix."
+    );
+}

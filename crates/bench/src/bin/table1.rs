@@ -1,0 +1,27 @@
+//! Regenerates Table I: measured device envelopes.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin table1`
+
+use uc_core::devices::DeviceRoster;
+use uc_core::experiments::table1;
+use uc_core::report::render_table1;
+
+fn main() {
+    let roster = DeviceRoster::scaled_default();
+    println!(
+        "Devices at simulation scale: SSD {} GiB, ESSDs {} GiB (paper: 1 TB / 2 TB)\n",
+        roster.ssd_capacity() >> 30,
+        roster.essd_capacity() >> 30
+    );
+    match table1::run(&roster) {
+        Ok(rows) => print!("{}", render_table1(&rows)),
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "\nPaper reference: ESSD-1 ~3.0 GB/s / 25.6K IOPS / 2 TB; \
+         ESSD-2 ~1.1 GB/s / 100K IOPS / 2 TB; SSD 3.5/2.7 GB/s seq R/W / 500K IOPS."
+    );
+}

@@ -1,0 +1,15 @@
+//! Benchmark harness for the Unwritten Contract reproduction.
+//!
+//! This crate hosts:
+//!
+//! * **figure/table binaries** (`src/bin/`): `table1`, `fig2`, `fig3`,
+//!   `fig4`, `fig5`, and `contract` — each regenerates one artifact of the
+//!   paper and prints the same rows/series the paper reports,
+//! * **criterion benches** (`benches/`): `fig2_latency`, `fig3_gc`,
+//!   `fig4_pattern`, `fig5_budget` measure the cost of the experiments, and
+//!   `ablations` measures the design choices called out in DESIGN.md (GC
+//!   policy, replication factor, chunk size).
+
+#![forbid(unsafe_code)]
+
+pub use uc_core::devices::{DeviceKind, DeviceRoster};

@@ -1,0 +1,308 @@
+//! Cloud-software case study: a leveled LSM-tree storage engine.
+//!
+//! The paper's future work (§V) names RocksDB as the first case study for
+//! exploiting the unwritten contract. This module models the I/O behaviour
+//! of a leveled LSM engine — memtable flushes plus leveled compactions —
+//! and its contract-aware alternative, an in-place update table, and runs
+//! both against any device:
+//!
+//! * [`run_lsm`] — classic log-structured ingestion: every flushed byte is
+//!   re-read and re-written by compaction roughly `fanout/2 + 1` times per
+//!   level it descends, all as *sequential* I/O,
+//! * [`run_inplace`] — Implication 3 applied: updates go to their home
+//!   location as *random* writes, no compaction at all.
+//!
+//! On the local SSD the LSM design wins (random writes provoke GC); on an
+//! elastic SSD the in-place design can win twice over — random writes are
+//! faster there (Observation 3) *and* the compaction volume disappears.
+
+use std::fmt;
+use uc_blockdev::{BlockDevice, IoError};
+use uc_sim::{SimDuration, SimTime};
+use uc_workload::{run_job, AccessPattern, JobSpec};
+
+/// Shape of the modeled LSM engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LsmConfig {
+    /// Bytes buffered before a memtable flush.
+    pub memtable_bytes: u64,
+    /// Size ratio between adjacent levels.
+    pub fanout: u64,
+    /// Number of on-disk levels.
+    pub levels: usize,
+    /// I/O size used by flush and compaction (large sequential segments).
+    pub segment_io: u32,
+    /// I/O size used by in-place updates.
+    pub update_io: u32,
+    /// Total application bytes to ingest.
+    pub ingest_bytes: u64,
+}
+
+impl LsmConfig {
+    /// A small RocksDB-flavoured configuration scaled to simulation-sized
+    /// devices: 8 MiB memtables, fanout 8, 3 levels, 512 KiB segments,
+    /// 16 KiB updates, 256 MiB of ingest.
+    pub fn scaled_default() -> Self {
+        LsmConfig {
+            memtable_bytes: 8 << 20,
+            fanout: 8,
+            levels: 3,
+            segment_io: 512 << 10,
+            update_io: 16 << 10,
+            ingest_bytes: 256 << 20,
+        }
+    }
+
+    /// Replaces the ingest volume.
+    pub fn with_ingest_bytes(mut self, bytes: u64) -> Self {
+        self.ingest_bytes = bytes.max(self.memtable_bytes);
+        self
+    }
+}
+
+/// What an engine run did to the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineOutcome {
+    /// Application bytes ingested.
+    pub ingest_bytes: u64,
+    /// Bytes the engine wrote to the device (flushes + compactions, or
+    /// in-place updates).
+    pub device_bytes_written: u64,
+    /// Bytes the engine read back for compaction.
+    pub device_bytes_read: u64,
+    /// Wall-clock (virtual) time of the run.
+    pub elapsed: SimDuration,
+}
+
+impl EngineOutcome {
+    /// Application-visible ingest rate in GB/s.
+    pub fn ingest_gbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ingest_bytes as f64 / 1e9 / secs
+        }
+    }
+
+    /// Engine-level write amplification (device writes per app byte).
+    pub fn write_amplification(&self) -> f64 {
+        if self.ingest_bytes == 0 {
+            0.0
+        } else {
+            self.device_bytes_written as f64 / self.ingest_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest {:.2} GB/s, engine WA {:.2}, read-back {} MiB, {:.3}s",
+            self.ingest_gbps(),
+            self.write_amplification(),
+            self.device_bytes_read >> 20,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+/// Runs the leveled-LSM ingestion model on `dev`, starting at `start`.
+///
+/// The device address space is split into per-level regions sized by the
+/// fanout; every flush seq-writes one memtable into level 0, and whenever
+/// level `i` exceeds its budget, a compaction seq-reads the spilled data
+/// plus the overlapping `~fanout/2` share of level `i+1` and seq-writes the
+/// merge result into level `i+1` — the textbook leveled-compaction cost
+/// model, executed as real device jobs.
+///
+/// # Errors
+///
+/// Propagates device validation errors (e.g. the configured regions do not
+/// fit the device).
+pub fn run_lsm<D: BlockDevice + ?Sized>(
+    dev: &mut D,
+    cfg: &LsmConfig,
+    start: SimTime,
+) -> Result<EngineOutcome, IoError> {
+    let capacity = dev.info().capacity();
+    // Region plan: level i gets memtable * fanout^(i+1) bytes, clamped so
+    // the sum fits the device.
+    let mut region_size: Vec<u64> = (0..cfg.levels)
+        .map(|i| cfg.memtable_bytes.saturating_mul(cfg.fanout.saturating_pow(i as u32 + 1)))
+        .collect();
+    let total: u64 = region_size.iter().sum();
+    if total > capacity {
+        let scale = capacity as f64 / total as f64;
+        for r in &mut region_size {
+            *r = ((*r as f64 * scale) as u64 / cfg.segment_io as u64).max(1) * cfg.segment_io as u64;
+        }
+    }
+    let mut region_start = Vec::with_capacity(cfg.levels);
+    let mut cursor = 0u64;
+    for r in &region_size {
+        region_start.push(cursor);
+        cursor += r;
+    }
+
+    let mut now = start;
+    let mut written = 0u64;
+    let mut read_back = 0u64;
+    let mut level_fill = vec![0u64; cfg.levels];
+    let mut flushed = 0u64;
+    let mut job_seq = 0u64;
+
+    let run_io = |dev: &mut D,
+                      pattern: AccessPattern,
+                      bytes: u64,
+                      region: usize,
+                      at: SimTime,
+                      seq: u64|
+     -> Result<SimTime, IoError> {
+        let span_start = region_start[region];
+        let span_end = span_start + region_size[region];
+        let spec = JobSpec::new(pattern, cfg.segment_io, 8)
+            .with_byte_limit(bytes.max(cfg.segment_io as u64))
+            .with_span(span_start, span_end)
+            .with_seed(0x15A + seq)
+            .with_start(at);
+        Ok(run_job(dev, &spec)?.finished_at)
+    };
+
+    while flushed < cfg.ingest_bytes {
+        // Flush one memtable into L0.
+        let batch = cfg.memtable_bytes.min(cfg.ingest_bytes - flushed);
+        now = run_io(dev, AccessPattern::SeqWrite, batch, 0, now, job_seq)?;
+        job_seq += 1;
+        flushed += batch;
+        written += batch;
+        level_fill[0] += batch;
+
+        // Cascade compactions down the levels.
+        for level in 0..cfg.levels - 1 {
+            if level_fill[level] <= region_size[level] {
+                break;
+            }
+            let spill = level_fill[level] - region_size[level] / 2;
+            // Read the spilled run plus its overlap in the next level.
+            let overlap =
+                (spill * cfg.fanout / 2).min(level_fill[level + 1]);
+            now = run_io(dev, AccessPattern::SeqRead, spill + overlap, level, now, job_seq)?;
+            job_seq += 1;
+            read_back += spill + overlap;
+            // Write the merged result into the next level.
+            let merged = spill + overlap;
+            now = run_io(dev, AccessPattern::SeqWrite, merged, level + 1, now, job_seq)?;
+            job_seq += 1;
+            written += merged;
+            level_fill[level] -= spill;
+            level_fill[level + 1] += merged;
+            // The deepest level discards overflow (tombstones/overwrites).
+            let last = cfg.levels - 1;
+            level_fill[last] = level_fill[last].min(region_size[last]);
+        }
+    }
+
+    Ok(EngineOutcome {
+        ingest_bytes: cfg.ingest_bytes,
+        device_bytes_written: written,
+        device_bytes_read: read_back,
+        elapsed: now.saturating_since(start),
+    })
+}
+
+/// Runs the contract-aware alternative: in-place random updates, no
+/// compaction (Implication 3).
+///
+/// # Errors
+///
+/// Propagates device validation errors.
+pub fn run_inplace<D: BlockDevice + ?Sized>(
+    dev: &mut D,
+    cfg: &LsmConfig,
+    start: SimTime,
+) -> Result<EngineOutcome, IoError> {
+    let spec = JobSpec::new(AccessPattern::RandWrite, cfg.update_io, 8)
+        .with_byte_limit(cfg.ingest_bytes)
+        .with_seed(0x1A7)
+        .with_start(start);
+    let report = run_job(dev, &spec)?;
+    Ok(EngineOutcome {
+        ingest_bytes: cfg.ingest_bytes,
+        device_bytes_written: report.bytes,
+        device_bytes_read: 0,
+        elapsed: report.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{DeviceKind, DeviceRoster};
+
+    fn cfg() -> LsmConfig {
+        LsmConfig::scaled_default().with_ingest_bytes(96 << 20)
+    }
+
+    #[test]
+    fn lsm_amplifies_writes_inplace_does_not() {
+        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        let mut dev = roster.build(DeviceKind::LocalSsd);
+        let lsm = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
+        assert!(
+            lsm.write_amplification() > 1.5,
+            "leveled compaction must amplify: {}",
+            lsm.write_amplification()
+        );
+        assert!(lsm.device_bytes_read > 0, "compaction reads data back");
+
+        let mut dev = roster.build(DeviceKind::LocalSsd);
+        let inplace = run_inplace(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
+        assert_eq!(inplace.write_amplification(), 1.0);
+        assert_eq!(inplace.device_bytes_read, 0);
+    }
+
+    #[test]
+    fn contract_flips_the_design_choice_on_essd2() {
+        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        // ESSD-2: in-place random updates beat the compaction pipeline.
+        let mut dev = roster.build(DeviceKind::Essd2);
+        let lsm = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
+        let mut dev = roster.build(DeviceKind::Essd2);
+        let inplace = run_inplace(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
+        assert!(
+            inplace.ingest_gbps() > lsm.ingest_gbps(),
+            "ESSD-2: in-place ({:.3}) should beat LSM ({:.3})",
+            inplace.ingest_gbps(),
+            lsm.ingest_gbps()
+        );
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent() {
+        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        let mut dev = roster.build(DeviceKind::LocalSsd);
+        let out = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
+        assert_eq!(out.ingest_bytes, 96 << 20);
+        assert!(out.device_bytes_written >= out.ingest_bytes);
+        assert!(out.elapsed > SimDuration::ZERO);
+        assert!(!out.to_string().is_empty());
+    }
+
+    #[test]
+    fn regions_scale_down_to_small_devices() {
+        // A config whose nominal regions exceed the device must still run.
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let big = LsmConfig {
+            memtable_bytes: 16 << 20,
+            fanout: 10,
+            levels: 3,
+            ..LsmConfig::scaled_default()
+        }
+        .with_ingest_bytes(64 << 20);
+        let mut dev = roster.build(DeviceKind::LocalSsd);
+        let out = run_lsm(dev.as_mut(), &big, SimTime::ZERO).unwrap();
+        assert!(out.ingest_gbps() > 0.0);
+    }
+}

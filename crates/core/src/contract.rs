@@ -1,0 +1,485 @@
+//! The unwritten contract as checkable predicates.
+//!
+//! Each of the paper's four observations becomes a function from
+//! experiment results to an [`ObservationResult`] with a pass/fail verdict
+//! and human-readable evidence. [`check_all`] bundles them into a
+//! [`ContractReport`].
+//!
+//! The checks are *shape* checks: they assert the qualitative claims the
+//! paper makes (who wins, by roughly what factor, where knees fall), not
+//! testbed-exact numbers.
+
+use crate::devices::DeviceKind;
+use crate::experiments::{Fig2Result, Fig3Result, Fig4Result, Fig5Result};
+use std::fmt;
+
+/// Verdict and evidence for one observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationResult {
+    /// Observation number (1–4).
+    pub id: u8,
+    /// The paper's one-line statement.
+    pub title: String,
+    /// Whether the simulated devices uphold the observation.
+    pub passed: bool,
+    /// Supporting measurements, one line each.
+    pub evidence: Vec<String>,
+}
+
+impl fmt::Display for ObservationResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Observation #{}: {} — {}",
+            self.id,
+            self.title,
+            if self.passed { "HOLDS" } else { "VIOLATED" }
+        )?;
+        for line in &self.evidence {
+            writeln!(f, "  · {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All four observations together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractReport {
+    /// Individual verdicts, in observation order.
+    pub observations: Vec<ObservationResult>,
+}
+
+impl ContractReport {
+    /// `true` if every observation holds.
+    pub fn all_hold(&self) -> bool {
+        self.observations.iter().all(|o| o.passed)
+    }
+}
+
+impl fmt::Display for ContractReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== The Unwritten Contract of Cloud-based ESSDs ===")?;
+        for o in &self.observations {
+            write!(f, "{o}")?;
+        }
+        writeln!(
+            f,
+            "Contract {}",
+            if self.all_hold() {
+                "UPHELD: all four observations reproduced"
+            } else {
+                "NOT UPHELD: see violations above"
+            }
+        )
+    }
+}
+
+fn fmt_gap(g: f64) -> String {
+    format!("{g:.1}x")
+}
+
+/// Observation 1: *the latency of ESSDs is tens to a hundred times higher
+/// than that of SSD when I/Os are not well scaled up*, the gap shrinking
+/// as I/O size and queue depth grow, and smallest for random reads.
+///
+/// Expects Figure 2 results for the SSD and at least one ESSD (grids must
+/// share dimensions).
+pub fn check_observation1(ssd: &Fig2Result, essds: &[&Fig2Result]) -> ObservationResult {
+    let mut evidence = Vec::new();
+    let mut passed = !essds.is_empty();
+    let last_q = ssd.queue_depths.len() - 1;
+    let last_s = ssd.io_sizes.len() - 1;
+    for essd in essds {
+        // Gap at the smallest scale, per pattern (0 = rand write,
+        // 2 = rand read, 3 = seq read).
+        let gaps_small: Vec<f64> = (0..4)
+            .map(|p| essd.gap_versus(ssd, p, false)[0][0])
+            .collect();
+        let gaps_big: Vec<f64> = (0..4)
+            .map(|p| essd.gap_versus(ssd, p, false)[last_q][last_s])
+            .collect();
+        let worst_small = gaps_small.iter().cloned().fold(0.0, f64::max);
+        let worst_big = gaps_big.iter().cloned().fold(0.0, f64::max);
+        evidence.push(format!(
+            "{}: 4K/QD1 gaps [rw {}, sw {}, rr {}, sr {}]; largest gap at full scale {}",
+            essd.device,
+            fmt_gap(gaps_small[0]),
+            fmt_gap(gaps_small[1]),
+            fmt_gap(gaps_small[2]),
+            fmt_gap(gaps_small[3]),
+            fmt_gap(worst_big),
+        ));
+        // (a) unscaled I/O pays a very large penalty;
+        if worst_small < 10.0 {
+            passed = false;
+            evidence.push(format!(
+                "{}: VIOLATION: worst small-I/O gap only {}",
+                essd.device,
+                fmt_gap(worst_small)
+            ));
+        }
+        // (b) scaling up shrinks the gap substantially;
+        if worst_big > worst_small / 2.0 {
+            passed = false;
+            evidence.push(format!(
+                "{}: VIOLATION: scaling up did not shrink the gap ({} -> {})",
+                essd.device,
+                fmt_gap(worst_small),
+                fmt_gap(worst_big)
+            ));
+        }
+        // (c) the random-read gap is the smallest of the four patterns.
+        let rr = gaps_small[2];
+        if gaps_small
+            .iter()
+            .enumerate()
+            .any(|(p, &g)| p != 2 && g < rr)
+        {
+            passed = false;
+            evidence.push(format!(
+                "{}: VIOLATION: random-read gap {} is not the smallest",
+                essd.device,
+                fmt_gap(rr)
+            ));
+        }
+    }
+    ObservationResult {
+        id: 1,
+        title: "ESSD latency is tens to a hundred times the SSD's when I/Os \
+                are not scaled up"
+            .to_string(),
+        passed,
+        evidence,
+    }
+}
+
+/// Observation 2: *the performance impact of GC appears much later or even
+/// disappears* on ESSDs, while the local SSD collapses near 1× capacity.
+pub fn check_observation2(results: &[&Fig3Result]) -> ObservationResult {
+    let mut evidence = Vec::new();
+    let mut passed = true;
+    let mut saw_ssd = false;
+    for r in results {
+        let knee = r.knee_multiple();
+        match knee {
+            Some(k) => evidence.push(format!(
+                "{}: peak {:.2} GB/s, knee at {:.2}x capacity, tail {:.2} GB/s",
+                r.device,
+                r.peak_gbps(),
+                k,
+                r.tail_gbps()
+            )),
+            None => evidence.push(format!(
+                "{}: peak {:.2} GB/s, sustained to end of run (no knee)",
+                r.device,
+                r.peak_gbps()
+            )),
+        }
+        match r.device {
+            DeviceKind::LocalSsd => {
+                saw_ssd = true;
+                // "Near 1x capacity": the paper measures 0.9x; the simulated
+                // FTL's gradual WA ramp lands the half-throughput point a
+                // little later (1.1-1.5x depending on scale), so accept up
+                // to 1.6x — still far from the ESSDs' 2.55x / never.
+                match knee {
+                    Some(k) if k <= 1.6 => {}
+                    _ => {
+                        passed = false;
+                        evidence.push(format!(
+                            "{}: VIOLATION: expected GC collapse near 1x capacity",
+                            r.device
+                        ));
+                    }
+                }
+            }
+            _ => {
+                // ESSDs: knee absent, or far later than the SSD's.
+                if let Some(k) = knee {
+                    if k < 2.0 {
+                        passed = false;
+                        evidence.push(format!(
+                            "{}: VIOLATION: knee at {k:.2}x is not 'much later'",
+                            r.device
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if !saw_ssd {
+        passed = false;
+        evidence.push("VIOLATION: no local-SSD baseline provided".to_string());
+    }
+    ObservationResult {
+        id: 2,
+        title: "The performance impact of GC appears much later or even \
+                disappears"
+            .to_string(),
+        passed,
+        evidence,
+    }
+}
+
+/// Observation 3: *random-write throughput outperforms sequential-write
+/// throughput* on ESSDs (up to 1.52× / 2.79× in the paper), while the
+/// pre-GC local SSD is pattern-indifferent.
+pub fn check_observation3(results: &[&Fig4Result]) -> ObservationResult {
+    let mut evidence = Vec::new();
+    let mut passed = true;
+    for r in results {
+        let (gain, qd, size) = r.max_gain();
+        evidence.push(format!(
+            "{}: max random/sequential gain {:.2}x at QD{} / {} KiB",
+            r.device,
+            gain,
+            qd,
+            size >> 10
+        ));
+        match r.device {
+            DeviceKind::LocalSsd => {
+                if !(0.8..=1.3).contains(&gain) {
+                    passed = false;
+                    evidence.push(format!(
+                        "{}: VIOLATION: pre-GC SSD should be pattern-neutral",
+                        r.device
+                    ));
+                }
+            }
+            _ => {
+                if gain < 1.3 {
+                    passed = false;
+                    evidence.push(format!(
+                        "{}: VIOLATION: expected a clear random-write win",
+                        r.device
+                    ));
+                }
+            }
+        }
+    }
+    ObservationResult {
+        id: 3,
+        title: "Random-write throughput outperforms sequential-write \
+                throughput on ESSDs"
+            .to_string(),
+        passed,
+        evidence,
+    }
+}
+
+/// Observation 4: *the maximum bandwidth is deterministic and no longer
+/// sensitive to the access pattern* on ESSDs, while the local SSD's
+/// envelope moves with the read/write mix.
+pub fn check_observation4(ssd: &Fig5Result, essds: &[&Fig5Result]) -> ObservationResult {
+    let mut evidence = Vec::new();
+    let mut passed = true;
+    for r in essds {
+        evidence.push(format!(
+            "{}: total throughput mean {:.2} GB/s, cv {:.3} across mixes",
+            r.device,
+            r.mean_total_gbps(),
+            r.total_cv()
+        ));
+        if r.total_cv() > 0.1 {
+            passed = false;
+            evidence.push(format!(
+                "{}: VIOLATION: budget-clamped bandwidth should be flat",
+                r.device
+            ));
+        }
+    }
+    evidence.push(format!(
+        "{}: total throughput {:.2}..{:.2} GB/s (spread {:.0}% of mean)",
+        ssd.device,
+        uc_metrics::SummaryStats::from_samples(&ssd.total_gbps).min(),
+        uc_metrics::SummaryStats::from_samples(&ssd.total_gbps).max(),
+        ssd.total_spread() * 100.0
+    ));
+    if ssd.total_spread() < 0.15 {
+        passed = false;
+        evidence.push(
+            "SSD: VIOLATION: local SSD bandwidth should vary with the mix".to_string(),
+        );
+    }
+    ObservationResult {
+        id: 4,
+        title: "The maximum bandwidth is deterministic and no longer \
+                sensitive to the access pattern"
+            .to_string(),
+        passed,
+        evidence,
+    }
+}
+
+/// Everything [`check_all`] consumes: per-device results for Figures 2–5.
+#[derive(Debug, Clone)]
+pub struct ContractInputs {
+    /// Figure 2 for the local SSD.
+    pub fig2_ssd: Fig2Result,
+    /// Figure 2 for each ESSD.
+    pub fig2_essds: Vec<Fig2Result>,
+    /// Figure 3 for all devices (must include the local SSD).
+    pub fig3: Vec<Fig3Result>,
+    /// Figure 4 for all devices.
+    pub fig4: Vec<Fig4Result>,
+    /// Figure 5 for the local SSD.
+    pub fig5_ssd: Fig5Result,
+    /// Figure 5 for each ESSD.
+    pub fig5_essds: Vec<Fig5Result>,
+}
+
+/// Checks all four observations.
+pub fn check_all(inputs: &ContractInputs) -> ContractReport {
+    let fig2_refs: Vec<&Fig2Result> = inputs.fig2_essds.iter().collect();
+    let fig3_refs: Vec<&Fig3Result> = inputs.fig3.iter().collect();
+    let fig4_refs: Vec<&Fig4Result> = inputs.fig4.iter().collect();
+    let fig5_refs: Vec<&Fig5Result> = inputs.fig5_essds.iter().collect();
+    ContractReport {
+        observations: vec![
+            check_observation1(&inputs.fig2_ssd, &fig2_refs),
+            check_observation2(&fig3_refs),
+            check_observation3(&fig4_refs),
+            check_observation4(&inputs.fig5_ssd, &fig5_refs),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{LatencyCell, PatternGrid};
+    use uc_sim::SimDuration;
+    use uc_workload::AccessPattern;
+
+    /// Builds a 2x2 grid where the device's latency scales by `grow` from
+    /// the (4K, QD1) corner to the (256K, QD16) corner.
+    fn synthetic_fig2(device: DeviceKind, base_us: u64, rr_us: u64, grow: u64) -> Fig2Result {
+        let cell = |us: u64| LatencyCell {
+            avg: SimDuration::from_micros(us),
+            p999: SimDuration::from_micros(us * 3),
+        };
+        let grid = |us: u64| PatternGrid {
+            pattern: AccessPattern::RandWrite,
+            cells: vec![
+                vec![cell(us), cell(us * grow)],
+                vec![cell(us), cell(us * grow)],
+            ],
+        };
+        Fig2Result {
+            device,
+            io_sizes: vec![4096, 262144],
+            queue_depths: vec![1, 16],
+            grids: vec![grid(base_us), grid(base_us), grid(rr_us), grid(base_us)],
+        }
+    }
+
+    #[test]
+    fn observation1_passes_on_paper_shape() {
+        // SSD latency grows 10x with I/O size (transfer-bound); the ESSD
+        // stays flat (network-bound): the gap collapses from 33x to 3.3x.
+        let ssd = synthetic_fig2(DeviceKind::LocalSsd, 10, 50, 10);
+        let essd = synthetic_fig2(DeviceKind::Essd1, 330, 470, 1);
+        let res = check_observation1(&ssd, &[&essd]);
+        assert!(res.passed, "{res}");
+    }
+
+    #[test]
+    fn observation1_fails_when_gap_small() {
+        let ssd = synthetic_fig2(DeviceKind::LocalSsd, 100, 100, 1);
+        let essd = synthetic_fig2(DeviceKind::Essd1, 150, 140, 1);
+        let res = check_observation1(&ssd, &[&essd]);
+        assert!(!res.passed);
+    }
+
+    fn synthetic_fig3(device: DeviceKind, knee_at: Option<f64>) -> Fig3Result {
+        let mut pts = Vec::new();
+        for i in 0..300 {
+            let x = i as f64 / 100.0; // 0..3x capacity
+            let y = match knee_at {
+                Some(k) if x > k => 0.2,
+                _ => 2.7,
+            };
+            pts.push((x, y));
+        }
+        Fig3Result {
+            device,
+            capacity: 1 << 30,
+            time_series: uc_metrics::Series::from_points("t", pts.clone()),
+            volume_series: uc_metrics::Series::from_points("v", pts),
+        }
+    }
+
+    #[test]
+    fn observation2_passes_on_paper_shape() {
+        let ssd = synthetic_fig3(DeviceKind::LocalSsd, Some(0.9));
+        let e1 = synthetic_fig3(DeviceKind::Essd1, Some(2.55));
+        let e2 = synthetic_fig3(DeviceKind::Essd2, None);
+        let res = check_observation2(&[&ssd, &e1, &e2]);
+        assert!(res.passed, "{res}");
+    }
+
+    #[test]
+    fn observation2_fails_if_essd_collapses_early() {
+        let ssd = synthetic_fig3(DeviceKind::LocalSsd, Some(0.9));
+        let e1 = synthetic_fig3(DeviceKind::Essd1, Some(1.0));
+        let res = check_observation2(&[&ssd, &e1]);
+        assert!(!res.passed);
+    }
+
+    fn synthetic_fig4(device: DeviceKind, gain: f64) -> Fig4Result {
+        Fig4Result {
+            device,
+            io_sizes: vec![4096],
+            queue_depths: vec![32],
+            rand_gbps: vec![vec![gain]],
+            seq_gbps: vec![vec![1.0]],
+        }
+    }
+
+    #[test]
+    fn observation3_checks_gain_split() {
+        let res = check_observation3(&[
+            &synthetic_fig4(DeviceKind::LocalSsd, 1.0),
+            &synthetic_fig4(DeviceKind::Essd1, 1.5),
+            &synthetic_fig4(DeviceKind::Essd2, 2.8),
+        ]);
+        assert!(res.passed, "{res}");
+        let res = check_observation3(&[&synthetic_fig4(DeviceKind::Essd1, 1.05)]);
+        assert!(!res.passed);
+    }
+
+    fn synthetic_fig5(device: DeviceKind, totals: Vec<f64>) -> Fig5Result {
+        Fig5Result {
+            device,
+            write_ratios: (0..totals.len()).map(|i| i as f64).collect(),
+            write_gbps: vec![0.0; totals.len()],
+            total_gbps: totals,
+        }
+    }
+
+    #[test]
+    fn observation4_checks_flat_versus_varying() {
+        let ssd = synthetic_fig5(DeviceKind::LocalSsd, vec![3.5, 4.3, 2.5, 2.7]);
+        let e1 = synthetic_fig5(DeviceKind::Essd1, vec![3.0, 3.01, 2.99, 3.0]);
+        let res = check_observation4(&ssd, &[&e1]);
+        assert!(res.passed, "{res}");
+
+        let wobbly = synthetic_fig5(DeviceKind::Essd1, vec![3.0, 2.0, 1.0, 2.5]);
+        let res = check_observation4(&ssd, &[&wobbly]);
+        assert!(!res.passed);
+    }
+
+    #[test]
+    fn report_display_mentions_verdicts() {
+        let ssd = synthetic_fig5(DeviceKind::LocalSsd, vec![3.5, 2.5]);
+        let e1 = synthetic_fig5(DeviceKind::Essd1, vec![3.0, 3.0]);
+        let obs = check_observation4(&ssd, &[&e1]);
+        let report = ContractReport {
+            observations: vec![obs],
+        };
+        let text = report.to_string();
+        assert!(text.contains("HOLDS"));
+        assert!(text.contains("Unwritten Contract"));
+        assert!(report.all_hold());
+    }
+}

@@ -1,0 +1,176 @@
+//! The calibrated device roster of the paper's Table I.
+
+use uc_blockdev::BlockDevice;
+use uc_essd::{Essd, EssdConfig};
+use uc_ssd::{Ssd, SsdConfig};
+
+/// Which of the paper's three devices to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// The local-SSD baseline (Samsung 970 Pro class).
+    LocalSsd,
+    /// ESSD-1 (AWS io2 class).
+    Essd1,
+    /// ESSD-2 (Alibaba PL3 class).
+    Essd2,
+}
+
+impl DeviceKind {
+    /// All three devices, in the paper's order.
+    pub const ALL: [DeviceKind; 3] = [DeviceKind::Essd1, DeviceKind::Essd2, DeviceKind::LocalSsd];
+
+    /// Short label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceKind::LocalSsd => "SSD",
+            DeviceKind::Essd1 => "ESSD-1",
+            DeviceKind::Essd2 => "ESSD-2",
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A factory for fresh instances of the paper's three devices.
+///
+/// Experiments build a *fresh* device per measurement cell so that FTL and
+/// buffer state cannot leak between cells; the roster carries the scaled
+/// capacities (the paper's 1 TB SSD / 2 TB ESSDs keep their 1:2 ratio at
+/// simulation scale — see DESIGN.md).
+///
+/// # Example
+///
+/// ```
+/// use uc_core::devices::{DeviceKind, DeviceRoster};
+///
+/// let roster = DeviceRoster::scaled_default();
+/// let mut ssd = roster.build(DeviceKind::LocalSsd);
+/// assert!(ssd.info().capacity() >= roster.ssd_capacity());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceRoster {
+    ssd_capacity: u64,
+    essd_capacity: u64,
+}
+
+impl DeviceRoster {
+    /// The default simulation scale: 1 GiB SSD, 2 GiB ESSDs (the paper's
+    /// 1 TB : 2 TB ratio at 1/1024 scale).
+    pub fn scaled_default() -> Self {
+        DeviceRoster {
+            ssd_capacity: 1 << 30,
+            essd_capacity: 2 << 30,
+        }
+    }
+
+    /// A roster with explicit capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is below 64 MiB (too small for the scaled
+    /// geometries to be meaningful).
+    pub fn with_capacities(ssd: u64, essd: u64) -> Self {
+        assert!(
+            ssd >= 64 << 20 && essd >= 64 << 20,
+            "capacities below 64 MiB produce degenerate geometries"
+        );
+        DeviceRoster {
+            ssd_capacity: ssd,
+            essd_capacity: essd,
+        }
+    }
+
+    /// The SSD's scaled capacity in bytes.
+    pub fn ssd_capacity(&self) -> u64 {
+        self.ssd_capacity
+    }
+
+    /// The ESSDs' scaled capacity in bytes.
+    pub fn essd_capacity(&self) -> u64 {
+        self.essd_capacity
+    }
+
+    /// The capacity `kind` is built with.
+    pub fn capacity_of(&self, kind: DeviceKind) -> u64 {
+        match kind {
+            DeviceKind::LocalSsd => self.ssd_capacity,
+            _ => self.essd_capacity,
+        }
+    }
+
+    /// Builds a fresh instance of `kind`.
+    pub fn build(&self, kind: DeviceKind) -> Box<dyn BlockDevice> {
+        match kind {
+            DeviceKind::LocalSsd => Box::new(Ssd::new(SsdConfig::samsung_970_pro(
+                self.ssd_capacity,
+            ))),
+            DeviceKind::Essd1 => Box::new(Essd::new(EssdConfig::aws_io2(self.essd_capacity))),
+            DeviceKind::Essd2 => {
+                Box::new(Essd::new(EssdConfig::alibaba_pl3(self.essd_capacity)))
+            }
+        }
+    }
+
+    /// Builds a fresh instance with a distinct jitter seed (for
+    /// repeated-trial experiments).
+    pub fn build_seeded(&self, kind: DeviceKind, seed: u64) -> Box<dyn BlockDevice> {
+        match kind {
+            DeviceKind::LocalSsd => Box::new(Ssd::with_seed(
+                SsdConfig::samsung_970_pro(self.ssd_capacity),
+                seed,
+            )),
+            DeviceKind::Essd1 => Box::new(Essd::new(
+                EssdConfig::aws_io2(self.essd_capacity).with_seed(seed),
+            )),
+            DeviceKind::Essd2 => Box::new(Essd::new(
+                EssdConfig::alibaba_pl3(self.essd_capacity).with_seed(seed),
+            )),
+        }
+    }
+}
+
+impl Default for DeviceRoster {
+    fn default() -> Self {
+        DeviceRoster::scaled_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_builds_all_kinds() {
+        let roster = DeviceRoster::scaled_default();
+        for kind in DeviceKind::ALL {
+            let dev = roster.build(kind);
+            assert!(dev.info().capacity() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn capacities_keep_paper_ratio() {
+        let roster = DeviceRoster::scaled_default();
+        assert_eq!(roster.essd_capacity(), 2 * roster.ssd_capacity());
+        assert_eq!(
+            roster.capacity_of(DeviceKind::Essd1),
+            roster.capacity_of(DeviceKind::Essd2)
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DeviceKind::LocalSsd.label(), "SSD");
+        assert_eq!(DeviceKind::Essd1.to_string(), "ESSD-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "64 MiB")]
+    fn degenerate_capacity_rejected() {
+        let _ = DeviceRoster::with_capacities(1 << 20, 1 << 30);
+    }
+}

@@ -1,0 +1,193 @@
+//! Figure 3: runtime throughput under 3× capacity of sustained random
+//! writes.
+
+use crate::devices::{DeviceKind, DeviceRoster};
+use uc_blockdev::IoError;
+use uc_metrics::Series;
+use uc_sim::SimDuration;
+use uc_workload::{run_job, AccessPattern, JobSpec};
+
+/// Workload parameters for the Figure 3 endurance run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Config {
+    /// I/O size in bytes (large, to reach peak throughput quickly).
+    pub io_size: u32,
+    /// Queue depth.
+    pub queue_depth: usize,
+    /// Total volume as a multiple of device capacity (paper: 3×).
+    pub capacity_multiple: f64,
+    /// Throughput-timeline window.
+    pub window: SimDuration,
+}
+
+impl Fig3Config {
+    /// The paper's setting: write 3× the capacity with large random writes.
+    pub fn paper() -> Self {
+        Fig3Config {
+            io_size: 128 << 10,
+            queue_depth: 32,
+            capacity_multiple: 3.0,
+            window: SimDuration::from_millis(200),
+        }
+    }
+
+    /// A shorter run (1.5× capacity) for tests.
+    pub fn quick() -> Self {
+        Fig3Config {
+            capacity_multiple: 1.5,
+            ..Fig3Config::paper()
+        }
+    }
+}
+
+/// Figure 3 results for one device.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Which device was measured.
+    pub device: DeviceKind,
+    /// The device capacity used for normalization.
+    pub capacity: u64,
+    /// Throughput versus time: `(seconds, GB/s)`.
+    pub time_series: Series,
+    /// Throughput versus *written volume*: `(multiple of capacity, GB/s)`.
+    /// This is the axis the paper's markers annotate.
+    pub volume_series: Series,
+}
+
+impl Fig3Result {
+    /// Peak throughput over the run, in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.volume_series.max_y()
+    }
+
+    /// Mean throughput over the final 10 % of the run (the post-collapse
+    /// steady state, if any), in GB/s.
+    pub fn tail_gbps(&self) -> f64 {
+        let pts = self.volume_series.points();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        let tail = &pts[pts.len() - (pts.len() / 10).max(1)..];
+        tail.iter().map(|p| p.1).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Mean throughput over an early plateau (after the warmup transient
+    /// of queue fill and token-bucket burst), in GB/s.
+    pub fn plateau_gbps(&self) -> f64 {
+        let pts = self.volume_series.points();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        let lo = (pts.len() / 50).max(2).min(pts.len() - 1);
+        let hi = (pts.len() / 8).max(lo + 1).min(pts.len());
+        let window = &pts[lo..hi];
+        window.iter().map(|p| p.1).sum::<f64>() / window.len() as f64
+    }
+
+    /// The volume series smoothed for knee detection (5-window moving
+    /// average, which absorbs per-window quantization at small scales).
+    pub fn smoothed_volume_series(&self) -> Series {
+        self.volume_series.moving_average(5)
+    }
+
+    /// The written-volume multiple at which throughput first fell below
+    /// half the early plateau, if it ever did — the paper's "knee".
+    ///
+    /// Using the plateau (not the absolute peak) makes the detector robust
+    /// to the warmup spike a token-bucket burst or an empty write buffer
+    /// produces in the first windows.
+    pub fn knee_multiple(&self) -> Option<f64> {
+        let reference = self.plateau_gbps();
+        if reference <= 0.0 {
+            return None;
+        }
+        let smooth = self.smoothed_volume_series();
+        let pts = smooth.points();
+        let start = (pts.len() / 8).max(3).min(pts.len());
+        pts[start..]
+            .iter()
+            .find(|&&(_, y)| y < reference / 2.0)
+            .map(|&(x, _)| x)
+    }
+}
+
+/// Runs the Figure 3 endurance experiment on `kind`.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from the device.
+pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig3Config) -> Result<Fig3Result, IoError> {
+    let capacity = roster.capacity_of(kind);
+    let mut dev = roster.build_seeded(kind, 0xF1630000 + kind as u64);
+    let volume = (capacity as f64 * cfg.capacity_multiple) as u64;
+    // Scale the window so the run spans a few hundred points regardless of
+    // the simulated capacity (a scaled-down device finishes in well under a
+    // second of virtual time).
+    let est_secs = volume as f64 / 2.0e9;
+    let window = cfg
+        .window
+        .min(SimDuration::from_secs_f64(est_secs / 100.0))
+        .max(SimDuration::from_micros(500));
+    let spec = JobSpec::new(AccessPattern::RandWrite, cfg.io_size, cfg.queue_depth)
+        .with_byte_limit(volume)
+        .with_throughput_window(window)
+        .with_seed(0xF163);
+    let report = run_job(dev.as_mut(), &spec)?;
+
+    let time_series = report.throughput.series();
+    // Re-index by cumulative written volume (normalized by capacity).
+    let mut cumulative = 0.0f64;
+    let window_secs = window.as_secs_f64();
+    let mut volume_points = Vec::with_capacity(time_series.len());
+    for &(_, gbps) in time_series.points() {
+        cumulative += gbps * 1e9 * window_secs;
+        volume_points.push((cumulative / capacity as f64, gbps));
+    }
+    Ok(Fig3Result {
+        device: kind,
+        capacity,
+        volume_series: Series::from_points(
+            format!("{kind} GB/s vs written multiple"),
+            volume_points,
+        ),
+        time_series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_collapses_near_capacity() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config {
+            capacity_multiple: 2.0,
+            ..Fig3Config::paper()
+        };
+        let r = run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+        assert!(r.peak_gbps() > 1.0, "clean device writes fast");
+        let knee = r.knee_multiple().expect("GC collapse must occur");
+        assert!(
+            (0.5..1.6).contains(&knee),
+            "knee at {knee}x capacity, expected near 1x"
+        );
+        assert!(
+            r.tail_gbps() < r.peak_gbps() / 3.0,
+            "steady state ({}) far below peak ({})",
+            r.tail_gbps(),
+            r.peak_gbps()
+        );
+    }
+
+    #[test]
+    fn essd2_sustains_throughout() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let r = run(&roster, DeviceKind::Essd2, &Fig3Config::quick()).unwrap();
+        assert!(
+            r.knee_multiple().is_none(),
+            "ESSD-2 must not collapse, knee at {:?}",
+            r.knee_multiple()
+        );
+    }
+}

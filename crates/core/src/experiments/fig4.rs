@@ -1,0 +1,180 @@
+//! Figure 4: random- versus sequential-write throughput and the
+//! random/sequential gain.
+
+use crate::devices::{DeviceKind, DeviceRoster};
+use uc_blockdev::IoError;
+use uc_workload::{run_job, AccessPattern, JobSpec};
+
+/// Workload grid for the Figure 4 sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig4Config {
+    /// I/O sizes in bytes (paper: 4 KiB to 256 KiB).
+    pub io_sizes: Vec<u32>,
+    /// Queue depths (paper: 1 to 32).
+    pub queue_depths: Vec<usize>,
+    /// I/Os per measurement cell.
+    pub ios_per_cell: u64,
+}
+
+impl Fig4Config {
+    /// The paper's grid: sizes {4..256} KiB, depths {1..32}.
+    pub fn paper() -> Self {
+        Fig4Config {
+            io_sizes: vec![
+                4 << 10,
+                8 << 10,
+                16 << 10,
+                32 << 10,
+                64 << 10,
+                128 << 10,
+                256 << 10,
+            ],
+            queue_depths: vec![1, 2, 4, 8, 16, 32],
+            ios_per_cell: 4_000,
+        }
+    }
+
+    /// A reduced grid for tests and smoke runs.
+    pub fn quick() -> Self {
+        Fig4Config {
+            io_sizes: vec![4 << 10, 32 << 10, 256 << 10],
+            queue_depths: vec![1, 8, 32],
+            ios_per_cell: 1_200,
+        }
+    }
+}
+
+/// Figure 4 results for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// Which device was measured.
+    pub device: DeviceKind,
+    /// Grid columns (I/O sizes in bytes).
+    pub io_sizes: Vec<u32>,
+    /// Grid rows (queue depths).
+    pub queue_depths: Vec<usize>,
+    /// Random-write throughput in GB/s, `[qd][size]`.
+    pub rand_gbps: Vec<Vec<f64>>,
+    /// Sequential-write throughput in GB/s, `[qd][size]`.
+    pub seq_gbps: Vec<Vec<f64>>,
+}
+
+impl Fig4Result {
+    /// The random/sequential throughput gain, `[qd][size]` (the paper's
+    /// blue lines; >1 means random writes win).
+    pub fn gain(&self) -> Vec<Vec<f64>> {
+        self.rand_gbps
+            .iter()
+            .zip(&self.seq_gbps)
+            .map(|(rr, sr)| {
+                rr.iter()
+                    .zip(sr)
+                    .map(|(r, s)| if *s > 0.0 { r / s } else { f64::INFINITY })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The largest gain in the grid and the `(queue_depth, io_size)` where
+    /// it occurs.
+    pub fn max_gain(&self) -> (f64, usize, u32) {
+        let mut best = (0.0, self.queue_depths[0], self.io_sizes[0]);
+        for (qi, row) in self.gain().iter().enumerate() {
+            for (si, &g) in row.iter().enumerate() {
+                if g.is_finite() && g > best.0 {
+                    best = (g, self.queue_depths[qi], self.io_sizes[si]);
+                }
+            }
+        }
+        best
+    }
+
+    /// The highest random-write throughput in the grid, in GB/s.
+    pub fn peak_rand_gbps(&self) -> f64 {
+        self.rand_gbps
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the Figure 4 sweep on `kind`.
+///
+/// Volumes stay well under the device capacity, matching the paper's
+/// "when GC does not occur" framing for the local SSD.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from the device.
+pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig4Config) -> Result<Fig4Result, IoError> {
+    let run_cell = |pattern: AccessPattern, qd: usize, size: u32, salt: u64| {
+        let mut dev = roster.build_seeded(kind, 0xF1640000 + salt);
+        // Enough I/Os for steady state at this depth, but bounded volume:
+        // the paper's cells never age the device into GC ("when GC does
+        // not occur"), so stay under half the capacity.
+        let ios = cfg
+            .ios_per_cell
+            .max(qd as u64 * 100)
+            .min((roster.capacity_of(kind) / 2 / size as u64).max(100));
+        let spec = JobSpec::new(pattern, size, qd)
+            .with_io_limit(ios)
+            .with_seed(0x46 + salt);
+        run_job(dev.as_mut(), &spec).map(|r| r.throughput_gbps())
+    };
+
+    let mut rand_gbps = Vec::with_capacity(cfg.queue_depths.len());
+    let mut seq_gbps = Vec::with_capacity(cfg.queue_depths.len());
+    for (qi, &qd) in cfg.queue_depths.iter().enumerate() {
+        let mut rand_row = Vec::with_capacity(cfg.io_sizes.len());
+        let mut seq_row = Vec::with_capacity(cfg.io_sizes.len());
+        for (si, &size) in cfg.io_sizes.iter().enumerate() {
+            let salt = (qi as u64) * 100 + si as u64;
+            rand_row.push(run_cell(AccessPattern::RandWrite, qd, size, salt)?);
+            seq_row.push(run_cell(AccessPattern::SeqWrite, qd, size, salt + 50)?);
+        }
+        rand_gbps.push(rand_row);
+        seq_gbps.push(seq_row);
+    }
+    Ok(Fig4Result {
+        device: kind,
+        io_sizes: cfg.io_sizes.clone(),
+        queue_depths: cfg.queue_depths.clone(),
+        rand_gbps,
+        seq_gbps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn essd2_random_writes_win_big() {
+        let roster = DeviceRoster::with_capacities(256 << 20, 1 << 30);
+        let cfg = Fig4Config {
+            io_sizes: vec![64 << 10],
+            queue_depths: vec![16],
+            ios_per_cell: 800,
+        };
+        let r = run(&roster, DeviceKind::Essd2, &cfg).unwrap();
+        let (gain, _, _) = r.max_gain();
+        assert!(gain > 1.5, "ESSD-2 gain should be large, got {gain}");
+    }
+
+    #[test]
+    fn ssd_gain_is_flat() {
+        let roster = DeviceRoster::with_capacities(256 << 20, 256 << 20);
+        let cfg = Fig4Config {
+            io_sizes: vec![64 << 10],
+            queue_depths: vec![8],
+            ios_per_cell: 800,
+        };
+        let r = run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+        let (gain, _, _) = r.max_gain();
+        assert!(
+            (0.8..1.25).contains(&gain),
+            "pre-GC SSD should not care about write pattern, gain {gain}"
+        );
+    }
+}

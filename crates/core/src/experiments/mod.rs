@@ -1,0 +1,26 @@
+//! Experiment runners for every table and figure of the paper.
+//!
+//! Each submodule regenerates one artifact:
+//!
+//! | Module   | Paper artifact | What it measures |
+//! |----------|----------------|------------------|
+//! | [`table1`] | Table I      | max bandwidth, max IOPS, capacity per device |
+//! | [`fig2`]   | Figure 2     | avg/P99.9 latency grids over pattern × size × depth |
+//! | [`fig3`]   | Figure 3     | throughput timeline under 3× capacity of random writes |
+//! | [`fig4`]   | Figure 4     | random- vs sequential-write throughput and gain |
+//! | [`fig5`]   | Figure 5     | throughput across read/write mix ratios |
+//!
+//! Every runner builds a *fresh* device per measurement cell (no state
+//! leakage between cells) and is deterministic for a given configuration.
+
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+
+pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
+pub use fig3::{Fig3Config, Fig3Result};
+pub use fig4::{Fig4Config, Fig4Result};
+pub use fig5::{Fig5Config, Fig5Result};
+pub use table1::{run as run_table1, Table1Row};

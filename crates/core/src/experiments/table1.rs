@@ -1,0 +1,82 @@
+//! Table I: measured device envelopes.
+
+use crate::devices::{DeviceKind, DeviceRoster};
+use uc_blockdev::IoError;
+use uc_workload::{run_job, AccessPattern, JobSpec};
+
+/// One row of Table I, measured on the simulated device (rather than
+/// copied from a datasheet): peak bandwidth, peak 4 KiB IOPS, capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Which device.
+    pub device: DeviceKind,
+    /// Device name string.
+    pub name: String,
+    /// Peak measured bandwidth in GB/s (best of large-I/O read and write).
+    pub max_bandwidth_gbps: f64,
+    /// Peak measured 4 KiB IOPS (thousands).
+    pub max_kiops: f64,
+    /// Capacity in GiB.
+    pub capacity_gib: f64,
+}
+
+/// Measures Table I for every device in the roster.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from any device.
+pub fn run(roster: &DeviceRoster) -> Result<Vec<Table1Row>, IoError> {
+    DeviceKind::ALL
+        .iter()
+        .map(|&kind| {
+            let name = roster.build(kind).info().name().to_string();
+            let bw = {
+                let mut best: f64 = 0.0;
+                for pattern in [AccessPattern::RandRead, AccessPattern::RandWrite] {
+                    let mut dev = roster.build(kind);
+                    let spec = JobSpec::new(pattern, 256 << 10, 32)
+                        .with_io_limit(3_000)
+                        .with_seed(0x7A);
+                    best = best.max(run_job(dev.as_mut(), &spec)?.throughput_gbps());
+                }
+                best
+            };
+            let kiops = {
+                let mut dev = roster.build(kind);
+                let spec = JobSpec::new(AccessPattern::RandRead, 4096, 32)
+                    .with_io_limit(20_000)
+                    .with_seed(0x7B);
+                run_job(dev.as_mut(), &spec)?.iops() / 1000.0
+            };
+            Ok(Table1Row {
+                device: kind,
+                name,
+                max_bandwidth_gbps: bw,
+                max_kiops: kiops,
+                capacity_gib: roster.capacity_of(kind) as f64 / (1u64 << 30) as f64,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_three_calibrated_rows() {
+        let roster = DeviceRoster::with_capacities(256 << 20, 512 << 20);
+        let rows = run(&roster).unwrap();
+        assert_eq!(rows.len(), 3);
+        let by_kind = |k: DeviceKind| rows.iter().find(|r| r.device == k).unwrap();
+        let ssd = by_kind(DeviceKind::LocalSsd);
+        let e1 = by_kind(DeviceKind::Essd1);
+        let e2 = by_kind(DeviceKind::Essd2);
+        // Table I ordering: SSD read BW > ESSD-1 budget > ESSD-2 budget.
+        assert!(ssd.max_bandwidth_gbps > e1.max_bandwidth_gbps);
+        assert!(e1.max_bandwidth_gbps > e2.max_bandwidth_gbps);
+        // The local SSD's small-I/O IOPS dwarf both cloud devices'.
+        assert!(ssd.max_kiops > e1.max_kiops);
+        assert!(ssd.max_kiops > e2.max_kiops);
+    }
+}

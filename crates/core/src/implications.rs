@@ -1,0 +1,510 @@
+//! The five implications as actionable advisors.
+//!
+//! The paper's implications tell cloud storage users how to *act* on the
+//! observations. Each advisor here turns measured results (or a workload
+//! description) into a concrete recommendation:
+//!
+//! | Advisor | Implication |
+//! |---|---|
+//! | [`advise_scale_up`] | #1 — scale I/O sizes and queue depths up |
+//! | [`advise_gc_mitigation`] | #2 — reconsider host-side GC-mitigation techniques |
+//! | [`advise_write_pattern`] | #3 — rethink sequentializing random writes |
+//! | [`plan_smoothing`] | #4 — smooth I/O below the throughput budget |
+//! | [`advise_io_reduction`] | #5 — re-evaluate compression/deduplication |
+
+use crate::devices::DeviceKind;
+use crate::experiments::{Fig2Result, Fig3Result, Fig4Result};
+use std::fmt;
+use uc_sim::SimDuration;
+
+/// Implication #1: the smallest (I/O size, queue depth) at which the
+/// ESSD/SSD latency gap falls below a target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleUpAdvice {
+    /// Device the advice is for.
+    pub device: DeviceKind,
+    /// Pattern index into [`crate::experiments::fig2::FIG2_PATTERNS`].
+    pub pattern_index: usize,
+    /// Recommended minimum I/O size in bytes, if any cell qualifies.
+    pub min_io_size: Option<u32>,
+    /// Recommended minimum queue depth, if any cell qualifies.
+    pub min_queue_depth: Option<usize>,
+    /// The gap achieved at that cell.
+    pub achieved_gap: f64,
+}
+
+impl fmt::Display for ScaleUpAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min_io_size, self.min_queue_depth) {
+            (Some(size), Some(qd)) => write!(
+                f,
+                "{}: scale to >= {} KiB at QD >= {} (gap {:.1}x)",
+                self.device,
+                size >> 10,
+                qd,
+                self.achieved_gap
+            ),
+            _ => write!(
+                f,
+                "{}: no configuration in the measured grid reaches the target gap",
+                self.device
+            ),
+        }
+    }
+}
+
+/// Recommends, per pattern, the cheapest scale-up reaching `target_gap`.
+///
+/// Scans the Figure 2 grid in increasing cost order (queue depth major,
+/// I/O size minor) and returns the first cell whose average-latency gap is
+/// at or below `target_gap`.
+pub fn advise_scale_up(
+    essd: &Fig2Result,
+    ssd: &Fig2Result,
+    pattern_index: usize,
+    target_gap: f64,
+) -> ScaleUpAdvice {
+    let gaps = essd.gap_versus(ssd, pattern_index, false);
+    let mut best: Option<(usize, usize, f64)> = None;
+    for (qi, row) in gaps.iter().enumerate() {
+        for (si, &g) in row.iter().enumerate() {
+            if g <= target_gap {
+                // Prefer the cheapest cell: lower depth first, then size.
+                let better = match best {
+                    None => true,
+                    Some((bqi, bsi, _)) => (qi, si) < (bqi, bsi),
+                };
+                if better {
+                    best = Some((qi, si, g));
+                }
+            }
+        }
+    }
+    match best {
+        Some((qi, si, g)) => ScaleUpAdvice {
+            device: essd.device,
+            pattern_index,
+            min_io_size: Some(essd.io_sizes[si]),
+            min_queue_depth: Some(essd.queue_depths[qi]),
+            achieved_gap: g,
+        },
+        None => ScaleUpAdvice {
+            device: essd.device,
+            pattern_index,
+            min_io_size: None,
+            min_queue_depth: None,
+            achieved_gap: f64::INFINITY,
+        },
+    }
+}
+
+/// Implication #2: whether host-side GC-mitigation machinery still pays
+/// off on this device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcMitigationAdvice {
+    /// Device the advice is for.
+    pub device: DeviceKind,
+    /// Where throughput collapsed, in capacity multiples (if it did).
+    pub knee_multiple: Option<f64>,
+    /// `true` if host-side GC mitigation is still worthwhile.
+    pub keep_mitigation: bool,
+    /// One-line rationale.
+    pub rationale: String,
+}
+
+impl fmt::Display for GcMitigationAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} — {}",
+            self.device,
+            if self.keep_mitigation {
+                "KEEP host-side GC mitigation"
+            } else {
+                "RECONSIDER host-side GC mitigation"
+            },
+            self.rationale
+        )
+    }
+}
+
+/// Derives Implication #2 from a Figure 3 run.
+pub fn advise_gc_mitigation(result: &Fig3Result) -> GcMitigationAdvice {
+    let knee = result.knee_multiple();
+    let (keep, rationale) = match (result.device, knee) {
+        (DeviceKind::LocalSsd, Some(k)) => (
+            true,
+            format!("device collapses at {k:.2}x capacity; mitigation still earns its keep"),
+        ),
+        (DeviceKind::LocalSsd, None) => (
+            true,
+            "no collapse observed in this run, but local GC remains a risk".to_string(),
+        ),
+        (_, None) => (
+            false,
+            "provider absorbed GC for the whole run; mitigation trades \
+             overhead for nothing"
+                .to_string(),
+        ),
+        (_, Some(k)) => (
+            false,
+            format!(
+                "provider hides GC until {k:.2}x capacity, then flow-limits; \
+                 host mitigation cannot change either regime"
+            ),
+        ),
+    };
+    GcMitigationAdvice {
+        device: result.device,
+        knee_multiple: knee,
+        keep_mitigation: keep,
+        rationale,
+    }
+}
+
+/// Implication #3: whether to keep converting random writes to sequential
+/// ones (log-structuring), or even to prefer random writes outright.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritePatternAdvice {
+    /// Device the advice is for.
+    pub device: DeviceKind,
+    /// Peak random/sequential gain measured.
+    pub max_gain: f64,
+    /// `true` if random writes should be preferred on this device.
+    pub prefer_random: bool,
+    /// One-line rationale.
+    pub rationale: String,
+}
+
+impl fmt::Display for WritePatternAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (max gain {:.2}x) — {}",
+            self.device,
+            if self.prefer_random {
+                "PREFER random writes"
+            } else {
+                "KEEP sequential writes"
+            },
+            self.max_gain,
+            self.rationale
+        )
+    }
+}
+
+/// Derives Implication #3 from a Figure 4 run.
+pub fn advise_write_pattern(result: &Fig4Result) -> WritePatternAdvice {
+    let (gain, qd, size) = result.max_gain();
+    let prefer_random = result.device != DeviceKind::LocalSsd && gain > 1.2;
+    let rationale = if prefer_random {
+        format!(
+            "random writes reach {gain:.2}x the sequential throughput at \
+             QD{qd}/{} KiB; sequentializing buys nothing here",
+            size >> 10
+        )
+    } else {
+        "no significant random-write advantage; log-structuring keeps its \
+         usual benefits"
+            .to_string()
+    };
+    WritePatternAdvice {
+        device: result.device,
+        max_gain: gain,
+        prefer_random,
+        rationale,
+    }
+}
+
+/// Implication #4: the smallest throughput budget that still meets a
+/// latency deadline, with and without smoothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothingPlan {
+    /// Peak windowed demand (bytes/second) — the budget an unsmoothed
+    /// deployment must buy.
+    pub peak_rate: f64,
+    /// The smallest rate (bytes/second) that keeps queueing delay within
+    /// the deadline when demand is queued and smoothed.
+    pub smoothed_rate: f64,
+    /// The deadline used.
+    pub max_delay: SimDuration,
+    /// `1 - smoothed/peak`: the budget saving from smoothing.
+    pub saving_fraction: f64,
+}
+
+impl fmt::Display for SmoothingPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "smooth to {:.2} GB/s instead of provisioning the {:.2} GB/s peak \
+             ({:.0}% budget saving, delay <= {})",
+            self.smoothed_rate / 1e9,
+            self.peak_rate / 1e9,
+            self.saving_fraction * 100.0,
+            self.max_delay
+        )
+    }
+}
+
+/// Computes Implication #4 for a demand trace.
+///
+/// `demand_bytes` holds the bytes requested in each consecutive window of
+/// width `window`. The smoothed rate is found by bisection over a
+/// leaky-bucket simulation: the smallest constant drain rate such that no
+/// byte waits longer than `max_delay`.
+///
+/// # Panics
+///
+/// Panics if `demand_bytes` is empty or `window` is zero.
+pub fn plan_smoothing(
+    demand_bytes: &[u64],
+    window: SimDuration,
+    max_delay: SimDuration,
+) -> SmoothingPlan {
+    assert!(!demand_bytes.is_empty(), "demand trace must be non-empty");
+    assert!(!window.is_zero(), "window must be non-zero");
+    let w = window.as_secs_f64();
+    let peak_rate = demand_bytes.iter().copied().max().unwrap_or(0) as f64 / w;
+    let total: u64 = demand_bytes.iter().sum();
+    let mean_rate = total as f64 / (w * demand_bytes.len() as f64);
+    let deadline = max_delay.as_secs_f64().max(1e-9);
+
+    // Feasibility: with drain rate `r`, the backlog after each window is
+    // max(0, backlog + demand - r*w); the last byte queued waits
+    // backlog / r seconds.
+    let feasible = |r: f64| -> bool {
+        if r <= 0.0 {
+            return false;
+        }
+        let mut backlog = 0.0f64;
+        for &d in demand_bytes {
+            backlog = (backlog + d as f64 - r * w).max(0.0);
+            if backlog / r > deadline {
+                return false;
+            }
+        }
+        true
+    };
+
+    let mut lo = mean_rate.max(1.0);
+    let mut hi = peak_rate.max(lo);
+    if feasible(lo) {
+        hi = lo;
+    } else {
+        for _ in 0..64 {
+            let mid = (lo + hi) / 2.0;
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    }
+    let smoothed = hi;
+    SmoothingPlan {
+        peak_rate,
+        smoothed_rate: smoothed,
+        max_delay,
+        saving_fraction: if peak_rate > 0.0 {
+            (1.0 - smoothed / peak_rate).max(0.0)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Implication #5: whether an I/O-reduction technique (compression,
+/// deduplication) pays off on a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoReductionAdvice {
+    /// Seconds to move one megabyte without the technique.
+    pub plain_secs_per_mb: f64,
+    /// Seconds to process + move one megabyte with the technique.
+    pub reduced_secs_per_mb: f64,
+    /// Fraction of throughput budget freed by the technique.
+    pub budget_saving_fraction: f64,
+    /// `true` if the technique improves end-to-end time on this device.
+    pub recommend: bool,
+}
+
+impl fmt::Display for IoReductionAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} us/MB plain vs {:.1} us/MB reduced; frees {:.0}% of budget",
+            if self.recommend {
+                "ADOPT i/o reduction"
+            } else {
+                "SKIP i/o reduction"
+            },
+            self.plain_secs_per_mb * 1e6,
+            self.reduced_secs_per_mb * 1e6,
+            self.budget_saving_fraction * 100.0
+        )
+    }
+}
+
+/// Computes Implication #5.
+///
+/// * `device_bytes_per_sec` — the effective streaming rate the workload
+///   sees on the device (for an ESSD this is the throughput budget; for a
+///   local SSD, its bus/flash rate),
+/// * `cpu_bytes_per_sec` — the throughput of the reduction algorithm,
+/// * `reduction_ratio` — output bytes / input bytes, in `(0, 1]`.
+///
+/// The technique is recommended when compress-then-transfer beats plain
+/// transfer (computation overlaps poorly on the paper's latency-sensitive
+/// path, so costs add).
+///
+/// # Panics
+///
+/// Panics if any rate is non-positive or `reduction_ratio` is outside
+/// `(0, 1]`.
+pub fn advise_io_reduction(
+    device_bytes_per_sec: f64,
+    cpu_bytes_per_sec: f64,
+    reduction_ratio: f64,
+) -> IoReductionAdvice {
+    assert!(device_bytes_per_sec > 0.0, "device rate must be positive");
+    assert!(cpu_bytes_per_sec > 0.0, "cpu rate must be positive");
+    assert!(
+        reduction_ratio > 0.0 && reduction_ratio <= 1.0,
+        "reduction ratio must be in (0, 1]"
+    );
+    let mb = 1e6;
+    let plain = mb / device_bytes_per_sec;
+    let reduced = mb / cpu_bytes_per_sec + reduction_ratio * mb / device_bytes_per_sec;
+    IoReductionAdvice {
+        plain_secs_per_mb: plain,
+        reduced_secs_per_mb: reduced,
+        budget_saving_fraction: 1.0 - reduction_ratio,
+        recommend: reduced < plain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{LatencyCell, PatternGrid};
+    use uc_workload::AccessPattern;
+
+    #[test]
+    fn scale_up_finds_cheapest_qualifying_cell() {
+        let cell = |us: u64| LatencyCell {
+            avg: SimDuration::from_micros(us),
+            p999: SimDuration::from_micros(us),
+        };
+        let mk = |device, grid: Vec<Vec<u64>>| Fig2Result {
+            device,
+            io_sizes: vec![4096, 262144],
+            queue_depths: vec![1, 16],
+            grids: vec![PatternGrid {
+                pattern: AccessPattern::RandWrite,
+                cells: grid
+                    .into_iter()
+                    .map(|row| row.into_iter().map(cell).collect())
+                    .collect(),
+            }],
+        };
+        let ssd = mk(DeviceKind::LocalSsd, vec![vec![10, 100], vec![30, 300]]);
+        let essd = mk(DeviceKind::Essd1, vec![vec![300, 300], vec![300, 330]]);
+        // Gaps: [[30, 3], [10, 1.1]]; target 5 -> first qualifying is
+        // (qd=1, 256K) with gap 3.
+        let advice = advise_scale_up(&essd, &ssd, 0, 5.0);
+        assert_eq!(advice.min_queue_depth, Some(1));
+        assert_eq!(advice.min_io_size, Some(262144));
+        assert!(advice.to_string().contains("256 KiB"));
+
+        let advice = advise_scale_up(&essd, &ssd, 0, 0.5);
+        assert_eq!(advice.min_io_size, None);
+    }
+
+    #[test]
+    fn gc_advice_splits_by_device() {
+        let mk = |device, knee: Option<f64>| {
+            let pts: Vec<(f64, f64)> = (0..300)
+                .map(|i| {
+                    let x = i as f64 / 100.0;
+                    (x, if knee.is_some_and(|k| x > k) { 0.2 } else { 2.0 })
+                })
+                .collect();
+            Fig3Result {
+                device,
+                capacity: 1 << 30,
+                time_series: uc_metrics::Series::from_points("t", pts.clone()),
+                volume_series: uc_metrics::Series::from_points("v", pts),
+            }
+        };
+        assert!(advise_gc_mitigation(&mk(DeviceKind::LocalSsd, Some(0.9))).keep_mitigation);
+        assert!(!advise_gc_mitigation(&mk(DeviceKind::Essd1, Some(2.5))).keep_mitigation);
+        assert!(!advise_gc_mitigation(&mk(DeviceKind::Essd2, None)).keep_mitigation);
+    }
+
+    #[test]
+    fn write_pattern_advice() {
+        let mk = |device, rand: f64| Fig4Result {
+            device,
+            io_sizes: vec![4096],
+            queue_depths: vec![8],
+            rand_gbps: vec![vec![rand]],
+            seq_gbps: vec![vec![1.0]],
+        };
+        assert!(advise_write_pattern(&mk(DeviceKind::Essd2, 2.8)).prefer_random);
+        assert!(!advise_write_pattern(&mk(DeviceKind::LocalSsd, 1.0)).prefer_random);
+        assert!(!advise_write_pattern(&mk(DeviceKind::Essd1, 1.1)).prefer_random);
+    }
+
+    #[test]
+    fn smoothing_flattens_bursts() {
+        // 10 windows: one 1 GB burst, nine idle.
+        let mut demand = vec![0u64; 10];
+        demand[0] = 1_000_000_000;
+        let plan = plan_smoothing(
+            &demand,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(5),
+        );
+        assert!(plan.smoothed_rate < plan.peak_rate / 3.0, "{plan}");
+        assert!(plan.saving_fraction > 0.6);
+    }
+
+    #[test]
+    fn smoothing_with_tight_deadline_buys_little() {
+        let mut demand = vec![0u64; 10];
+        demand[0] = 1_000_000_000;
+        let plan = plan_smoothing(
+            &demand,
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(1),
+        );
+        assert!(plan.saving_fraction < 0.05, "{plan}");
+    }
+
+    #[test]
+    fn smoothing_uniform_demand_is_already_smooth() {
+        let demand = vec![100_000u64; 20];
+        let plan = plan_smoothing(
+            &demand,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        );
+        assert!((plan.smoothed_rate - 100_000.0).abs() / 100_000.0 < 0.05);
+    }
+
+    #[test]
+    fn io_reduction_wins_on_slow_devices_only() {
+        // ESSD-ish: 0.4 GB/s effective; zstd-ish: 1.5 GB/s, 2:1.
+        let essd = advise_io_reduction(0.4e9, 1.5e9, 0.5);
+        assert!(essd.recommend, "{essd}");
+        // Local SSD: 2.7 GB/s device; same codec loses.
+        let ssd = advise_io_reduction(2.7e9, 1.5e9, 0.5);
+        assert!(!ssd.recommend, "{ssd}");
+        assert!((essd.budget_saving_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn smoothing_rejects_empty_trace() {
+        let _ = plan_smoothing(&[], SimDuration::from_secs(1), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! Plain-text rendering of experiment results in the paper's layout.
+
+use crate::experiments::{Fig2Result, Fig3Result, Fig4Result, Fig5Result, Table1Row};
+use uc_metrics::Series;
+use uc_sim::SimDuration;
+
+/// Formats a duration the way the paper's Figure 2 pixels do: `333u`,
+/// `1.4m`, `2.0s`.
+///
+/// # Example
+///
+/// ```
+/// use uc_core::report::paper_duration;
+/// use uc_sim::SimDuration;
+///
+/// assert_eq!(paper_duration(SimDuration::from_micros(333)), "333u");
+/// assert_eq!(paper_duration(SimDuration::from_micros(1400)), "1.4m");
+/// ```
+pub fn paper_duration(d: SimDuration) -> String {
+    let us = d.as_micros_f64();
+    if us < 1000.0 {
+        format!("{us:.0}u")
+    } else if us < 1_000_000.0 {
+        format!("{:.1}m", us / 1000.0)
+    } else {
+        format!("{:.1}s", us / 1_000_000.0)
+    }
+}
+
+/// Renders Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I: measured device envelopes (simulation scale)\n");
+    out.push_str(&format!(
+        "{:<10} {:<34} {:>14} {:>12} {:>10}\n",
+        "Device", "Name", "Max BW (GB/s)", "Max KIOPS", "Cap (GiB)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<34} {:>14.2} {:>12.1} {:>10.2}\n",
+            r.device.label(),
+            r.name,
+            r.max_bandwidth_gbps,
+            r.max_kiops,
+            r.capacity_gib
+        ));
+    }
+    out
+}
+
+/// Renders one pattern's Figure 2 grid for an ESSD: each cell shows the
+/// ESSD/SSD gap multiple on top of the absolute ESSD latency, exactly like
+/// the paper's pixels.
+///
+/// # Panics
+///
+/// Panics if `pattern_index` is out of range or the grids differ.
+pub fn render_fig2_grid(
+    essd: &Fig2Result,
+    ssd: &Fig2Result,
+    pattern_index: usize,
+    p999: bool,
+) -> String {
+    let pattern_names = ["Random Write", "Sequential Write", "Random Read", "Sequential Read"];
+    let gaps = essd.gap_versus(ssd, pattern_index, p999);
+    let mut out = format!(
+        "{} — {} — {} latency (gap x over SSD / absolute)\n",
+        essd.device,
+        pattern_names[pattern_index],
+        if p999 { "P99.9" } else { "average" }
+    );
+    out.push_str("        ");
+    for &s in &essd.io_sizes {
+        out.push_str(&format!("{:>14}", format!("{}K", s >> 10)));
+    }
+    out.push('\n');
+    for (qi, &qd) in essd.queue_depths.iter().enumerate() {
+        out.push_str(&format!("QD {qd:<5}"));
+        for (si, _) in essd.io_sizes.iter().enumerate() {
+            let cell = essd.cell(pattern_index, qi, si);
+            let v = if p999 { cell.p999 } else { cell.avg };
+            out.push_str(&format!(
+                "{:>14}",
+                format!("{:.1}x({})", gaps[qi][si], paper_duration(v))
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a series as an ASCII strip chart (for Figure 3 timelines).
+pub fn render_series(series: &Series, width: usize) -> String {
+    let pts = series.points();
+    let mut out = format!("{}\n", series);
+    if pts.is_empty() || width == 0 {
+        return out;
+    }
+    let max = series.max_y().max(1e-12);
+    // Downsample to `width` columns; bar height 0-8 in eighths.
+    let bars = "▁▂▃▄▅▆▇█";
+    let chunk = (pts.len() as f64 / width as f64).max(1.0);
+    let mut strip = String::new();
+    let mut i = 0.0;
+    while (i as usize) < pts.len() && strip.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + chunk) as usize).min(pts.len()).max(start + 1);
+        let avg = pts[start..end].iter().map(|p| p.1).sum::<f64>() / (end - start) as f64;
+        let level = ((avg / max) * 7.0).round() as usize;
+        strip.push(bars.chars().nth(level.min(7)).unwrap_or(' '));
+        i += chunk;
+    }
+    out.push_str(&strip);
+    out.push('\n');
+    out
+}
+
+/// Renders Figure 3 for one device: the throughput-versus-volume strip and
+/// its knee annotation.
+pub fn render_fig3(result: &Fig3Result) -> String {
+    let mut out = render_series(&result.volume_series, 72);
+    out.push_str(&match result.knee_multiple() {
+        Some(k) => format!(
+            "  peak {:.2} GB/s; knee at {:.2}x capacity; tail {:.2} GB/s\n",
+            result.peak_gbps(),
+            k,
+            result.tail_gbps()
+        ),
+        None => format!(
+            "  peak {:.2} GB/s; sustained to 3x capacity (no knee)\n",
+            result.peak_gbps()
+        ),
+    });
+    out
+}
+
+/// Renders Figure 4 for one device: random-write throughput and the
+/// random/sequential gain grid.
+pub fn render_fig4(result: &Fig4Result) -> String {
+    let mut out = format!("{} — random-write GB/s (rand/seq gain)\n", result.device);
+    out.push_str("        ");
+    for &s in &result.io_sizes {
+        out.push_str(&format!("{:>14}", format!("{}K", s >> 10)));
+    }
+    out.push('\n');
+    let gain = result.gain();
+    for (qi, &qd) in result.queue_depths.iter().enumerate() {
+        out.push_str(&format!("QD {qd:<5}"));
+        for si in 0..result.io_sizes.len() {
+            out.push_str(&format!(
+                "{:>14}",
+                format!("{:.2}({:.2}x)", result.rand_gbps[qi][si], gain[qi][si])
+            ));
+        }
+        out.push('\n');
+    }
+    let (g, qd, size) = result.max_gain();
+    out.push_str(&format!(
+        "  max gain {:.2}x at QD{} / {} KiB\n",
+        g,
+        qd,
+        size >> 10
+    ));
+    out
+}
+
+/// Renders Figure 5 for one device: total and write throughput per ratio.
+pub fn render_fig5(result: &Fig5Result) -> String {
+    let mut out = format!("{} — mixed read/write sweep\n", result.device);
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>14}\n",
+        "write %", "total GB/s", "write GB/s"
+    ));
+    for (i, &ratio) in result.write_ratios.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>12.0} {:>14.2} {:>14.2}\n",
+            ratio * 100.0,
+            result.total_gbps[i],
+            result.write_gbps[i]
+        ));
+    }
+    out.push_str(&format!(
+        "  mean {:.2} GB/s, cv {:.3}, spread {:.0}%\n",
+        result.mean_total_gbps(),
+        result.total_cv(),
+        result.total_spread() * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::DeviceKind;
+
+    #[test]
+    fn paper_duration_units() {
+        assert_eq!(paper_duration(SimDuration::from_micros(47)), "47u");
+        assert_eq!(paper_duration(SimDuration::from_micros(999)), "999u");
+        assert_eq!(paper_duration(SimDuration::from_millis(10)), "10.0m");
+        assert_eq!(paper_duration(SimDuration::from_secs(2)), "2.0s");
+    }
+
+    #[test]
+    fn table1_renders_rows() {
+        let rows = vec![Table1Row {
+            device: DeviceKind::Essd1,
+            name: "ESSD-1".into(),
+            max_bandwidth_gbps: 3.0,
+            max_kiops: 25.6,
+            capacity_gib: 2.0,
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("ESSD-1"));
+        assert!(text.contains("3.00"));
+    }
+
+    #[test]
+    fn series_strip_is_bounded() {
+        let s = Series::from_points("x", (0..100).map(|i| (i as f64, i as f64)).collect());
+        let text = render_series(&s, 40);
+        let strip = text.lines().nth(1).unwrap();
+        assert!(strip.chars().count() <= 40);
+    }
+
+    #[test]
+    fn fig5_render_mentions_cv() {
+        let r = Fig5Result {
+            device: DeviceKind::Essd2,
+            write_ratios: vec![0.0, 1.0],
+            total_gbps: vec![1.1, 1.1],
+            write_gbps: vec![0.0, 1.1],
+        };
+        let text = render_fig5(&r);
+        assert!(text.contains("cv"));
+        assert!(text.contains("ESSD-2"));
+    }
+}

@@ -1,0 +1,325 @@
+//! ESSD configuration and provider profiles.
+
+use uc_cluster::{ClusterConfig, NodeConfig};
+use uc_flash::FlashTiming;
+use uc_net::NetConfig;
+use uc_sim::{LatencyDist, SimDuration};
+
+/// An IOPS budget: operations per second, with a token cost that grows
+/// with I/O size.
+///
+/// An I/O of `len` bytes costs `ceil(len / unit_bytes)` tokens, matching
+/// the paper's note that "the guaranteed IOPS in ESSDs is non-deterministic
+/// and is closely related to the I/O size" (Observation 4 discussion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IopsBudget {
+    /// Sustained operations (tokens) per second.
+    pub ops_per_sec: f64,
+    /// Bytes covered by one token.
+    pub unit_bytes: u32,
+    /// Bucket burst, in tokens.
+    pub burst_ops: f64,
+}
+
+impl IopsBudget {
+    /// Tokens consumed by an I/O of `len` bytes.
+    pub fn tokens_for(&self, len: u32) -> u64 {
+        len.div_ceil(self.unit_bytes).max(1) as u64
+    }
+}
+
+/// Provider-side flow limiting after a cumulative write volume.
+///
+/// Models the paper's hypothesis for Figure 3: "cloud providers may trigger
+/// flow-limiting mechanisms when they can not hide the GC impact anymore."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottlePolicy {
+    /// Cumulative written bytes (as a multiple of device capacity) after
+    /// which the throttle engages.
+    pub after_capacity_multiple: f64,
+    /// Throughput budget once throttled, in bytes/second.
+    pub limited_bytes_per_sec: f64,
+}
+
+/// Parameters of an [`Essd`](crate::Essd).
+///
+/// # Example
+///
+/// ```
+/// use uc_essd::EssdConfig;
+///
+/// let cfg = EssdConfig::alibaba_pl3(2 << 30);
+/// assert!(cfg.iops.is_some());
+/// assert!(cfg.throttle.is_none()); // ESSD-2 sustains in Figure 3
+/// ```
+#[derive(Debug, Clone)]
+pub struct EssdConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Virtual capacity in bytes.
+    pub capacity: u64,
+    /// Logical block size in bytes.
+    pub logical_block: u32,
+    /// Host-stack worker count.
+    pub stack_workers: usize,
+    /// Host-stack per-I/O cost.
+    pub stack_per_io: LatencyDist,
+    /// VM-to-cluster network parameters (used for both directions).
+    pub net: NetConfig,
+    /// Backend cluster parameters.
+    pub cluster: ClusterConfig,
+    /// Throughput budget in bytes/second (reads + writes).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Throughput bucket burst in bytes.
+    pub bandwidth_burst_bytes: f64,
+    /// Optional IOPS budget.
+    pub iops: Option<IopsBudget>,
+    /// Optional provider throttle policy (Figure 3 flow limiting).
+    pub throttle: Option<ThrottlePolicy>,
+    /// Seed for the device's jitter streams.
+    pub seed: u64,
+}
+
+impl EssdConfig {
+    /// ESSD-1: an AWS `io2`-class provisioned-IOPS volume.
+    ///
+    /// Calibration targets (paper Table I and Figure 2/4/5 shapes):
+    /// * ~3.0 GB/s deterministic throughput budget,
+    /// * 4 KiB QD1 write ≈ 330 µs; latency roughly flat versus queue depth,
+    /// * fine striping (1 MiB) and fast chunk lanes, so the random-write
+    ///   gain peaks at only ≈1.5× and concentrates at high queue depths
+    ///   and small-to-medium I/O sizes (Figure 4),
+    /// * flow limiting after ≈2.55× capacity written, to ≈10 % of budget
+    ///   (Figure 3).
+    pub fn aws_io2(capacity: u64) -> Self {
+        let node = NodeConfig::default()
+            .with_stream_bandwidth(2.1e9)
+            // The 14 us serialized header puts the per-chunk op rate just
+            // under the latency-bound random throughput at 4-32 KiB, which
+            // is where Figure 4's ESSD-1 gain (1.24-1.52x) lives.
+            .with_lane_header(LatencyDist::normal(
+                SimDuration::from_micros(14),
+                SimDuration::from_micros(1),
+            ))
+            .with_per_io(LatencyDist::normal(
+                SimDuration::from_micros(25),
+                SimDuration::from_micros(3),
+            ))
+            // Backend read service sized so 4 KiB random reads land near
+            // the measured ~470 us (storage-server lookup + flash + EC).
+            .with_flash(
+                64,
+                FlashTiming {
+                    read_page: SimDuration::from_micros(200),
+                    program_page: SimDuration::from_micros(600),
+                    erase_block: SimDuration::from_millis(3),
+                    bus_ns_per_byte: 0.5,
+                },
+                4096,
+            );
+        EssdConfig {
+            name: "ESSD-1 (AWS io2 class)".to_string(),
+            capacity,
+            logical_block: 4096,
+            stack_workers: 8,
+            stack_per_io: LatencyDist::normal(
+                SimDuration::from_micros(50),
+                SimDuration::from_micros(6),
+            ),
+            net: NetConfig::intra_dc()
+                .with_one_way(
+                    LatencyDist::lognormal(SimDuration::from_micros(100), 0.18).with_tail(
+                        LatencyDist::bounded_pareto(
+                            SimDuration::from_micros(300),
+                            1.6,
+                            SimDuration::from_millis(2),
+                        ),
+                        0.002,
+                    ),
+                )
+                .with_stream_bandwidth(0.45e9)
+                .with_connections(32),
+            cluster: ClusterConfig::small(capacity)
+                .with_nodes(24)
+                // Fine striping: large sequential windows already span many
+                // stripes, so the random-write gain concentrates at small
+                // I/O sizes (Figure 4's ESSD-1 shape).
+                .with_chunk_bytes(512 << 10)
+                .with_node(node),
+            bandwidth_bytes_per_sec: 3.0e9,
+            bandwidth_burst_bytes: 8.0 * 1024.0 * 1024.0,
+            // Effective measured op rate (the marketed 25.6 K provisioned
+            // IOPS meters 16 KiB units and is not the binding limit in the
+            // paper's Figure 2/4 runs).
+            iops: Some(IopsBudget {
+                ops_per_sec: 190_000.0,
+                unit_bytes: 16 << 10,
+                burst_ops: 1024.0,
+            }),
+            throttle: Some(ThrottlePolicy {
+                after_capacity_multiple: 2.55,
+                limited_bytes_per_sec: 0.305e9,
+            }),
+            seed: 0xE551,
+        }
+    }
+
+    /// ESSD-2: an Alibaba Cloud `PL3`-class volume.
+    ///
+    /// Calibration targets:
+    /// * ~1.1 GB/s deterministic throughput budget with a 100 K IOPS cap,
+    /// * 4 KiB QD1 write ≈ 140 µs (lower base latency than ESSD-1),
+    /// * coarse chunks (32 MiB) and ~0.4 GB/s chunk lanes, so the
+    ///   random-write gain reaches ≈2.8× across a wide size range
+    ///   (Figure 4),
+    /// * no flow limiting within 3× capacity (Figure 3).
+    pub fn alibaba_pl3(capacity: u64) -> Self {
+        let mut node = NodeConfig::default()
+            .with_stream_bandwidth(0.42e9)
+            .with_lane_header(LatencyDist::normal(
+                SimDuration::from_micros(6),
+                SimDuration::from_nanos(600),
+            ))
+            .with_per_io(LatencyDist::normal(
+                SimDuration::from_micros(12),
+                SimDuration::from_micros(2),
+            ))
+            .with_flash(
+                64,
+                FlashTiming {
+                    read_page: SimDuration::from_micros(110),
+                    program_page: SimDuration::from_micros(600),
+                    erase_block: SimDuration::from_millis(3),
+                    bus_ns_per_byte: 0.5,
+                },
+                4096,
+            );
+        node.staged_ack = LatencyDist::normal(
+            SimDuration::from_micros(8),
+            SimDuration::from_micros(1),
+        );
+        node.replica_hop = LatencyDist::normal(
+            SimDuration::from_micros(15),
+            SimDuration::from_micros(2),
+        );
+        EssdConfig {
+            name: "ESSD-2 (Alibaba PL3 class)".to_string(),
+            capacity,
+            logical_block: 4096,
+            stack_workers: 8,
+            stack_per_io: LatencyDist::normal(
+                SimDuration::from_micros(20),
+                SimDuration::from_micros(3),
+            ),
+            net: NetConfig::intra_dc()
+                .with_one_way(
+                    LatencyDist::lognormal(SimDuration::from_micros(35), 0.22).with_tail(
+                        LatencyDist::bounded_pareto(
+                            SimDuration::from_micros(600),
+                            1.1,
+                            SimDuration::from_millis(12),
+                        ),
+                        0.003,
+                    ),
+                )
+                .with_stream_bandwidth(0.37e9)
+                .with_connections(32),
+            cluster: ClusterConfig::small(capacity)
+                .with_nodes(16)
+                .with_chunk_bytes(32 << 20)
+                .with_node(node),
+            bandwidth_bytes_per_sec: 1.1e9,
+            bandwidth_burst_bytes: 4.0 * 1024.0 * 1024.0,
+            iops: Some(IopsBudget {
+                ops_per_sec: 100_000.0,
+                unit_bytes: 16 << 10,
+                burst_ops: 256.0,
+            }),
+            throttle: None,
+            seed: 0xE552,
+        }
+    }
+
+    /// Replaces the throughput budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not positive and finite.
+    pub fn with_bandwidth_budget(mut self, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "bandwidth budget must be positive"
+        );
+        self.bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Replaces the IOPS budget (`None` removes it).
+    pub fn with_iops(mut self, iops: Option<IopsBudget>) -> Self {
+        self.iops = iops;
+        self
+    }
+
+    /// Replaces the throttle policy (`None` removes it).
+    pub fn with_throttle(mut self, throttle: Option<ThrottlePolicy>) -> Self {
+        self.throttle = throttle;
+        self
+    }
+
+    /// Replaces the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_table1_shape() {
+        let e1 = EssdConfig::aws_io2(2 << 30);
+        let e2 = EssdConfig::alibaba_pl3(2 << 30);
+        assert!(e1.bandwidth_bytes_per_sec > e2.bandwidth_bytes_per_sec);
+        assert!(e1.throttle.is_some());
+        assert!(e2.throttle.is_none());
+        assert!(e2.iops.is_some());
+        // ESSD-2's chunking is coarser, its lanes slower: bigger rand gain.
+        assert!(e2.cluster.chunk_bytes > e1.cluster.chunk_bytes);
+        assert!(
+            e2.cluster.node.stream_bytes_per_sec < e1.cluster.node.stream_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn iops_tokens_scale_with_size() {
+        let b = IopsBudget {
+            ops_per_sec: 1000.0,
+            unit_bytes: 16 << 10,
+            burst_ops: 10.0,
+        };
+        assert_eq!(b.tokens_for(4096), 1);
+        assert_eq!(b.tokens_for(16 << 10), 1);
+        assert_eq!(b.tokens_for((16 << 10) + 1), 2);
+        assert_eq!(b.tokens_for(256 << 10), 16);
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let cfg = EssdConfig::aws_io2(1 << 30)
+            .with_bandwidth_budget(5e9)
+            .with_iops(None)
+            .with_throttle(None)
+            .with_seed(42);
+        assert_eq!(cfg.bandwidth_bytes_per_sec, 5e9);
+        assert!(cfg.throttle.is_none());
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_rejected() {
+        let _ = EssdConfig::aws_io2(1 << 30).with_bandwidth_budget(0.0);
+    }
+}

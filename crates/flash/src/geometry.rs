@@ -1,0 +1,240 @@
+//! Flash array geometry.
+
+use std::error::Error;
+use std::fmt;
+
+/// The physical organization of a flash array.
+///
+/// The hierarchy follows §II-A of the paper: channels connect groups of
+/// dies; dies contain planes; planes contain blocks; blocks contain pages.
+/// Dies are the unit of operation parallelism; pages the unit of storage.
+///
+/// Blocks are addressed die-locally throughout the workspace: block `b` of
+/// die `d`. Superblock grouping (one block from every die) is done by the
+/// FTL on top of this geometry.
+///
+/// # Example
+///
+/// ```
+/// use uc_flash::FlashGeometry;
+///
+/// // 8 channels x 4 dies, 2 planes x 64 blocks x 256 pages x 4 KiB.
+/// let g = FlashGeometry::new(8, 4, 2, 64, 256, 4096)?;
+/// assert_eq!(g.total_dies(), 32);
+/// assert_eq!(g.blocks_per_die(), 128);
+/// assert_eq!(g.raw_capacity(), 32 * 128 * 256 * 4096);
+/// # Ok::<(), uc_flash::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlashGeometry {
+    channels: u32,
+    dies_per_channel: u32,
+    planes_per_die: u32,
+    blocks_per_plane: u32,
+    pages_per_block: u32,
+    page_size: u32,
+}
+
+/// Errors constructing a [`FlashGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A dimension was zero.
+    ZeroDimension(&'static str),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroDimension(dim) => {
+                write!(f, "flash geometry dimension `{dim}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl FlashGeometry {
+    /// Creates a geometry from its six dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::ZeroDimension`] if any dimension is zero.
+    pub fn new(
+        channels: u32,
+        dies_per_channel: u32,
+        planes_per_die: u32,
+        blocks_per_plane: u32,
+        pages_per_block: u32,
+        page_size: u32,
+    ) -> Result<Self, GeometryError> {
+        for (value, name) in [
+            (channels, "channels"),
+            (dies_per_channel, "dies_per_channel"),
+            (planes_per_die, "planes_per_die"),
+            (blocks_per_plane, "blocks_per_plane"),
+            (pages_per_block, "pages_per_block"),
+            (page_size, "page_size"),
+        ] {
+            if value == 0 {
+                return Err(GeometryError::ZeroDimension(name));
+            }
+        }
+        Ok(FlashGeometry {
+            channels,
+            dies_per_channel,
+            planes_per_die,
+            blocks_per_plane,
+            pages_per_block,
+            page_size,
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Dies attached to each channel.
+    pub fn dies_per_channel(&self) -> u32 {
+        self.dies_per_channel
+    }
+
+    /// Planes in each die.
+    pub fn planes_per_die(&self) -> u32 {
+        self.planes_per_die
+    }
+
+    /// Blocks in each plane.
+    pub fn blocks_per_plane(&self) -> u32 {
+        self.blocks_per_plane
+    }
+
+    /// Pages in each block.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Total dies in the array.
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Blocks per die (across all planes).
+    pub fn blocks_per_die(&self) -> u32 {
+        self.planes_per_die * self.blocks_per_plane
+    }
+
+    /// Total blocks in the array.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_dies() as u64 * self.blocks_per_die() as u64
+    }
+
+    /// Pages per die.
+    pub fn pages_per_die(&self) -> u64 {
+        self.blocks_per_die() as u64 * self.pages_per_block as u64
+    }
+
+    /// Total pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        self.total_dies() as u64 * self.pages_per_die()
+    }
+
+    /// Bytes per block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size as u64
+    }
+
+    /// Raw capacity in bytes (before over-provisioning is subtracted).
+    pub fn raw_capacity(&self) -> u64 {
+        self.total_pages() * self.page_size as u64
+    }
+
+    /// The channel a die hangs off.
+    ///
+    /// Dies are striped across channels (`die % channels`) so consecutive
+    /// die indices exercise different channels, matching how superblock
+    /// writes fan out in real firmware.
+    pub fn channel_of_die(&self, die: u32) -> u32 {
+        die % self.channels
+    }
+
+    /// Picks a geometry whose raw capacity is at least `capacity` bytes,
+    /// scaling the number of blocks per plane of this template geometry.
+    ///
+    /// This is how profiles build scaled-down devices (see DESIGN.md) while
+    /// keeping channel/die parallelism realistic.
+    pub fn scaled_to_capacity(&self, capacity: u64) -> FlashGeometry {
+        let per_block_total =
+            self.total_dies() as u64 * self.planes_per_die as u64 * self.block_bytes();
+        let blocks_per_plane = capacity.div_ceil(per_block_total).max(1) as u32;
+        FlashGeometry {
+            blocks_per_plane,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> FlashGeometry {
+        FlashGeometry::new(8, 4, 2, 64, 256, 4096).unwrap()
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let g = g();
+        assert_eq!(g.total_dies(), 32);
+        assert_eq!(g.blocks_per_die(), 128);
+        assert_eq!(g.total_blocks(), 4096);
+        assert_eq!(g.pages_per_die(), 128 * 256);
+        assert_eq!(g.total_pages(), 32 * 128 * 256);
+        assert_eq!(g.block_bytes(), 1 << 20);
+        assert_eq!(g.raw_capacity(), 32u64 * 128 * 256 * 4096);
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(FlashGeometry::new(0, 4, 2, 64, 256, 4096).is_err());
+        assert!(FlashGeometry::new(8, 4, 2, 64, 0, 4096).is_err());
+        let err = FlashGeometry::new(8, 4, 2, 64, 256, 0).unwrap_err();
+        assert_eq!(err, GeometryError::ZeroDimension("page_size"));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn dies_stripe_across_channels() {
+        let g = g();
+        assert_eq!(g.channel_of_die(0), 0);
+        assert_eq!(g.channel_of_die(7), 7);
+        assert_eq!(g.channel_of_die(8), 0);
+        assert_eq!(g.channel_of_die(31), 7);
+    }
+
+    #[test]
+    fn scaling_reaches_requested_capacity() {
+        let g = g();
+        let want = 8u64 << 30;
+        let scaled = g.scaled_to_capacity(want);
+        assert!(scaled.raw_capacity() >= want);
+        assert_eq!(scaled.total_dies(), g.total_dies());
+        assert_eq!(scaled.page_size(), g.page_size());
+        // Within one block-row of the target.
+        let step = scaled.total_dies() as u64 * scaled.planes_per_die() as u64 * scaled.block_bytes();
+        assert!(scaled.raw_capacity() - want < step);
+    }
+
+    #[test]
+    fn scaling_never_produces_zero_blocks() {
+        let g = g();
+        let tiny = g.scaled_to_capacity(1);
+        assert!(tiny.blocks_per_plane() >= 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Flash operation timing parameters.
+
+use uc_sim::SimDuration;
+
+/// Latencies of the three NAND operations plus channel-bus transfer cost.
+///
+/// Presets are provided for typical SLC/MLC/TLC parts; profiles calibrate
+/// the values so a full device model lands on its datasheet bandwidth (see
+/// `uc-ssd`'s Samsung 970 Pro profile).
+///
+/// # Example
+///
+/// ```
+/// use uc_flash::FlashTiming;
+///
+/// let t = FlashTiming::mlc();
+/// assert!(t.program_page > t.read_page);
+/// assert!(t.erase_block > t.program_page);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashTiming {
+    /// Time for a die to sense one page into its page register.
+    pub read_page: SimDuration,
+    /// Time for a die to program one page from its page register.
+    pub program_page: SimDuration,
+    /// Time for a die to erase one block.
+    pub erase_block: SimDuration,
+    /// Channel-bus transfer time per byte, in nanoseconds.
+    ///
+    /// Applied to page transfers between the controller and a die; the bus
+    /// is shared by all dies on a channel.
+    pub bus_ns_per_byte: f64,
+}
+
+impl FlashTiming {
+    /// Single-level-cell timing: fast reads and programs.
+    pub fn slc() -> Self {
+        FlashTiming {
+            read_page: SimDuration::from_micros(25),
+            program_page: SimDuration::from_micros(200),
+            erase_block: SimDuration::from_millis(2),
+            bus_ns_per_byte: 1.25, // 800 MB/s per channel
+        }
+    }
+
+    /// Multi-level-cell timing (two bits per cell).
+    pub fn mlc() -> Self {
+        FlashTiming {
+            read_page: SimDuration::from_micros(50),
+            program_page: SimDuration::from_micros(600),
+            erase_block: SimDuration::from_millis(3),
+            bus_ns_per_byte: 1.25,
+        }
+    }
+
+    /// Triple-level-cell timing (three bits per cell).
+    pub fn tlc() -> Self {
+        FlashTiming {
+            read_page: SimDuration::from_micros(78),
+            program_page: SimDuration::from_micros(900),
+            erase_block: SimDuration::from_millis(5),
+            bus_ns_per_byte: 1.25,
+        }
+    }
+
+    /// The bus time to move `bytes` across a channel.
+    pub fn bus_time(&self, bytes: u32) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * self.bus_ns_per_byte / 1e9)
+    }
+}
+
+impl Default for FlashTiming {
+    /// MLC timing, the paper's reference device class.
+    fn default() -> Self {
+        FlashTiming::mlc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_cell_density() {
+        let slc = FlashTiming::slc();
+        let mlc = FlashTiming::mlc();
+        let tlc = FlashTiming::tlc();
+        assert!(slc.read_page < mlc.read_page && mlc.read_page < tlc.read_page);
+        assert!(slc.program_page < mlc.program_page && mlc.program_page < tlc.program_page);
+    }
+
+    #[test]
+    fn bus_time_scales_linearly() {
+        let t = FlashTiming::mlc();
+        let one = t.bus_time(4096);
+        let two = t.bus_time(8192);
+        assert_eq!(two.as_nanos(), one.as_nanos() * 2);
+        // 4 KiB at 1.25 ns/B = 5.12 us.
+        assert_eq!(one, SimDuration::from_nanos(5120));
+    }
+
+    #[test]
+    fn default_is_mlc() {
+        assert_eq!(FlashTiming::default(), FlashTiming::mlc());
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-block bookkeeping.
+
+use std::fmt;
+
+/// Identifies a physical block: die index and block slot within the die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Die index in `[0, total_dies)`.
+    pub die: u32,
+    /// Block slot within the die, in `[0, blocks_per_die)`.
+    pub slot: u32,
+}
+
+impl BlockId {
+    /// Creates a block id.
+    pub fn new(die: u32, slot: u32) -> Self {
+        BlockId { die, slot }
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}b{}", self.die, self.slot)
+    }
+}
+
+/// Mutable state of one physical block.
+///
+/// A block is written strictly page 0, 1, 2… (`written` is the write
+/// frontier); pages invalidate out of order as the host overwrites or trims
+/// their logical pages (`valid` counts survivors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockState {
+    /// Pages programmed so far (the in-block write frontier).
+    pub written: u32,
+    /// Programmed pages still holding live data.
+    pub valid: u32,
+    /// Times this block has been erased (wear).
+    pub erase_count: u32,
+    /// Monotonic sequence number of when this block was last opened for
+    /// writing; used by the FIFO victim policy.
+    pub opened_seq: u64,
+}
+
+impl BlockState {
+    /// `true` once every page has been programmed.
+    pub fn is_full(&self, pages_per_block: u32) -> bool {
+        self.written >= pages_per_block
+    }
+
+    /// Fraction of programmed pages still valid, in `[0, 1]`; zero for an
+    /// unwritten block.
+    pub fn utilization(&self, pages_per_block: u32) -> f64 {
+        if pages_per_block == 0 {
+            0.0
+        } else {
+            self.valid as f64 / pages_per_block as f64
+        }
+    }
+
+    /// Resets write/valid state after an erase, incrementing wear.
+    pub fn erase(&mut self) {
+        debug_assert_eq!(self.valid, 0, "erasing a block with live data");
+        self.written = 0;
+        self.valid = 0;
+        self.erase_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_display_and_order() {
+        let a = BlockId::new(0, 5);
+        let b = BlockId::new(1, 0);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "d0b5");
+    }
+
+    #[test]
+    fn full_and_utilization() {
+        let mut s = BlockState::default();
+        assert!(!s.is_full(4));
+        s.written = 4;
+        s.valid = 2;
+        assert!(s.is_full(4));
+        assert_eq!(s.utilization(4), 0.5);
+    }
+
+    #[test]
+    fn erase_resets_and_counts_wear() {
+        let mut s = BlockState {
+            written: 4,
+            valid: 0,
+            erase_count: 1,
+            opened_seq: 9,
+        };
+        s.erase();
+        assert_eq!(s.written, 0);
+        assert_eq!(s.erase_count, 2);
+    }
+
+    #[test]
+    fn utilization_handles_zero_pages() {
+        let s = BlockState::default();
+        assert_eq!(s.utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! FTL configuration.
+
+use crate::GcPolicy;
+use uc_flash::{FlashGeometry, FlashTiming};
+
+/// Parameters of an [`Ftl`](crate::Ftl).
+///
+/// Construct with [`FtlConfig::new`] and adjust with the builder-style
+/// `with_*` methods.
+///
+/// # Example
+///
+/// ```
+/// use uc_flash::{FlashGeometry, FlashTiming};
+/// use uc_ftl::{FtlConfig, GcPolicy};
+///
+/// let g = FlashGeometry::new(4, 2, 1, 32, 128, 4096)?;
+/// let cfg = FtlConfig::new(g, FlashTiming::mlc())
+///     .with_over_provisioning(0.10)
+///     .with_gc_policy(GcPolicy::CostBenefit);
+/// assert!(cfg.logical_pages() < g.total_pages());
+/// # Ok::<(), uc_flash::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// Physical array geometry.
+    pub geometry: FlashGeometry,
+    /// NAND operation timing.
+    pub timing: FlashTiming,
+    /// Fraction of raw capacity reserved as over-provisioning, in `[0, 0.5]`.
+    pub over_provisioning: f64,
+    /// Per-die free-block low watermark that triggers garbage collection.
+    ///
+    /// [`Ftl::new`](crate::Ftl::new) raises this to at least 3 so the host
+    /// and GC write frontiers can always rotate.
+    pub gc_trigger_free: u32,
+    /// Per-die free-block count GC tries to restore; sanitized to lie in
+    /// `(trigger, trigger + 3]`.
+    pub gc_target_free: u32,
+    /// Victim-selection policy.
+    pub gc_policy: GcPolicy,
+}
+
+impl FtlConfig {
+    /// A configuration with conventional defaults: 6.7 % over-provisioning
+    /// (1 / 15, in the range of consumer NVMe drives), greedy GC, trigger
+    /// at 4 free blocks per die.
+    pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Self {
+        FtlConfig {
+            geometry,
+            timing,
+            over_provisioning: 1.0 / 15.0,
+            gc_trigger_free: 4,
+            gc_target_free: 6,
+            gc_policy: GcPolicy::Greedy,
+        }
+    }
+
+    /// Sets the over-provisioning fraction (clamped to `[0.0, 0.5]`).
+    pub fn with_over_provisioning(mut self, fraction: f64) -> Self {
+        self.over_provisioning = fraction.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Sets the GC victim-selection policy.
+    pub fn with_gc_policy(mut self, policy: GcPolicy) -> Self {
+        self.gc_policy = policy;
+        self
+    }
+
+    /// Sets the GC trigger and target free-block watermarks.
+    ///
+    /// `target` is raised to at least `trigger`.
+    pub fn with_gc_watermarks(mut self, trigger: u32, target: u32) -> Self {
+        self.gc_trigger_free = trigger.max(1);
+        self.gc_target_free = target.max(self.gc_trigger_free);
+        self
+    }
+
+    /// Number of logical (host-visible) pages after subtracting
+    /// over-provisioning, rounded down to a whole number of pages.
+    pub fn logical_pages(&self) -> u64 {
+        let raw = self.geometry.total_pages() as f64;
+        (raw * (1.0 - self.over_provisioning)) as u64
+    }
+
+    /// Host-visible capacity in bytes.
+    pub fn logical_capacity(&self) -> u64 {
+        self.logical_pages() * self.geometry.page_size() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> FlashGeometry {
+        FlashGeometry::new(2, 2, 1, 16, 64, 4096).unwrap()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FtlConfig::new(geometry(), FlashTiming::mlc());
+        assert!(c.over_provisioning > 0.0 && c.over_provisioning < 0.2);
+        assert!(c.gc_target_free >= c.gc_trigger_free);
+        assert!(c.logical_pages() < geometry().total_pages());
+    }
+
+    #[test]
+    fn over_provisioning_is_clamped() {
+        let c = FtlConfig::new(geometry(), FlashTiming::mlc()).with_over_provisioning(0.9);
+        assert_eq!(c.over_provisioning, 0.5);
+        let c = FtlConfig::new(geometry(), FlashTiming::mlc()).with_over_provisioning(-1.0);
+        assert_eq!(c.over_provisioning, 0.0);
+    }
+
+    #[test]
+    fn watermarks_keep_target_above_trigger() {
+        let c = FtlConfig::new(geometry(), FlashTiming::mlc()).with_gc_watermarks(8, 2);
+        assert_eq!(c.gc_trigger_free, 8);
+        assert_eq!(c.gc_target_free, 8);
+    }
+
+    #[test]
+    fn logical_capacity_matches_pages() {
+        let c = FtlConfig::new(geometry(), FlashTiming::mlc());
+        assert_eq!(c.logical_capacity(), c.logical_pages() * 4096);
+    }
+}

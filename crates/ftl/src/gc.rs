@@ -1,0 +1,133 @@
+//! Garbage-collection victim selection policies.
+
+use crate::BlockState;
+
+/// How GC chooses its victim block among the full blocks of a die.
+///
+/// * [`GcPolicy::Greedy`] — fewest valid pages; minimizes immediate copy
+///   cost and is the de-facto standard baseline.
+/// * [`GcPolicy::CostBenefit`] — classic LFS cost-benefit score
+///   `(1 - u) · age / (1 + u)`; ages cold blocks into cheaper victims.
+/// * [`GcPolicy::Fifo`] — oldest opened block first, regardless of valid
+///   count; the worst case, included for the ablation bench.
+///
+/// # Example
+///
+/// ```
+/// use uc_ftl::{BlockState, GcPolicy};
+///
+/// let cold_full = BlockState { written: 64, valid: 60, erase_count: 0, opened_seq: 1 };
+/// let hot_empty = BlockState { written: 64, valid: 4, erase_count: 0, opened_seq: 9 };
+/// let blocks = [cold_full, hot_empty];
+/// let pick = GcPolicy::Greedy.pick(blocks.iter().enumerate(), 64, 10);
+/// assert_eq!(pick, Some(1)); // greedy takes the 4-valid block
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GcPolicy {
+    /// Fewest valid pages first.
+    #[default]
+    Greedy,
+    /// LFS cost-benefit: `(1 - u) · age / (1 + u)`.
+    CostBenefit,
+    /// Oldest block first.
+    Fifo,
+}
+
+impl GcPolicy {
+    /// Picks a victim among `(index, state)` pairs of *full* candidate
+    /// blocks; returns the chosen index, or `None` if the iterator is
+    /// empty.
+    ///
+    /// `pages_per_block` is needed for utilization; `now_seq` is the
+    /// current open-sequence counter used as the age reference.
+    pub fn pick<'a, I>(&self, candidates: I, pages_per_block: u32, now_seq: u64) -> Option<usize>
+    where
+        I: IntoIterator<Item = (usize, &'a BlockState)>,
+    {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, state) in candidates {
+            let score = self.score(state, pages_per_block, now_seq);
+            match best {
+                Some((_, s)) if s >= score => {}
+                _ => best = Some((idx, score)),
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    /// The desirability score of a candidate (higher is a better victim).
+    fn score(&self, state: &BlockState, pages_per_block: u32, now_seq: u64) -> f64 {
+        let u = state.utilization(pages_per_block);
+        match self {
+            GcPolicy::Greedy => 1.0 - u,
+            GcPolicy::CostBenefit => {
+                let age = (now_seq.saturating_sub(state.opened_seq)) as f64 + 1.0;
+                (1.0 - u) * age / (1.0 + u)
+            }
+            GcPolicy::Fifo => (now_seq.saturating_sub(state.opened_seq)) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for GcPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcPolicy::Greedy => write!(f, "greedy"),
+            GcPolicy::CostBenefit => write!(f, "cost-benefit"),
+            GcPolicy::Fifo => write!(f, "fifo"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(valid: u32, opened_seq: u64) -> BlockState {
+        BlockState {
+            written: 64,
+            valid,
+            erase_count: 0,
+            opened_seq,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_min_valid() {
+        let blocks = [block(60, 0), block(10, 5), block(30, 9)];
+        let pick = GcPolicy::Greedy.pick(blocks.iter().enumerate(), 64, 10);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        let blocks = [block(1, 7), block(60, 2), block(30, 9)];
+        let pick = GcPolicy::Fifo.pick(blocks.iter().enumerate(), 64, 10);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_sparse_blocks() {
+        // Equal valid counts: age must break the tie toward the older block.
+        let blocks = [block(32, 9), block(32, 1)];
+        let pick = GcPolicy::CostBenefit.pick(blocks.iter().enumerate(), 64, 10);
+        assert_eq!(pick, Some(1));
+        // A fully-valid ancient block loses to a sparse young one.
+        let blocks = [block(64, 0), block(4, 9)];
+        let pick = GcPolicy::CostBenefit.pick(blocks.iter().enumerate(), 64, 10);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_none() {
+        let pick = GcPolicy::Greedy.pick(std::iter::empty(), 64, 0);
+        assert_eq!(pick, None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(GcPolicy::Greedy.to_string(), "greedy");
+        assert_eq!(GcPolicy::CostBenefit.to_string(), "cost-benefit");
+        assert_eq!(GcPolicy::Fifo.to_string(), "fifo");
+    }
+}

@@ -1,0 +1,129 @@
+//! FTL statistics: write amplification and wear.
+
+/// Cumulative FTL activity counters.
+///
+/// The headline derived quantity is [write amplification], the ratio of
+/// total pages programmed (host + GC relocation) to host pages programmed.
+/// It is the mechanism behind the paper's Figure 3: when GC starts, WA
+/// rises above 1 and foreground throughput falls by roughly that factor.
+///
+/// [write amplification]: FtlStats::write_amplification
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtlStats {
+    /// Pages programmed on behalf of host writes.
+    pub host_pages_written: u64,
+    /// Pages relocated by garbage collection.
+    pub gc_pages_relocated: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_blocks_erased: u64,
+    /// Host page reads served.
+    pub host_pages_read: u64,
+    /// Logical pages invalidated by TRIM.
+    pub pages_trimmed: u64,
+    /// Number of GC victim selections performed.
+    pub gc_invocations: u64,
+}
+
+impl FtlStats {
+    /// Total pages programmed (host plus GC).
+    pub fn total_pages_written(&self) -> u64 {
+        self.host_pages_written + self.gc_pages_relocated
+    }
+
+    /// Write amplification factor; `1.0` when GC has relocated nothing,
+    /// and `0.0` before any host write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_pages_written == 0 {
+            0.0
+        } else {
+            self.total_pages_written() as f64 / self.host_pages_written as f64
+        }
+    }
+}
+
+/// Wear-leveling summary across all blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WearStats {
+    /// Smallest per-block erase count.
+    pub min_erases: u32,
+    /// Largest per-block erase count.
+    pub max_erases: u32,
+    /// Mean per-block erase count.
+    pub mean_erases: f64,
+}
+
+impl WearStats {
+    /// Computes wear statistics from per-block erase counts.
+    ///
+    /// Returns all zeros for an empty iterator.
+    pub fn from_counts<I: IntoIterator<Item = u32>>(counts: I) -> Self {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for c in counts {
+            min = min.min(c);
+            max = max.max(c);
+            sum += c as u64;
+            n += 1;
+        }
+        if n == 0 {
+            return WearStats::default();
+        }
+        WearStats {
+            min_erases: min,
+            max_erases: max,
+            mean_erases: sum as f64 / n as f64,
+        }
+    }
+
+    /// Max-minus-min erase spread; a proxy for wear-leveling quality.
+    pub fn spread(&self) -> u32 {
+        self.max_erases - self.min_erases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_is_one_without_gc() {
+        let s = FtlStats {
+            host_pages_written: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn wa_reflects_relocations() {
+        let s = FtlStats {
+            host_pages_written: 100,
+            gc_pages_relocated: 150,
+            ..Default::default()
+        };
+        assert_eq!(s.write_amplification(), 2.5);
+        assert_eq!(s.total_pages_written(), 250);
+    }
+
+    #[test]
+    fn wa_zero_before_writes() {
+        assert_eq!(FtlStats::default().write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn wear_from_counts() {
+        let w = WearStats::from_counts([1, 3, 5]);
+        assert_eq!(w.min_erases, 1);
+        assert_eq!(w.max_erases, 5);
+        assert_eq!(w.mean_erases, 3.0);
+        assert_eq!(w.spread(), 4);
+    }
+
+    #[test]
+    fn wear_empty_is_zero() {
+        let w = WearStats::from_counts(std::iter::empty());
+        assert_eq!(w, WearStats::default());
+    }
+}

@@ -1,0 +1,41 @@
+//! Measurement primitives for the Unwritten Contract framework.
+//!
+//! The paper's experiments report average latency, P99.9 latency, and
+//! throughput over time. This crate provides the collectors those numbers
+//! come from:
+//!
+//! * [`LatencyHistogram`] — an HDR-style log-bucketed histogram with ~1.5 %
+//!   relative error, exact count/sum/min/max, and percentile queries,
+//! * [`ThroughputTracker`] — windowed byte accounting producing a
+//!   throughput-versus-time series (Figure 3 of the paper),
+//! * [`Series`] — a simple `(x, y)` series with summary helpers,
+//! * [`SummaryStats`] — mean / standard deviation / coefficient of
+//!   variation over a slice of floats (used by the Observation 4 checker).
+//!
+//! # Example
+//!
+//! ```
+//! use uc_metrics::LatencyHistogram;
+//! use uc_sim::SimDuration;
+//!
+//! let mut hist = LatencyHistogram::new();
+//! for us in 1..=1000u64 {
+//!     hist.record(SimDuration::from_micros(us));
+//! }
+//! assert_eq!(hist.count(), 1000);
+//! let p50 = hist.percentile(50.0).as_micros_f64();
+//! assert!((p50 - 500.0).abs() / 500.0 < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod series;
+mod stats;
+mod throughput;
+
+pub use hist::LatencyHistogram;
+pub use series::Series;
+pub use stats::SummaryStats;
+pub use throughput::ThroughputTracker;

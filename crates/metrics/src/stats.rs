@@ -1,0 +1,164 @@
+//! Summary statistics over float samples.
+
+use std::fmt;
+
+/// Mean, spread and extremes of a sample of floats.
+///
+/// The Observation 4 checker uses the [coefficient of variation] to decide
+/// whether a device's maximum bandwidth is "deterministic" across read/write
+/// mixes (ESSD: CV ≈ 0; local SSD: CV substantial).
+///
+/// [coefficient of variation]: SummaryStats::cv
+///
+/// # Example
+///
+/// ```
+/// use uc_metrics::SummaryStats;
+///
+/// let s = SummaryStats::from_samples(&[2.9, 3.0, 3.1]);
+/// assert!((s.mean() - 3.0).abs() < 1e-12);
+/// assert!(s.cv() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryStats {
+    /// Computes statistics over `samples`.
+    ///
+    /// Returns an all-zero summary for an empty slice. Non-finite samples
+    /// are ignored.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return SummaryStats {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = finite.len() as f64;
+        let mean = finite.iter().sum::<f64>() / n;
+        let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        SummaryStats {
+            count: finite.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: finite.iter().copied().fold(f64::INFINITY, f64::min),
+            max: finite.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Number of finite samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation (`std_dev / mean`), or zero if the mean is
+    /// zero.
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev / self.mean.abs()
+        }
+    }
+
+    /// Peak-to-trough spread relative to the mean (`(max - min) / mean`),
+    /// or zero if the mean is zero.
+    ///
+    /// This is the quantity the paper implicitly reports for the local SSD
+    /// in Figure 5 ("varying between 2.5 GB/s and 4.3 GB/s").
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4} cv={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.max,
+            self.cv()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        let s = SummaryStats::from_samples(&[]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.relative_spread(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = SummaryStats::from_samples(&[5.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = SummaryStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+        assert!((s.relative_spread() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let s = SummaryStats::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0]);
+        assert!(!s.to_string().is_empty());
+    }
+}

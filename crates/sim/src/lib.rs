@@ -1,0 +1,55 @@
+//! Deterministic discrete-event simulation kernel for the Unwritten Contract
+//! framework.
+//!
+//! This crate provides the primitives every device model in the workspace is
+//! built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock,
+//! * [`EventQueue`] — a time-ordered event calendar with FIFO tie-breaking,
+//! * [`SimRng`] — a seedable, forkable random-number generator so every
+//!   experiment is reproducible bit-for-bit,
+//! * [`LatencyDist`] — latency distributions (constant, uniform, normal,
+//!   log-normal, bounded Pareto, and tail mixtures) used to model service
+//!   times and network jitter,
+//! * [`Resource`] / [`ParallelResource`] — busy-until timelines modelling
+//!   serialized and k-server stations (firmware pipelines, flash dies,
+//!   storage-node service pools),
+//! * [`TokenBucket`] — the rate-limiter used for elastic-SSD throughput and
+//!   IOPS budgets.
+//!
+//! # Example
+//!
+//! ```
+//! use uc_sim::{Resource, SimDuration, SimTime, TokenBucket};
+//!
+//! // A serialized firmware pipeline that takes 2 us per command.
+//! let mut firmware = Resource::new();
+//! let t0 = SimTime::ZERO;
+//! let (start, finish) = firmware.acquire(t0, SimDuration::from_micros(2));
+//! assert_eq!(start, t0);
+//! assert_eq!(finish, t0 + SimDuration::from_micros(2));
+//!
+//! // A 1 GB/s byte budget: the second 4 KiB grant is delayed.
+//! let mut budget = TokenBucket::new(4096.0, 1e9);
+//! let g1 = budget.reserve(t0, 4096);
+//! let g2 = budget.reserve(t0, 4096);
+//! assert_eq!(g1, t0);
+//! assert!(g2 > t0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod queue;
+mod resource;
+mod rng;
+mod time;
+mod token;
+
+pub use dist::LatencyDist;
+pub use queue::EventQueue;
+pub use resource::{ParallelResource, Resource};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use token::TokenBucket;

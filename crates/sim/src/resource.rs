@@ -1,0 +1,225 @@
+//! Busy-until resource timelines.
+//!
+//! Device models in this workspace are *timeline-driven*: rather than
+//! scheduling explicit events for every internal state change, each shared
+//! station (a firmware pipeline, a DMA engine, a flash die, a storage-node
+//! service pool) is a resource that, given a request arrival time and a
+//! service time, answers "when would this request start and finish?". The
+//! answer is exact for FIFO stations and makes the simulators both simple
+//! and fast.
+
+use crate::{SimDuration, SimTime};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A serialized FIFO station (one server).
+///
+/// Models anything that processes one request at a time in arrival order:
+/// a command-processing firmware stage, a bus/DMA engine, a network link
+/// serializing bytes.
+///
+/// # Example
+///
+/// ```
+/// use uc_sim::{Resource, SimDuration, SimTime};
+///
+/// let mut bus = Resource::new();
+/// let t0 = SimTime::ZERO;
+/// let (s1, f1) = bus.acquire(t0, SimDuration::from_micros(4));
+/// let (s2, f2) = bus.acquire(t0, SimDuration::from_micros(4));
+/// assert_eq!(s1, t0);
+/// assert_eq!(s2, f1); // queued behind the first request
+/// assert_eq!(f2, t0 + SimDuration::from_micros(8));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    busy_until: SimTime,
+    busy_time: SimDuration,
+}
+
+impl Resource {
+    /// A resource that is idle from the simulation epoch.
+    pub fn new() -> Self {
+        Resource::default()
+    }
+
+    /// Reserves the resource for `service` starting no earlier than `now`.
+    ///
+    /// Returns `(start, finish)` of the granted slot and advances the
+    /// timeline so later calls queue behind this one.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let start = now.max(self.busy_until);
+        let finish = start + service;
+        self.busy_until = finish;
+        self.busy_time += service;
+        (start, finish)
+    }
+
+    /// The earliest instant at which new work could start.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total service time accumulated (for utilization accounting).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Forgets all scheduled work; the resource is idle from `SimTime::ZERO`.
+    pub fn reset(&mut self) {
+        *self = Resource::default();
+    }
+}
+
+/// A k-server FIFO station.
+///
+/// Models stations with internal parallelism: the set of flash dies reached
+/// through independent channels, a storage node's worker pool, parallel
+/// network connections. Each arriving request is assigned to the server
+/// that frees up earliest.
+///
+/// # Example
+///
+/// ```
+/// use uc_sim::{ParallelResource, SimDuration, SimTime};
+///
+/// let mut dies = ParallelResource::new(2);
+/// let t0 = SimTime::ZERO;
+/// let service = SimDuration::from_micros(100);
+/// let (_, f1) = dies.acquire(t0, service);
+/// let (_, f2) = dies.acquire(t0, service);
+/// let (_, f3) = dies.acquire(t0, service);
+/// assert_eq!(f1, t0 + service);       // first server
+/// assert_eq!(f2, t0 + service);       // second server, in parallel
+/// assert_eq!(f3, t0 + service * 2);   // queued behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelResource {
+    servers: BinaryHeap<Reverse<SimTime>>,
+    capacity: usize,
+    busy_time: SimDuration,
+}
+
+impl ParallelResource {
+    /// A station with `servers` parallel servers, all idle from the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "ParallelResource requires at least one server");
+        ParallelResource {
+            servers: (0..servers).map(|_| Reverse(SimTime::ZERO)).collect(),
+            capacity: servers,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reserves the earliest-free server for `service` starting no earlier
+    /// than `now`; returns `(start, finish)`.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let Reverse(free) = self.servers.pop().expect("at least one server");
+        let start = now.max(free);
+        let finish = start + service;
+        self.servers.push(Reverse(finish));
+        self.busy_time += service;
+        (start, finish)
+    }
+
+    /// The earliest instant at which any server could start new work.
+    pub fn free_at(&self) -> SimTime {
+        self.servers.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The instant at which *all* currently scheduled work completes.
+    pub fn drained_at(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|Reverse(t)| *t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total service time accumulated across all servers.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Forgets all scheduled work.
+    pub fn reset(&mut self) {
+        *self = ParallelResource::new(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_resource_queues_fifo() {
+        let mut r = Resource::new();
+        let d = SimDuration::from_micros(10);
+        let (s1, f1) = r.acquire(SimTime::ZERO, d);
+        let (s2, f2) = r.acquire(SimTime::ZERO, d);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, f1);
+        assert_eq!(f2.as_nanos(), 20_000);
+        assert_eq!(r.busy_time(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn serial_resource_idles_between_arrivals() {
+        let mut r = Resource::new();
+        let d = SimDuration::from_micros(1);
+        let (_, f1) = r.acquire(SimTime::ZERO, d);
+        let late = f1 + SimDuration::from_micros(100);
+        let (s2, _) = r.acquire(late, d);
+        assert_eq!(s2, late, "an idle resource starts work immediately");
+    }
+
+    #[test]
+    fn parallel_resource_uses_all_servers() {
+        let mut r = ParallelResource::new(4);
+        let d = SimDuration::from_micros(50);
+        let finishes: Vec<SimTime> = (0..8).map(|_| r.acquire(SimTime::ZERO, d).1).collect();
+        let first_wave = finishes.iter().filter(|f| **f == SimTime::ZERO + d).count();
+        let second_wave = finishes.iter().filter(|f| **f == SimTime::ZERO + d * 2).count();
+        assert_eq!(first_wave, 4);
+        assert_eq!(second_wave, 4);
+    }
+
+    #[test]
+    fn parallel_resource_free_and_drained() {
+        let mut r = ParallelResource::new(2);
+        let d = SimDuration::from_micros(10);
+        r.acquire(SimTime::ZERO, d);
+        assert_eq!(r.free_at(), SimTime::ZERO, "one server still idle");
+        r.acquire(SimTime::ZERO, d * 3);
+        assert_eq!(r.free_at(), SimTime::ZERO + d);
+        assert_eq!(r.drained_at(), SimTime::ZERO + d * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_station_panics() {
+        let _ = ParallelResource::new(0);
+    }
+
+    #[test]
+    fn reset_clears_schedule() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_secs(1));
+        r.reset();
+        assert_eq!(r.free_at(), SimTime::ZERO);
+        let mut p = ParallelResource::new(3);
+        p.acquire(SimTime::ZERO, SimDuration::from_secs(1));
+        p.reset();
+        assert_eq!(p.drained_at(), SimTime::ZERO);
+        assert_eq!(p.capacity(), 3);
+    }
+}

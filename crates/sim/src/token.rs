@@ -1,0 +1,212 @@
+//! Token-bucket rate limiting.
+
+use crate::{SimDuration, SimTime};
+
+/// A deterministic token bucket.
+///
+/// This is the mechanism behind the elastic SSD's *throughput budget* and
+/// *IOPS budget* (Observation 4 of the paper): tokens refill at a constant
+/// `rate` up to a `burst` capacity, and a request for `n` tokens is granted
+/// at the earliest instant at which `n` tokens have accumulated. Grants are
+/// committed in call order, so callers must invoke [`TokenBucket::reserve`]
+/// with non-decreasing `now` values (the closed-loop drivers in
+/// `uc-workload` guarantee this).
+///
+/// # Example
+///
+/// ```
+/// use uc_sim::{SimDuration, SimTime, TokenBucket};
+///
+/// // 1000 tokens/s, burst of 100 tokens.
+/// let mut tb = TokenBucket::new(100.0, 1000.0);
+/// let g1 = tb.reserve(SimTime::ZERO, 100); // burst absorbed instantly
+/// let g2 = tb.reserve(SimTime::ZERO, 100); // must wait for refill
+/// assert_eq!(g1, SimTime::ZERO);
+/// assert_eq!(g2, SimTime::ZERO + SimDuration::from_millis(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    burst: f64,
+    rate_per_sec: f64,
+    available: f64,
+    last: SimTime,
+    granted_total: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    ///
+    /// `burst` is the bucket capacity in tokens; `rate_per_sec` is the refill
+    /// rate in tokens per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst <= 0` or `rate_per_sec <= 0`, or either is non-finite.
+    pub fn new(burst: f64, rate_per_sec: f64) -> Self {
+        assert!(
+            burst > 0.0 && burst.is_finite(),
+            "token bucket burst must be positive and finite"
+        );
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "token bucket rate must be positive and finite"
+        );
+        TokenBucket {
+            burst,
+            rate_per_sec,
+            available: burst,
+            last: SimTime::ZERO,
+            granted_total: 0,
+        }
+    }
+
+    /// The refill rate in tokens per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// The burst capacity in tokens.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    /// Total tokens granted since construction or [`TokenBucket::reset`].
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Changes the refill rate from `now` onward.
+    ///
+    /// Accrued tokens are first settled at the old rate. Used by provider
+    /// throttle policies that flow-limit a tenant mid-run (Figure 3,
+    /// ESSD-1's post-5.1 TB behaviour in the paper).
+    pub fn set_rate(&mut self, now: SimTime, rate_per_sec: f64) {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "token bucket rate must be positive and finite"
+        );
+        self.settle(now);
+        self.rate_per_sec = rate_per_sec;
+    }
+
+    /// Grants `tokens` at the earliest possible instant `>= now`;
+    /// returns that instant and debits the bucket.
+    ///
+    /// Requests larger than the burst capacity are granted at the instant
+    /// the *full* amount has flowed (the bucket cannot hold it at once, so
+    /// the grant time is paced by the refill rate alone).
+    pub fn reserve(&mut self, now: SimTime, tokens: u64) -> SimTime {
+        self.settle(now);
+        self.granted_total += tokens;
+        let need = tokens as f64;
+        if need <= self.available {
+            self.available -= need;
+            return self.last;
+        }
+        let deficit = need - self.available;
+        let wait = SimDuration::from_secs_f64(deficit / self.rate_per_sec);
+        self.available = 0.0;
+        let grant = self.last + wait;
+        self.last = grant;
+        grant
+    }
+
+    /// The earliest instant at which `tokens` could be granted, without
+    /// committing the grant.
+    pub fn peek(&self, now: SimTime, tokens: u64) -> SimTime {
+        let mut copy = self.clone();
+        copy.reserve(now, tokens)
+    }
+
+    /// Refills the bucket to full and forgets grant history.
+    pub fn reset(&mut self, now: SimTime) {
+        self.available = self.burst;
+        self.last = now;
+        self.granted_total = 0;
+    }
+
+    /// Advances the accrual clock to `max(now, last)`.
+    fn settle(&mut self, now: SimTime) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.available = (self.available + dt * self.rate_per_sec).min(self.burst);
+            self.last = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_granted_instantly() {
+        let mut tb = TokenBucket::new(1000.0, 100.0);
+        assert_eq!(tb.reserve(SimTime::ZERO, 1000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sustained_rate_matches_refill() {
+        // 1 MB/s; ask for 10 x 1 MB back to back: last grant at ~9 s
+        // (the first MB rides the initial burst).
+        let mut tb = TokenBucket::new(1e6, 1e6);
+        let mut grant = SimTime::ZERO;
+        for _ in 0..10 {
+            grant = tb.reserve(SimTime::ZERO, 1_000_000);
+        }
+        let secs = grant.as_secs_f64();
+        assert!((secs - 9.0).abs() < 1e-6, "grant at {secs}s");
+    }
+
+    #[test]
+    fn oversized_request_is_paced_by_rate() {
+        let mut tb = TokenBucket::new(100.0, 1000.0);
+        // 1100 tokens: 100 from the burst + 1000 refilled over 1 s.
+        let g = tb.reserve(SimTime::ZERO, 1100);
+        assert!((g.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst() {
+        let mut tb = TokenBucket::new(100.0, 100.0);
+        tb.reserve(SimTime::ZERO, 100);
+        // Wait 10 s: bucket refills but clamps at burst = 100.
+        let later = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(tb.reserve(later, 100), later);
+        let g = tb.reserve(later, 100);
+        assert!(g > later, "second burst must wait");
+    }
+
+    #[test]
+    fn set_rate_takes_effect_for_future_grants() {
+        let mut tb = TokenBucket::new(1.0, 1000.0);
+        tb.reserve(SimTime::ZERO, 1); // drain burst
+        tb.set_rate(SimTime::ZERO, 10.0);
+        let g = tb.reserve(SimTime::ZERO, 10);
+        assert!((g.as_secs_f64() - 1.0).abs() < 1e-3, "10 tokens at 10/s");
+    }
+
+    #[test]
+    fn peek_does_not_commit() {
+        let tb = TokenBucket::new(100.0, 100.0);
+        let p1 = tb.peek(SimTime::ZERO, 100);
+        let p2 = tb.peek(SimTime::ZERO, 100);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn granted_total_accumulates() {
+        let mut tb = TokenBucket::new(100.0, 100.0);
+        tb.reserve(SimTime::ZERO, 40);
+        tb.reserve(SimTime::ZERO, 2);
+        assert_eq!(tb.granted_total(), 42);
+        tb.reset(SimTime::ZERO);
+        assert_eq!(tb.granted_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = TokenBucket::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! The assembled SSD device.
+
+use crate::{Prefetcher, SsdConfig, WriteBuffer};
+use uc_blockdev::{BlockDevice, DeviceInfo, IoKind, IoRequest, IoResult};
+use uc_ftl::{Ftl, FtlStats};
+use uc_sim::{Resource, SimRng, SimTime};
+
+/// Activity counters of an [`Ssd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SsdStats {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Pages served from the DRAM write buffer.
+    pub buffer_hits: u64,
+    /// Pages served from the readahead prefetcher.
+    pub prefetch_hits: u64,
+    /// Pages fetched ahead by the prefetcher.
+    pub prefetch_issued: u64,
+}
+
+/// A local flash SSD.
+///
+/// Composes the firmware pipeline, host DMA lanes, DRAM write buffer,
+/// readahead prefetcher and the page-mapping FTL into one
+/// [`BlockDevice`]. See the crate docs for which paper behaviour each
+/// component produces.
+///
+/// # Example
+///
+/// ```
+/// use uc_blockdev::{BlockDevice, IoRequest};
+/// use uc_sim::SimTime;
+/// use uc_ssd::{Ssd, SsdConfig};
+///
+/// let mut ssd = Ssd::new(SsdConfig::samsung_970_pro(1 << 30));
+/// let w = ssd.submit(&IoRequest::write(0, 8192, SimTime::ZERO))?;
+/// let r = ssd.submit(&IoRequest::read(0, 8192, w))?;
+/// assert!(r > w);
+/// assert_eq!(ssd.stats().writes, 1);
+/// # Ok::<(), uc_blockdev::IoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    config: SsdConfig,
+    info: DeviceInfo,
+    ftl: Ftl,
+    firmware: Resource,
+    read_lane: Resource,
+    write_lane: Resource,
+    buffer: WriteBuffer,
+    prefetcher: Prefetcher,
+    rng: SimRng,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Builds the device described by `config`, seeding its internal jitter
+    /// stream deterministically from the configuration name.
+    pub fn new(config: SsdConfig) -> Self {
+        Ssd::with_seed(config, 0x55D0)
+    }
+
+    /// Builds the device with an explicit jitter seed.
+    pub fn with_seed(config: SsdConfig, seed: u64) -> Self {
+        let ftl = Ftl::new(config.ftl);
+        let page = ftl.page_size() as u64;
+        let capacity = ftl.logical_pages() * page;
+        let info = DeviceInfo::new(config.name.clone(), capacity, ftl.page_size());
+        let buffer_pages = (config.write_buffer_bytes / page).max(1) as usize;
+        Ssd {
+            buffer: WriteBuffer::new(buffer_pages),
+            prefetcher: Prefetcher::new(config.prefetch_trigger, config.prefetch_window_pages),
+            ftl,
+            info,
+            firmware: Resource::new(),
+            read_lane: Resource::new(),
+            write_lane: Resource::new(),
+            rng: SimRng::new(seed),
+            stats: SsdStats::default(),
+            config,
+        }
+    }
+
+    /// Device activity counters.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// FTL counters (host/GC pages, write amplification).
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.ftl.stats()
+    }
+
+    /// The device's page size in bytes.
+    pub fn page_size(&self) -> u32 {
+        self.ftl.page_size()
+    }
+
+    /// Immutable access to the FTL (wear, mapping state) for analysis.
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    fn fw_acquire(&mut self, now: SimTime) -> SimTime {
+        let cost = self.config.firmware_per_cmd.sample(&mut self.rng);
+        self.firmware.acquire(now, cost).1
+    }
+
+    fn serve_write(&mut self, req: &IoRequest) -> SimTime {
+        let page = self.ftl.page_size() as u64;
+        let first = req.offset / page;
+        let pages = (req.len as u64) / page;
+        let per_page_bus = self.config.bus_time(page as u32);
+
+        let t_fw = self.fw_acquire(req.submit_time);
+        let mut last_admit = t_fw;
+        for i in 0..pages {
+            let lpn = first + i;
+            // DMA the page into the staging area (serialized write lane)...
+            let (_, transferred) = self.write_lane.acquire(t_fw, per_page_bus);
+            // ...then claim a buffer slot (may wait for the drain engine).
+            let (seq, admit) = self.buffer.admit(transferred);
+            let drain = self.ftl.write_page(admit, lpn);
+            self.buffer.record_drain(seq, lpn, drain);
+            last_admit = last_admit.max(admit);
+        }
+        self.stats.writes += 1;
+        self.stats.write_bytes += req.len as u64;
+        last_admit + self.config.buffer_latency
+    }
+
+    fn serve_read(&mut self, req: &IoRequest) -> SimTime {
+        let page = self.ftl.page_size() as u64;
+        let first = req.offset / page;
+        let pages = (req.len as u64) / page;
+        let per_page_bus = self.config.bus_time(page as u32);
+        let logical_pages = self.ftl.logical_pages();
+
+        let t_fw = self.fw_acquire(req.submit_time);
+
+        // Arm/extend readahead before serving, so this request benefits
+        // from ranges issued by earlier requests.
+        if let Some(range) = self.prefetcher.observe(first, pages) {
+            for lpn in range {
+                if lpn >= logical_pages {
+                    break;
+                }
+                let ready = self.ftl.read_page(t_fw, lpn);
+                self.prefetcher.insert(lpn, ready);
+                self.stats.prefetch_issued += 1;
+            }
+        }
+
+        let mut done = t_fw;
+        for i in 0..pages {
+            let lpn = first + i;
+            let ready = if self.buffer.contains(lpn, t_fw) {
+                self.stats.buffer_hits += 1;
+                t_fw + self.config.buffer_latency
+            } else if let Some(at) = self.prefetcher.take(lpn) {
+                self.stats.prefetch_hits += 1;
+                at.max(t_fw + self.config.buffer_latency)
+            } else {
+                self.ftl.read_page(t_fw, lpn)
+            };
+            // DMA back to the host as each page arrives (pipelined).
+            let (_, transferred) = self.read_lane.acquire(ready, per_page_bus);
+            done = done.max(transferred);
+        }
+        self.stats.reads += 1;
+        self.stats.read_bytes += req.len as u64;
+        done
+    }
+}
+
+impl BlockDevice for Ssd {
+    fn info(&self) -> DeviceInfo {
+        self.info.clone()
+    }
+
+    fn submit(&mut self, req: &IoRequest) -> IoResult {
+        self.info.validate(req)?;
+        let done = match req.kind {
+            IoKind::Write => self.serve_write(req),
+            IoKind::Read => self.serve_read(req),
+        };
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_sim::SimDuration;
+
+    fn ssd() -> Ssd {
+        Ssd::new(SsdConfig::samsung_970_pro(1 << 30))
+    }
+
+    fn us(d: SimDuration) -> f64 {
+        d.as_micros_f64()
+    }
+
+    #[test]
+    fn small_write_is_buffered_fast() {
+        let mut dev = ssd();
+        let done = dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
+        let lat = us(done - SimTime::ZERO);
+        assert!(lat < 20.0, "buffered 4K write took {lat} us");
+    }
+
+    #[test]
+    fn random_read_pays_nand_sense() {
+        let mut dev = ssd();
+        let done = dev.submit(&IoRequest::read(4096 * 999, 4096, SimTime::ZERO)).unwrap();
+        let lat = us(done - SimTime::ZERO);
+        assert!(
+            (30.0..90.0).contains(&lat),
+            "4K random read took {lat} us, expected a NAND sense"
+        );
+    }
+
+    #[test]
+    fn sequential_reads_become_prefetch_hits() {
+        let mut dev = ssd();
+        let mut now = SimTime::ZERO;
+        let mut lats = Vec::new();
+        for i in 0..16u64 {
+            let done = dev.submit(&IoRequest::read(i * 4096, 4096, now)).unwrap();
+            lats.push(us(done - now));
+            now = done;
+        }
+        // After warmup the stream is served from readahead at ~bus speed.
+        let warm = &lats[4..];
+        let avg = warm.iter().sum::<f64>() / warm.len() as f64;
+        assert!(avg < 15.0, "warm sequential reads averaged {avg} us");
+        assert!(dev.stats().prefetch_hits > 8);
+    }
+
+    #[test]
+    fn read_after_write_hits_buffer() {
+        let mut dev = ssd();
+        let w = dev.submit(&IoRequest::write(8192, 4096, SimTime::ZERO)).unwrap();
+        let r = dev.submit(&IoRequest::read(8192, 4096, w)).unwrap();
+        assert!(dev.stats().buffer_hits >= 1);
+        assert!(us(r - w) < 20.0, "buffered read took {} us", us(r - w));
+    }
+
+    #[test]
+    fn firmware_serializes_at_depth() {
+        // Submit a burst of 16 4K writes at t=0; the last completion should
+        // reflect ~16 firmware slots (~2 us each), like the paper's QD16 row.
+        let mut dev = ssd();
+        let mut last = SimTime::ZERO;
+        for i in 0..16u64 {
+            let done = dev
+                .submit(&IoRequest::write(i * 4096, 4096, SimTime::ZERO))
+                .unwrap();
+            last = last.max(done);
+        }
+        let lat = us(last - SimTime::ZERO);
+        assert!((25.0..80.0).contains(&lat), "QD16 burst tail was {lat} us");
+    }
+
+    #[test]
+    fn large_write_costs_transfer_time() {
+        let mut dev = ssd();
+        let done = dev
+            .submit(&IoRequest::write(0, 256 * 1024, SimTime::ZERO))
+            .unwrap();
+        let lat = us(done - SimTime::ZERO);
+        // 256 KiB at 2.8 GB/s is ~94 us of DMA.
+        assert!((80.0..200.0).contains(&lat), "256K write took {lat} us");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let mut dev = ssd();
+        assert!(dev.submit(&IoRequest::read(1, 4096, SimTime::ZERO)).is_err());
+        assert!(dev
+            .submit(&IoRequest::read(dev.info().capacity(), 4096, SimTime::ZERO))
+            .is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut dev = ssd();
+        dev.submit(&IoRequest::write(0, 8192, SimTime::ZERO)).unwrap();
+        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO)).unwrap();
+        let s = dev.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.write_bytes, 8192);
+        assert_eq!(s.read_bytes, 4096);
+        assert_eq!(dev.ftl_stats().host_pages_written, 2);
+    }
+
+    #[test]
+    fn sustained_random_writes_slow_to_drain_rate() {
+        // Shrink the buffer so drain pressure appears quickly.
+        let cfg = SsdConfig::samsung_970_pro(1 << 30).with_write_buffer(1 << 20);
+        let mut dev = Ssd::new(cfg);
+        let cap = dev.info().capacity();
+        let io = 64 * 1024u32;
+        let mut now = SimTime::ZERO;
+        let mut state = 7u64;
+        let slots = cap / io as u64;
+        // Push 2x the buffer size through and watch latency rise to ~drain.
+        let mut first = SimDuration::ZERO;
+        let mut last = SimDuration::ZERO;
+        for i in 0..64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (state % slots) * io as u64;
+            let done = dev.submit(&IoRequest::write(off, io, now)).unwrap();
+            if i == 0 {
+                first = done - now;
+            }
+            last = done - now;
+            now = done;
+        }
+        assert!(
+            last > first,
+            "back-pressure should raise write latency ({} -> {})",
+            first,
+            last
+        );
+    }
+}

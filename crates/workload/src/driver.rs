@@ -1,0 +1,333 @@
+//! Closed-loop and open-loop job execution.
+
+use crate::{AddressStream, JobLimit, JobReport, JobSpec};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use uc_blockdev::{BlockDevice, IoError, IoKind, IoRequest};
+use uc_sim::SimTime;
+
+/// One outstanding request awaiting completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Inflight {
+    completes: SimTime,
+    submitted: SimTime,
+    kind: IoKind,
+    len: u32,
+}
+
+impl PartialOrd for Inflight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Inflight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.completes
+            .cmp(&other.completes)
+            .then_with(|| self.submitted.cmp(&other.submitted))
+    }
+}
+
+fn job_span<D: BlockDevice + ?Sized>(dev: &D, spec: &JobSpec) -> (u64, u64) {
+    match spec.span {
+        Some((s, e)) => (s, e.min(dev.info().capacity())),
+        None => (0, dev.info().capacity()),
+    }
+}
+
+fn limit_reached(spec: &JobSpec, report: &JobReport) -> bool {
+    match spec.limit {
+        JobLimit::Ios(n) => report.ios >= n,
+        JobLimit::Bytes(b) => report.bytes >= b,
+        JobLimit::Elapsed(d) => report.elapsed() >= d,
+    }
+}
+
+/// Runs `spec` against `dev` with a closed-loop driver: `queue_depth`
+/// requests stay outstanding; each completion immediately submits the next
+/// request at its completion instant.
+///
+/// This reproduces FIO's `iodepth=N` behaviour with exact virtual-time
+/// bookkeeping: submissions happen in non-decreasing time order, which is
+/// the contract the timeline-driven devices require.
+///
+/// # Errors
+///
+/// Propagates the first [`IoError`] a submission reports (e.g. the spec's
+/// span exceeds the device capacity).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn run_job<D: BlockDevice + ?Sized>(dev: &mut D, spec: &JobSpec) -> Result<JobReport, IoError> {
+    let (start, end) = job_span(dev, spec);
+    let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
+    let mut report = JobReport::new(spec.throughput_window, spec.start);
+    let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
+
+    let submit = |dev: &mut D,
+                      at: SimTime,
+                      stream: &mut AddressStream,
+                      inflight: &mut BinaryHeap<Reverse<Inflight>>|
+     -> Result<(), IoError> {
+        let (kind, offset) = stream.next_io();
+        let req = IoRequest {
+            kind,
+            offset,
+            len: spec.io_size,
+            submit_time: at,
+        };
+        let completes = dev.submit(&req)?;
+        inflight.push(Reverse(Inflight {
+            completes,
+            submitted: at,
+            kind,
+            len: spec.io_size,
+        }));
+        Ok(())
+    };
+
+    for _ in 0..spec.queue_depth {
+        submit(dev, spec.start, &mut stream, &mut inflight)?;
+    }
+
+    while let Some(Reverse(done)) = inflight.pop() {
+        report.record(
+            done.kind.is_write(),
+            done.len,
+            done.submitted,
+            done.completes,
+        );
+        if limit_reached(spec, &report) {
+            break;
+        }
+        submit(dev, done.completes, &mut stream, &mut inflight)?;
+    }
+    Ok(report)
+}
+
+/// Preconditions a device: sequentially fills its entire capacity with
+/// large writes, returning the completion instant (pass it to
+/// [`JobSpec::with_start`] for the measured job that follows).
+///
+/// This is the standard FIO methodology for putting an SSD's FTL into its
+/// steady state before measuring — without it, in-place random-write
+/// workloads on a fresh device never face garbage collection.
+///
+/// # Errors
+///
+/// Propagates the first [`IoError`] a submission reports.
+pub fn precondition<D: BlockDevice + ?Sized>(dev: &mut D) -> Result<SimTime, IoError> {
+    let capacity = dev.info().capacity();
+    let io = (1u32 << 20).min(capacity.min(u32::MAX as u64) as u32);
+    let spec = JobSpec::new(crate::AccessPattern::SeqWrite, io, 16)
+        .with_byte_limit(capacity)
+        .with_seed(0xF111);
+    Ok(run_job(dev, &spec)?.finished_at)
+}
+
+/// Runs an open-loop (arrival-driven) job: one I/O is submitted at each
+/// instant `arrivals` yields, regardless of completions.
+///
+/// Latencies therefore include any queueing the device accumulates — this
+/// is the driver for burstiness studies (the paper's Implication 4: smooth
+/// I/O across the timeline to fit a smaller throughput budget).
+///
+/// Arrival instants must be non-decreasing; offsets/kinds come from the
+/// spec's pattern, and the spec's `queue_depth` and stop condition are
+/// ignored (the arrival iterator bounds the run).
+///
+/// # Errors
+///
+/// Propagates the first [`IoError`] a submission reports.
+pub fn run_open_loop<D, I>(dev: &mut D, spec: &JobSpec, arrivals: I) -> Result<JobReport, IoError>
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = SimTime>,
+{
+    let (start, end) = job_span(dev, spec);
+    let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
+    let mut report = JobReport::new(spec.throughput_window, spec.start);
+    for at in arrivals {
+        let (kind, offset) = stream.next_io();
+        let req = IoRequest {
+            kind,
+            offset,
+            len: spec.io_size,
+            submit_time: at,
+        };
+        let completes = dev.submit(&req)?;
+        report.record(kind.is_write(), spec.io_size, at, completes);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessPattern;
+    use uc_blockdev::{DeviceInfo, IoResult};
+    use uc_sim::SimDuration;
+
+    /// A device with fixed service time and `servers`-way parallelism.
+    struct TestDevice {
+        service: SimDuration,
+        servers: uc_sim::ParallelResource,
+        submissions: Vec<SimTime>,
+    }
+
+    impl TestDevice {
+        fn new(us: u64, servers: usize) -> Self {
+            TestDevice {
+                service: SimDuration::from_micros(us),
+                servers: uc_sim::ParallelResource::new(servers),
+                submissions: Vec::new(),
+            }
+        }
+    }
+
+    impl BlockDevice for TestDevice {
+        fn info(&self) -> DeviceInfo {
+            DeviceInfo::new("test", 1 << 30, 4096)
+        }
+        fn submit(&mut self, req: &IoRequest) -> IoResult {
+            self.info().validate(req)?;
+            self.submissions.push(req.submit_time);
+            Ok(self.servers.acquire(req.submit_time, self.service).1)
+        }
+    }
+
+    #[test]
+    fn closed_loop_respects_io_limit() {
+        let mut dev = TestDevice::new(10, 4);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 4).with_io_limit(100);
+        let report = run_job(&mut dev, &spec).unwrap();
+        assert_eq!(report.ios, 100);
+        assert_eq!(report.bytes, 100 * 4096);
+    }
+
+    #[test]
+    fn closed_loop_throughput_matches_littles_law() {
+        // QD4 on a 4-server 10 us device: 4 IOs complete every 10 us.
+        let mut dev = TestDevice::new(10, 4);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 4).with_io_limit(4000);
+        let report = run_job(&mut dev, &spec).unwrap();
+        let expect_iops = 4.0 / 10e-6;
+        assert!(
+            (report.iops() - expect_iops).abs() / expect_iops < 0.02,
+            "iops {} vs {}",
+            report.iops(),
+            expect_iops
+        );
+        assert_eq!(report.latency.max(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn queue_depth_queues_on_saturated_device() {
+        // QD8 on a 1-server device: average latency ~ QD x service.
+        let mut dev = TestDevice::new(10, 1);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 8).with_io_limit(500);
+        let report = run_job(&mut dev, &spec).unwrap();
+        let avg = report.latency.mean().as_micros_f64();
+        assert!((70.0..=90.0).contains(&avg), "avg {avg} us, expected ~80");
+    }
+
+    #[test]
+    fn submissions_are_time_ordered() {
+        let mut dev = TestDevice::new(7, 3);
+        let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 5).with_io_limit(300);
+        run_job(&mut dev, &spec).unwrap();
+        for w in dev.submissions.windows(2) {
+            assert!(w[1] >= w[0], "submission times must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn byte_limit_stops_early() {
+        let mut dev = TestDevice::new(1, 1);
+        let spec = JobSpec::new(AccessPattern::SeqWrite, 4096, 1).with_byte_limit(10 * 4096);
+        let report = run_job(&mut dev, &spec).unwrap();
+        assert_eq!(report.ios, 10);
+    }
+
+    #[test]
+    fn time_limit_stops_by_clock() {
+        let mut dev = TestDevice::new(100, 1);
+        let spec = JobSpec::new(AccessPattern::SeqRead, 4096, 1)
+            .with_time_limit(SimDuration::from_micros(1000));
+        let report = run_job(&mut dev, &spec).unwrap();
+        assert_eq!(report.ios, 10, "10 x 100 us fills the 1 ms budget");
+    }
+
+    #[test]
+    fn open_loop_burst_accumulates_queueing() {
+        let mut dev = TestDevice::new(10, 1);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 1);
+        // 20 requests all arriving at t=0: the last waits ~190 us.
+        let arrivals = vec![SimTime::ZERO; 20];
+        let report = run_open_loop(&mut dev, &spec, arrivals).unwrap();
+        assert_eq!(report.ios, 20);
+        assert_eq!(report.latency.max(), SimDuration::from_micros(200));
+        assert_eq!(report.latency.min(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn open_loop_smooth_arrivals_avoid_queueing() {
+        let mut dev = TestDevice::new(10, 1);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 1);
+        let arrivals: Vec<SimTime> = (0..20)
+            .map(|i| SimTime::ZERO + SimDuration::from_micros(20 * i))
+            .collect();
+        let report = run_open_loop(&mut dev, &spec, arrivals).unwrap();
+        assert_eq!(report.latency.max(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn invalid_span_surfaces_as_error() {
+        let mut dev = TestDevice::new(1, 1);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4095, 1); // misaligned
+        assert!(run_job(&mut dev, &spec).is_err());
+    }
+
+    #[test]
+    fn chained_jobs_keep_device_time_monotone() {
+        // Run one job, then a second starting at the first's finish: the
+        // second job's latency must look like the first's, not inherit a
+        // time-warp penalty.
+        let mut dev = TestDevice::new(10, 2);
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 2).with_io_limit(100);
+        let first = run_job(&mut dev, &spec).unwrap();
+        let second_spec = spec.clone().with_start(first.finished_at);
+        let second = run_job(&mut dev, &second_spec).unwrap();
+        // In-flight stragglers from the first job may delay the second
+        // job's very first I/Os slightly; anything beyond that tolerance
+        // would indicate a time-warp bug.
+        let a = first.latency.mean().as_nanos() as f64;
+        let b = second.latency.mean().as_nanos() as f64;
+        assert!((b - a).abs() / a < 0.05, "means {a} vs {b}");
+        assert!((first.iops() - second.iops()).abs() / first.iops() < 0.05);
+    }
+
+    #[test]
+    fn precondition_fills_whole_capacity() {
+        let mut dev = TestDevice::new(1, 8);
+        let t = precondition(&mut dev).unwrap();
+        assert!(t > SimTime::ZERO);
+        // 1 GiB at 1 MiB per I/O: 1024 I/Os to hit the byte limit, plus up
+        // to QD-1 in-flight stragglers the closed loop had already issued.
+        assert!((1024..1024 + 16).contains(&dev.submissions.len()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut dev = TestDevice::new(3, 2);
+            let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 4)
+                .with_io_limit(200)
+                .with_seed(seed);
+            let r = run_job(&mut dev, &spec).unwrap();
+            (r.finished_at, r.latency.mean())
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

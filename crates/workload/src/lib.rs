@@ -1,0 +1,46 @@
+//! FIO-like workload generation and execution.
+//!
+//! The paper drives its devices with the FIO benchmark across four access
+//! patterns, I/O sizes from 4 KiB to 256 KiB, queue depths 1–32, and mixed
+//! read/write ratios. This crate is that harness for the simulated devices:
+//!
+//! * [`JobSpec`] — a declarative job description (pattern × size × depth ×
+//!   stop condition),
+//! * [`run_job`] — a closed-loop driver keeping `queue_depth` requests
+//!   outstanding against any [`BlockDevice`](uc_blockdev::BlockDevice),
+//! * [`run_open_loop`] — an arrival-driven driver for burst/smoothing
+//!   studies (Implication 4),
+//! * [`JobReport`] — latency histograms (overall and split by direction)
+//!   plus throughput timelines.
+//!
+//! # Example
+//!
+//! ```
+//! use uc_ssd::{Ssd, SsdConfig};
+//! use uc_workload::{AccessPattern, JobSpec, run_job};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::samsung_970_pro(256 << 20));
+//! let spec = JobSpec::new(AccessPattern::RandRead, 4096, 4)
+//!     .with_io_limit(1000);
+//! let report = run_job(&mut ssd, &spec)?;
+//! assert_eq!(report.ios, 1000);
+//! assert!(report.latency.mean().as_micros_f64() > 0.0);
+//! # Ok::<(), uc_blockdev::IoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod report;
+mod shaper;
+mod spec;
+mod stream;
+mod trace;
+
+pub use driver::{precondition, run_job, run_open_loop};
+pub use report::JobReport;
+pub use shaper::Shaper;
+pub use spec::{AccessPattern, JobLimit, JobSpec};
+pub use stream::AddressStream;
+pub use trace::{replay, ParseTraceError, Trace, TraceEntry};

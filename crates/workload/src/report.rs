@@ -1,0 +1,148 @@
+//! Job results.
+
+use uc_metrics::{LatencyHistogram, ThroughputTracker};
+use uc_sim::{SimDuration, SimTime};
+
+/// Everything a job run measured.
+///
+/// Latency is collected overall and split by direction (the paper reports
+/// read and write latency separately in Figure 2); throughput is collected
+/// as a windowed timeline (Figure 3) and split by direction (Figure 5's
+/// solid total and dashed write lines).
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Latency of every I/O.
+    pub latency: LatencyHistogram,
+    /// Latency of reads only.
+    pub read_latency: LatencyHistogram,
+    /// Latency of writes only.
+    pub write_latency: LatencyHistogram,
+    /// Total throughput timeline.
+    pub throughput: ThroughputTracker,
+    /// Write-only throughput timeline.
+    pub write_throughput: ThroughputTracker,
+    /// I/Os completed.
+    pub ios: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// The instant the job started submitting.
+    pub started_at: SimTime,
+    /// Completion instant of the last I/O.
+    pub finished_at: SimTime,
+}
+
+impl JobReport {
+    pub(crate) fn new(window: SimDuration, start: SimTime) -> Self {
+        JobReport {
+            latency: LatencyHistogram::new(),
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+            throughput: ThroughputTracker::new(window),
+            write_throughput: ThroughputTracker::new(window),
+            ios: 0,
+            bytes: 0,
+            started_at: start,
+            finished_at: start,
+        }
+    }
+
+    /// The span between job start and the last completion.
+    pub fn elapsed(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        is_write: bool,
+        len: u32,
+        submitted: SimTime,
+        completed: SimTime,
+    ) {
+        let lat = completed.saturating_since(submitted);
+        self.latency.record(lat);
+        if is_write {
+            self.write_latency.record(lat);
+            self.write_throughput.record(completed, len as u64);
+        } else {
+            self.read_latency.record(lat);
+        }
+        self.throughput.record(completed, len as u64);
+        self.ios += 1;
+        self.bytes += len as u64;
+        self.finished_at = self.finished_at.max(completed);
+    }
+
+    /// Overall average throughput in decimal GB/s.
+    pub fn throughput_gbps(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e9 / secs
+        }
+    }
+
+    /// Overall I/O rate in operations per second.
+    pub fn iops(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ios as f64 / secs
+        }
+    }
+
+    /// The paper's two headline latency metrics: `(average, P99.9)`.
+    pub fn headline_latency(&self) -> (SimDuration, SimDuration) {
+        self.latency.headline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_splits_by_direction() {
+        let mut r = JobReport::new(SimDuration::from_secs(1), SimTime::ZERO);
+        let t0 = SimTime::ZERO;
+        r.record(true, 4096, t0, t0 + SimDuration::from_micros(10));
+        r.record(false, 8192, t0, t0 + SimDuration::from_micros(50));
+        assert_eq!(r.ios, 2);
+        assert_eq!(r.bytes, 12288);
+        assert_eq!(r.write_latency.count(), 1);
+        assert_eq!(r.read_latency.count(), 1);
+        assert_eq!(r.latency.count(), 2);
+        assert_eq!(r.write_throughput.total_bytes(), 4096);
+        assert_eq!(r.throughput.total_bytes(), 12288);
+    }
+
+    #[test]
+    fn rates_derive_from_finish_time() {
+        let mut r = JobReport::new(SimDuration::from_secs(1), SimTime::ZERO);
+        let t0 = SimTime::ZERO;
+        r.record(true, 500_000_000, t0, t0 + SimDuration::from_millis(500));
+        assert!((r.throughput_gbps() - 1.0).abs() < 1e-9);
+        assert!((r.iops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_use_elapsed_not_absolute_time() {
+        // A job starting late must not have its rates diluted.
+        let start = SimTime::ZERO + SimDuration::from_secs(100);
+        let mut r = JobReport::new(SimDuration::from_secs(1), start);
+        r.record(true, 500_000_000, start, start + SimDuration::from_millis(500));
+        assert!((r.throughput_gbps() - 1.0).abs() < 1e-9);
+        assert_eq!(r.elapsed(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = JobReport::new(SimDuration::from_secs(1), SimTime::ZERO);
+        assert_eq!(r.throughput_gbps(), 0.0);
+        assert_eq!(r.iops(), 0.0);
+        let (avg, p999) = r.headline_latency();
+        assert_eq!(avg, SimDuration::ZERO);
+        assert_eq!(p999, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,227 @@
+//! Job specifications.
+
+use uc_sim::{SimDuration, SimTime};
+
+/// The access patterns of the paper's experiments (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform random reads.
+    RandRead,
+    /// Uniform random writes.
+    RandWrite,
+    /// Sequential reads (wrapping at the end of the span).
+    SeqRead,
+    /// Sequential writes (wrapping at the end of the span).
+    SeqWrite,
+    /// A random mix of reads and writes.
+    Mixed {
+        /// Fraction of operations that are writes, in `[0, 1]`.
+        write_ratio: f64,
+        /// `true` for random offsets, `false` for two sequential cursors.
+        random: bool,
+    },
+    /// Skewed random access: a hot subset of the span absorbs most I/Os
+    /// (the classic 90/10 shape of real key-value and cache workloads).
+    Hotspot {
+        /// Fraction of the span that is hot, in `(0, 1)`.
+        hot_fraction: f64,
+        /// Probability an access lands in the hot region, in `[0, 1]`.
+        hot_probability: f64,
+        /// Fraction of operations that are writes, in `[0, 1]`.
+        write_ratio: f64,
+    },
+}
+
+impl AccessPattern {
+    /// `true` if every operation is a write.
+    pub fn is_pure_write(&self) -> bool {
+        matches!(self, AccessPattern::RandWrite | AccessPattern::SeqWrite)
+            || matches!(self, AccessPattern::Mixed { write_ratio, .. } if *write_ratio >= 1.0)
+            || matches!(self, AccessPattern::Hotspot { write_ratio, .. } if *write_ratio >= 1.0)
+    }
+
+    /// `true` if offsets are generated randomly.
+    pub fn is_random(&self) -> bool {
+        match self {
+            AccessPattern::RandRead | AccessPattern::RandWrite => true,
+            AccessPattern::SeqRead | AccessPattern::SeqWrite => false,
+            AccessPattern::Mixed { random, .. } => *random,
+            AccessPattern::Hotspot { .. } => true,
+        }
+    }
+}
+
+/// When a job stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobLimit {
+    /// Stop after this many I/Os.
+    Ios(u64),
+    /// Stop once this many bytes have been transferred.
+    Bytes(u64),
+    /// Stop at the first completion at or past this simulated time span.
+    Elapsed(SimDuration),
+}
+
+/// A declarative workload description.
+///
+/// # Example
+///
+/// ```
+/// use uc_workload::{AccessPattern, JobLimit, JobSpec};
+///
+/// let spec = JobSpec::new(AccessPattern::RandWrite, 128 << 10, 32)
+///     .with_byte_limit(1 << 30)
+///     .with_seed(7);
+/// assert_eq!(spec.limit, JobLimit::Bytes(1 << 30));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Bytes per I/O.
+    pub io_size: u32,
+    /// Outstanding requests the driver maintains.
+    pub queue_depth: usize,
+    /// Optional working-set restriction `[start, end)` in bytes; the whole
+    /// device when `None`.
+    pub span: Option<(u64, u64)>,
+    /// Stop condition.
+    pub limit: JobLimit,
+    /// Seed for offset/mix randomness.
+    pub seed: u64,
+    /// Window width for throughput timelines.
+    pub throughput_window: SimDuration,
+    /// Virtual instant the job starts submitting at.
+    ///
+    /// Defaults to [`SimTime::ZERO`]. When chaining jobs on the *same*
+    /// device (e.g. precondition then measure), start the second job at
+    /// the first job's `finished_at` so device timelines stay monotone.
+    pub start: SimTime,
+}
+
+impl JobSpec {
+    /// A job with the given pattern, I/O size and queue depth, stopping
+    /// after 10 000 I/Os by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_size == 0` or `queue_depth == 0`.
+    pub fn new(pattern: AccessPattern, io_size: u32, queue_depth: usize) -> Self {
+        assert!(io_size > 0, "i/o size must be positive");
+        assert!(queue_depth > 0, "queue depth must be positive");
+        JobSpec {
+            pattern,
+            io_size,
+            queue_depth,
+            span: None,
+            limit: JobLimit::Ios(10_000),
+            seed: 0x10B5,
+            throughput_window: SimDuration::from_secs(1),
+            start: SimTime::ZERO,
+        }
+    }
+
+    /// Starts the job at `start` instead of the simulation epoch.
+    pub fn with_start(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Stops after `ios` operations.
+    pub fn with_io_limit(mut self, ios: u64) -> Self {
+        self.limit = JobLimit::Ios(ios.max(1));
+        self
+    }
+
+    /// Stops after `bytes` have been transferred.
+    pub fn with_byte_limit(mut self, bytes: u64) -> Self {
+        self.limit = JobLimit::Bytes(bytes.max(1));
+        self
+    }
+
+    /// Stops at the first completion past `elapsed`.
+    pub fn with_time_limit(mut self, elapsed: SimDuration) -> Self {
+        self.limit = JobLimit::Elapsed(elapsed);
+        self
+    }
+
+    /// Restricts offsets to `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn with_span(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "span must be non-empty");
+        self.span = Some((start, end));
+        self
+    }
+
+    /// Replaces the randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the throughput window.
+    pub fn with_throughput_window(mut self, window: SimDuration) -> Self {
+        self.throughput_window = window;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_classification() {
+        assert!(AccessPattern::RandWrite.is_pure_write());
+        assert!(AccessPattern::SeqWrite.is_pure_write());
+        assert!(!AccessPattern::RandRead.is_pure_write());
+        assert!(AccessPattern::RandRead.is_random());
+        assert!(!AccessPattern::SeqRead.is_random());
+        assert!(AccessPattern::Mixed {
+            write_ratio: 0.5,
+            random: true
+        }
+        .is_random());
+        assert!(AccessPattern::Mixed {
+            write_ratio: 1.0,
+            random: false
+        }
+        .is_pure_write());
+        let hot = AccessPattern::Hotspot {
+            hot_fraction: 0.1,
+            hot_probability: 0.9,
+            write_ratio: 1.0,
+        };
+        assert!(hot.is_pure_write());
+        assert!(hot.is_random());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let spec = JobSpec::new(AccessPattern::SeqRead, 4096, 8)
+            .with_io_limit(5)
+            .with_span(0, 4096 * 100)
+            .with_seed(3)
+            .with_start(SimTime::from_nanos(77))
+            .with_throughput_window(SimDuration::from_millis(10));
+        assert_eq!(spec.limit, JobLimit::Ios(5));
+        assert_eq!(spec.start, SimTime::from_nanos(77));
+        assert_eq!(spec.span, Some((0, 409_600)));
+        assert_eq!(spec.seed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_io_size_rejected() {
+        let _ = JobSpec::new(AccessPattern::RandRead, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_rejected() {
+        let _ = JobSpec::new(AccessPattern::RandRead, 4096, 1).with_span(5, 5);
+    }
+}

@@ -1,0 +1,349 @@
+//! Block I/O traces: record, generate, parse and replay.
+//!
+//! Traces make the burst-smoothing analyses of Implication 4 concrete: a
+//! production-like arrival pattern can be generated (or imported from a
+//! simple text format), inspected as a per-window demand profile for the
+//! smoothing planner in `uc-core`, and replayed open-loop against any
+//! device — shaped or unshaped.
+
+use crate::JobReport;
+use std::fmt;
+use std::str::FromStr;
+use uc_blockdev::{BlockDevice, IoError, IoKind, IoRequest};
+use uc_sim::{SimDuration, SimRng, SimTime};
+
+/// One traced I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// An arrival-ordered block I/O trace.
+///
+/// # Text format
+///
+/// One entry per line: `<nanos> <R|W> <offset> <len>`, e.g.
+///
+/// ```text
+/// 0 W 0 4096
+/// 1000000 R 8192 4096
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use uc_workload::Trace;
+///
+/// let trace: Trace = "0 W 0 4096\n1000 R 4096 4096".parse()?;
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.total_bytes(), 8192);
+/// # Ok::<(), uc_workload::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+/// Error parsing the trace text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Builds a trace from entries, sorting them by arrival time (stable).
+    pub fn from_entries(mut entries: Vec<TraceEntry>) -> Self {
+        entries.sort_by_key(|e| e.at);
+        Trace { entries }
+    }
+
+    /// The entries in arrival order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of I/Os.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes across all entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len as u64).sum()
+    }
+
+    /// The arrival instant of the last entry, or zero if empty.
+    pub fn duration(&self) -> SimDuration {
+        self.entries
+            .last()
+            .map(|e| e.at.saturating_since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Generates an on/off bursty write trace: every `period`, a burst of
+    /// `burst_ios` I/Os of `io_size` bytes arrives at once, at uniformly
+    /// random aligned offsets within `span_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `io_size == 0` or `span_bytes < io_size`.
+    pub fn bursty_writes(
+        bursts: u64,
+        burst_ios: u64,
+        period: SimDuration,
+        io_size: u32,
+        span_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(io_size > 0, "i/o size must be positive");
+        assert!(span_bytes >= io_size as u64, "span cannot hold one i/o");
+        let mut rng = SimRng::new(seed);
+        let slots = span_bytes / io_size as u64;
+        let mut entries = Vec::with_capacity((bursts * burst_ios) as usize);
+        for b in 0..bursts {
+            let at = SimTime::ZERO + period * b;
+            for _ in 0..burst_ios {
+                entries.push(TraceEntry {
+                    at,
+                    kind: IoKind::Write,
+                    offset: rng.range_u64(0, slots) * io_size as u64,
+                    len: io_size,
+                });
+            }
+        }
+        Trace { entries }
+    }
+
+    /// The demand profile: bytes arriving in each consecutive window —
+    /// the input shape `uc-core`'s smoothing planner consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn demand_profile(&self, window: SimDuration) -> Vec<u64> {
+        assert!(!window.is_zero(), "window must be non-zero");
+        let mut out: Vec<u64> = Vec::new();
+        for e in &self.entries {
+            let idx = (e.at.as_nanos() / window.as_nanos()) as usize;
+            if idx >= out.len() {
+                out.resize(idx + 1, 0);
+            }
+            out[idx] += e.len as u64;
+        }
+        out
+    }
+
+    /// Renders the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                e.at.as_nanos(),
+                if e.kind.is_write() { 'W' } else { 'R' },
+                e.offset,
+                e.len
+            ));
+        }
+        out
+    }
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut entries = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| ParseTraceError {
+                line: i + 1,
+                reason: reason.to_string(),
+            };
+            let mut parts = line.split_whitespace();
+            let at: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing arrival time"))?
+                .parse()
+                .map_err(|_| err("bad arrival time"))?;
+            let kind = match parts.next().ok_or_else(|| err("missing direction"))? {
+                "R" | "r" => IoKind::Read,
+                "W" | "w" => IoKind::Write,
+                other => return Err(err(&format!("bad direction `{other}`"))),
+            };
+            let offset: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing offset"))?
+                .parse()
+                .map_err(|_| err("bad offset"))?;
+            let len: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing length"))?
+                .parse()
+                .map_err(|_| err("bad length"))?;
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            entries.push(TraceEntry {
+                at: SimTime::from_nanos(at),
+                kind,
+                offset,
+                len,
+            });
+        }
+        Ok(Trace::from_entries(entries))
+    }
+}
+
+/// Replays a trace open-loop against a device (arrivals are honoured even
+/// if the device falls behind), collecting the usual [`JobReport`].
+///
+/// # Errors
+///
+/// Propagates the first validation error (e.g. a trace offset beyond the
+/// device capacity).
+pub fn replay<D: BlockDevice + ?Sized>(dev: &mut D, trace: &Trace) -> Result<JobReport, IoError> {
+    let window = SimDuration::from_millis(100);
+    let mut report = JobReport::new(window, SimTime::ZERO);
+    for e in trace.entries() {
+        let req = IoRequest {
+            kind: e.kind,
+            offset: e.offset,
+            len: e.len,
+            submit_time: e.at,
+        };
+        let done = dev.submit(&req)?;
+        report.record(e.kind.is_write(), e.len, e.at, done);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let text = "0 W 0 4096\n1000 R 8192 4096\n";
+        let trace: Trace = text.parse().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.to_text(), text);
+        assert_eq!(trace.entries()[1].kind, IoKind::Read);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let trace: Trace = "# header\n\n0 W 0 4096\n".parse().unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = "0 W 0 4096\nbogus".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(!err.to_string().is_empty());
+        let err = "0 X 0 4096".parse::<Trace>().unwrap_err();
+        assert!(err.reason.contains("direction"));
+        let err = "0 W 0 4096 extra".parse::<Trace>().unwrap_err();
+        assert!(err.reason.contains("trailing"));
+    }
+
+    #[test]
+    fn entries_sort_by_arrival() {
+        let trace = Trace::from_entries(vec![
+            TraceEntry {
+                at: SimTime::from_nanos(500),
+                kind: IoKind::Write,
+                offset: 0,
+                len: 4096,
+            },
+            TraceEntry {
+                at: SimTime::from_nanos(100),
+                kind: IoKind::Read,
+                offset: 4096,
+                len: 4096,
+            },
+        ]);
+        assert_eq!(trace.entries()[0].at, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn bursty_generator_shape() {
+        let t = Trace::bursty_writes(
+            4,
+            10,
+            SimDuration::from_millis(10),
+            4096,
+            1 << 20,
+            7,
+        );
+        assert_eq!(t.len(), 40);
+        assert_eq!(t.total_bytes(), 40 * 4096);
+        let profile = t.demand_profile(SimDuration::from_millis(10));
+        assert_eq!(profile, vec![40960; 4]);
+        // Finer windows expose the burstiness.
+        let fine = t.demand_profile(SimDuration::from_millis(1));
+        assert_eq!(fine.iter().filter(|&&d| d > 0).count(), 4);
+    }
+
+    #[test]
+    fn replay_reports_queueing() {
+        use uc_blockdev::{DeviceInfo, IoResult};
+        struct Slow(uc_sim::Resource);
+        impl BlockDevice for Slow {
+            fn info(&self) -> DeviceInfo {
+                DeviceInfo::new("slow", 1 << 30, 4096)
+            }
+            fn submit(&mut self, req: &IoRequest) -> IoResult {
+                self.info().validate(req)?;
+                Ok(self
+                    .0
+                    .acquire(req.submit_time, SimDuration::from_micros(100))
+                    .1)
+            }
+        }
+        let trace = Trace::bursty_writes(1, 10, SimDuration::from_secs(1), 4096, 1 << 20, 1);
+        let mut dev = Slow(uc_sim::Resource::new());
+        let report = replay(&mut dev, &trace).unwrap();
+        assert_eq!(report.ios, 10);
+        assert_eq!(report.latency.max(), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Trace::bursty_writes(2, 5, SimDuration::from_millis(1), 4096, 1 << 20, 9);
+        let b = Trace::bursty_writes(2, 5, SimDuration::from_millis(1), 4096, 1 << 20, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Audit a device roster against the full unwritten contract and print the
+//! implication advisories the paper derives from it.
+//!
+//! Run with: `cargo run --release --example contract_audit`
+//! (add `--full` for paper-scale cell sizes; the default uses the quick
+//! grids and finishes in a few seconds).
+
+use unwritten_contract::core::contract::{check_all, ContractInputs};
+use unwritten_contract::core::devices::DeviceKind;
+use unwritten_contract::core::experiments::{
+    fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
+};
+use unwritten_contract::core::implications::{
+    advise_gc_mitigation, advise_io_reduction, advise_scale_up, advise_write_pattern,
+};
+use unwritten_contract::prelude::*;
+
+fn main() -> Result<(), IoError> {
+    let full = std::env::args().any(|a| a == "--full");
+    let roster = DeviceRoster::scaled_default();
+    let (f2, f3, f4, f5) = if full {
+        (
+            Fig2Config::paper(),
+            Fig3Config::paper(),
+            Fig4Config::paper(),
+            Fig5Config::paper(),
+        )
+    } else {
+        (
+            Fig2Config::quick(),
+            Fig3Config::quick(),
+            Fig4Config::quick(),
+            Fig5Config::quick(),
+        )
+    };
+
+    eprintln!("running the four experiments…");
+    let fig2_ssd = fig2::run(&roster, DeviceKind::LocalSsd, &f2)?;
+    let fig2_essds = vec![
+        fig2::run(&roster, DeviceKind::Essd1, &f2)?,
+        fig2::run(&roster, DeviceKind::Essd2, &f2)?,
+    ];
+    let fig3: Vec<_> = DeviceKind::ALL
+        .iter()
+        .map(|&k| fig3::run(&roster, k, &f3))
+        .collect::<Result<_, _>>()?;
+    let fig4: Vec<_> = DeviceKind::ALL
+        .iter()
+        .map(|&k| fig4::run(&roster, k, &f4))
+        .collect::<Result<_, _>>()?;
+    let fig5_ssd = fig5::run(&roster, DeviceKind::LocalSsd, &f5)?;
+    let fig5_essds = vec![
+        fig5::run(&roster, DeviceKind::Essd1, &f5)?,
+        fig5::run(&roster, DeviceKind::Essd2, &f5)?,
+    ];
+
+    let inputs = ContractInputs {
+        fig2_ssd,
+        fig2_essds,
+        fig3,
+        fig4,
+        fig5_ssd,
+        fig5_essds,
+    };
+    let report = check_all(&inputs);
+    println!("{report}");
+
+    println!("--- Implication advisories ---");
+    // #1: how far must I scale I/Os to get within 5x of local latency?
+    for essd in &inputs.fig2_essds {
+        let advice = advise_scale_up(essd, &inputs.fig2_ssd, 0, 5.0);
+        println!("Implication 1 (random writes) — {advice}");
+    }
+    // #2: is host-side GC mitigation still worth it?
+    for r in &inputs.fig3 {
+        println!("Implication 2 — {}", advise_gc_mitigation(r));
+    }
+    // #3: random or sequential writes?
+    for r in &inputs.fig4 {
+        println!("Implication 3 — {}", advise_write_pattern(r));
+    }
+    // #5: does a 2:1 compressor at 1.5 GB/s pay off per device?
+    for (label, rate) in [("SSD (2.7 GB/s)", 2.7e9), ("ESSD-2 budget (1.1 GB/s)", 1.1e9)] {
+        let advice = advise_io_reduction(rate, 1.5e9, 0.5);
+        println!("Implication 5 on {label} — {advice}");
+    }
+    Ok(())
+}

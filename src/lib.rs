@@ -1,0 +1,76 @@
+//! # unwritten-contract
+//!
+//! A full reproduction of *"The Unwritten Contract of Cloud-based Elastic
+//! Solid-State Drives"* (DAC 2025) as a Rust workspace: a deterministic
+//! simulation of the paper's three devices (a local NVMe SSD with a real
+//! FTL, and two cloud elastic SSDs backed by a replicated, disaggregated
+//! storage cluster), the FIO-like workload harness that characterizes
+//! them, runners for every table and figure in the paper, and the
+//! unwritten contract itself as a checkable artifact.
+//!
+//! This crate is the facade: it re-exports every workspace crate under one
+//! roof and provides a [`prelude`] for the common types.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use unwritten_contract::prelude::*;
+//!
+//! // Build the paper's two device classes at simulation scale.
+//! let mut ssd = Ssd::new(SsdConfig::samsung_970_pro(256 << 20));
+//! let mut essd = Essd::new(EssdConfig::aws_io2(256 << 20));
+//!
+//! // Run the same FIO-style job on both.
+//! let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 1).with_io_limit(200);
+//! let ssd_report = run_job(&mut ssd, &spec)?;
+//! let essd_report = run_job(&mut essd, &spec)?;
+//!
+//! // Observation 1: the cloud device pays a large small-I/O penalty.
+//! let gap = essd_report.latency.mean().as_micros_f64()
+//!     / ssd_report.latency.mean().as_micros_f64();
+//! assert!(gap > 5.0);
+//! # Ok::<(), uc_blockdev::IoError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | virtual clock, RNG, distributions, resources, token buckets |
+//! | [`metrics`] | latency histograms, throughput timelines, summary stats |
+//! | [`blockdev`] | the `BlockDevice` abstraction |
+//! | [`flash`] | NAND geometry/timing and die/channel scheduling |
+//! | [`ftl`] | page-mapping FTL with garbage collection |
+//! | [`ssd`] | the local-SSD device model (Samsung 970 Pro profile) |
+//! | [`net`] | datacenter fabric + host stack model |
+//! | [`cluster`] | chunked, replicated storage cluster |
+//! | [`essd`] | the elastic-SSD device model (AWS io2 / Alibaba PL3) |
+//! | [`workload`] | FIO-like jobs and drivers |
+//! | [`core`] | experiments, contract checker, implication advisors |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use uc_blockdev as blockdev;
+pub use uc_cluster as cluster;
+pub use uc_core as core;
+pub use uc_essd as essd;
+pub use uc_flash as flash;
+pub use uc_ftl as ftl;
+pub use uc_metrics as metrics;
+pub use uc_net as net;
+pub use uc_sim as sim;
+pub use uc_ssd as ssd;
+pub use uc_workload as workload;
+
+/// The types most programs need, in one import.
+pub mod prelude {
+    pub use uc_blockdev::{BlockDevice, DeviceInfo, IoError, IoKind, IoRequest};
+    pub use uc_core::contract::{check_all, ContractInputs, ContractReport};
+    pub use uc_core::devices::{DeviceKind, DeviceRoster};
+    pub use uc_essd::{Essd, EssdConfig};
+    pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
+    pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};
+    pub use uc_ssd::{Ssd, SsdConfig};
+    pub use uc_workload::{run_job, run_open_loop, AccessPattern, JobReport, JobSpec};
+}

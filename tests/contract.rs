@@ -1,0 +1,149 @@
+//! End-to-end contract reproduction at reduced scale, plus failure
+//! injection: the checker must *detect* devices that violate the contract.
+
+use unwritten_contract::core::contract::{
+    check_observation1, check_observation2, check_observation3, check_observation4,
+};
+use unwritten_contract::core::devices::{DeviceKind, DeviceRoster};
+use unwritten_contract::core::experiments::{
+    fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
+};
+use unwritten_contract::prelude::*;
+
+fn small_roster() -> DeviceRoster {
+    DeviceRoster::with_capacities(192 << 20, 384 << 20)
+}
+
+#[test]
+fn observation1_reproduces_at_small_scale() {
+    let roster = small_roster();
+    let cfg = Fig2Config {
+        io_sizes: vec![4 << 10, 256 << 10],
+        queue_depths: vec![1, 16],
+        ios_per_cell: 1_500,
+    };
+    let ssd = fig2::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let e1 = fig2::run(&roster, DeviceKind::Essd1, &cfg).unwrap();
+    let e2 = fig2::run(&roster, DeviceKind::Essd2, &cfg).unwrap();
+    let verdict = check_observation1(&ssd, &[&e1, &e2]);
+    assert!(verdict.passed, "{verdict}");
+}
+
+#[test]
+fn observation2_reproduces_with_throttle_knee() {
+    let roster = small_roster();
+    // Run to 3x so ESSD-1's 2.55x flow limit becomes visible.
+    let cfg = Fig3Config::paper();
+    let ssd = fig3::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let e1 = fig3::run(&roster, DeviceKind::Essd1, &cfg).unwrap();
+    let e2 = fig3::run(&roster, DeviceKind::Essd2, &cfg).unwrap();
+    let verdict = check_observation2(&[&ssd, &e1, &e2]);
+    assert!(verdict.passed, "{verdict}");
+    // ESSD-1's knee is the provider throttle, near its configured point.
+    let knee = e1.knee_multiple().expect("ESSD-1 must be flow-limited");
+    assert!(
+        (2.3..2.9).contains(&knee),
+        "throttle knee at {knee}, expected ~2.55"
+    );
+    // ESSD-2 never collapses.
+    assert!(e2.knee_multiple().is_none());
+}
+
+#[test]
+fn observation3_reproduces_with_provider_split() {
+    let roster = small_roster();
+    let cfg = Fig4Config {
+        io_sizes: vec![4 << 10, 64 << 10],
+        queue_depths: vec![32],
+        ios_per_cell: 1_500,
+    };
+    let ssd = fig4::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let e1 = fig4::run(&roster, DeviceKind::Essd1, &cfg).unwrap();
+    let e2 = fig4::run(&roster, DeviceKind::Essd2, &cfg).unwrap();
+    let verdict = check_observation3(&[&ssd, &e1, &e2]);
+    assert!(verdict.passed, "{verdict}");
+    // The provider asymmetry the paper stresses: ESSD-2's gain dwarfs
+    // ESSD-1's.
+    assert!(e2.max_gain().0 > e1.max_gain().0);
+}
+
+#[test]
+fn observation4_reproduces() {
+    let roster = small_roster();
+    let cfg = Fig5Config {
+        write_ratios: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        io_size: 128 << 10,
+        queue_depth: 32,
+        ios_per_cell: 1_500,
+    };
+    let ssd = fig5::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let e1 = fig5::run(&roster, DeviceKind::Essd1, &cfg).unwrap();
+    let e2 = fig5::run(&roster, DeviceKind::Essd2, &cfg).unwrap();
+    let verdict = check_observation4(&ssd, &[&e1, &e2]);
+    assert!(verdict.passed, "{verdict}");
+    // The budgets themselves: ~3.0 and ~1.1 GB/s.
+    assert!((e1.mean_total_gbps() - 3.0).abs() < 0.35, "{}", e1.mean_total_gbps());
+    assert!((e2.mean_total_gbps() - 1.1).abs() < 0.2, "{}", e2.mean_total_gbps());
+}
+
+// ---- failure injection: the checker must notice broken devices --------
+
+#[test]
+fn checker_detects_essd_without_budget_clamp() {
+    // An "elastic" device with a sky-high budget behaves like raw backend
+    // hardware: its bandwidth follows the mix and Observation 4 must fail
+    // or the mean must drift from the nominal budget.
+    let mut wobbly = fig5::Fig5Result {
+        device: DeviceKind::Essd1,
+        write_ratios: vec![0.0, 0.5, 1.0],
+        total_gbps: vec![5.2, 3.1, 2.4],
+        write_gbps: vec![0.0, 1.5, 2.4],
+    };
+    let ssd = fig5::Fig5Result {
+        device: DeviceKind::LocalSsd,
+        write_ratios: vec![0.0, 0.5, 1.0],
+        total_gbps: vec![3.5, 3.0, 2.7],
+        write_gbps: vec![0.0, 1.5, 2.7],
+    };
+    let verdict = check_observation4(&ssd, &[&wobbly]);
+    assert!(!verdict.passed, "checker must flag unclamped bandwidth");
+    // And a flat one passes.
+    wobbly.total_gbps = vec![3.0, 3.0, 3.0];
+    assert!(check_observation4(&ssd, &[&wobbly]).passed);
+}
+
+#[test]
+fn checker_detects_cloud_latency_parity() {
+    // If someone "fixes" the network away, Observation 1 must fail: build
+    // a fake ESSD result equal to the SSD's grid.
+    let roster = small_roster();
+    let cfg = Fig2Config {
+        io_sizes: vec![4 << 10],
+        queue_depths: vec![1],
+        ios_per_cell: 400,
+    };
+    let ssd = fig2::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let mut fake = ssd.clone();
+    fake.device = DeviceKind::Essd1;
+    let verdict = check_observation1(&ssd, &[&fake]);
+    assert!(!verdict.passed, "latency parity must violate Observation 1");
+}
+
+#[test]
+fn throttle_can_be_disabled_and_the_knee_disappears() {
+    // Ablating the provider policy removes ESSD-1's Figure 3 knee — the
+    // knee really is the throttle, not an emergent artifact.
+    let capacity = 192 << 20;
+    let mut dev = Essd::new(EssdConfig::aws_io2(capacity).with_throttle(None));
+    let spec = JobSpec::new(AccessPattern::RandWrite, 128 << 10, 32)
+        .with_byte_limit(capacity * 3)
+        .with_throughput_window(SimDuration::from_millis(2));
+    let report = run_job(&mut dev, &spec).unwrap();
+    let series = report.throughput.series().moving_average(5);
+    let plateau = series.points()[series.len() / 10].1;
+    let tail = series.points()[series.len() - 2].1;
+    assert!(
+        tail > plateau * 0.6,
+        "without the throttle the run must sustain: plateau {plateau}, tail {tail}"
+    );
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the extension features: shaping, traces, hotspot
+//! workloads, preconditioning and the LSM case study.
+
+use unwritten_contract::core::casestudy::{run_inplace, run_lsm, LsmConfig};
+use unwritten_contract::prelude::*;
+use unwritten_contract::workload::{precondition, replay, Shaper, Trace};
+
+#[test]
+fn shaper_keeps_an_essd_under_a_smaller_budget() {
+    // Shape a bursty workload to 100 MB/s in front of ESSD-2: the device
+    // itself never sees more than the shaped rate.
+    let inner = Essd::new(EssdConfig::alibaba_pl3(512 << 20));
+    let mut shaped = Shaper::new(inner, 100.0e6, 4 << 20);
+    let trace = Trace::bursty_writes(
+        5,
+        100,
+        SimDuration::from_secs(1),
+        256 << 10,
+        256 << 20,
+        3,
+    );
+    let report = replay(&mut shaped, &trace).unwrap();
+    assert_eq!(report.ios, 500);
+    // Each 25.6 MB burst drains at 100 MB/s: worst-case latency ~0.22 s.
+    let max = report.latency.max().as_secs_f64();
+    assert!(
+        (0.15..0.4).contains(&max),
+        "shaped burst tail should be ~0.25 s, got {max}"
+    );
+    // Aggregate rate respects the shaping rate, not the device budget.
+    let span = report.finished_at.as_secs_f64();
+    let rate = report.bytes as f64 / span;
+    assert!(rate < 130.0e6, "shaped rate {rate} B/s exceeds 100 MB/s");
+}
+
+#[test]
+fn trace_demand_profile_feeds_the_planner() {
+    use unwritten_contract::core::implications::plan_smoothing;
+    let window = SimDuration::from_millis(100);
+    let trace = Trace::bursty_writes(
+        10,
+        200,
+        SimDuration::from_secs(1),
+        256 << 10,
+        1 << 30,
+        21,
+    );
+    let demand = trace.demand_profile(window);
+    let plan = plan_smoothing(&demand, window, SimDuration::from_millis(500));
+    assert!(
+        plan.saving_fraction > 0.5,
+        "bursty trace should smooth well: {plan}"
+    );
+}
+
+#[test]
+fn hotspot_writes_on_preconditioned_ssd_gc_less_than_uniform() {
+    // A 90/10 hotspot rewrites the same blocks over and over: greedy GC
+    // finds nearly-empty victims, so write amplification stays below the
+    // uniform-random case. (Classic skew benefit.)
+    let wa_of = |pattern: AccessPattern| {
+        let mut dev = Ssd::new(SsdConfig::samsung_970_pro(192 << 20));
+        let t0 = precondition(&mut dev).unwrap();
+        let spec = JobSpec::new(pattern, 16 << 10, 8)
+            .with_byte_limit(192 << 20)
+            .with_seed(5)
+            .with_start(t0);
+        run_job(&mut dev, &spec).unwrap();
+        dev.ftl_stats().write_amplification()
+    };
+    let uniform = wa_of(AccessPattern::RandWrite);
+    let hotspot = wa_of(AccessPattern::Hotspot {
+        hot_fraction: 0.05,
+        hot_probability: 0.95,
+        write_ratio: 1.0,
+    });
+    assert!(uniform > 1.2, "uniform overwrite on full device must GC");
+    assert!(
+        hotspot < uniform,
+        "skewed overwrites should amplify less: hotspot {hotspot} vs uniform {uniform}"
+    );
+}
+
+#[test]
+fn lsm_case_study_matches_implication3_per_device() {
+    let cfg = LsmConfig::scaled_default().with_ingest_bytes(64 << 20);
+    // The SSD legs ingest enough to overwrite most of the device, so the
+    // in-place strategy meets sustained GC (its steady-state regime).
+    let cfg_ssd = LsmConfig::scaled_default().with_ingest_bytes(384 << 20);
+
+    // Local SSD (preconditioned): in-place random updates face device GC —
+    // the pressure that motivated log-structuring in the first place. (Who
+    // wins outright depends on the engine's compaction WA versus the
+    // device's GC WA; the robust fact is the GC penalty itself.)
+    let mut dev = Ssd::new(SsdConfig::samsung_970_pro(512 << 20));
+    let t0 = precondition(&mut dev).unwrap();
+    let ssd_lsm = run_lsm(&mut dev, &cfg_ssd, t0).unwrap();
+    assert!(ssd_lsm.write_amplification() > 1.5, "compaction amplifies");
+    let mut dev = Ssd::new(SsdConfig::samsung_970_pro(512 << 20));
+    let t0 = precondition(&mut dev).unwrap();
+    let ssd_inplace = run_inplace(&mut dev, &cfg_ssd, t0).unwrap();
+    let ssd_gc_wa = dev.ftl_stats().write_amplification();
+    assert!(
+        ssd_gc_wa > 1.3,
+        "in-place updates on a full SSD must provoke GC (device WA {ssd_gc_wa})"
+    );
+    assert!(
+        ssd_inplace.ingest_gbps() < 2.0,
+        "GC must price in-place writes well below the clean-device 2.7 GB/s, got {:.3}",
+        ssd_inplace.ingest_gbps()
+    );
+
+    // ESSD-2: in-place wins (Observation 3 + zero compaction volume).
+    let mut dev = Essd::new(EssdConfig::alibaba_pl3(512 << 20));
+    let essd_lsm = run_lsm(&mut dev, &cfg, SimTime::ZERO).unwrap();
+    let mut dev = Essd::new(EssdConfig::alibaba_pl3(512 << 20));
+    let essd_inplace = run_inplace(&mut dev, &cfg, SimTime::ZERO).unwrap();
+    assert!(
+        essd_inplace.ingest_gbps() > essd_lsm.ingest_gbps(),
+        "ESSD-2: in-place {:.3} should beat LSM {:.3}",
+        essd_inplace.ingest_gbps(),
+        essd_lsm.ingest_gbps()
+    );
+}
+
+#[test]
+fn trace_round_trips_through_text() {
+    let trace = Trace::bursty_writes(
+        3,
+        7,
+        SimDuration::from_millis(5),
+        4096,
+        1 << 20,
+        11,
+    );
+    let text = trace.to_text();
+    let parsed: Trace = text.parse().unwrap();
+    assert_eq!(parsed, trace);
+}
+
+#[test]
+fn shaped_device_still_validates_requests() {
+    let mut shaped = Shaper::new(
+        Essd::new(EssdConfig::aws_io2(256 << 20)),
+        1e9,
+        1 << 20,
+    );
+    assert!(shaped
+        .submit(&IoRequest::read(7, 4096, SimTime::ZERO))
+        .is_err());
+    assert!(shaped
+        .submit(&IoRequest::read(0, 4096, SimTime::ZERO))
+        .is_ok());
+}
