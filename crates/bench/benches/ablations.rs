@@ -38,7 +38,10 @@ fn bench_gc_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_gc_policy");
     group.sample_size(10);
     for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
-        println!("ablation_gc_policy/{policy}: steady WA = {:.2}", gc_policy_wa(policy));
+        println!(
+            "ablation_gc_policy/{policy}: steady WA = {:.2}",
+            gc_policy_wa(policy)
+        );
         group.bench_function(policy.to_string(), |b| {
             b.iter(|| black_box(gc_policy_wa(policy)))
         });
@@ -84,7 +87,11 @@ fn chunk_gain(chunk_bytes: u64) -> f64 {
 fn bench_chunk_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_chunk_size");
     group.sample_size(10);
-    for (label, bytes) in [("256KiB", 256u64 << 10), ("4MiB", 4 << 20), ("32MiB", 32 << 20)] {
+    for (label, bytes) in [
+        ("256KiB", 256u64 << 10),
+        ("4MiB", 4 << 20),
+        ("32MiB", 32 << 20),
+    ] {
         println!(
             "ablation_chunk_size/{label}: rand/seq write gain = {:.2}x",
             chunk_gain(bytes)
@@ -130,5 +137,11 @@ fn bench_device_submit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gc_policy, bench_replication, bench_chunk_size, bench_device_submit);
+criterion_group!(
+    benches,
+    bench_gc_policy,
+    bench_replication,
+    bench_chunk_size,
+    bench_device_submit
+);
 criterion_main!(benches);

@@ -5,7 +5,9 @@
 
 use uc_core::contract::{check_all, ContractInputs};
 use uc_core::devices::{DeviceKind, DeviceRoster};
-use uc_core::experiments::{fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config};
+use uc_core::experiments::{
+    fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

@@ -137,7 +137,7 @@ impl DeviceInfo {
     pub fn new(name: impl Into<String>, capacity: u64, logical_block: u32) -> Self {
         assert!(logical_block > 0, "logical block size must be positive");
         assert!(
-            capacity % logical_block as u64 == 0,
+            capacity.is_multiple_of(logical_block as u64),
             "capacity must be a whole number of logical blocks"
         );
         DeviceInfo {
@@ -174,7 +174,7 @@ impl DeviceInfo {
             return Err(IoError::ZeroLength);
         }
         let lb = self.logical_block as u64;
-        if req.offset % lb != 0 || req.len as u64 % lb != 0 {
+        if !req.offset.is_multiple_of(lb) || !(req.len as u64).is_multiple_of(lb) {
             return Err(IoError::Misaligned {
                 offset: req.offset,
                 len: req.len,
@@ -372,7 +372,7 @@ mod tests {
             }
         }
         let mut d = Dev;
-        let mut r: &mut dyn BlockDevice = &mut d;
+        let r: &mut dyn BlockDevice = &mut d;
         assert!(r.submit(&IoRequest::read(0, 4096, SimTime::ZERO)).is_ok());
         let mut boxed: Box<dyn BlockDevice> = Box::new(Dev);
         assert_eq!(boxed.info().capacity(), 4096);

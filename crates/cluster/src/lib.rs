@@ -242,11 +242,7 @@ mod tests {
         let mut c = cluster();
         let mut rng = SimRng::new(3);
         c.write(SimTime::ZERO, 0, 4096, &mut rng);
-        let busy: usize = c
-            .node_stats()
-            .iter()
-            .filter(|s| s.writes > 0)
-            .count();
+        let busy: usize = c.node_stats().iter().filter(|s| s.writes > 0).count();
         assert_eq!(busy, 3, "3-way replication must hit 3 distinct nodes");
     }
 
@@ -304,10 +300,7 @@ mod tests {
         let base = SimTime::ZERO + SimDuration::from_secs(1);
         let w = c.write(base, 0, 4096, &mut rng) - base;
         let r = c.read(base, 1 << 20, 4096, &mut rng) - base;
-        assert!(
-            w < r,
-            "staged write ack ({w}) should beat flash read ({r})"
-        );
+        assert!(w < r, "staged write ack ({w}) should beat flash read ({r})");
     }
 
     #[test]

@@ -47,10 +47,7 @@ impl Default for NodeConfig {
                 SimDuration::from_micros(5),
                 SimDuration::from_nanos(500),
             ),
-            per_io: LatencyDist::normal(
-                SimDuration::from_micros(25),
-                SimDuration::from_micros(3),
-            ),
+            per_io: LatencyDist::normal(SimDuration::from_micros(25), SimDuration::from_micros(3)),
             stream_bytes_per_sec: 1.0e9,
             staged_ack: LatencyDist::normal(
                 SimDuration::from_micros(15),
@@ -250,9 +247,8 @@ mod tests {
         let mut n = StorageNode::new(cfg);
         let mut rng = SimRng::new(4);
         let baseline = {
-            let mut fresh = StorageNode::new(
-                NodeConfig::default().with_flash(1, FlashTiming::mlc(), 4096),
-            );
+            let mut fresh =
+                StorageNode::new(NodeConfig::default().with_flash(1, FlashTiming::mlc(), 4096));
             fresh.read(SimTime::ZERO, 9, 4096, &mut rng) - SimTime::ZERO
         };
         for i in 0..8 {

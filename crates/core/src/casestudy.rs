@@ -130,13 +130,17 @@ pub fn run_lsm<D: BlockDevice + ?Sized>(
     // Region plan: level i gets memtable * fanout^(i+1) bytes, clamped so
     // the sum fits the device.
     let mut region_size: Vec<u64> = (0..cfg.levels)
-        .map(|i| cfg.memtable_bytes.saturating_mul(cfg.fanout.saturating_pow(i as u32 + 1)))
+        .map(|i| {
+            cfg.memtable_bytes
+                .saturating_mul(cfg.fanout.saturating_pow(i as u32 + 1))
+        })
         .collect();
     let total: u64 = region_size.iter().sum();
     if total > capacity {
         let scale = capacity as f64 / total as f64;
         for r in &mut region_size {
-            *r = ((*r as f64 * scale) as u64 / cfg.segment_io as u64).max(1) * cfg.segment_io as u64;
+            *r =
+                ((*r as f64 * scale) as u64 / cfg.segment_io as u64).max(1) * cfg.segment_io as u64;
         }
     }
     let mut region_start = Vec::with_capacity(cfg.levels);
@@ -154,11 +158,11 @@ pub fn run_lsm<D: BlockDevice + ?Sized>(
     let mut job_seq = 0u64;
 
     let run_io = |dev: &mut D,
-                      pattern: AccessPattern,
-                      bytes: u64,
-                      region: usize,
-                      at: SimTime,
-                      seq: u64|
+                  pattern: AccessPattern,
+                  bytes: u64,
+                  region: usize,
+                  at: SimTime,
+                  seq: u64|
      -> Result<SimTime, IoError> {
         let span_start = region_start[region];
         let span_end = span_start + region_size[region];
@@ -186,14 +190,27 @@ pub fn run_lsm<D: BlockDevice + ?Sized>(
             }
             let spill = level_fill[level] - region_size[level] / 2;
             // Read the spilled run plus its overlap in the next level.
-            let overlap =
-                (spill * cfg.fanout / 2).min(level_fill[level + 1]);
-            now = run_io(dev, AccessPattern::SeqRead, spill + overlap, level, now, job_seq)?;
+            let overlap = (spill * cfg.fanout / 2).min(level_fill[level + 1]);
+            now = run_io(
+                dev,
+                AccessPattern::SeqRead,
+                spill + overlap,
+                level,
+                now,
+                job_seq,
+            )?;
             job_seq += 1;
             read_back += spill + overlap;
             // Write the merged result into the next level.
             let merged = spill + overlap;
-            now = run_io(dev, AccessPattern::SeqWrite, merged, level + 1, now, job_seq)?;
+            now = run_io(
+                dev,
+                AccessPattern::SeqWrite,
+                merged,
+                level + 1,
+                now,
+                job_seq,
+            )?;
             job_seq += 1;
             written += merged;
             level_fill[level] -= spill;

@@ -297,9 +297,7 @@ pub fn check_observation4(ssd: &Fig5Result, essds: &[&Fig5Result]) -> Observatio
     ));
     if ssd.total_spread() < 0.15 {
         passed = false;
-        evidence.push(
-            "SSD: VIOLATION: local SSD bandwidth should vary with the mix".to_string(),
-        );
+        evidence.push("SSD: VIOLATION: local SSD bandwidth should vary with the mix".to_string());
     }
     ObservationResult {
         id: 4,

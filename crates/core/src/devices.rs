@@ -105,13 +105,11 @@ impl DeviceRoster {
     /// Builds a fresh instance of `kind`.
     pub fn build(&self, kind: DeviceKind) -> Box<dyn BlockDevice> {
         match kind {
-            DeviceKind::LocalSsd => Box::new(Ssd::new(SsdConfig::samsung_970_pro(
-                self.ssd_capacity,
-            ))),
-            DeviceKind::Essd1 => Box::new(Essd::new(EssdConfig::aws_io2(self.essd_capacity))),
-            DeviceKind::Essd2 => {
-                Box::new(Essd::new(EssdConfig::alibaba_pl3(self.essd_capacity)))
+            DeviceKind::LocalSsd => {
+                Box::new(Ssd::new(SsdConfig::samsung_970_pro(self.ssd_capacity)))
             }
+            DeviceKind::Essd1 => Box::new(Essd::new(EssdConfig::aws_io2(self.essd_capacity))),
+            DeviceKind::Essd2 => Box::new(Essd::new(EssdConfig::alibaba_pl3(self.essd_capacity))),
         }
     }
 

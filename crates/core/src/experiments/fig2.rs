@@ -131,7 +131,11 @@ impl Fig2Result {
 ///
 /// Propagates the first I/O error (only possible with invalid custom
 /// configs, e.g. I/O size exceeding the device capacity).
-pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig2Config) -> Result<Fig2Result, IoError> {
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig2Config,
+) -> Result<Fig2Result, IoError> {
     let mut grids = Vec::with_capacity(FIG2_PATTERNS.len());
     for (pi, pattern) in FIG2_PATTERNS.iter().enumerate() {
         let mut cells = Vec::with_capacity(cfg.queue_depths.len());

@@ -116,7 +116,11 @@ impl Fig3Result {
 /// # Errors
 ///
 /// Propagates the first I/O error from the device.
-pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig3Config) -> Result<Fig3Result, IoError> {
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig3Config,
+) -> Result<Fig3Result, IoError> {
     let capacity = roster.capacity_of(kind);
     let mut dev = roster.build_seeded(kind, 0xF1630000 + kind as u64);
     let volume = (capacity as f64 * cfg.capacity_multiple) as u64;

@@ -91,11 +91,7 @@ impl Fig4Result {
 
     /// The highest random-write throughput in the grid, in GB/s.
     pub fn peak_rand_gbps(&self) -> f64 {
-        self.rand_gbps
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0, f64::max)
+        self.rand_gbps.iter().flatten().copied().fold(0.0, f64::max)
     }
 }
 
@@ -107,7 +103,11 @@ impl Fig4Result {
 /// # Errors
 ///
 /// Propagates the first I/O error from the device.
-pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig4Config) -> Result<Fig4Result, IoError> {
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig4Config,
+) -> Result<Fig4Result, IoError> {
     let run_cell = |pattern: AccessPattern, qd: usize, size: u32, salt: u64| {
         let mut dev = roster.build_seeded(kind, 0xF1640000 + salt);
         // Enough I/Os for steady state at this depth, but bounded volume:

@@ -78,7 +78,11 @@ impl Fig5Result {
 /// # Errors
 ///
 /// Propagates the first I/O error from the device.
-pub fn run(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig5Config) -> Result<Fig5Result, IoError> {
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig5Config,
+) -> Result<Fig5Result, IoError> {
     let mut total = Vec::with_capacity(cfg.write_ratios.len());
     let mut write = Vec::with_capacity(cfg.write_ratios.len());
     for (i, &ratio) in cfg.write_ratios.iter().enumerate() {

@@ -425,7 +425,14 @@ mod tests {
             let pts: Vec<(f64, f64)> = (0..300)
                 .map(|i| {
                     let x = i as f64 / 100.0;
-                    (x, if knee.is_some_and(|k| x > k) { 0.2 } else { 2.0 })
+                    (
+                        x,
+                        if knee.is_some_and(|k| x > k) {
+                            0.2
+                        } else {
+                            2.0
+                        },
+                    )
                 })
                 .collect();
             Fig3Result {

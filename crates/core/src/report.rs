@@ -61,7 +61,12 @@ pub fn render_fig2_grid(
     pattern_index: usize,
     p999: bool,
 ) -> String {
-    let pattern_names = ["Random Write", "Sequential Write", "Random Read", "Sequential Read"];
+    let pattern_names = [
+        "Random Write",
+        "Sequential Write",
+        "Random Read",
+        "Sequential Read",
+    ];
     let gaps = essd.gap_versus(ssd, pattern_index, p999);
     let mut out = format!(
         "{} — {} — {} latency (gap x over SSD / absolute)\n",
@@ -146,11 +151,8 @@ pub fn render_fig4(result: &Fig4Result) -> String {
     let gain = result.gain();
     for (qi, &qd) in result.queue_depths.iter().enumerate() {
         out.push_str(&format!("QD {qd:<5}"));
-        for si in 0..result.io_sizes.len() {
-            out.push_str(&format!(
-                "{:>14}",
-                format!("{:.2}({:.2}x)", result.rand_gbps[qi][si], gain[qi][si])
-            ));
+        for (rand, g) in result.rand_gbps[qi].iter().zip(&gain[qi]) {
+            out.push_str(&format!("{:>14}", format!("{rand:.2}({g:.2}x)")));
         }
         out.push('\n');
     }

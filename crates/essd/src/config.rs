@@ -194,14 +194,10 @@ impl EssdConfig {
                 },
                 4096,
             );
-        node.staged_ack = LatencyDist::normal(
-            SimDuration::from_micros(8),
-            SimDuration::from_micros(1),
-        );
-        node.replica_hop = LatencyDist::normal(
-            SimDuration::from_micros(15),
-            SimDuration::from_micros(2),
-        );
+        node.staged_ack =
+            LatencyDist::normal(SimDuration::from_micros(8), SimDuration::from_micros(1));
+        node.replica_hop =
+            LatencyDist::normal(SimDuration::from_micros(15), SimDuration::from_micros(2));
         EssdConfig {
             name: "ESSD-2 (Alibaba PL3 class)".to_string(),
             capacity,
@@ -287,9 +283,7 @@ mod tests {
         assert!(e2.iops.is_some());
         // ESSD-2's chunking is coarser, its lanes slower: bigger rand gain.
         assert!(e2.cluster.chunk_bytes > e1.cluster.chunk_bytes);
-        assert!(
-            e2.cluster.node.stream_bytes_per_sec < e1.cluster.node.stream_bytes_per_sec
-        );
+        assert!(e2.cluster.node.stream_bytes_per_sec < e1.cluster.node.stream_bytes_per_sec);
     }
 
     #[test]

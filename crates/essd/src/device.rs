@@ -115,8 +115,7 @@ impl Essd {
         let Some(policy) = self.config.throttle else {
             return;
         };
-        let threshold =
-            (self.config.capacity as f64 * policy.after_capacity_multiple) as u64;
+        let threshold = (self.config.capacity as f64 * policy.after_capacity_multiple) as u64;
         if self.stats.write_bytes >= threshold {
             self.bandwidth.set_rate(now, policy.limited_bytes_per_sec);
             self.stats.throttled = true;
@@ -145,9 +144,9 @@ impl BlockDevice for Essd {
         // 3. Request over the fabric; 4. cluster service; 5. response.
         let done = match req.kind {
             IoKind::Write => {
-                let arrival =
-                    self.tx
-                        .send(t_budget, HEADER_BYTES + req.len as u64, &mut self.rng);
+                let arrival = self
+                    .tx
+                    .send(t_budget, HEADER_BYTES + req.len as u64, &mut self.rng);
                 let ack = self
                     .cluster
                     .write(arrival, req.offset, req.len, &mut self.rng);
@@ -280,9 +279,7 @@ mod tests {
         let mut dev = Essd::new(cfg);
         let mut now = SimTime::ZERO;
         for i in 0..50u64 {
-            now = dev
-                .submit(&IoRequest::write(i * 4096, 4096, now))
-                .unwrap();
+            now = dev.submit(&IoRequest::write(i * 4096, 4096, now)).unwrap();
         }
         // 50 ops at 1000 ops/s is at least ~49 ms.
         assert!(
@@ -295,9 +292,13 @@ mod tests {
     #[test]
     fn stats_and_validation() {
         let mut dev = essd1();
-        assert!(dev.submit(&IoRequest::read(1, 4096, SimTime::ZERO)).is_err());
-        dev.submit(&IoRequest::write(0, 8192, SimTime::ZERO)).unwrap();
-        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO)).unwrap();
+        assert!(dev
+            .submit(&IoRequest::read(1, 4096, SimTime::ZERO))
+            .is_err());
+        dev.submit(&IoRequest::write(0, 8192, SimTime::ZERO))
+            .unwrap();
+        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO))
+            .unwrap();
         let s = dev.stats();
         assert_eq!((s.writes, s.reads), (1, 1));
         assert_eq!(s.write_bytes, 8192);
@@ -312,7 +313,11 @@ mod tests {
             let mut now = SimTime::ZERO;
             for i in 0..32u64 {
                 now = dev
-                    .submit(&IoRequest::write((i * 12345 * 4096) % (32 << 20), 4096, now))
+                    .submit(&IoRequest::write(
+                        (i * 12345 * 4096) % (32 << 20),
+                        4096,
+                        now,
+                    ))
                     .unwrap();
             }
             now

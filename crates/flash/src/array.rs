@@ -150,8 +150,7 @@ impl FlashArray {
     /// Aggregate program bandwidth in bytes/second when all dies stream
     /// programs (ignoring channel contention).
     pub fn peak_program_bandwidth(&self) -> f64 {
-        let per_die =
-            self.geometry.page_size() as f64 / self.timing.program_page.as_secs_f64();
+        let per_die = self.geometry.page_size() as f64 / self.timing.program_page.as_secs_f64();
         per_die * self.geometry.total_dies() as f64
     }
 
@@ -236,9 +235,8 @@ mod tests {
     fn read_takes_sense_plus_transfer() {
         let mut a = array();
         let done = a.read_page(SimTime::ZERO, 0);
-        let expected = SimTime::ZERO
-            + FlashTiming::mlc().read_page
-            + FlashTiming::mlc().bus_time(4096);
+        let expected =
+            SimTime::ZERO + FlashTiming::mlc().read_page + FlashTiming::mlc().bus_time(4096);
         assert_eq!(done, expected);
     }
 
@@ -246,9 +244,8 @@ mod tests {
     fn program_takes_transfer_plus_program() {
         let mut a = array();
         let done = a.program_page(SimTime::ZERO, 0);
-        let expected = SimTime::ZERO
-            + FlashTiming::mlc().bus_time(4096)
-            + FlashTiming::mlc().program_page;
+        let expected =
+            SimTime::ZERO + FlashTiming::mlc().bus_time(4096) + FlashTiming::mlc().program_page;
         assert_eq!(done, expected);
     }
 

@@ -227,7 +227,8 @@ mod tests {
         assert_eq!(scaled.total_dies(), g.total_dies());
         assert_eq!(scaled.page_size(), g.page_size());
         // Within one block-row of the target.
-        let step = scaled.total_dies() as u64 * scaled.planes_per_die() as u64 * scaled.block_bytes();
+        let step =
+            scaled.total_dies() as u64 * scaled.planes_per_die() as u64 * scaled.block_bytes();
         assert!(scaled.raw_capacity() - want < step);
     }
 

@@ -96,8 +96,7 @@ impl Ftl {
         // Clamp logical capacity to keep the fully-mapped free floor at or
         // above the GC target watermark.
         let max_blocks_per_die = bpd - 2 - config.gc_target_free;
-        let max_logical =
-            dies as u64 * max_blocks_per_die as u64 * g.pages_per_block() as u64;
+        let max_logical = dies as u64 * max_blocks_per_die as u64 * g.pages_per_block() as u64;
         let logical = config.logical_pages().min(max_logical) as usize;
 
         let mut free: Vec<Vec<u32>> = (0..dies)
@@ -245,9 +244,7 @@ impl Ftl {
 
     /// `true` if `lpn` currently maps to a physical page.
     pub fn is_mapped(&self, lpn: u64) -> bool {
-        self.l2p
-            .get(lpn as usize)
-            .is_some_and(|&p| p != UNMAPPED)
+        self.l2p.get(lpn as usize).is_some_and(|&p| p != UNMAPPED)
     }
 
     /// Count of currently mapped logical pages.

@@ -91,7 +91,10 @@ impl Series {
         if self.points.is_empty() {
             0.0
         } else {
-            self.points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min)
+            self.points
+                .iter()
+                .map(|p| p.1)
+                .fold(f64::INFINITY, f64::min)
         }
     }
 
@@ -125,8 +128,7 @@ impl Series {
             .map(|i| {
                 let lo = i.saturating_sub(half);
                 let hi = (i + half + 1).min(n);
-                let mean =
-                    self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+                let mean = self.points[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
                 (self.points[i].0, mean)
             })
             .collect();
@@ -192,10 +194,7 @@ mod tests {
         assert_eq!(low.first_drop_below(5.0), None);
 
         // Reaches 5.0 at x=1, drops at x=3.
-        let s = Series::from_points(
-            "knee",
-            vec![(0.0, 1.0), (1.0, 6.0), (2.0, 7.0), (3.0, 2.0)],
-        );
+        let s = Series::from_points("knee", vec![(0.0, 1.0), (1.0, 6.0), (2.0, 7.0), (3.0, 2.0)]);
         assert_eq!(s.first_drop_below(5.0), Some(3.0));
     }
 

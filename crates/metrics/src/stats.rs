@@ -110,7 +110,11 @@ impl fmt::Display for SummaryStats {
         write!(
             f,
             "n={} mean={:.4} sd={:.4} min={:.4} max={:.4} cv={:.4}",
-            self.count, self.mean, self.std_dev, self.min, self.max,
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.max,
             self.cv()
         )
     }

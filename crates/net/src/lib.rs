@@ -263,10 +263,7 @@ mod tests {
 
     #[test]
     fn host_stack_parallelism() {
-        let mut stack = HostStack::new(
-            2,
-            LatencyDist::constant(SimDuration::from_micros(10)),
-        );
+        let mut stack = HostStack::new(2, LatencyDist::constant(SimDuration::from_micros(10)));
         let mut rng = SimRng::new(1);
         let a = stack.process(SimTime::ZERO, &mut rng);
         let b = stack.process(SimTime::ZERO, &mut rng);

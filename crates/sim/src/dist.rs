@@ -129,11 +129,7 @@ impl LatencyDist {
                 SimDuration::from_nanos(v.max(0.0) as u64)
             }
             LatencyDist::BoundedPareto { scale, shape, cap } => {
-                let v = rng.bounded_pareto(
-                    scale.as_nanos() as f64,
-                    *shape,
-                    cap.as_nanos() as f64,
-                );
+                let v = rng.bounded_pareto(scale.as_nanos() as f64, *shape, cap.as_nanos() as f64);
                 SimDuration::from_nanos(v.max(0.0) as u64)
             }
             LatencyDist::Mixture {
@@ -173,7 +169,8 @@ impl LatencyDist {
                     // alpha == 1: mean = ln(h/l) * l*h/(h-l)
                     (h.ln() - l.ln()) * l * h / (h - l)
                 } else {
-                    (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                    (l.powf(a) / (1.0 - (l / h).powf(a)))
+                        * (a / (a - 1.0))
                         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
                 };
                 SimDuration::from_nanos(mean.max(0.0) as u64)
@@ -268,16 +265,17 @@ mod tests {
             let analytic = d.mean().as_nanos() as f64;
             let empirical = sample_mean(d, 60_000, 100 + i as u64);
             let rel = (empirical - analytic).abs() / analytic;
-            assert!(rel < 0.08, "case {i}: analytic {analytic} empirical {empirical}");
+            assert!(
+                rel < 0.08,
+                "case {i}: analytic {analytic} empirical {empirical}"
+            );
         }
     }
 
     #[test]
     fn mixture_tail_frequency() {
-        let d = LatencyDist::constant(SimDuration::from_micros(1)).with_tail(
-            LatencyDist::constant(SimDuration::from_millis(1)),
-            0.01,
-        );
+        let d = LatencyDist::constant(SimDuration::from_micros(1))
+            .with_tail(LatencyDist::constant(SimDuration::from_millis(1)), 0.01);
         let mut rng = SimRng::new(5);
         let n = 100_000;
         let tails = (0..n)
@@ -289,10 +287,8 @@ mod tests {
 
     #[test]
     fn mixture_mean_is_weighted() {
-        let d = LatencyDist::constant(SimDuration::from_nanos(100)).with_tail(
-            LatencyDist::constant(SimDuration::from_nanos(10_000)),
-            0.5,
-        );
+        let d = LatencyDist::constant(SimDuration::from_nanos(100))
+            .with_tail(LatencyDist::constant(SimDuration::from_nanos(10_000)), 0.5);
         assert_eq!(d.mean(), SimDuration::from_nanos(5050));
     }
 

@@ -163,12 +163,10 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let q: EventQueue<&str> = vec![
-            (SimTime::from_nanos(2), "b"),
-            (SimTime::from_nanos(1), "a"),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<&str> =
+            vec![(SimTime::from_nanos(2), "b"), (SimTime::from_nanos(1), "a")]
+                .into_iter()
+                .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1)));
     }

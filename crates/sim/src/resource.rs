@@ -9,8 +9,8 @@
 //! and fast.
 
 use crate::{SimDuration, SimTime};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A serialized FIFO station (one server).
 ///
@@ -133,7 +133,10 @@ impl ParallelResource {
 
     /// The earliest instant at which any server could start new work.
     pub fn free_at(&self) -> SimTime {
-        self.servers.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.servers
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The instant at which *all* currently scheduled work completes.
@@ -188,7 +191,10 @@ mod tests {
         let d = SimDuration::from_micros(50);
         let finishes: Vec<SimTime> = (0..8).map(|_| r.acquire(SimTime::ZERO, d).1).collect();
         let first_wave = finishes.iter().filter(|f| **f == SimTime::ZERO + d).count();
-        let second_wave = finishes.iter().filter(|f| **f == SimTime::ZERO + d * 2).count();
+        let second_wave = finishes
+            .iter()
+            .filter(|f| **f == SimTime::ZERO + d * 2)
+            .count();
         assert_eq!(first_wave, 4);
         assert_eq!(second_wave, 4);
     }

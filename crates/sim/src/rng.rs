@@ -71,16 +71,15 @@ impl SimRng {
     /// how many values the parent has drawn, so adding a new consumer of
     /// randomness does not perturb existing streams.
     pub fn fork(&self, stream_id: u64) -> SimRng {
-        SimRng::new(splitmix64(self.seed ^ splitmix64(stream_id.wrapping_add(1))))
+        SimRng::new(splitmix64(
+            self.seed ^ splitmix64(stream_id.wrapping_add(1)),
+        ))
     }
 
     /// The next raw 64-bit output (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -285,10 +285,7 @@ mod tests {
     fn negative_float_inputs_clamp_to_zero() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_micros(7).mul_f64(-2.0),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimDuration::from_micros(7).mul_f64(-2.0), SimDuration::ZERO);
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl SsdConfig {
             .unwrap_or(16);
         let block_bytes = pages_per_block * page;
         let logical_blocks_per_die = logical_bytes_per_die.div_ceil(block_bytes);
-        let data_blocks_per_die =
-            (logical_blocks_per_die as f64 * (1.0 + op_spare)).ceil() as u64;
+        let data_blocks_per_die = (logical_blocks_per_die as f64 * (1.0 + op_spare)).ceil() as u64;
         let blocks_per_die = data_blocks_per_die + watermark_blocks;
         let blocks_per_plane = blocks_per_die.div_ceil(planes as u64) as u32;
 
@@ -214,7 +213,10 @@ mod tests {
         let write_bw = g.total_dies() as f64 * g.page_size() as f64
             / cfg.ftl.timing.program_page.as_secs_f64();
         assert!((read_bw - 3.5e9).abs() / 3.5e9 < 0.02, "read bw {read_bw}");
-        assert!((write_bw - 2.7e9).abs() / 2.7e9 < 0.02, "write bw {write_bw}");
+        assert!(
+            (write_bw - 2.7e9).abs() / 2.7e9 < 0.02,
+            "write bw {write_bw}"
+        );
     }
 
     #[test]

@@ -210,7 +210,9 @@ mod tests {
     #[test]
     fn small_write_is_buffered_fast() {
         let mut dev = ssd();
-        let done = dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
+        let done = dev
+            .submit(&IoRequest::write(0, 4096, SimTime::ZERO))
+            .unwrap();
         let lat = us(done - SimTime::ZERO);
         assert!(lat < 20.0, "buffered 4K write took {lat} us");
     }
@@ -218,7 +220,9 @@ mod tests {
     #[test]
     fn random_read_pays_nand_sense() {
         let mut dev = ssd();
-        let done = dev.submit(&IoRequest::read(4096 * 999, 4096, SimTime::ZERO)).unwrap();
+        let done = dev
+            .submit(&IoRequest::read(4096 * 999, 4096, SimTime::ZERO))
+            .unwrap();
         let lat = us(done - SimTime::ZERO);
         assert!(
             (30.0..90.0).contains(&lat),
@@ -246,7 +250,9 @@ mod tests {
     #[test]
     fn read_after_write_hits_buffer() {
         let mut dev = ssd();
-        let w = dev.submit(&IoRequest::write(8192, 4096, SimTime::ZERO)).unwrap();
+        let w = dev
+            .submit(&IoRequest::write(8192, 4096, SimTime::ZERO))
+            .unwrap();
         let r = dev.submit(&IoRequest::read(8192, 4096, w)).unwrap();
         assert!(dev.stats().buffer_hits >= 1);
         assert!(us(r - w) < 20.0, "buffered read took {} us", us(r - w));
@@ -282,7 +288,9 @@ mod tests {
     #[test]
     fn validation_errors_propagate() {
         let mut dev = ssd();
-        assert!(dev.submit(&IoRequest::read(1, 4096, SimTime::ZERO)).is_err());
+        assert!(dev
+            .submit(&IoRequest::read(1, 4096, SimTime::ZERO))
+            .is_err());
         assert!(dev
             .submit(&IoRequest::read(dev.info().capacity(), 4096, SimTime::ZERO))
             .is_err());
@@ -291,8 +299,10 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut dev = ssd();
-        dev.submit(&IoRequest::write(0, 8192, SimTime::ZERO)).unwrap();
-        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO)).unwrap();
+        dev.submit(&IoRequest::write(0, 8192, SimTime::ZERO))
+            .unwrap();
+        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO))
+            .unwrap();
         let s = dev.stats();
         assert_eq!(s.writes, 1);
         assert_eq!(s.reads, 1);

@@ -66,9 +66,9 @@ pub fn run_job<D: BlockDevice + ?Sized>(dev: &mut D, spec: &JobSpec) -> Result<J
     let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
 
     let submit = |dev: &mut D,
-                      at: SimTime,
-                      stream: &mut AddressStream,
-                      inflight: &mut BinaryHeap<Reverse<Inflight>>|
+                  at: SimTime,
+                  stream: &mut AddressStream,
+                  inflight: &mut BinaryHeap<Reverse<Inflight>>|
      -> Result<(), IoError> {
         let (kind, offset) = stream.next_io();
         let req = IoRequest {

@@ -131,7 +131,12 @@ mod tests {
         // A job starting late must not have its rates diluted.
         let start = SimTime::ZERO + SimDuration::from_secs(100);
         let mut r = JobReport::new(SimDuration::from_secs(1), start);
-        r.record(true, 500_000_000, start, start + SimDuration::from_millis(500));
+        r.record(
+            true,
+            500_000_000,
+            start,
+            start + SimDuration::from_millis(500),
+        );
         assert!((r.throughput_gbps() - 1.0).abs() < 1e-9);
         assert_eq!(r.elapsed(), SimDuration::from_millis(500));
     }

@@ -134,8 +134,12 @@ mod tests {
         // 1 MB/s, 8 KiB burst: two 4 KiB writes pass, the third waits.
         let mut s = Shaper::new(Fixed::new(), 1e6, 8192);
         let a = s.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
-        let b = s.submit(&IoRequest::write(4096, 4096, SimTime::ZERO)).unwrap();
-        let c = s.submit(&IoRequest::write(8192, 4096, SimTime::ZERO)).unwrap();
+        let b = s
+            .submit(&IoRequest::write(4096, 4096, SimTime::ZERO))
+            .unwrap();
+        let c = s
+            .submit(&IoRequest::write(8192, 4096, SimTime::ZERO))
+            .unwrap();
         assert_eq!(a, b);
         // 4096 bytes at 1 MB/s = 4.096 ms of pacing.
         assert!((c - a).as_secs_f64() > 4e-3, "paced by {}", c - a);

@@ -121,7 +121,8 @@ mod tests {
 
     #[test]
     fn random_offsets_are_aligned_and_in_span() {
-        let mut s = AddressStream::new(AccessPattern::RandWrite, 8192, 16384, 16384 + 100 * 8192, 2);
+        let mut s =
+            AddressStream::new(AccessPattern::RandWrite, 8192, 16384, 16384 + 100 * 8192, 2);
         for _ in 0..1000 {
             let (kind, off) = s.next_io();
             assert_eq!(kind, IoKind::Write);

@@ -300,14 +300,7 @@ mod tests {
 
     #[test]
     fn bursty_generator_shape() {
-        let t = Trace::bursty_writes(
-            4,
-            10,
-            SimDuration::from_millis(10),
-            4096,
-            1 << 20,
-            7,
-        );
+        let t = Trace::bursty_writes(4, 10, SimDuration::from_millis(10), 4096, 1 << 20, 7);
         assert_eq!(t.len(), 40);
         assert_eq!(t.total_bytes(), 40 * 4096);
         let profile = t.demand_profile(SimDuration::from_millis(10));

@@ -28,7 +28,7 @@ fn main() -> Result<(), IoError> {
     let bursty: Vec<SimTime> = (0..BURSTS)
         .flat_map(|b| {
             let at = SimTime::ZERO + BURST_PERIOD * b;
-            std::iter::repeat(at).take(BURST_IOS as usize)
+            std::iter::repeat_n(at, BURST_IOS as usize)
         })
         .collect();
     let bursty_report = run_open_loop(&mut dev, &spec, bursty)?;
@@ -46,14 +46,7 @@ fn main() -> Result<(), IoError> {
 
     // Or let the Shaper do the smoothing mechanically: replay the same
     // bursty trace through a paced device adapter.
-    let trace = Trace::bursty_writes(
-        BURSTS,
-        BURST_IOS,
-        BURST_PERIOD,
-        IO_SIZE,
-        1 << 30,
-        21,
-    );
+    let trace = Trace::bursty_writes(BURSTS, BURST_IOS, BURST_PERIOD, IO_SIZE, 1 << 30, 21);
     let shaped_rate = 0.09e9; // the planner's answer, see below
     let mut shaped_dev = Shaper::new(
         Essd::new(EssdConfig::alibaba_pl3(2 << 30)),

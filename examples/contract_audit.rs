@@ -80,7 +80,10 @@ fn main() -> Result<(), IoError> {
         println!("Implication 3 — {}", advise_write_pattern(r));
     }
     // #5: does a 2:1 compressor at 1.5 GB/s pay off per device?
-    for (label, rate) in [("SSD (2.7 GB/s)", 2.7e9), ("ESSD-2 budget (1.1 GB/s)", 1.1e9)] {
+    for (label, rate) in [
+        ("SSD (2.7 GB/s)", 2.7e9),
+        ("ESSD-2 budget (1.1 GB/s)", 1.1e9),
+    ] {
         let advice = advise_io_reduction(rate, 1.5e9, 0.5);
         println!("Implication 5 on {label} — {advice}");
     }

@@ -43,7 +43,9 @@ fn main() -> Result<(), IoError> {
     run_device("SSD (Samsung 970 Pro)", || {
         Ssd::new(SsdConfig::samsung_970_pro(2 << 30))
     })?;
-    run_device("ESSD-1 (AWS io2)", || Essd::new(EssdConfig::aws_io2(4 << 30)))?;
+    run_device("ESSD-1 (AWS io2)", || {
+        Essd::new(EssdConfig::aws_io2(4 << 30))
+    })?;
     run_device("ESSD-2 (Alibaba PL3)", || {
         Essd::new(EssdConfig::alibaba_pl3(4 << 30))
     })?;
@@ -87,8 +89,7 @@ where
         .with_seed(12)
         .with_start(t0);
     let inplace_report = run_job(&mut dev, &inplace_spec)?;
-    let inplace_ingest =
-        UPDATE_BYTES as f64 / 1e9 / inplace_report.elapsed().as_secs_f64();
+    let inplace_ingest = UPDATE_BYTES as f64 / 1e9 / inplace_report.elapsed().as_secs_f64();
 
     println!(
         "{:<28} {:>11.2} GB/s {:>11.2} GB/s {:>9}",

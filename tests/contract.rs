@@ -82,8 +82,16 @@ fn observation4_reproduces() {
     let verdict = check_observation4(&ssd, &[&e1, &e2]);
     assert!(verdict.passed, "{verdict}");
     // The budgets themselves: ~3.0 and ~1.1 GB/s.
-    assert!((e1.mean_total_gbps() - 3.0).abs() < 0.35, "{}", e1.mean_total_gbps());
-    assert!((e2.mean_total_gbps() - 1.1).abs() < 0.2, "{}", e2.mean_total_gbps());
+    assert!(
+        (e1.mean_total_gbps() - 3.0).abs() < 0.35,
+        "{}",
+        e1.mean_total_gbps()
+    );
+    assert!(
+        (e2.mean_total_gbps() - 1.1).abs() < 0.2,
+        "{}",
+        e2.mean_total_gbps()
+    );
 }
 
 // ---- failure injection: the checker must notice broken devices --------

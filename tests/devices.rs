@@ -9,10 +9,7 @@ fn devices() -> Vec<(&'static str, Box<dyn BlockDevice>)> {
             "ssd",
             Box::new(Ssd::new(SsdConfig::samsung_970_pro(256 << 20))) as Box<dyn BlockDevice>,
         ),
-        (
-            "essd1",
-            Box::new(Essd::new(EssdConfig::aws_io2(256 << 20))),
-        ),
+        ("essd1", Box::new(Essd::new(EssdConfig::aws_io2(256 << 20)))),
         (
             "essd2",
             Box::new(Essd::new(EssdConfig::alibaba_pl3(256 << 20))),
@@ -34,8 +31,8 @@ fn every_device_runs_every_pattern() {
             },
         ] {
             let spec = JobSpec::new(pattern, 16 << 10, 4).with_io_limit(300);
-            let report = run_job(dev.as_mut(), &spec)
-                .unwrap_or_else(|e| panic!("{name}/{pattern:?}: {e}"));
+            let report =
+                run_job(dev.as_mut(), &spec).unwrap_or_else(|e| panic!("{name}/{pattern:?}: {e}"));
             assert_eq!(report.ios, 300, "{name}/{pattern:?}");
             assert!(
                 report.latency.mean() > SimDuration::ZERO,
@@ -52,7 +49,8 @@ fn devices_reject_invalid_requests_uniformly() {
         let cap = dev.info().capacity();
         // Misaligned.
         assert!(
-            dev.submit(&IoRequest::read(1, 4096, SimTime::ZERO)).is_err(),
+            dev.submit(&IoRequest::read(1, 4096, SimTime::ZERO))
+                .is_err(),
             "{name}"
         );
         // Zero length.
@@ -62,12 +60,14 @@ fn devices_reject_invalid_requests_uniformly() {
         );
         // Past the end.
         assert!(
-            dev.submit(&IoRequest::write(cap, 4096, SimTime::ZERO)).is_err(),
+            dev.submit(&IoRequest::write(cap, 4096, SimTime::ZERO))
+                .is_err(),
             "{name}"
         );
         // Valid request still accepted afterwards.
         assert!(
-            dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).is_ok(),
+            dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO))
+                .is_ok(),
             "{name}"
         );
     }

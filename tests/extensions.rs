@@ -11,14 +11,7 @@ fn shaper_keeps_an_essd_under_a_smaller_budget() {
     // itself never sees more than the shaped rate.
     let inner = Essd::new(EssdConfig::alibaba_pl3(512 << 20));
     let mut shaped = Shaper::new(inner, 100.0e6, 4 << 20);
-    let trace = Trace::bursty_writes(
-        5,
-        100,
-        SimDuration::from_secs(1),
-        256 << 10,
-        256 << 20,
-        3,
-    );
+    let trace = Trace::bursty_writes(5, 100, SimDuration::from_secs(1), 256 << 10, 256 << 20, 3);
     let report = replay(&mut shaped, &trace).unwrap();
     assert_eq!(report.ios, 500);
     // Each 25.6 MB burst drains at 100 MB/s: worst-case latency ~0.22 s.
@@ -37,14 +30,7 @@ fn shaper_keeps_an_essd_under_a_smaller_budget() {
 fn trace_demand_profile_feeds_the_planner() {
     use unwritten_contract::core::implications::plan_smoothing;
     let window = SimDuration::from_millis(100);
-    let trace = Trace::bursty_writes(
-        10,
-        200,
-        SimDuration::from_secs(1),
-        256 << 10,
-        1 << 30,
-        21,
-    );
+    let trace = Trace::bursty_writes(10, 200, SimDuration::from_secs(1), 256 << 10, 1 << 30, 21);
     let demand = trace.demand_profile(window);
     let plan = plan_smoothing(&demand, window, SimDuration::from_millis(500));
     assert!(
@@ -125,14 +111,7 @@ fn lsm_case_study_matches_implication3_per_device() {
 
 #[test]
 fn trace_round_trips_through_text() {
-    let trace = Trace::bursty_writes(
-        3,
-        7,
-        SimDuration::from_millis(5),
-        4096,
-        1 << 20,
-        11,
-    );
+    let trace = Trace::bursty_writes(3, 7, SimDuration::from_millis(5), 4096, 1 << 20, 11);
     let text = trace.to_text();
     let parsed: Trace = text.parse().unwrap();
     assert_eq!(parsed, trace);
@@ -140,11 +119,7 @@ fn trace_round_trips_through_text() {
 
 #[test]
 fn shaped_device_still_validates_requests() {
-    let mut shaped = Shaper::new(
-        Essd::new(EssdConfig::aws_io2(256 << 20)),
-        1e9,
-        1 << 20,
-    );
+    let mut shaped = Shaper::new(Essd::new(EssdConfig::aws_io2(256 << 20)), 1e9, 1 << 20);
     assert!(shaped
         .submit(&IoRequest::read(7, 4096, SimTime::ZERO))
         .is_err());

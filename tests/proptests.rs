@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use unwritten_contract::cluster::ChunkMap;
-use unwritten_contract::ftl::{Ftl, FtlConfig, GcPolicy};
 use unwritten_contract::flash::{FlashGeometry, FlashTiming};
+use unwritten_contract::ftl::{Ftl, FtlConfig, GcPolicy};
 use unwritten_contract::metrics::LatencyHistogram;
 use unwritten_contract::prelude::*;
 use unwritten_contract::sim::{EventQueue, TokenBucket};

@@ -1,0 +1,138 @@
+//! Offline stand-in for [criterion-rs](https://github.com/bheisler/criterion.rs).
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real criterion cannot be fetched. This crate implements the small slice
+//! of criterion's API that the `uc-bench` benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with plain
+//! `std::time::Instant` timing and a fixed iteration budget instead of
+//! criterion's adaptive sampling. Swapping in the real crate later is a
+//! one-line `Cargo.toml` change; no bench source needs to be touched.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each bench function, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a benchmark manager with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within this group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group. A no-op here; kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters.max(1) as u32
+    };
+    if group.is_empty() {
+        println!("bench {id:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+    } else {
+        println!(
+            "bench {group}/{id:<32} {per_iter:>12.2?}/iter ({} iters)",
+            b.iters
+        );
+    }
+}
+
+/// Timing harness passed to the closure given to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times one call of `routine` per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Prevents the compiler from optimizing away a value, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
