@@ -1,17 +1,58 @@
 //! Runs every experiment and checks the full unwritten contract, printing
 //! the four observation verdicts with evidence.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin contract [--quick]`
+//! Usage: `cargo run --release -p uc-bench --bin contract [--quick]
+//! [--scale <mult>]`
+//!
+//! * `--quick` — reduced cell sizes (seconds instead of tens of seconds).
+//! * `--scale <mult>` — multiply every device capacity by `mult`
+//!   (`UC_SCALE` is the environment fallback); `--scale 1024` reproduces
+//!   the paper's TB-scale geometry. Runtime grows with the scale.
+//! * `UC_THREADS=<n>` — cap the experiment executor's worker threads
+//!   (defaults to one per core; `UC_THREADS=1` forces sequential runs,
+//!   which produce byte-identical reports).
 
 use uc_core::contract::{check_all, ContractInputs};
 use uc_core::devices::{DeviceKind, DeviceRoster};
 use uc_core::experiments::{
-    fig2, fig3, fig4, fig5, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
+    fig2, fig3, fig4, fig5, Executor, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
 };
 
+/// Reads `--scale <mult>` from `args`, falling back to the `UC_SCALE`
+/// environment variable, defaulting to 1.
+fn scale_from(args: &[String]) -> u64 {
+    let from_flag = args.iter().position(|a| a == "--scale").map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--scale expects a value"));
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("--scale expects a positive integer, got {v:?}"))
+    });
+    let scale = from_flag.or_else(|| {
+        std::env::var("UC_SCALE").ok().map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("UC_SCALE expects a positive integer, got {v:?}"))
+        })
+    });
+    let scale = scale.unwrap_or(1);
+    assert!(scale > 0, "scale multiplier must be positive");
+    scale
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let roster = DeviceRoster::scaled_default();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = scale_from(&args);
+    let exec = Executor::from_env();
+    let roster = DeviceRoster::scaled_default().with_scale(scale);
+    eprintln!(
+        "roster: {} GiB SSD / {} GiB ESSDs (scale {}x), {} executor thread(s)",
+        roster.ssd_capacity() >> 30,
+        roster.essd_capacity() >> 30,
+        roster.scale(),
+        exec.threads(),
+    );
     let (f2, f3, f4, f5) = if quick {
         (
             Fig2Config::quick(),
@@ -29,26 +70,37 @@ fn main() {
     };
 
     eprintln!("fig2 (latency grids)…");
-    let fig2_ssd = fig2::run(&roster, DeviceKind::LocalSsd, &f2).expect("fig2 ssd");
+    let fig2_ssd = fig2::run_with(&roster, DeviceKind::LocalSsd, &f2, &exec).expect("fig2 ssd");
     let fig2_essds = vec![
-        fig2::run(&roster, DeviceKind::Essd1, &f2).expect("fig2 essd1"),
-        fig2::run(&roster, DeviceKind::Essd2, &f2).expect("fig2 essd2"),
+        fig2::run_with(&roster, DeviceKind::Essd1, &f2, &exec).expect("fig2 essd1"),
+        fig2::run_with(&roster, DeviceKind::Essd2, &f2, &exec).expect("fig2 essd2"),
     ];
     eprintln!("fig3 (GC endurance)…");
-    let fig3_all: Vec<_> = DeviceKind::ALL
-        .iter()
-        .map(|&k| fig3::run(&roster, k, &f3).expect("fig3"))
+    // fig3 is one continuous endurance run per device: fan the three
+    // devices out as whole cells.
+    let fig3_all: Vec<_> = exec
+        .run(
+            DeviceKind::ALL
+                .iter()
+                .map(|&k| {
+                    let roster = &roster;
+                    let f3 = &f3;
+                    move || fig3::run(roster, k, f3).expect("fig3")
+                })
+                .collect(),
+        )
+        .into_iter()
         .collect();
     eprintln!("fig4 (write-pattern sweep)…");
     let fig4_all: Vec<_> = DeviceKind::ALL
         .iter()
-        .map(|&k| fig4::run(&roster, k, &f4).expect("fig4"))
+        .map(|&k| fig4::run_with(&roster, k, &f4, &exec).expect("fig4"))
         .collect();
     eprintln!("fig5 (mix sweep)…");
-    let fig5_ssd = fig5::run(&roster, DeviceKind::LocalSsd, &f5).expect("fig5 ssd");
+    let fig5_ssd = fig5::run_with(&roster, DeviceKind::LocalSsd, &f5, &exec).expect("fig5 ssd");
     let fig5_essds = vec![
-        fig5::run(&roster, DeviceKind::Essd1, &f5).expect("fig5 essd1"),
-        fig5::run(&roster, DeviceKind::Essd2, &f5).expect("fig5 essd2"),
+        fig5::run_with(&roster, DeviceKind::Essd1, &f5, &exec).expect("fig5 essd1"),
+        fig5::run_with(&roster, DeviceKind::Essd2, &f5, &exec).expect("fig5 essd2"),
     ];
 
     let report = check_all(&ContractInputs {

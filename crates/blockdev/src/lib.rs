@@ -13,6 +13,15 @@
 //! completion instant of a previous one; this yields exactly the same
 //! schedules an event loop would produce, at a fraction of the cost.
 //!
+//! Two companion layers complete the host-facing API:
+//!
+//! * the **queue pair** ([`IoBatch`] / [`Completion`] /
+//!   [`BlockDevice::submit_batch`]) lets drivers issue a queue-depth's
+//!   worth of requests per doorbell ring instead of one call per request,
+//! * the **factory seam** ([`DeviceFactory`]) makes fresh-device
+//!   construction `Send + Sync`, so experiment cells can be fanned out
+//!   across threads, each building its own device where it runs.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +49,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod batch;
+mod factory;
+
+pub use batch::{Completion, IoBatch};
+pub use factory::{DeviceFactory, FnFactory};
 
 use std::error::Error;
 use std::fmt;
@@ -255,6 +270,29 @@ pub trait BlockDevice {
     /// device geometry.
     fn submit(&mut self, req: &IoRequest) -> IoResult;
 
+    /// Submits every request of `batch` through one doorbell ring,
+    /// returning one [`Completion`] per request, in submission order.
+    ///
+    /// The default implementation services the batch as consecutive
+    /// [`BlockDevice::submit`] calls, so batched and request-at-a-time
+    /// submission of the same request sequence produce identical
+    /// completion instants; device implementations that override this for
+    /// a fast path must preserve that equivalence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IoError`] any request reports. Requests queued
+    /// before the failing one have already been applied to the device
+    /// timelines (as with consecutive `submit` calls).
+    fn submit_batch(&mut self, batch: &IoBatch) -> Result<Vec<Completion>, IoError> {
+        let mut completions = Vec::with_capacity(batch.len());
+        for (index, req) in batch.requests().iter().enumerate() {
+            let completes = self.submit(req)?;
+            completions.push(Completion::of(index, req, completes));
+        }
+        Ok(completions)
+    }
+
     /// Tells the device a time span has passed with no host activity.
     ///
     /// Devices that run background work (drain, garbage collection) may use
@@ -271,6 +309,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
     fn submit(&mut self, req: &IoRequest) -> IoResult {
         (**self).submit(req)
     }
+    fn submit_batch(&mut self, batch: &IoBatch) -> Result<Vec<Completion>, IoError> {
+        (**self).submit_batch(batch)
+    }
     fn idle_until(&mut self, now: SimTime) {
         (**self).idle_until(now)
     }
@@ -282,6 +323,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     }
     fn submit(&mut self, req: &IoRequest) -> IoResult {
         (**self).submit(req)
+    }
+    fn submit_batch(&mut self, batch: &IoBatch) -> Result<Vec<Completion>, IoError> {
+        (**self).submit_batch(batch)
     }
     fn idle_until(&mut self, now: SimTime) {
         (**self).idle_until(now)
@@ -377,5 +421,63 @@ mod tests {
         let mut boxed: Box<dyn BlockDevice> = Box::new(Dev);
         assert_eq!(boxed.info().capacity(), 4096);
         boxed.idle_until(SimTime::ZERO);
+    }
+
+    /// A device whose completion instant depends on every prior request
+    /// (a busy-until timeline), so batch/sequential divergence would show.
+    struct Timeline {
+        busy_until: SimTime,
+    }
+
+    impl BlockDevice for Timeline {
+        fn info(&self) -> DeviceInfo {
+            DeviceInfo::new("timeline", 1 << 20, 4096)
+        }
+        fn submit(&mut self, req: &IoRequest) -> IoResult {
+            self.info().validate(req)?;
+            let start = self.busy_until.max(req.submit_time);
+            self.busy_until = start + uc_sim::SimDuration::from_micros(req.len as u64 / 1024);
+            Ok(self.busy_until)
+        }
+    }
+
+    #[test]
+    fn default_submit_batch_matches_sequential_submit() {
+        let reqs: Vec<IoRequest> = (0..8)
+            .map(|i| IoRequest::read((i % 4) * 4096, 4096 * (1 + i as u32 % 3), SimTime::ZERO))
+            .collect();
+        let mut sequential = Timeline {
+            busy_until: SimTime::ZERO,
+        };
+        let expected: Vec<SimTime> = reqs.iter().map(|r| sequential.submit(r).unwrap()).collect();
+        let mut batched = Timeline {
+            busy_until: SimTime::ZERO,
+        };
+        let batch: IoBatch = reqs.iter().copied().collect();
+        let completions = batched.submit_batch(&batch).unwrap();
+        assert_eq!(
+            completions.iter().map(|c| c.completes).collect::<Vec<_>>(),
+            expected
+        );
+        for (i, c) in completions.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.len, batch.requests()[i].len);
+        }
+    }
+
+    #[test]
+    fn submit_batch_surfaces_first_error() {
+        let mut dev = Timeline {
+            busy_until: SimTime::ZERO,
+        };
+        let mut batch = IoBatch::new();
+        batch.push(IoRequest::read(0, 4096, SimTime::ZERO));
+        batch.push(IoRequest::read(1 << 20, 4096, SimTime::ZERO)); // out of range
+        assert!(matches!(
+            dev.submit_batch(&batch),
+            Err(IoError::OutOfRange { .. })
+        ));
+        // The valid head of the batch was still applied to the timeline.
+        assert!(dev.busy_until > SimTime::ZERO);
     }
 }

@@ -119,6 +119,14 @@ pub struct Cluster {
     stats: ClusterStats,
 }
 
+// The device-factory contract (`uc_blockdev::DeviceFactory`) hands freshly
+// built ESSDs — and therefore their backend clusters — to worker threads,
+// so the whole backend must stay `Send` (no interior shared state).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cluster>()
+};
+
 impl Cluster {
     /// Builds an idle cluster.
     ///

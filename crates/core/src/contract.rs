@@ -12,6 +12,70 @@
 use crate::devices::DeviceKind;
 use crate::experiments::{Fig2Result, Fig3Result, Fig4Result, Fig5Result};
 use std::fmt;
+use thresholds::*;
+
+/// The calibrated pass/fail thresholds of the four observation checks.
+///
+/// These are **calibrated, not derived**: each encodes where the paper's
+/// qualitative claim ("tens of times", "much later", "no longer
+/// sensitive") is separated from noise *for the calibrated roster at
+/// simulation scale*. Recalibrating the roster (capacities, budgets,
+/// network profile) means revisiting this module as a whole — the
+/// constants live together so that a recalibration touches one place.
+pub mod thresholds {
+    /// Obs 1: the worst small-I/O (4 KiB, QD 1) ESSD/SSD latency gap must
+    /// be at least this multiple. The paper reports "tens to a hundred
+    /// times"; 10× is the floor below which the claim is no longer
+    /// qualitatively true.
+    pub const OBS1_MIN_SMALL_IO_GAP: f64 = 10.0;
+
+    /// Obs 1: scaling I/Os up (largest size × deepest queue) must shrink
+    /// the worst gap by at least this factor versus the small-I/O corner.
+    /// The paper's grids collapse from tens-of-× to single digits; a 2×
+    /// shrink is the weakest shape consistent with "the gap disappears as
+    /// I/Os scale up".
+    pub const OBS1_MIN_SCALE_UP_SHRINK: f64 = 2.0;
+
+    /// Obs 1 (single-cell demos): a conservative floor on the 4 KiB/QD 1
+    /// random-write gap used by the facade quickstart doctest and smoke
+    /// tests that only measure one cell. Half of
+    /// [`OBS1_MIN_SMALL_IO_GAP`] — one cell on a reduced-capacity roster
+    /// is noisier than the full-grid worst case.
+    pub const OBS1_SINGLE_CELL_GAP_FLOOR: f64 = 5.0;
+
+    /// Obs 2: the local SSD's GC knee must appear by this multiple of its
+    /// capacity. The paper measures 0.9×; the simulated FTL's gradual
+    /// write-amplification ramp lands the half-throughput point a little
+    /// later (1.1–1.5× depending on scale), so accept up to 1.6× — still
+    /// far from the ESSDs' 2.55× / never.
+    pub const OBS2_MAX_SSD_KNEE: f64 = 1.6;
+
+    /// Obs 2: an ESSD knee (if any) must appear at or after this capacity
+    /// multiple to count as "much later" than the SSD's ~1× collapse.
+    /// ESSD-1's provider throttle engages at 2.55× in the paper.
+    pub const OBS2_MIN_ESSD_KNEE: f64 = 2.0;
+
+    /// Obs 3: the pre-GC local SSD's random/sequential write gain must
+    /// stay inside this band to count as pattern-indifferent. The band is
+    /// asymmetric: the write buffer slightly favors random bursts.
+    pub const OBS3_SSD_NEUTRAL_GAIN: (f64, f64) = (0.8, 1.3);
+
+    /// Obs 3: an ESSD's best random/sequential gain must exceed this for
+    /// a "clear random-write win". The paper reports 1.52× (ESSD-1) and
+    /// 2.79× (ESSD-2); 1.3 separates the win from the SSD's neutral band.
+    pub const OBS3_MIN_ESSD_GAIN: f64 = 1.3;
+
+    /// Obs 4: coefficient of variation of an ESSD's total throughput
+    /// across read/write mixes must stay below this for "deterministic,
+    /// no longer sensitive to the access pattern". A budget-clamped
+    /// device measures ≪ 0.05; 0.1 leaves headroom for short-run noise.
+    pub const OBS4_MAX_ESSD_CV: f64 = 0.1;
+
+    /// Obs 4: the local SSD's peak-to-trough throughput spread across
+    /// mixes must exceed this fraction of its mean — the baseline really
+    /// does move with the mix (read and write envelopes differ by ~2×).
+    pub const OBS4_MIN_SSD_SPREAD: f64 = 0.15;
+}
 
 /// Verdict and evidence for one observation.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,7 +174,7 @@ pub fn check_observation1(ssd: &Fig2Result, essds: &[&Fig2Result]) -> Observatio
             fmt_gap(worst_big),
         ));
         // (a) unscaled I/O pays a very large penalty;
-        if worst_small < 10.0 {
+        if worst_small < OBS1_MIN_SMALL_IO_GAP {
             passed = false;
             evidence.push(format!(
                 "{}: VIOLATION: worst small-I/O gap only {}",
@@ -119,7 +183,7 @@ pub fn check_observation1(ssd: &Fig2Result, essds: &[&Fig2Result]) -> Observatio
             ));
         }
         // (b) scaling up shrinks the gap substantially;
-        if worst_big > worst_small / 2.0 {
+        if worst_big > worst_small / OBS1_MIN_SCALE_UP_SHRINK {
             passed = false;
             evidence.push(format!(
                 "{}: VIOLATION: scaling up did not shrink the gap ({} -> {})",
@@ -178,12 +242,8 @@ pub fn check_observation2(results: &[&Fig3Result]) -> ObservationResult {
         match r.device {
             DeviceKind::LocalSsd => {
                 saw_ssd = true;
-                // "Near 1x capacity": the paper measures 0.9x; the simulated
-                // FTL's gradual WA ramp lands the half-throughput point a
-                // little later (1.1-1.5x depending on scale), so accept up
-                // to 1.6x — still far from the ESSDs' 2.55x / never.
                 match knee {
-                    Some(k) if k <= 1.6 => {}
+                    Some(k) if k <= OBS2_MAX_SSD_KNEE => {}
                     _ => {
                         passed = false;
                         evidence.push(format!(
@@ -196,7 +256,7 @@ pub fn check_observation2(results: &[&Fig3Result]) -> ObservationResult {
             _ => {
                 // ESSDs: knee absent, or far later than the SSD's.
                 if let Some(k) = knee {
-                    if k < 2.0 {
+                    if k < OBS2_MIN_ESSD_KNEE {
                         passed = false;
                         evidence.push(format!(
                             "{}: VIOLATION: knee at {k:.2}x is not 'much later'",
@@ -238,7 +298,7 @@ pub fn check_observation3(results: &[&Fig4Result]) -> ObservationResult {
         ));
         match r.device {
             DeviceKind::LocalSsd => {
-                if !(0.8..=1.3).contains(&gain) {
+                if !(OBS3_SSD_NEUTRAL_GAIN.0..=OBS3_SSD_NEUTRAL_GAIN.1).contains(&gain) {
                     passed = false;
                     evidence.push(format!(
                         "{}: VIOLATION: pre-GC SSD should be pattern-neutral",
@@ -247,7 +307,7 @@ pub fn check_observation3(results: &[&Fig4Result]) -> ObservationResult {
                 }
             }
             _ => {
-                if gain < 1.3 {
+                if gain < OBS3_MIN_ESSD_GAIN {
                     passed = false;
                     evidence.push(format!(
                         "{}: VIOLATION: expected a clear random-write win",
@@ -280,7 +340,7 @@ pub fn check_observation4(ssd: &Fig5Result, essds: &[&Fig5Result]) -> Observatio
             r.mean_total_gbps(),
             r.total_cv()
         ));
-        if r.total_cv() > 0.1 {
+        if r.total_cv() > OBS4_MAX_ESSD_CV {
             passed = false;
             evidence.push(format!(
                 "{}: VIOLATION: budget-clamped bandwidth should be flat",
@@ -295,7 +355,7 @@ pub fn check_observation4(ssd: &Fig5Result, essds: &[&Fig5Result]) -> Observatio
         uc_metrics::SummaryStats::from_samples(&ssd.total_gbps).max(),
         ssd.total_spread() * 100.0
     ));
-    if ssd.total_spread() < 0.15 {
+    if ssd.total_spread() < OBS4_MIN_SSD_SPREAD {
         passed = false;
         evidence.push("SSD: VIOLATION: local SSD bandwidth should vary with the mix".to_string());
     }

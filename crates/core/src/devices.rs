@@ -1,6 +1,6 @@
 //! The calibrated device roster of the paper's Table I.
 
-use uc_blockdev::BlockDevice;
+use uc_blockdev::{BlockDevice, DeviceFactory};
 use uc_essd::{Essd, EssdConfig};
 use uc_ssd::{Ssd, SsdConfig};
 
@@ -42,6 +42,16 @@ impl std::fmt::Display for DeviceKind {
 /// capacities (the paper's 1 TB SSD / 2 TB ESSDs keep their 1:2 ratio at
 /// simulation scale — see DESIGN.md).
 ///
+/// The roster implements [`DeviceFactory`] (keyed by [`DeviceKind`]), so
+/// the parallel cell executor — and any other consumer of the factory
+/// seam — can hand one shared roster to many worker threads and let each
+/// cell build its own device where it runs.
+///
+/// A `scale` multiplier (see [`DeviceRoster::with_scale`]) grows every
+/// capacity proportionally toward the paper's TB-scale settings; `--scale
+/// 1024` on the `contract` binary reproduces the paper's full 1 TB / 2 TB
+/// geometry.
+///
 /// # Example
 ///
 /// ```
@@ -50,11 +60,15 @@ impl std::fmt::Display for DeviceKind {
 /// let roster = DeviceRoster::scaled_default();
 /// let mut ssd = roster.build(DeviceKind::LocalSsd);
 /// assert!(ssd.info().capacity() >= roster.ssd_capacity());
+///
+/// let bigger = roster.with_scale(4);
+/// assert_eq!(bigger.ssd_capacity(), 4 * roster.ssd_capacity());
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeviceRoster {
     ssd_capacity: u64,
     essd_capacity: u64,
+    scale: u64,
 }
 
 impl DeviceRoster {
@@ -64,6 +78,7 @@ impl DeviceRoster {
         DeviceRoster {
             ssd_capacity: 1 << 30,
             essd_capacity: 2 << 30,
+            scale: 1,
         }
     }
 
@@ -81,53 +96,98 @@ impl DeviceRoster {
         DeviceRoster {
             ssd_capacity: ssd,
             essd_capacity: essd,
+            scale: 1,
         }
     }
 
+    /// This roster with its capacity multiplier *set* to `scale` —
+    /// replacing any previous multiplier, so effective capacities are
+    /// always `base × scale` (the ROADMAP "scale story" knob: `scale =
+    /// 1024` turns the default GiB-scale roster into the paper's TB-scale
+    /// devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn with_scale(&self, scale: u64) -> Self {
+        assert!(scale > 0, "scale multiplier must be positive");
+        DeviceRoster {
+            ssd_capacity: self.ssd_capacity,
+            essd_capacity: self.essd_capacity,
+            scale,
+        }
+    }
+
+    /// The active capacity multiplier.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
     /// The SSD's scaled capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base × scale` overflows `u64` (release builds would
+    /// otherwise wrap silently into nonsense geometry).
     pub fn ssd_capacity(&self) -> u64 {
         self.ssd_capacity
+            .checked_mul(self.scale)
+            .expect("scaled SSD capacity overflows u64")
     }
 
     /// The ESSDs' scaled capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base × scale` overflows `u64`.
     pub fn essd_capacity(&self) -> u64 {
         self.essd_capacity
+            .checked_mul(self.scale)
+            .expect("scaled ESSD capacity overflows u64")
     }
 
     /// The capacity `kind` is built with.
     pub fn capacity_of(&self, kind: DeviceKind) -> u64 {
         match kind {
-            DeviceKind::LocalSsd => self.ssd_capacity,
-            _ => self.essd_capacity,
+            DeviceKind::LocalSsd => self.ssd_capacity(),
+            _ => self.essd_capacity(),
         }
     }
 
     /// Builds a fresh instance of `kind`.
-    pub fn build(&self, kind: DeviceKind) -> Box<dyn BlockDevice> {
+    pub fn build(&self, kind: DeviceKind) -> Box<dyn BlockDevice + Send> {
         match kind {
             DeviceKind::LocalSsd => {
-                Box::new(Ssd::new(SsdConfig::samsung_970_pro(self.ssd_capacity)))
+                Box::new(Ssd::new(SsdConfig::samsung_970_pro(self.ssd_capacity())))
             }
-            DeviceKind::Essd1 => Box::new(Essd::new(EssdConfig::aws_io2(self.essd_capacity))),
-            DeviceKind::Essd2 => Box::new(Essd::new(EssdConfig::alibaba_pl3(self.essd_capacity))),
+            DeviceKind::Essd1 => Box::new(Essd::new(EssdConfig::aws_io2(self.essd_capacity()))),
+            DeviceKind::Essd2 => Box::new(Essd::new(EssdConfig::alibaba_pl3(self.essd_capacity()))),
         }
     }
 
     /// Builds a fresh instance with a distinct jitter seed (for
     /// repeated-trial experiments).
-    pub fn build_seeded(&self, kind: DeviceKind, seed: u64) -> Box<dyn BlockDevice> {
+    pub fn build_seeded(&self, kind: DeviceKind, seed: u64) -> Box<dyn BlockDevice + Send> {
         match kind {
             DeviceKind::LocalSsd => Box::new(Ssd::with_seed(
-                SsdConfig::samsung_970_pro(self.ssd_capacity),
+                SsdConfig::samsung_970_pro(self.ssd_capacity()),
                 seed,
             )),
             DeviceKind::Essd1 => Box::new(Essd::new(
-                EssdConfig::aws_io2(self.essd_capacity).with_seed(seed),
+                EssdConfig::aws_io2(self.essd_capacity()).with_seed(seed),
             )),
             DeviceKind::Essd2 => Box::new(Essd::new(
-                EssdConfig::alibaba_pl3(self.essd_capacity).with_seed(seed),
+                EssdConfig::alibaba_pl3(self.essd_capacity()).with_seed(seed),
             )),
         }
+    }
+}
+
+impl DeviceFactory for DeviceRoster {
+    type Key = DeviceKind;
+
+    fn fresh(&self, key: DeviceKind, seed: u64) -> Box<dyn BlockDevice + Send> {
+        self.build_seeded(key, seed)
     }
 }
 
@@ -158,6 +218,57 @@ mod tests {
             roster.capacity_of(DeviceKind::Essd1),
             roster.capacity_of(DeviceKind::Essd2)
         );
+    }
+
+    #[test]
+    fn scale_multiplies_every_capacity() {
+        let roster = DeviceRoster::scaled_default();
+        let scaled = roster.with_scale(8);
+        assert_eq!(scaled.scale(), 8);
+        assert_eq!(scaled.ssd_capacity(), 8 * roster.ssd_capacity());
+        assert_eq!(scaled.essd_capacity(), 8 * roster.essd_capacity());
+        for kind in DeviceKind::ALL {
+            assert_eq!(scaled.capacity_of(kind), 8 * roster.capacity_of(kind));
+        }
+        // The paper ratio survives scaling.
+        assert_eq!(scaled.essd_capacity(), 2 * scaled.ssd_capacity());
+        // with_scale *sets* the multiplier; it does not compose.
+        assert_eq!(
+            scaled.with_scale(2).ssd_capacity(),
+            2 * roster.ssd_capacity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = DeviceRoster::scaled_default().with_scale(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn absurd_scale_panics_instead_of_wrapping() {
+        let _ = DeviceRoster::scaled_default()
+            .with_scale(u64::MAX)
+            .ssd_capacity();
+    }
+
+    #[test]
+    fn roster_is_a_device_factory() {
+        fn takes_factory<F: DeviceFactory<Key = DeviceKind>>(f: &F) -> u64 {
+            f.fresh(DeviceKind::Essd1, 3).info().capacity()
+        }
+        let roster = DeviceRoster::scaled_default();
+        assert_eq!(takes_factory(&roster), roster.essd_capacity());
+        // Factories cross threads: build each kind on its own worker.
+        std::thread::scope(|scope| {
+            for kind in DeviceKind::ALL {
+                let roster = &roster;
+                scope.spawn(move || {
+                    assert!(roster.fresh(kind, 1).info().capacity() > 0);
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The shared cell executor: fans independent measurement cells out
+//! across worker threads.
+//!
+//! Every figure runner decomposes its sweep into self-contained *cells* —
+//! closures that build their own fresh device (through the
+//! [`DeviceFactory`](uc_blockdev::DeviceFactory) seam) and return one
+//! measurement. Cells never share device state, so they are embarrassingly
+//! parallel; the executor schedules them over a scoped thread pool and
+//! returns results **in the cells' original order**, which keeps parallel
+//! runs byte-identical to sequential ones (each cell's virtual-time
+//! schedule is fully determined by its own seed and spec).
+//!
+//! # Example
+//!
+//! ```
+//! use uc_core::experiments::Executor;
+//!
+//! let cells: Vec<_> = (0..8).map(|i| move || i * i).collect();
+//! let parallel = Executor::with_threads(4).run(cells.clone());
+//! let sequential = Executor::sequential().run(cells);
+//! assert_eq!(parallel, sequential);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs independent jobs across a fixed number of worker threads,
+/// preserving result order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor that runs every cell inline on the calling thread.
+    pub fn sequential() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// An executor with exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The default executor: one worker per available core, overridable
+    /// with the `UC_THREADS` environment variable (`UC_THREADS=1` forces
+    /// the sequential path).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("UC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Executor::with_threads(threads)
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell and returns their results in the input order.
+    ///
+    /// Scheduling is work-stealing over a shared index, so thread count
+    /// and interleaving never affect *which* work a cell does — only
+    /// where it runs. A panicking cell propagates the panic to the caller
+    /// once the scope joins.
+    pub fn run<F, R>(&self, cells: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.threads <= 1 || cells.len() <= 1 {
+            return cells.into_iter().map(|cell| cell()).collect();
+        }
+        let workers = self.threads.min(cells.len());
+        let jobs: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let slots: Vec<Mutex<Option<R>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let cell = job
+                        .lock()
+                        .expect("job mutex")
+                        .take()
+                        .expect("cell taken once");
+                    let result = cell();
+                    *slots[index].lock().expect("slot mutex") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot mutex")
+                    .expect("every cell ran")
+            })
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_at_any_width() {
+        let input: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = input.iter().map(|i| i * 3).collect();
+        for threads in [1, 2, 4, 16, 64] {
+            let cells: Vec<_> = input.iter().map(|&i| move || i * 3).collect();
+            assert_eq!(Executor::with_threads(threads).run(cells), expected);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(Executor::with_threads(8).run(none).is_empty());
+        assert_eq!(Executor::with_threads(8).run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently_when_asked() {
+        // With 4 workers and 4 cells that all wait on the same barrier,
+        // completion is only possible if they run at once.
+        let barrier = std::sync::Barrier::new(4);
+        let cells: Vec<_> = (0..4)
+            .map(|i| {
+                let barrier = &barrier;
+                move || {
+                    barrier.wait();
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(Executor::with_threads(4).run(cells), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_clamp_and_env_default() {
+        assert_eq!(Executor::with_threads(0).threads(), 1);
+        assert!(Executor::from_env().threads() >= 1);
+        assert_eq!(Executor::sequential().threads(), 1);
+    }
+}

@@ -1,7 +1,8 @@
 //! Figure 2: latency grids over access pattern × I/O size × queue depth.
 
 use crate::devices::{DeviceKind, DeviceRoster};
-use uc_blockdev::IoError;
+use crate::experiments::Executor;
+use uc_blockdev::{DeviceFactory, IoError};
 use uc_sim::SimDuration;
 use uc_workload::{run_job, AccessPattern, JobSpec};
 
@@ -122,7 +123,7 @@ impl Fig2Result {
     }
 }
 
-/// Runs the Figure 2 sweep for `kind`.
+/// Runs the Figure 2 sweep for `kind` on the default (per-core) executor.
 ///
 /// A fresh device is built per cell so buffer/FTL state cannot leak
 /// between cells (the paper reboots its workloads per configuration too).
@@ -136,33 +137,68 @@ pub fn run(
     kind: DeviceKind,
     cfg: &Fig2Config,
 ) -> Result<Fig2Result, IoError> {
-    let mut grids = Vec::with_capacity(FIG2_PATTERNS.len());
-    for (pi, pattern) in FIG2_PATTERNS.iter().enumerate() {
-        let mut cells = Vec::with_capacity(cfg.queue_depths.len());
+    run_with(roster, kind, cfg, &Executor::from_env())
+}
+
+/// Runs the Figure 2 sweep for `kind`, fanning the pattern × depth × size
+/// cells out on `exec`.
+///
+/// Every cell is a self-contained job — it builds its own seeded device
+/// through the roster's [`DeviceFactory`] seam and runs one closed-loop
+/// job — so results are byte-identical for any executor width.
+///
+/// # Errors
+///
+/// Propagates the first I/O error in deterministic (cell-order) priority.
+/// The whole sweep still runs before the error surfaces — kept so the
+/// returned error never depends on executor width; a failing cell aborts
+/// at its first invalid submission, so a doomed sweep stays cheap.
+pub fn run_with(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig2Config,
+    exec: &Executor,
+) -> Result<Fig2Result, IoError> {
+    let mut cells = Vec::with_capacity(FIG2_PATTERNS.len() * cfg.queue_depths.len());
+    for (pi, &pattern) in FIG2_PATTERNS.iter().enumerate() {
         for (qi, &qd) in cfg.queue_depths.iter().enumerate() {
-            let mut row = Vec::with_capacity(cfg.io_sizes.len());
             for (si, &size) in cfg.io_sizes.iter().enumerate() {
-                let mut dev = roster.build_seeded(
-                    kind,
-                    0xF1620000 + (pi as u64) * 1000 + (qi as u64) * 10 + si as u64,
-                );
-                // Cap the cell volume at half the device capacity: the
-                // paper's 20 k-I/O cells are a rounding error against a
-                // 1-2 TB device, and a latency cell must not age the FTL
-                // into garbage collection (that is Figure 3's job).
-                let max_ios = (roster.capacity_of(kind) / 2 / size as u64).max(100);
-                let spec = JobSpec::new(*pattern, size, qd)
-                    .with_io_limit(cfg.ios_per_cell.min(max_ios))
-                    .with_seed(0x2B + si as u64);
-                let report = run_job(dev.as_mut(), &spec)?;
-                let (avg, p999) = report.headline_latency();
-                row.push(LatencyCell { avg, p999 });
+                cells.push(move || {
+                    let mut dev = roster.fresh(
+                        kind,
+                        0xF1620000 + (pi as u64) * 1000 + (qi as u64) * 10 + si as u64,
+                    );
+                    // Cap the cell volume at half the device capacity: the
+                    // paper's 20 k-I/O cells are a rounding error against a
+                    // 1-2 TB device, and a latency cell must not age the FTL
+                    // into garbage collection (that is Figure 3's job).
+                    let max_ios = (roster.capacity_of(kind) / 2 / size as u64).max(100);
+                    let spec = JobSpec::new(pattern, size, qd)
+                        .with_io_limit(cfg.ios_per_cell.min(max_ios))
+                        .with_seed(0x2B + si as u64);
+                    let report = run_job(dev.as_mut(), &spec)?;
+                    let (avg, p999) = report.headline_latency();
+                    Ok(LatencyCell { avg, p999 })
+                });
             }
-            cells.push(row);
+        }
+    }
+    let mut measured = exec.run(cells).into_iter();
+
+    let mut grids = Vec::with_capacity(FIG2_PATTERNS.len());
+    for &pattern in FIG2_PATTERNS.iter() {
+        let mut rows = Vec::with_capacity(cfg.queue_depths.len());
+        for _ in &cfg.queue_depths {
+            let row: Result<Vec<LatencyCell>, IoError> = cfg
+                .io_sizes
+                .iter()
+                .map(|_| measured.next().unwrap())
+                .collect();
+            rows.push(row?);
         }
         grids.push(PatternGrid {
-            pattern: *pattern,
-            cells,
+            pattern,
+            cells: rows,
         });
     }
     Ok(Fig2Result {
@@ -205,9 +241,24 @@ mod tests {
         // Random-write 4K QD1 gap (pattern 0): tens of x.
         let gaps = essd.gap_versus(&ssd, 0, false);
         assert!(
-            gaps[0][0] > 5.0,
+            gaps[0][0] > crate::contract::thresholds::OBS1_SINGLE_CELL_GAP_FLOOR,
             "small-write gap should be large, got {}",
             gaps[0][0]
         );
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig2Config {
+            io_sizes: vec![4 << 10, 64 << 10],
+            queue_depths: vec![1, 8],
+            ios_per_cell: 200,
+        };
+        let sequential =
+            run_with(&roster, DeviceKind::Essd1, &cfg, &Executor::sequential()).unwrap();
+        let parallel =
+            run_with(&roster, DeviceKind::Essd1, &cfg, &Executor::with_threads(4)).unwrap();
+        assert_eq!(sequential, parallel);
     }
 }

@@ -2,7 +2,8 @@
 //! random/sequential gain.
 
 use crate::devices::{DeviceKind, DeviceRoster};
-use uc_blockdev::IoError;
+use crate::experiments::Executor;
+use uc_blockdev::{DeviceFactory, IoError};
 use uc_workload::{run_job, AccessPattern, JobSpec};
 
 /// Workload grid for the Figure 4 sweep.
@@ -95,7 +96,7 @@ impl Fig4Result {
     }
 }
 
-/// Runs the Figure 4 sweep on `kind`.
+/// Runs the Figure 4 sweep on `kind` on the default (per-core) executor.
 ///
 /// Volumes stay well under the device capacity, matching the paper's
 /// "when GC does not occur" framing for the local SSD.
@@ -108,34 +109,62 @@ pub fn run(
     kind: DeviceKind,
     cfg: &Fig4Config,
 ) -> Result<Fig4Result, IoError> {
-    let run_cell = |pattern: AccessPattern, qd: usize, size: u32, salt: u64| {
-        let mut dev = roster.build_seeded(kind, 0xF1640000 + salt);
-        // Enough I/Os for steady state at this depth, but bounded volume:
-        // the paper's cells never age the device into GC ("when GC does
-        // not occur"), so stay under half the capacity.
-        let ios = cfg
-            .ios_per_cell
-            .max(qd as u64 * 100)
-            .min((roster.capacity_of(kind) / 2 / size as u64).max(100));
-        let spec = JobSpec::new(pattern, size, qd)
-            .with_io_limit(ios)
-            .with_seed(0x46 + salt);
-        run_job(dev.as_mut(), &spec).map(|r| r.throughput_gbps())
-    };
+    run_with(roster, kind, cfg, &Executor::from_env())
+}
 
-    let mut rand_gbps = Vec::with_capacity(cfg.queue_depths.len());
-    let mut seq_gbps = Vec::with_capacity(cfg.queue_depths.len());
-    for (qi, &qd) in cfg.queue_depths.iter().enumerate() {
-        let mut rand_row = Vec::with_capacity(cfg.io_sizes.len());
-        let mut seq_row = Vec::with_capacity(cfg.io_sizes.len());
-        for (si, &size) in cfg.io_sizes.iter().enumerate() {
-            let salt = (qi as u64) * 100 + si as u64;
-            rand_row.push(run_cell(AccessPattern::RandWrite, qd, size, salt)?);
-            seq_row.push(run_cell(AccessPattern::SeqWrite, qd, size, salt + 50)?);
+/// Runs the Figure 4 sweep on `kind`, fanning the (pattern, depth, size)
+/// cells out on `exec`. Each cell builds its own seeded device through
+/// the roster's [`DeviceFactory`] seam, so results are byte-identical for
+/// any executor width.
+///
+/// # Errors
+///
+/// Propagates the first I/O error in deterministic (cell-order) priority
+/// (the whole sweep still runs first; failing cells abort at their first
+/// invalid submission, so a doomed sweep stays cheap).
+pub fn run_with(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig4Config,
+    exec: &Executor,
+) -> Result<Fig4Result, IoError> {
+    let mut cells = Vec::with_capacity(2 * cfg.queue_depths.len() * cfg.io_sizes.len());
+    for &(pattern, salt_offset) in &[(AccessPattern::RandWrite, 0), (AccessPattern::SeqWrite, 50)] {
+        for (qi, &qd) in cfg.queue_depths.iter().enumerate() {
+            for (si, &size) in cfg.io_sizes.iter().enumerate() {
+                let salt = (qi as u64) * 100 + si as u64 + salt_offset;
+                cells.push(move || {
+                    let mut dev = roster.fresh(kind, 0xF1640000 + salt);
+                    // Enough I/Os for steady state at this depth, but
+                    // bounded volume: the paper's cells never age the
+                    // device into GC ("when GC does not occur"), so stay
+                    // under half the capacity.
+                    let ios = cfg
+                        .ios_per_cell
+                        .max(qd as u64 * 100)
+                        .min((roster.capacity_of(kind) / 2 / size as u64).max(100));
+                    let spec = JobSpec::new(pattern, size, qd)
+                        .with_io_limit(ios)
+                        .with_seed(0x46 + salt);
+                    run_job(dev.as_mut(), &spec).map(|r| r.throughput_gbps())
+                });
+            }
         }
-        rand_gbps.push(rand_row);
-        seq_gbps.push(seq_row);
     }
+    let mut measured = exec.run(cells).into_iter();
+    let mut grid = || -> Result<Vec<Vec<f64>>, IoError> {
+        cfg.queue_depths
+            .iter()
+            .map(|_| {
+                cfg.io_sizes
+                    .iter()
+                    .map(|_| measured.next().unwrap())
+                    .collect()
+            })
+            .collect()
+    };
+    let rand_gbps = grid()?;
+    let seq_gbps = grid()?;
     Ok(Fig4Result {
         device: kind,
         io_sizes: cfg.io_sizes.clone(),

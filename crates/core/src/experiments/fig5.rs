@@ -1,7 +1,8 @@
 //! Figure 5: throughput under mixed read/write workloads.
 
 use crate::devices::{DeviceKind, DeviceRoster};
-use uc_blockdev::IoError;
+use crate::experiments::Executor;
+use uc_blockdev::{DeviceFactory, IoError};
 use uc_workload::{run_job, AccessPattern, JobSpec};
 
 /// Workload parameters for the Figure 5 mix sweep.
@@ -70,7 +71,7 @@ impl Fig5Result {
     }
 }
 
-/// Runs the Figure 5 sweep on `kind`.
+/// Runs the Figure 5 sweep on `kind` on the default (per-core) executor.
 ///
 /// Ratio 0 runs pure random reads, ratio 1 pure random writes, matching
 /// the paper's endpoints.
@@ -83,37 +84,64 @@ pub fn run(
     kind: DeviceKind,
     cfg: &Fig5Config,
 ) -> Result<Fig5Result, IoError> {
-    let mut total = Vec::with_capacity(cfg.write_ratios.len());
-    let mut write = Vec::with_capacity(cfg.write_ratios.len());
-    for (i, &ratio) in cfg.write_ratios.iter().enumerate() {
-        let pattern = if ratio <= 0.0 {
-            AccessPattern::RandRead
-        } else if ratio >= 1.0 {
-            AccessPattern::RandWrite
-        } else {
-            AccessPattern::Mixed {
-                write_ratio: ratio,
-                random: true,
+    run_with(roster, kind, cfg, &Executor::from_env())
+}
+
+/// Runs the Figure 5 sweep on `kind`, fanning the per-ratio cells out on
+/// `exec`. Each cell builds its own seeded device through the roster's
+/// [`DeviceFactory`] seam, so results are byte-identical for any executor
+/// width.
+///
+/// # Errors
+///
+/// Propagates the first I/O error in deterministic (cell-order) priority
+/// (the whole sweep still runs first; failing cells abort at their first
+/// invalid submission, so a doomed sweep stays cheap).
+pub fn run_with(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig5Config,
+    exec: &Executor,
+) -> Result<Fig5Result, IoError> {
+    let cells: Vec<_> = cfg
+        .write_ratios
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            move || {
+                let pattern = if ratio <= 0.0 {
+                    AccessPattern::RandRead
+                } else if ratio >= 1.0 {
+                    AccessPattern::RandWrite
+                } else {
+                    AccessPattern::Mixed {
+                        write_ratio: ratio,
+                        random: true,
+                    }
+                };
+                let mut dev = roster.fresh(kind, 0xF1650000 + i as u64);
+                // Keep the written volume under half the capacity so device
+                // GC stays out of the mix sweep (as in the paper's short
+                // FIO runs).
+                let write_frac = ratio.max(0.1);
+                let max_ios = ((roster.capacity_of(kind) / 2) as f64
+                    / (cfg.io_size as f64 * write_frac)) as u64;
+                let spec = JobSpec::new(pattern, cfg.io_size, cfg.queue_depth)
+                    .with_io_limit(cfg.ios_per_cell.min(max_ios.max(200)))
+                    .with_seed(0x55 + i as u64);
+                let report = run_job(dev.as_mut(), &spec)?;
+                let secs = report.finished_at.as_secs_f64();
+                let write = if secs > 0.0 {
+                    report.write_throughput.total_bytes() as f64 / 1e9 / secs
+                } else {
+                    0.0
+                };
+                Ok::<(f64, f64), IoError>((report.throughput_gbps(), write))
             }
-        };
-        let mut dev = roster.build_seeded(kind, 0xF1650000 + i as u64);
-        // Keep the written volume under half the capacity so device GC
-        // stays out of the mix sweep (as in the paper's short FIO runs).
-        let write_frac = ratio.max(0.1);
-        let max_ios =
-            ((roster.capacity_of(kind) / 2) as f64 / (cfg.io_size as f64 * write_frac)) as u64;
-        let spec = JobSpec::new(pattern, cfg.io_size, cfg.queue_depth)
-            .with_io_limit(cfg.ios_per_cell.min(max_ios.max(200)))
-            .with_seed(0x55 + i as u64);
-        let report = run_job(dev.as_mut(), &spec)?;
-        let secs = report.finished_at.as_secs_f64();
-        total.push(report.throughput_gbps());
-        write.push(if secs > 0.0 {
-            report.write_throughput.total_bytes() as f64 / 1e9 / secs
-        } else {
-            0.0
-        });
-    }
+        })
+        .collect();
+    let measured: Result<Vec<(f64, f64)>, IoError> = exec.run(cells).into_iter().collect();
+    let (total, write) = measured?.into_iter().unzip();
     Ok(Fig5Result {
         device: kind,
         write_ratios: cfg.write_ratios.clone(),

@@ -12,13 +12,25 @@
 //!
 //! Every runner builds a *fresh* device per measurement cell (no state
 //! leakage between cells) and is deterministic for a given configuration.
+//!
+//! The grid runners (`table1`, `fig2`, `fig4`, `fig5`) decompose their
+//! sweeps into self-contained cells and fan them out on the shared
+//! [`Executor`] — by default one worker per core (`UC_THREADS` overrides).
+//! Because each cell builds its own seeded device through the
+//! [`DeviceFactory`](uc_blockdev::DeviceFactory) seam and carries its own
+//! virtual clock, parallel and sequential runs are byte-identical; every
+//! runner also exposes a `run_with` variant taking an explicit executor.
+//! (`fig3` is a single continuous endurance run per device and stays
+//! sequential; callers parallelize across devices.)
 
+pub mod executor;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod table1;
 
+pub use executor::Executor;
 pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
 pub use fig3::{Fig3Config, Fig3Result};
 pub use fig4::{Fig4Config, Fig4Result};

@@ -1,6 +1,7 @@
 //! Table I: measured device envelopes.
 
 use crate::devices::{DeviceKind, DeviceRoster};
+use crate::experiments::Executor;
 use uc_blockdev::IoError;
 use uc_workload::{run_job, AccessPattern, JobSpec};
 
@@ -20,43 +21,60 @@ pub struct Table1Row {
     pub capacity_gib: f64,
 }
 
-/// Measures Table I for every device in the roster.
+/// Measures Table I for every device in the roster, on the default
+/// (per-core) executor.
 ///
 /// # Errors
 ///
 /// Propagates the first I/O error from any device.
 pub fn run(roster: &DeviceRoster) -> Result<Vec<Table1Row>, IoError> {
-    DeviceKind::ALL
+    run_with(roster, &Executor::from_env())
+}
+
+/// Measures Table I, fanning the per-device envelope probes out on
+/// `exec`. Each cell constructs fresh devices inside its worker via
+/// [`DeviceRoster::build`] — the default-seed path, keeping the
+/// calibrated jitter streams — so results are byte-identical for any
+/// executor width.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from any device, in device order.
+pub fn run_with(roster: &DeviceRoster, exec: &Executor) -> Result<Vec<Table1Row>, IoError> {
+    let cells: Vec<_> = DeviceKind::ALL
         .iter()
         .map(|&kind| {
-            let name = roster.build(kind).info().name().to_string();
-            let bw = {
-                let mut best: f64 = 0.0;
-                for pattern in [AccessPattern::RandRead, AccessPattern::RandWrite] {
+            move || {
+                let name = roster.build(kind).info().name().to_string();
+                let bw = {
+                    let mut best: f64 = 0.0;
+                    for pattern in [AccessPattern::RandRead, AccessPattern::RandWrite] {
+                        let mut dev = roster.build(kind);
+                        let spec = JobSpec::new(pattern, 256 << 10, 32)
+                            .with_io_limit(3_000)
+                            .with_seed(0x7A);
+                        best = best.max(run_job(dev.as_mut(), &spec)?.throughput_gbps());
+                    }
+                    best
+                };
+                let kiops = {
                     let mut dev = roster.build(kind);
-                    let spec = JobSpec::new(pattern, 256 << 10, 32)
-                        .with_io_limit(3_000)
-                        .with_seed(0x7A);
-                    best = best.max(run_job(dev.as_mut(), &spec)?.throughput_gbps());
-                }
-                best
-            };
-            let kiops = {
-                let mut dev = roster.build(kind);
-                let spec = JobSpec::new(AccessPattern::RandRead, 4096, 32)
-                    .with_io_limit(20_000)
-                    .with_seed(0x7B);
-                run_job(dev.as_mut(), &spec)?.iops() / 1000.0
-            };
-            Ok(Table1Row {
-                device: kind,
-                name,
-                max_bandwidth_gbps: bw,
-                max_kiops: kiops,
-                capacity_gib: roster.capacity_of(kind) as f64 / (1u64 << 30) as f64,
-            })
+                    let spec = JobSpec::new(AccessPattern::RandRead, 4096, 32)
+                        .with_io_limit(20_000)
+                        .with_seed(0x7B);
+                    run_job(dev.as_mut(), &spec)?.iops() / 1000.0
+                };
+                Ok(Table1Row {
+                    device: kind,
+                    name,
+                    max_bandwidth_gbps: bw,
+                    max_kiops: kiops,
+                    capacity_gib: roster.capacity_of(kind) as f64 / (1u64 << 30) as f64,
+                })
+            }
         })
-        .collect()
+        .collect();
+    exec.run(cells).into_iter().collect()
 }
 
 #[cfg(test)]

@@ -4,9 +4,13 @@
 //!
 //! * [`experiments`] — runners that regenerate every table and figure of
 //!   the paper's evaluation (Table I, Figures 2–5) against any
-//!   [`BlockDevice`](uc_blockdev::BlockDevice),
+//!   [`BlockDevice`](uc_blockdev::BlockDevice), decomposed into
+//!   independent cells and fanned out across cores by the shared
+//!   [`Executor`](experiments::Executor) (parallel runs are
+//!   byte-identical to sequential ones),
 //! * [`contract`] — the four observations as *checkable predicates* over
-//!   experiment results, bundled into a [`ContractReport`],
+//!   experiment results (thresholds centralized in
+//!   [`contract::thresholds`]), bundled into a [`ContractReport`],
 //! * [`implications`] — the five implications as actionable advisors
 //!   (scale-up guidance, GC-mitigation reassessment, write-pattern choice,
 //!   burst smoothing, I/O-reduction cost/benefit),
@@ -44,3 +48,4 @@ pub mod report;
 
 pub use contract::{check_all, ContractReport, ObservationResult};
 pub use devices::DeviceRoster;
+pub use experiments::Executor;

@@ -3,7 +3,7 @@
 use crate::{AddressStream, JobLimit, JobReport, JobSpec};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use uc_blockdev::{BlockDevice, IoError, IoKind, IoRequest};
+use uc_blockdev::{BlockDevice, IoBatch, IoError, IoKind, IoRequest};
 use uc_sim::SimTime;
 
 /// One outstanding request awaiting completion.
@@ -22,9 +22,15 @@ impl PartialOrd for Inflight {
 }
 impl Ord for Inflight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order up to fully identical entries: (completes, submitted)
+        // is the schedule order; kind/len break the remaining ties so the
+        // completion-drain order never depends on heap push history (two
+        // entries equal on all four fields are interchangeable).
         self.completes
             .cmp(&other.completes)
             .then_with(|| self.submitted.cmp(&other.submitted))
+            .then_with(|| self.kind.is_write().cmp(&other.kind.is_write()))
+            .then_with(|| self.len.cmp(&other.len))
     }
 }
 
@@ -43,9 +49,39 @@ fn limit_reached(spec: &JobSpec, report: &JobReport) -> bool {
     }
 }
 
+/// Submits a queued batch through one doorbell ring and moves the
+/// completions into the in-flight heap.
+fn ring_doorbell<D: BlockDevice + ?Sized>(
+    dev: &mut D,
+    batch: &IoBatch,
+    inflight: &mut BinaryHeap<Reverse<Inflight>>,
+) -> Result<(), IoError> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    for completion in dev.submit_batch(batch)? {
+        inflight.push(Reverse(Inflight {
+            completes: completion.completes,
+            submitted: completion.submitted,
+            kind: completion.kind,
+            len: completion.len,
+        }));
+    }
+    Ok(())
+}
+
 /// Runs `spec` against `dev` with a closed-loop driver: `queue_depth`
-/// requests stay outstanding; each completion immediately submits the next
+/// requests stay outstanding; each completion immediately queues the next
 /// request at its completion instant.
+///
+/// The driver speaks the queue-pair API: the initial fill is one
+/// [`IoBatch`] of `queue_depth` requests, and every later step drains the
+/// group of completions sharing the earliest instant, then rings one
+/// doorbell with all of their replacements. Because replacement requests
+/// are submitted at their predecessors' completion instants and devices
+/// report strictly positive service times, the batched schedule is
+/// *identical* to submitting one request per [`BlockDevice::submit`] call
+/// — same virtual-time schedule, fewer (and fatter) device calls.
 ///
 /// This reproduces FIO's `iodepth=N` behaviour with exact virtual-time
 /// bookkeeping: submissions happen in non-decreasing time order, which is
@@ -64,44 +100,55 @@ pub fn run_job<D: BlockDevice + ?Sized>(dev: &mut D, spec: &JobSpec) -> Result<J
     let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
     let mut report = JobReport::new(spec.throughput_window, spec.start);
     let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
+    let mut batch = IoBatch::with_capacity(spec.queue_depth);
 
-    let submit = |dev: &mut D,
-                  at: SimTime,
-                  stream: &mut AddressStream,
-                  inflight: &mut BinaryHeap<Reverse<Inflight>>|
-     -> Result<(), IoError> {
+    let queue_next = |batch: &mut IoBatch, stream: &mut AddressStream, at: SimTime| {
         let (kind, offset) = stream.next_io();
-        let req = IoRequest {
+        batch.push(IoRequest {
             kind,
             offset,
             len: spec.io_size,
             submit_time: at,
-        };
-        let completes = dev.submit(&req)?;
-        inflight.push(Reverse(Inflight {
-            completes,
-            submitted: at,
-            kind,
-            len: spec.io_size,
-        }));
-        Ok(())
+        });
     };
 
+    // Initial fill: the whole queue depth goes in through one doorbell.
     for _ in 0..spec.queue_depth {
-        submit(dev, spec.start, &mut stream, &mut inflight)?;
+        queue_next(&mut batch, &mut stream, spec.start);
     }
+    ring_doorbell(dev, &batch, &mut inflight)?;
 
-    while let Some(Reverse(done)) = inflight.pop() {
-        report.record(
-            done.kind.is_write(),
-            done.len,
-            done.submitted,
-            done.completes,
-        );
-        if limit_reached(spec, &report) {
-            break;
+    'drive: while let Some(Reverse(first)) = inflight.pop() {
+        batch.clear();
+        // Drain every completion sharing the earliest instant and queue
+        // one replacement per completion, all at that instant. (A
+        // replacement cannot complete before this instant, so the heap
+        // order — and therefore the schedule — matches request-at-a-time
+        // submission exactly.)
+        let mut done = first;
+        loop {
+            report.record(
+                done.kind.is_write(),
+                done.len,
+                done.submitted,
+                done.completes,
+            );
+            if limit_reached(spec, &report) {
+                // Replacements queued for the completions recorded before
+                // the limit still go out (exactly the requests the
+                // one-at-a-time driver had already submitted).
+                ring_doorbell(dev, &batch, &mut inflight)?;
+                break 'drive;
+            }
+            queue_next(&mut batch, &mut stream, done.completes);
+            match inflight.peek() {
+                Some(Reverse(next)) if next.completes == first.completes => {
+                    done = inflight.pop().expect("peeked").0;
+                }
+                _ => break,
+            }
         }
-        submit(dev, done.completes, &mut stream, &mut inflight)?;
+        ring_doorbell(dev, &batch, &mut inflight)?;
     }
     Ok(report)
 }
@@ -134,8 +181,11 @@ pub fn precondition<D: BlockDevice + ?Sized>(dev: &mut D) -> Result<SimTime, IoE
 /// I/O across the timeline to fit a smaller throughput budget).
 ///
 /// Arrival instants must be non-decreasing; offsets/kinds come from the
-/// spec's pattern, and the spec's `queue_depth` and stop condition are
-/// ignored (the arrival iterator bounds the run).
+/// spec's pattern, and the stop condition is ignored (the arrival iterator
+/// bounds the run). The driver speaks the queue-pair API: arrivals are
+/// grouped into [`IoBatch`]es of up to `queue_depth` requests per doorbell
+/// ring — each request still carries its own arrival instant, so the
+/// schedule is identical to one submission per arrival.
 ///
 /// # Errors
 ///
@@ -148,17 +198,33 @@ where
     let (start, end) = job_span(dev, spec);
     let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
     let mut report = JobReport::new(spec.throughput_window, spec.start);
+    let ring_size = spec.queue_depth.max(1);
+    let mut batch = IoBatch::with_capacity(ring_size);
+
+    let flush = |dev: &mut D, batch: &mut IoBatch, report: &mut JobReport| -> Result<(), IoError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for c in dev.submit_batch(batch)? {
+            report.record(c.kind.is_write(), c.len, c.submitted, c.completes);
+        }
+        batch.clear();
+        Ok(())
+    };
+
     for at in arrivals {
         let (kind, offset) = stream.next_io();
-        let req = IoRequest {
+        batch.push(IoRequest {
             kind,
             offset,
             len: spec.io_size,
             submit_time: at,
-        };
-        let completes = dev.submit(&req)?;
-        report.record(kind.is_write(), spec.io_size, at, completes);
+        });
+        if batch.len() >= ring_size {
+            flush(dev, &mut batch, &mut report)?;
+        }
     }
+    flush(dev, &mut batch, &mut report)?;
     Ok(report)
 }
 
@@ -316,6 +382,123 @@ mod tests {
         // 1 GiB at 1 MiB per I/O: 1024 I/Os to hit the byte limit, plus up
         // to QD-1 in-flight stragglers the closed loop had already issued.
         assert!((1024..1024 + 16).contains(&dev.submissions.len()));
+    }
+
+    /// The pre-queue-pair driver: one `submit` call per request. Kept as a
+    /// reference implementation to pin the batched driver's schedule.
+    fn run_job_one_at_a_time<D: BlockDevice + ?Sized>(
+        dev: &mut D,
+        spec: &JobSpec,
+    ) -> Result<JobReport, IoError> {
+        let (start, end) = job_span(dev, spec);
+        let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
+        let mut report = JobReport::new(spec.throughput_window, spec.start);
+        let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
+        let submit = |dev: &mut D,
+                      at: SimTime,
+                      stream: &mut AddressStream,
+                      inflight: &mut BinaryHeap<Reverse<Inflight>>|
+         -> Result<(), IoError> {
+            let (kind, offset) = stream.next_io();
+            let req = IoRequest {
+                kind,
+                offset,
+                len: spec.io_size,
+                submit_time: at,
+            };
+            let completes = dev.submit(&req)?;
+            inflight.push(Reverse(Inflight {
+                completes,
+                submitted: at,
+                kind,
+                len: spec.io_size,
+            }));
+            Ok(())
+        };
+        for _ in 0..spec.queue_depth {
+            submit(dev, spec.start, &mut stream, &mut inflight)?;
+        }
+        while let Some(Reverse(done)) = inflight.pop() {
+            report.record(
+                done.kind.is_write(),
+                done.len,
+                done.submitted,
+                done.completes,
+            );
+            if limit_reached(spec, &report) {
+                break;
+            }
+            submit(dev, done.completes, &mut stream, &mut inflight)?;
+        }
+        Ok(report)
+    }
+
+    #[test]
+    fn batched_driver_matches_one_at_a_time_schedule() {
+        // servers=4 makes whole completion groups share an instant — the
+        // case the batched drain must handle identically.
+        for (us, servers, qd) in [(10, 4, 4), (7, 3, 8), (10, 1, 5), (3, 8, 16)] {
+            for pattern in [
+                AccessPattern::RandRead,
+                AccessPattern::RandWrite,
+                AccessPattern::SeqWrite,
+                // Mixed kinds can tie on (completes, submitted) within one
+                // multi-server completion group — the case the kind/len
+                // tie-break in `Inflight::cmp` pins down.
+                AccessPattern::Mixed {
+                    write_ratio: 0.5,
+                    random: true,
+                },
+            ] {
+                let spec = JobSpec::new(pattern, 4096, qd).with_io_limit(500);
+                let mut a = TestDevice::new(us, servers);
+                let reference = run_job_one_at_a_time(&mut a, &spec).unwrap();
+                let mut b = TestDevice::new(us, servers);
+                let batched = run_job(&mut b, &spec).unwrap();
+                assert_eq!(batched.ios, reference.ios);
+                assert_eq!(batched.bytes, reference.bytes);
+                assert_eq!(batched.finished_at, reference.finished_at);
+                assert_eq!(batched.latency.mean(), reference.latency.mean());
+                assert_eq!(batched.latency.max(), reference.latency.max());
+                assert_eq!(
+                    batched.latency.percentile(99.9),
+                    reference.latency.percentile(99.9)
+                );
+                // The devices saw the same submission timeline too.
+                assert_eq!(b.submissions, a.submissions);
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_batching_preserves_arrival_schedule() {
+        let arrivals: Vec<SimTime> = (0..50)
+            .map(|i| SimTime::ZERO + SimDuration::from_micros(3 * (i / 4)))
+            .collect();
+        let spec = JobSpec::new(AccessPattern::RandRead, 4096, 8);
+        let mut a = TestDevice::new(10, 2);
+        let mut ref_report = JobReport::new(spec.throughput_window, spec.start);
+        {
+            let (start, end) = job_span(&a, &spec);
+            let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
+            for &at in &arrivals {
+                let (kind, offset) = stream.next_io();
+                let req = IoRequest {
+                    kind,
+                    offset,
+                    len: spec.io_size,
+                    submit_time: at,
+                };
+                let completes = a.submit(&req).unwrap();
+                ref_report.record(kind.is_write(), spec.io_size, at, completes);
+            }
+        }
+        let mut b = TestDevice::new(10, 2);
+        let batched = run_open_loop(&mut b, &spec, arrivals).unwrap();
+        assert_eq!(batched.ios, ref_report.ios);
+        assert_eq!(batched.finished_at, ref_report.finished_at);
+        assert_eq!(batched.latency.mean(), ref_report.latency.mean());
+        assert_eq!(b.submissions, a.submissions);
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! Run with: `cargo run --release --example contract_audit`
 //! (add `--full` for paper-scale cell sizes; the default uses the quick
 //! grids and finishes in a few seconds).
+//!
+//! The audit fans measurement cells out on the shared experiment
+//! [`Executor`] — one worker per core by default; set `UC_THREADS=1` to
+//! force the sequential path (the report is byte-identical either way).
 
 use unwritten_contract::core::contract::{check_all, ContractInputs};
 use unwritten_contract::core::devices::DeviceKind;
@@ -34,24 +38,38 @@ fn main() -> Result<(), IoError> {
         )
     };
 
-    eprintln!("running the four experiments…");
-    let fig2_ssd = fig2::run(&roster, DeviceKind::LocalSsd, &f2)?;
+    let exec = Executor::from_env();
+    eprintln!(
+        "running the four experiments on {} executor thread(s)…",
+        exec.threads()
+    );
+    let fig2_ssd = fig2::run_with(&roster, DeviceKind::LocalSsd, &f2, &exec)?;
     let fig2_essds = vec![
-        fig2::run(&roster, DeviceKind::Essd1, &f2)?,
-        fig2::run(&roster, DeviceKind::Essd2, &f2)?,
+        fig2::run_with(&roster, DeviceKind::Essd1, &f2, &exec)?,
+        fig2::run_with(&roster, DeviceKind::Essd2, &f2, &exec)?,
     ];
-    let fig3: Vec<_> = DeviceKind::ALL
-        .iter()
-        .map(|&k| fig3::run(&roster, k, &f3))
+    // fig3 is one continuous run per device; fan the devices out instead.
+    let fig3: Vec<_> = exec
+        .run(
+            DeviceKind::ALL
+                .iter()
+                .map(|&k| {
+                    let roster = &roster;
+                    let f3 = &f3;
+                    move || fig3::run(roster, k, f3)
+                })
+                .collect(),
+        )
+        .into_iter()
         .collect::<Result<_, _>>()?;
     let fig4: Vec<_> = DeviceKind::ALL
         .iter()
-        .map(|&k| fig4::run(&roster, k, &f4))
+        .map(|&k| fig4::run_with(&roster, k, &f4, &exec))
         .collect::<Result<_, _>>()?;
-    let fig5_ssd = fig5::run(&roster, DeviceKind::LocalSsd, &f5)?;
+    let fig5_ssd = fig5::run_with(&roster, DeviceKind::LocalSsd, &f5, &exec)?;
     let fig5_essds = vec![
-        fig5::run(&roster, DeviceKind::Essd1, &f5)?,
-        fig5::run(&roster, DeviceKind::Essd2, &f5)?,
+        fig5::run_with(&roster, DeviceKind::Essd1, &f5, &exec)?,
+        fig5::run_with(&roster, DeviceKind::Essd2, &f5, &exec)?,
     ];
 
     let inputs = ContractInputs {

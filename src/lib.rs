@@ -26,9 +26,11 @@
 //! let essd_report = run_job(&mut essd, &spec)?;
 //!
 //! // Observation 1: the cloud device pays a large small-I/O penalty.
+//! // (The calibrated floors live in `core::contract::thresholds`.)
+//! use unwritten_contract::core::contract::thresholds::OBS1_SINGLE_CELL_GAP_FLOOR;
 //! let gap = essd_report.latency.mean().as_micros_f64()
 //!     / ssd_report.latency.mean().as_micros_f64();
-//! assert!(gap > 5.0);
+//! assert!(gap > OBS1_SINGLE_CELL_GAP_FLOOR);
 //! # Ok::<(), uc_blockdev::IoError>(())
 //! ```
 //!
@@ -38,15 +40,15 @@
 //! |---|---|
 //! | [`sim`] | virtual clock, RNG, distributions, resources, token buckets |
 //! | [`metrics`] | latency histograms, throughput timelines, summary stats |
-//! | [`blockdev`] | the `BlockDevice` abstraction |
+//! | [`blockdev`] | the `BlockDevice` abstraction, queue-pair batching (`IoBatch`/`Completion`), `DeviceFactory` seam |
 //! | [`flash`] | NAND geometry/timing and die/channel scheduling |
 //! | [`ftl`] | page-mapping FTL with garbage collection |
 //! | [`ssd`] | the local-SSD device model (Samsung 970 Pro profile) |
 //! | [`net`] | datacenter fabric + host stack model |
 //! | [`cluster`] | chunked, replicated storage cluster |
 //! | [`essd`] | the elastic-SSD device model (AWS io2 / Alibaba PL3) |
-//! | [`workload`] | FIO-like jobs and drivers |
-//! | [`core`] | experiments, contract checker, implication advisors |
+//! | [`workload`] | FIO-like jobs and queue-pair batched drivers |
+//! | [`core`] | experiments (parallel cell executor), contract checker, implication advisors |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,9 +67,12 @@ pub use uc_workload as workload;
 
 /// The types most programs need, in one import.
 pub mod prelude {
-    pub use uc_blockdev::{BlockDevice, DeviceInfo, IoError, IoKind, IoRequest};
+    pub use uc_blockdev::{
+        BlockDevice, Completion, DeviceFactory, DeviceInfo, IoBatch, IoError, IoKind, IoRequest,
+    };
     pub use uc_core::contract::{check_all, ContractInputs, ContractReport};
     pub use uc_core::devices::{DeviceKind, DeviceRoster};
+    pub use uc_core::experiments::Executor;
     pub use uc_essd::{Essd, EssdConfig};
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};

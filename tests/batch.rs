@@ -1,0 +1,154 @@
+//! Queue-pair API contract tests: batched submission must reproduce the
+//! request-at-a-time schedules exactly, and the parallel experiment
+//! executor must produce byte-identical results at any width.
+
+use proptest::prelude::*;
+use unwritten_contract::core::experiments::{fig2, fig5, Executor, Fig2Config, Fig5Config};
+use unwritten_contract::core::report::{render_fig2_grid, render_fig5};
+use unwritten_contract::prelude::*;
+
+/// Builds the request sequence an op list encodes: 4 KiB-aligned,
+/// in-range, with non-decreasing submit times.
+fn requests_from_ops(ops: &[(u8, u64, u64)], capacity: u64) -> Vec<IoRequest> {
+    let mut now = SimTime::ZERO;
+    ops.iter()
+        .map(|&(kind, slot, advance_ns)| {
+            now += SimDuration::from_nanos(advance_ns);
+            let len = 4096u32 << (kind % 3); // 4, 8 or 16 KiB
+            let offset = (slot % (capacity / (64 << 10))) * (64 << 10);
+            if kind % 2 == 0 {
+                IoRequest::read(offset, len, now)
+            } else {
+                IoRequest::write(offset, len, now)
+            }
+        })
+        .collect()
+}
+
+/// Asserts `submit_batch` equals consecutive `submit` calls on two fresh
+/// instances of the same device, for every chunking of the sequence.
+fn assert_batch_equivalence<D: BlockDevice>(mut sequential: D, mut batched: D, reqs: &[IoRequest]) {
+    let expected: Vec<SimTime> = reqs.iter().map(|r| sequential.submit(r).unwrap()).collect();
+    let mut got = Vec::with_capacity(reqs.len());
+    // Mixed batch sizes: 1, then 2, then 4, ... exercises both the
+    // singleton path and fat doorbells.
+    let mut cursor = 0usize;
+    let mut width = 1usize;
+    while cursor < reqs.len() {
+        let end = (cursor + width).min(reqs.len());
+        let batch: IoBatch = reqs[cursor..end].iter().copied().collect();
+        for c in batched.submit_batch(&batch).unwrap() {
+            got.push(c.completes);
+        }
+        cursor = end;
+        width = (width * 2).min(64);
+    }
+    assert_eq!(got, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ssd_batch_completions_match_sequential_submit(
+        ops in proptest::collection::vec((0u8..6, 0u64..4096, 0u64..200_000), 1..120)
+    ) {
+        let capacity = 256 << 20;
+        let reqs = requests_from_ops(&ops, capacity);
+        assert_batch_equivalence(
+            Ssd::new(SsdConfig::samsung_970_pro(capacity)),
+            Ssd::new(SsdConfig::samsung_970_pro(capacity)),
+            &reqs,
+        );
+    }
+
+    #[test]
+    fn essd_batch_completions_match_sequential_submit(
+        ops in proptest::collection::vec((0u8..6, 0u64..4096, 0u64..200_000), 1..120)
+    ) {
+        let capacity = 256 << 20;
+        let reqs = requests_from_ops(&ops, capacity);
+        assert_batch_equivalence(
+            Essd::new(EssdConfig::aws_io2(capacity)),
+            Essd::new(EssdConfig::aws_io2(capacity)),
+            &reqs,
+        );
+        assert_batch_equivalence(
+            Essd::new(EssdConfig::alibaba_pl3(capacity)),
+            Essd::new(EssdConfig::alibaba_pl3(capacity)),
+            &reqs,
+        );
+    }
+}
+
+// ---- parallel experiment determinism ----------------------------------
+
+fn small_roster() -> DeviceRoster {
+    DeviceRoster::with_capacities(128 << 20, 256 << 20)
+}
+
+#[test]
+fn parallel_fig2_is_byte_identical_to_sequential() {
+    let roster = small_roster();
+    let cfg = Fig2Config {
+        io_sizes: vec![4 << 10, 64 << 10],
+        queue_depths: vec![1, 8],
+        ios_per_cell: 300,
+    };
+    let ssd_seq =
+        fig2::run_with(&roster, DeviceKind::LocalSsd, &cfg, &Executor::sequential()).unwrap();
+    let ssd_par = fig2::run_with(
+        &roster,
+        DeviceKind::LocalSsd,
+        &cfg,
+        &Executor::with_threads(8),
+    )
+    .unwrap();
+    let essd_seq =
+        fig2::run_with(&roster, DeviceKind::Essd1, &cfg, &Executor::sequential()).unwrap();
+    let essd_par =
+        fig2::run_with(&roster, DeviceKind::Essd1, &cfg, &Executor::with_threads(3)).unwrap();
+    assert_eq!(ssd_seq, ssd_par);
+    assert_eq!(essd_seq, essd_par);
+    // The rendered report — what the bench binaries print — is identical
+    // down to the byte.
+    for pattern in 0..4 {
+        assert_eq!(
+            render_fig2_grid(&essd_par, &ssd_par, pattern, true),
+            render_fig2_grid(&essd_seq, &ssd_seq, pattern, true),
+        );
+    }
+}
+
+#[test]
+fn parallel_fig5_is_byte_identical_to_sequential() {
+    let roster = small_roster();
+    let cfg = Fig5Config {
+        write_ratios: vec![0.0, 0.5, 1.0],
+        ios_per_cell: 400,
+        ..Fig5Config::paper()
+    };
+    for kind in DeviceKind::ALL {
+        let seq = fig5::run_with(&roster, kind, &cfg, &Executor::sequential()).unwrap();
+        let par = fig5::run_with(&roster, kind, &cfg, &Executor::with_threads(5)).unwrap();
+        assert_eq!(seq, par, "{kind}");
+        assert_eq!(render_fig5(&seq), render_fig5(&par), "{kind}");
+    }
+}
+
+#[test]
+fn scaled_roster_keeps_contract_shapes() {
+    // A 2x-scaled roster doubles every capacity but must preserve the
+    // qualitative contract (Observation 4 shape at reduced cells).
+    let roster = DeviceRoster::with_capacities(96 << 20, 128 << 20).with_scale(2);
+    assert_eq!(roster.capacity_of(DeviceKind::LocalSsd), 192 << 20);
+    let cfg = Fig5Config {
+        write_ratios: vec![0.0, 0.5, 1.0],
+        ios_per_cell: 400,
+        ..Fig5Config::paper()
+    };
+    let ssd = fig5::run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+    let e1 = fig5::run(&roster, DeviceKind::Essd1, &cfg).unwrap();
+    let verdict = unwritten_contract::core::contract::check_observation4(&ssd, &[&e1]);
+    assert!(verdict.passed, "{verdict}");
+}
