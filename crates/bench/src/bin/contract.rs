@@ -12,40 +12,23 @@
 //!   (defaults to one per core; `UC_THREADS=1` forces sequential runs,
 //!   which produce byte-identical reports).
 
+use uc_bench::roster_from_args;
 use uc_core::contract::{check_all, ContractInputs};
-use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_core::devices::DeviceKind;
 use uc_core::experiments::{
     fig2, fig3, fig4, fig5, Executor, Fig2Config, Fig3Config, Fig4Config, Fig5Config,
 };
 
-/// Reads `--scale <mult>` from `args`, falling back to the `UC_SCALE`
-/// environment variable, defaulting to 1.
-fn scale_from(args: &[String]) -> u64 {
-    let from_flag = args.iter().position(|a| a == "--scale").map(|i| {
-        let v = args
-            .get(i + 1)
-            .unwrap_or_else(|| panic!("--scale expects a value"));
-        v.parse::<u64>()
-            .unwrap_or_else(|_| panic!("--scale expects a positive integer, got {v:?}"))
-    });
-    let scale = from_flag.or_else(|| {
-        std::env::var("UC_SCALE").ok().map(|v| {
-            v.trim()
-                .parse::<u64>()
-                .unwrap_or_else(|_| panic!("UC_SCALE expects a positive integer, got {v:?}"))
-        })
-    });
-    let scale = scale.unwrap_or(1);
-    assert!(scale > 0, "scale multiplier must be positive");
-    scale
-}
+/// Segments each fig3 endurance timeline is sliced into (per device), so
+/// the executor can pipeline one device's run across workers instead of
+/// serializing behind it.
+const FIG3_SEGMENTS: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = scale_from(&args);
     let exec = Executor::from_env();
-    let roster = DeviceRoster::scaled_default().with_scale(scale);
+    let roster = roster_from_args(&args);
     eprintln!(
         "roster: {} GiB SSD / {} GiB ESSDs (scale {}x), {} executor thread(s)",
         roster.ssd_capacity() >> 30,
@@ -76,21 +59,11 @@ fn main() {
         fig2::run_with(&roster, DeviceKind::Essd2, &f2, &exec).expect("fig2 essd2"),
     ];
     eprintln!("fig3 (GC endurance)…");
-    // fig3 is one continuous endurance run per device: fan the three
-    // devices out as whole cells.
-    let fig3_all: Vec<_> = exec
-        .run(
-            DeviceKind::ALL
-                .iter()
-                .map(|&k| {
-                    let roster = &roster;
-                    let f3 = &f3;
-                    move || fig3::run(roster, k, f3).expect("fig3")
-                })
-                .collect(),
-        )
-        .into_iter()
-        .collect();
+    // Each device's endurance run is one continuous virtual timeline,
+    // sliced into resumable checkpoint segments and pipelined across the
+    // workers (byte-identical to unsliced runs at any thread count).
+    let fig3_all =
+        fig3::run_pipelined(&roster, &DeviceKind::ALL, &f3, FIG3_SEGMENTS, &exec).expect("fig3");
     eprintln!("fig4 (write-pattern sweep)…");
     let fig4_all: Vec<_> = DeviceKind::ALL
         .iter()

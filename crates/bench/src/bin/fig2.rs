@@ -1,20 +1,23 @@
 //! Regenerates Figure 2: latency grids (avg and P99.9) for both ESSDs
 //! versus the local SSD, across pattern × I/O size × queue depth.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin fig2 [--quick]`
+//! Usage: `cargo run --release -p uc-bench --bin fig2 [--quick]
+//! [--scale <mult>]` (`UC_SCALE` is the environment fallback)
 
-use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_bench::roster_from_args;
+use uc_core::devices::DeviceKind;
 use uc_core::experiments::fig2::{self, Fig2Config};
 use uc_core::report::render_fig2_grid;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick {
         Fig2Config::quick()
     } else {
         Fig2Config::paper()
     };
-    let roster = DeviceRoster::scaled_default();
+    let roster = roster_from_args(&args);
 
     eprintln!("measuring SSD baseline…");
     let ssd = fig2::run(&roster, DeviceKind::LocalSsd, &cfg).expect("ssd grid");

@@ -1,21 +1,80 @@
 //! Regenerates Figure 3: runtime throughput under sustained random writes
 //! to 3× device capacity.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin fig3`
+//! Usage: `cargo run --release -p uc-bench --bin fig3 [--quick]
+//! [--scale <mult>] [--segments <n>] [--verify-segmented]`
+//!
+//! * `--quick` — shorter run (1.5× capacity) for smoke tests.
+//! * `--scale <mult>` — multiply device capacities (`UC_SCALE` fallback).
+//! * `--segments <n>` — slice each device's endurance timeline into `n`
+//!   resumable checkpoint segments pipelined across cores (default 8;
+//!   results are byte-identical at any value).
+//! * `--verify-segmented` — run each device both unsliced and pipelined
+//!   and exit nonzero unless the rendered figures are byte-identical (the
+//!   checkpoint determinism contract; used by CI).
 
-use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_bench::roster_from_args;
+use uc_core::devices::DeviceKind;
 use uc_core::experiments::fig3::{self, Fig3Config};
+use uc_core::experiments::Executor;
 use uc_core::report::render_fig3;
 
 fn main() {
-    let roster = DeviceRoster::scaled_default();
-    let cfg = Fig3Config::paper();
-    for kind in DeviceKind::ALL {
-        eprintln!("running {kind} endurance…");
-        let r = fig3::run(&roster, kind, &cfg).expect("fig3 run");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let verify = args.iter().any(|a| a == "--verify-segmented");
+    let segments = args
+        .iter()
+        .position(|a| a == "--segments")
+        .map(|i| {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--segments expects a value"));
+            let n = v
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("--segments expects a positive integer, got {v:?}"));
+            assert!(n > 0, "--segments expects a positive integer, got 0");
+            n
+        })
+        .unwrap_or(8);
+    let roster = roster_from_args(&args);
+    let cfg = if quick {
+        Fig3Config::quick()
+    } else {
+        Fig3Config::paper()
+    };
+    let exec = Executor::from_env();
+
+    eprintln!(
+        "running {} endurance timelines as {segments} pipelined segment(s) on {} worker(s)…",
+        DeviceKind::ALL.len(),
+        exec.threads()
+    );
+    let results =
+        fig3::run_pipelined(&roster, &DeviceKind::ALL, &cfg, segments, &exec).expect("fig3 run");
+
+    let mut mismatches = 0;
+    for (i, kind) in DeviceKind::ALL.into_iter().enumerate() {
         println!("==== {kind} ====");
-        print!("{}", render_fig3(&r));
+        print!("{}", render_fig3(&results[i]));
         println!();
+        if verify {
+            eprintln!("verifying {kind} against the unsliced run…");
+            let unsliced = fig3::run(&roster, kind, &cfg).expect("fig3 unsliced run");
+            if render_fig3(&unsliced) != render_fig3(&results[i]) {
+                eprintln!("::error::{kind}: segmented fig3 diverged from the unsliced run");
+                mismatches += 1;
+            }
+        }
+    }
+    if verify {
+        if mismatches > 0 {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "segmented-vs-unsliced equivalence holds for all {} devices",
+            DeviceKind::ALL.len()
+        );
     }
     println!(
         "Paper reference shapes: SSD collapses at ~0.9x capacity (2.7 -> 1.0 \

@@ -1,20 +1,23 @@
 //! Regenerates Figure 4: random- vs sequential-write throughput and the
 //! random/sequential gain across I/O sizes and queue depths.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin fig4 [--quick]`
+//! Usage: `cargo run --release -p uc-bench --bin fig4 [--quick]
+//! [--scale <mult>]` (`UC_SCALE` is the environment fallback)
 
-use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_bench::roster_from_args;
+use uc_core::devices::DeviceKind;
 use uc_core::experiments::fig4::{self, Fig4Config};
 use uc_core::report::render_fig4;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
     let cfg = if quick {
         Fig4Config::quick()
     } else {
         Fig4Config::paper()
     };
-    let roster = DeviceRoster::scaled_default();
+    let roster = roster_from_args(&args);
     for kind in DeviceKind::ALL {
         eprintln!("sweeping {kind}…");
         let r = fig4::run(&roster, kind, &cfg).expect("fig4 run");

@@ -1,14 +1,17 @@
 //! Regenerates Figure 5: throughput under mixed read/write workloads with
 //! different write ratios.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin fig5`
+//! Usage: `cargo run --release -p uc-bench --bin fig5 [--scale <mult>]`
+//! (`UC_SCALE` is the environment fallback)
 
-use uc_core::devices::{DeviceKind, DeviceRoster};
+use uc_bench::roster_from_args;
+use uc_core::devices::DeviceKind;
 use uc_core::experiments::fig5::{self, Fig5Config};
 use uc_core::report::render_fig5;
 
 fn main() {
-    let roster = DeviceRoster::scaled_default();
+    let args: Vec<String> = std::env::args().collect();
+    let roster = roster_from_args(&args);
     let cfg = Fig5Config::paper();
     for kind in DeviceKind::ALL {
         eprintln!("sweeping {kind}…");

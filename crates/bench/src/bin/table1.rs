@@ -1,13 +1,15 @@
 //! Regenerates Table I: measured device envelopes.
 //!
-//! Usage: `cargo run --release -p uc-bench --bin table1`
+//! Usage: `cargo run --release -p uc-bench --bin table1 [--scale <mult>]`
+//! (`UC_SCALE` is the environment fallback)
 
-use uc_core::devices::DeviceRoster;
+use uc_bench::roster_from_args;
 use uc_core::experiments::table1;
 use uc_core::report::render_table1;
 
 fn main() {
-    let roster = DeviceRoster::scaled_default();
+    let args: Vec<String> = std::env::args().collect();
+    let roster = roster_from_args(&args);
     println!(
         "Devices at simulation scale: SSD {} GiB, ESSDs {} GiB (paper: 1 TB / 2 TB)\n",
         roster.ssd_capacity() >> 30,

@@ -17,3 +17,69 @@
 #![forbid(unsafe_code)]
 
 pub use uc_core::devices::{DeviceKind, DeviceRoster};
+
+/// Reads `--scale <mult>` from `args`, falling back to the `UC_SCALE`
+/// environment variable, defaulting to 1.
+///
+/// Shared by every figure/table binary (`--scale 1024` reproduces the
+/// paper's TB-scale geometry on any of them).
+///
+/// # Panics
+///
+/// Panics if the flag or variable is present but not a positive integer.
+pub fn scale_from_args(args: &[String]) -> u64 {
+    let from_flag = args.iter().position(|a| a == "--scale").map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--scale expects a value"));
+        v.parse::<u64>()
+            .unwrap_or_else(|_| panic!("--scale expects a positive integer, got {v:?}"))
+    });
+    let scale = from_flag.or_else(|| {
+        std::env::var("UC_SCALE").ok().map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("UC_SCALE expects a positive integer, got {v:?}"))
+        })
+    });
+    let scale = scale.unwrap_or(1);
+    assert!(scale > 0, "scale multiplier must be positive");
+    scale
+}
+
+/// The roster every binary measures: the paper's geometry at the scale the
+/// command line (or `UC_SCALE`) selects.
+pub fn roster_from_args(args: &[String]) -> DeviceRoster {
+    DeviceRoster::scaled_default().with_scale(scale_from_args(args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn scale_flag_parses_and_defaults() {
+        assert_eq!(scale_from_args(&args(&["bin"])), 1);
+        assert_eq!(scale_from_args(&args(&["bin", "--scale", "8"])), 8);
+        assert_eq!(
+            roster_from_args(&args(&["bin", "--scale", "4"])).ssd_capacity(),
+            4 * DeviceRoster::scaled_default().ssd_capacity()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn scale_flag_rejects_garbage() {
+        let _ = scale_from_args(&args(&["bin", "--scale", "huge"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a value")]
+    fn scale_flag_requires_value() {
+        let _ = scale_from_args(&args(&["bin", "--scale"]));
+    }
+}

@@ -1,0 +1,378 @@
+//! Device checkpoint/restore: freezing a device's complete hidden state.
+//!
+//! The simulators are stateful in ways that matter to the paper's
+//! measurements — FTL mappings and wear, write-buffer occupancy, token
+//! bucket levels, RNG positions. [`CheckpointDevice`] extends
+//! [`BlockDevice`](crate::BlockDevice) with the ability to capture all of
+//! that state into a [`DeviceCheckpoint`] and to restore it later — on the
+//! same device instance, on a freshly built one, or on another thread.
+//!
+//! The contract is **exactness**: a device restored from a checkpoint must
+//! produce, for any subsequent request sequence, the same completion
+//! instants, statistics and internal transitions the original device would
+//! have produced had it never been checkpointed. This is what lets a long
+//! endurance run (the paper's Figure 3: 3× capacity of sustained writes)
+//! be sliced into resumable segments whose concatenation is byte-identical
+//! to one continuous run.
+//!
+//! Each device crate defines its own concrete checkpoint payload (an
+//! `SsdCheckpoint`, an `EssdCheckpoint`, …) composed of the plain-data
+//! snapshot types its layers expose; [`DeviceCheckpoint`] type-erases the
+//! payload so checkpoints of heterogeneous devices can travel through one
+//! channel (an experiment pipeline, a queue between workers).
+
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+
+use crate::BlockDevice;
+
+/// Object-safe clonable `Any` — the erased payload of a checkpoint.
+trait ErasedState: Any + Send {
+    fn clone_box(&self) -> Box<dyn ErasedState>;
+    fn as_any(&self) -> &dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    fn state_type(&self) -> &'static str;
+}
+
+impl<S: Any + Send + Clone> ErasedState for S {
+    fn clone_box(&self) -> Box<dyn ErasedState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+    fn state_type(&self) -> &'static str {
+        std::any::type_name::<S>()
+    }
+}
+
+/// A type-erased snapshot of one device's complete hidden state.
+///
+/// Produced by [`CheckpointDevice::checkpoint`]; consumed by
+/// [`CheckpointDevice::restore_from`] (or by the concrete device types'
+/// `restore` constructors after downcasting with
+/// [`DeviceCheckpoint::state`] / [`DeviceCheckpoint::into_state`]). The
+/// checkpoint records the device's name so restoring onto the wrong
+/// device fails loudly instead of silently producing a chimera.
+///
+/// Checkpoints are `Clone + Send`: they can be kept for re-runs and handed
+/// across worker threads.
+pub struct DeviceCheckpoint {
+    device: String,
+    state: Box<dyn ErasedState>,
+}
+
+impl DeviceCheckpoint {
+    /// Wraps a concrete checkpoint payload for the named device.
+    pub fn new<S: Any + Send + Clone>(device: impl Into<String>, state: S) -> Self {
+        DeviceCheckpoint {
+            device: device.into(),
+            state: Box::new(state),
+        }
+    }
+
+    /// The name of the device this checkpoint was taken from.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// The concrete payload type's name (diagnostics only).
+    pub fn state_type(&self) -> &'static str {
+        self.state.state_type()
+    }
+
+    /// Downcasts the payload to the concrete checkpoint type `S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::StateMismatch`] if the payload is not an
+    /// `S` (the checkpoint came from a different device class).
+    pub fn state<S: Any>(&self) -> Result<&S, CheckpointError> {
+        self.state
+            .as_any()
+            .downcast_ref::<S>()
+            .ok_or_else(|| CheckpointError::StateMismatch {
+                expected: std::any::type_name::<S>(),
+                found: self.state.state_type(),
+            })
+    }
+
+    /// Consumes the checkpoint, yielding the concrete payload without a
+    /// copy — the restore hot path (payloads carry full device mappings,
+    /// which can be GiBs at paper scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::StateMismatch`] if the payload is not an
+    /// `S` (the checkpoint came from a different device class).
+    pub fn into_state<S: Any>(self) -> Result<S, CheckpointError> {
+        let found = self.state.state_type();
+        self.state
+            .into_any()
+            .downcast::<S>()
+            .map(|boxed| *boxed)
+            .map_err(|_| CheckpointError::StateMismatch {
+                expected: std::any::type_name::<S>(),
+                found,
+            })
+    }
+
+    /// Verifies this checkpoint was taken from a device named `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::DeviceMismatch`] otherwise.
+    pub fn expect_device(&self, device: &str) -> Result<(), CheckpointError> {
+        if self.device == device {
+            Ok(())
+        } else {
+            Err(CheckpointError::DeviceMismatch {
+                expected: device.to_string(),
+                found: self.device.clone(),
+            })
+        }
+    }
+}
+
+impl Clone for DeviceCheckpoint {
+    fn clone(&self) -> Self {
+        DeviceCheckpoint {
+            device: self.device.clone(),
+            state: self.state.clone_box(),
+        }
+    }
+}
+
+impl fmt::Debug for DeviceCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceCheckpoint")
+            .field("device", &self.device)
+            .field("state", &self.state.state_type())
+            .finish()
+    }
+}
+
+/// Errors returned when restoring from a [`DeviceCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint was taken from a different device.
+    DeviceMismatch {
+        /// The device a restore was attempted on.
+        expected: String,
+        /// The device the checkpoint was actually taken from.
+        found: String,
+    },
+    /// The checkpoint payload is of a different device class.
+    StateMismatch {
+        /// The payload type the restoring device requires.
+        expected: &'static str,
+        /// The payload type the checkpoint holds.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::DeviceMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checkpoint of device `{found}` restored onto `{expected}`"
+                )
+            }
+            CheckpointError::StateMismatch { expected, found } => {
+                write!(f, "checkpoint payload is `{found}`, expected `{expected}`")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// A block device whose complete hidden state can be captured and
+/// restored.
+///
+/// Implementations must uphold the exactness contract: after
+/// `restore_from`, the device behaves — completion instants, statistics,
+/// internal transitions — exactly as the checkpointed device would have.
+/// In particular, for any request sequence `reqs` and any split point `k`:
+///
+/// ```text
+/// run(dev, reqs)  ==  { run(dev, reqs[..k]);
+///                       cp = dev.checkpoint();
+///                       fresh.restore_from(cp);
+///                       run(fresh, reqs[k..]) }
+/// ```
+///
+/// The trait is object-safe, and `dyn CheckpointDevice` implements
+/// [`BlockDevice`] through its supertrait vtable, so checkpointable
+/// devices flow through the same driver code as plain ones.
+pub trait CheckpointDevice: BlockDevice {
+    /// Captures the device's complete hidden state.
+    fn checkpoint(&self) -> DeviceCheckpoint;
+
+    /// Replaces this device's state with the checkpoint's, consuming the
+    /// checkpoint (its payload moves into the device — no copy; clone the
+    /// checkpoint first to keep it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the checkpoint was taken from a
+    /// different device (by name or geometry) or holds a payload of
+    /// another device class. On error the device is left unchanged (the
+    /// checkpoint is still consumed).
+    fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError>;
+}
+
+impl<D: CheckpointDevice + ?Sized> CheckpointDevice for &mut D {
+    fn checkpoint(&self) -> DeviceCheckpoint {
+        (**self).checkpoint()
+    }
+    fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
+        (**self).restore_from(checkpoint)
+    }
+}
+
+impl<D: CheckpointDevice + ?Sized> CheckpointDevice for Box<D> {
+    fn checkpoint(&self) -> DeviceCheckpoint {
+        (**self).checkpoint()
+    }
+    fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
+        (**self).restore_from(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceInfo, IoRequest, IoResult};
+    use uc_sim::{SimDuration, SimTime};
+
+    /// A minimal stateful device: a busy-until timeline.
+    #[derive(Clone)]
+    struct Toy {
+        busy_until: SimTime,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct ToyCheckpoint {
+        busy_until: SimTime,
+    }
+
+    impl BlockDevice for Toy {
+        fn info(&self) -> DeviceInfo {
+            DeviceInfo::new("toy", 1 << 20, 4096)
+        }
+        fn submit(&mut self, req: &IoRequest) -> IoResult {
+            self.info().validate(req)?;
+            let start = self.busy_until.max(req.submit_time);
+            self.busy_until = start + SimDuration::from_micros(5);
+            Ok(self.busy_until)
+        }
+    }
+
+    impl CheckpointDevice for Toy {
+        fn checkpoint(&self) -> DeviceCheckpoint {
+            DeviceCheckpoint::new(
+                "toy",
+                ToyCheckpoint {
+                    busy_until: self.busy_until,
+                },
+            )
+        }
+        fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
+            checkpoint.expect_device("toy")?;
+            let state = checkpoint.into_state::<ToyCheckpoint>()?;
+            self.busy_until = state.busy_until;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let mut a = Toy {
+            busy_until: SimTime::ZERO,
+        };
+        for _ in 0..3 {
+            a.submit(&IoRequest::read(0, 4096, SimTime::ZERO)).unwrap();
+        }
+        let cp = a.checkpoint();
+        assert_eq!(cp.device(), "toy");
+        assert!(cp.state_type().contains("ToyCheckpoint"));
+        let mut b = Toy {
+            busy_until: SimTime::ZERO,
+        };
+        b.restore_from(cp.clone()).unwrap();
+        let req = IoRequest::write(4096, 4096, SimTime::ZERO);
+        assert_eq!(a.submit(&req), b.submit(&req));
+    }
+
+    #[test]
+    fn checkpoints_clone_and_cross_threads() {
+        let a = Toy {
+            busy_until: SimTime::ZERO + SimDuration::from_micros(42),
+        };
+        let cp = a.checkpoint();
+        let copy = cp.clone();
+        let handle = std::thread::spawn(move || {
+            let mut b = Toy {
+                busy_until: SimTime::ZERO,
+            };
+            b.restore_from(copy).unwrap();
+            b.busy_until
+        });
+        assert_eq!(handle.join().unwrap(), a.busy_until);
+        // The original is still usable after the clone moved away.
+        assert_eq!(
+            cp.state::<ToyCheckpoint>().unwrap().busy_until,
+            a.busy_until
+        );
+    }
+
+    #[test]
+    fn mismatches_are_loud() {
+        let cp = Toy {
+            busy_until: SimTime::ZERO,
+        }
+        .checkpoint();
+        assert!(matches!(
+            cp.expect_device("other"),
+            Err(CheckpointError::DeviceMismatch { .. })
+        ));
+        let err = cp.state::<u32>().unwrap_err();
+        assert!(matches!(err, CheckpointError::StateMismatch { .. }));
+        assert!(!err.to_string().is_empty());
+        let boxed: Box<dyn Error> = Box::new(err);
+        assert!(boxed.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxes_forward() {
+        let mut dev: Box<dyn CheckpointDevice + Send> = Box::new(Toy {
+            busy_until: SimTime::ZERO,
+        });
+        // The supertrait's methods flow through the trait object…
+        dev.submit(&IoRequest::read(0, 4096, SimTime::ZERO))
+            .unwrap();
+        // …and so do the checkpoint methods, including via &mut.
+        let cp = dev.checkpoint();
+        let dev_ref: &mut (dyn CheckpointDevice + Send) = &mut *dev;
+        dev_ref.restore_from(cp.clone()).unwrap();
+        assert_eq!(
+            dev.checkpoint().state::<ToyCheckpoint>().unwrap(),
+            cp.state::<ToyCheckpoint>().unwrap()
+        );
+    }
+
+    #[test]
+    fn debug_shows_device_and_payload_type() {
+        let cp = DeviceCheckpoint::new("dbg", 7u32);
+        let text = format!("{cp:?}");
+        assert!(text.contains("dbg"));
+        assert!(text.contains("u32"));
+    }
+}

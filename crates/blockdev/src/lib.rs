@@ -13,14 +13,18 @@
 //! completion instant of a previous one; this yields exactly the same
 //! schedules an event loop would produce, at a fraction of the cost.
 //!
-//! Two companion layers complete the host-facing API:
+//! Three companion layers complete the host-facing API:
 //!
 //! * the **queue pair** ([`IoBatch`] / [`Completion`] /
 //!   [`BlockDevice::submit_batch`]) lets drivers issue a queue-depth's
 //!   worth of requests per doorbell ring instead of one call per request,
 //! * the **factory seam** ([`DeviceFactory`]) makes fresh-device
 //!   construction `Send + Sync`, so experiment cells can be fanned out
-//!   across threads, each building its own device where it runs.
+//!   across threads, each building its own device where it runs,
+//! * the **checkpoint seam** ([`CheckpointDevice`] / [`DeviceCheckpoint`])
+//!   captures a device's complete hidden state and restores it exactly,
+//!   so one device's long virtual timeline can be sliced into resumable
+//!   segments that different workers execute in turn.
 //!
 //! # Example
 //!
@@ -51,9 +55,11 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod checkpoint;
 mod factory;
 
 pub use batch::{Completion, IoBatch};
+pub use checkpoint::{CheckpointDevice, CheckpointError, DeviceCheckpoint};
 pub use factory::{DeviceFactory, FnFactory};
 
 use std::error::Error;

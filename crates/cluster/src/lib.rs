@@ -34,12 +34,12 @@ mod map;
 mod node;
 
 pub use map::ChunkMap;
-pub use node::{NodeConfig, NodeStats, StorageNode};
+pub use node::{NodeConfig, NodeStats, StorageNode, StorageNodeSnapshot};
 
 use uc_sim::{SimRng, SimTime};
 
 /// Parameters of a [`Cluster`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of storage nodes.
     pub nodes: usize,
@@ -202,6 +202,50 @@ impl Cluster {
         done
     }
 
+    /// Captures the cluster's complete state.
+    ///
+    /// The chunk map is not part of the snapshot: placement is a pure
+    /// function of the configuration (and its placement seed), so restore
+    /// rebuilds it deterministically.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            config: self.config.clone(),
+            nodes: self.nodes.iter().map(StorageNode::snapshot).collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a cluster that continues exactly where `snapshot` was
+    /// taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count disagrees with its
+    /// configuration (a corrupted snapshot).
+    pub fn restore(snapshot: ClusterSnapshot) -> Self {
+        assert_eq!(
+            snapshot.nodes.len(),
+            snapshot.config.nodes,
+            "snapshot node count disagrees with configuration"
+        );
+        let map = ChunkMap::new(
+            snapshot.config.chunk_bytes,
+            snapshot.config.nodes,
+            snapshot.config.replication,
+            snapshot.config.placement_seed,
+        );
+        Cluster {
+            map,
+            nodes: snapshot
+                .nodes
+                .into_iter()
+                .map(StorageNode::restore)
+                .collect(),
+            stats: snapshot.stats,
+            config: snapshot.config,
+        }
+    }
+
     /// Reads `len` bytes at `offset`, arriving at the cluster at `now`.
     ///
     /// Each fragment is served by one replica of its chunk, chosen
@@ -219,6 +263,18 @@ impl Cluster {
         }
         done
     }
+}
+
+/// The complete serializable state of a [`Cluster`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot {
+    /// The cluster configuration (including the placement seed the chunk
+    /// map is rebuilt from).
+    pub config: ClusterConfig,
+    /// Per-node state, indexed by node id.
+    pub nodes: Vec<StorageNodeSnapshot>,
+    /// Operation counters.
+    pub stats: ClusterStats,
 }
 
 #[cfg(test)]
@@ -309,6 +365,40 @@ mod tests {
         let w = c.write(base, 0, 4096, &mut rng) - base;
         let r = c.read(base, 1 << 20, 4096, &mut rng) - base;
         assert!(w < r, "staged write ack ({w}) should beat flash read ({r})");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut a = cluster();
+        let mut rng = SimRng::new(11);
+        for i in 0..16u64 {
+            a.write(SimTime::ZERO, i * (8 << 20), 64 << 10, &mut rng);
+        }
+        let snap = a.snapshot();
+        let mut b = Cluster::restore(snap.clone());
+        assert_eq!(b.snapshot(), snap, "round trip is lossless");
+        let mut rng_b = rng.clone();
+        for i in 0..16u64 {
+            let off = (i * 3) % 200 * (1 << 20);
+            assert_eq!(
+                a.write(SimTime::ZERO, off, 128 << 10, &mut rng),
+                b.write(SimTime::ZERO, off, 128 << 10, &mut rng_b)
+            );
+            assert_eq!(
+                a.read(SimTime::ZERO, off, 4096, &mut rng),
+                b.read(SimTime::ZERO, off, 4096, &mut rng_b)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.node_stats(), b.node_stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with configuration")]
+    fn corrupted_snapshot_rejected() {
+        let mut snap = cluster().snapshot();
+        snap.nodes.pop();
+        let _ = Cluster::restore(snap);
     }
 
     #[test]

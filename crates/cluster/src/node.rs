@@ -1,8 +1,8 @@
 //! Storage node service model.
 
 use std::collections::HashMap;
-use uc_flash::{DiePool, FlashTiming};
-use uc_sim::{LatencyDist, Resource, SimDuration, SimRng, SimTime};
+use uc_flash::{DiePool, DiePoolSnapshot, FlashTiming};
+use uc_sim::{LatencyDist, Resource, ResourceSnapshot, SimDuration, SimRng, SimTime};
 
 /// Parameters of a [`StorageNode`].
 ///
@@ -15,7 +15,7 @@ use uc_sim::{LatencyDist, Resource, SimDuration, SimRng, SimTime};
 ///   programs (and any backend GC they imply) happen off the critical
 ///   path, which is why device-side GC never surfaces to the tenant
 ///   (Observation 2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Serialized per-fragment cost on the chunk lane (request framing);
     /// together with the lane transfer time this sets the per-chunk
@@ -187,6 +187,53 @@ impl StorageNode {
     fn transfer_time(&self, len: u32) -> SimDuration {
         SimDuration::from_secs_f64(len as f64 / self.config.stream_bytes_per_sec)
     }
+
+    /// Captures the node's complete state.
+    pub fn snapshot(&self) -> StorageNodeSnapshot {
+        let mut lanes: Vec<(u64, ResourceSnapshot)> = self
+            .lanes
+            .iter()
+            .map(|(&chunk, lane)| (chunk, lane.snapshot()))
+            .collect();
+        lanes.sort_unstable_by_key(|&(chunk, _)| chunk);
+        StorageNodeSnapshot {
+            config: self.config.clone(),
+            lanes,
+            flash: self.flash.snapshot(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a node that continues exactly where `snapshot` was taken.
+    pub fn restore(snapshot: StorageNodeSnapshot) -> Self {
+        StorageNode {
+            config: snapshot.config,
+            lanes: snapshot
+                .lanes
+                .into_iter()
+                .map(|(chunk, lane)| (chunk, Resource::restore(lane)))
+                .collect(),
+            flash: DiePool::restore(snapshot.flash),
+            stats: snapshot.stats,
+        }
+    }
+}
+
+/// The complete serializable state of a [`StorageNode`].
+///
+/// Chunk lanes (a hash map inside the live node) are stored sorted by
+/// chunk id — the canonical form — so two snapshots of behaviourally
+/// identical nodes compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageNodeSnapshot {
+    /// The node's service parameters.
+    pub config: NodeConfig,
+    /// Per-chunk lane timelines as `(chunk, lane)`, sorted by chunk id.
+    pub lanes: Vec<(u64, ResourceSnapshot)>,
+    /// The flash read/program pool.
+    pub flash: DiePoolSnapshot,
+    /// Cumulative counters.
+    pub stats: NodeStats,
 }
 
 #[cfg(test)]

@@ -259,12 +259,12 @@ mod tests {
     use crate::devices::{DeviceKind, DeviceRoster};
 
     fn cfg() -> LsmConfig {
-        LsmConfig::scaled_default().with_ingest_bytes(96 << 20)
+        LsmConfig::scaled_default().with_ingest_bytes(48 << 20)
     }
 
     #[test]
     fn lsm_amplifies_writes_inplace_does_not() {
-        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let mut dev = roster.build(DeviceKind::LocalSsd);
         let lsm = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
         assert!(
@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn contract_flips_the_design_choice_on_essd2() {
-        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         // ESSD-2: in-place random updates beat the compaction pipeline.
         let mut dev = roster.build(DeviceKind::Essd2);
         let lsm = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
@@ -298,10 +298,10 @@ mod tests {
 
     #[test]
     fn outcome_accounting_is_consistent() {
-        let roster = DeviceRoster::with_capacities(512 << 20, 512 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let mut dev = roster.build(DeviceKind::LocalSsd);
         let out = run_lsm(dev.as_mut(), &cfg(), SimTime::ZERO).unwrap();
-        assert_eq!(out.ingest_bytes, 96 << 20);
+        assert_eq!(out.ingest_bytes, 48 << 20);
         assert!(out.device_bytes_written >= out.ingest_bytes);
         assert!(out.elapsed > SimDuration::ZERO);
         assert!(!out.to_string().is_empty());

@@ -1,6 +1,6 @@
 //! The calibrated device roster of the paper's Table I.
 
-use uc_blockdev::{BlockDevice, DeviceFactory};
+use uc_blockdev::{BlockDevice, CheckpointDevice, DeviceFactory};
 use uc_essd::{Essd, EssdConfig};
 use uc_ssd::{Ssd, SsdConfig};
 
@@ -168,6 +168,24 @@ impl DeviceRoster {
     /// Builds a fresh instance with a distinct jitter seed (for
     /// repeated-trial experiments).
     pub fn build_seeded(&self, kind: DeviceKind, seed: u64) -> Box<dyn BlockDevice + Send> {
+        // Same construction as the checkpoint seam, upcast to the plain
+        // data-path trait — one copy of the per-kind profiles to maintain.
+        self.build_checkpointable(kind, seed)
+    }
+
+    /// Builds a fresh, seeded instance through the checkpoint seam: the
+    /// same device [`DeviceRoster::build_seeded`] returns, typed so its
+    /// complete hidden state can be captured and restored
+    /// ([`CheckpointDevice`]).
+    ///
+    /// This is how the segmented Figure 3 runner moves one device's
+    /// endurance timeline between workers: build here, restore the
+    /// previous segment's checkpoint into it, run to the next milestone.
+    pub fn build_checkpointable(
+        &self,
+        kind: DeviceKind,
+        seed: u64,
+    ) -> Box<dyn CheckpointDevice + Send> {
         match kind {
             DeviceKind::LocalSsd => Box::new(Ssd::with_seed(
                 SsdConfig::samsung_970_pro(self.ssd_capacity()),
@@ -269,6 +287,30 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn checkpointable_build_matches_plain_build() {
+        use uc_blockdev::IoRequest;
+        use uc_sim::SimTime;
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        for kind in DeviceKind::ALL {
+            let mut plain = roster.build_seeded(kind, 42);
+            let mut ckpt = roster.build_checkpointable(kind, 42);
+            assert_eq!(plain.info(), ckpt.info(), "{kind}");
+            let mut now = SimTime::ZERO;
+            for i in 0..16u64 {
+                let req = IoRequest::write((i % 8) * 65536, 65536, now);
+                let a = plain.submit(&req).unwrap();
+                let b = ckpt.submit(&req).unwrap();
+                assert_eq!(a, b, "{kind}");
+                now = a;
+            }
+            // The checkpoint seam is live on the built object.
+            let cp = ckpt.checkpoint();
+            assert_eq!(cp.device(), ckpt.info().name());
+            ckpt.restore_from(cp).unwrap();
+        }
     }
 
     #[test]

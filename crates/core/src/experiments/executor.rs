@@ -21,8 +21,9 @@
 //! assert_eq!(parallel, sequential);
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Runs independent jobs across a fixed number of worker threads,
 /// preserving result order.
@@ -108,6 +109,148 @@ impl Executor {
     }
 }
 
+/// One chain in [`Executor::run_chains`]: the evolving state plus the
+/// stages still to run on it.
+struct Chain<S, F> {
+    state: Option<S>,
+    stages: VecDeque<F>,
+}
+
+/// Shared scheduler state for [`Executor::run_chains`].
+struct ChainSched {
+    ready: VecDeque<usize>,
+    finished: usize,
+    aborted: bool,
+}
+
+impl Executor {
+    /// Runs several independent *chains* of stages, pipelined across the
+    /// workers, and returns each chain's final state in input order.
+    ///
+    /// A chain is `(initial_state, stages)`: stage `k` consumes the state
+    /// stage `k-1` produced, so stages of one chain are strictly
+    /// sequential — but stages of *different* chains interleave freely.
+    /// This is the dataflow of the segmented Figure 3 endurance run:
+    /// segment `k` of device A executes concurrently with segment `k-1`
+    /// of device B, each feeding its checkpoint forward. Scheduling is
+    /// work-conserving at stage granularity (a worker always picks up any
+    /// ready chain), so wall clock is bounded by
+    /// `max(longest chain, total stage work / workers)` instead of
+    /// whole-chains-per-worker — and, because each chain's stages run in
+    /// a fixed order on state only they touch, results are identical at
+    /// any thread count.
+    ///
+    /// A panicking stage aborts the run and propagates the panic once the
+    /// scope joins.
+    pub fn run_chains<S, F>(&self, chains: Vec<(S, Vec<F>)>) -> Vec<S>
+    where
+        S: Send,
+        F: FnOnce(S) -> S + Send,
+    {
+        if self.threads <= 1 || chains.len() <= 1 {
+            return chains
+                .into_iter()
+                .map(|(state, stages)| stages.into_iter().fold(state, |s, stage| stage(s)))
+                .collect();
+        }
+        let total = chains.len();
+        let slots: Vec<Mutex<Chain<S, F>>> = chains
+            .into_iter()
+            .map(|(state, stages)| {
+                Mutex::new(Chain {
+                    state: Some(state),
+                    stages: stages.into_iter().collect(),
+                })
+            })
+            .collect();
+        // Chains with no stages are born finished; only the rest queue.
+        let ready: VecDeque<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.lock().expect("chain mutex").stages.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let finished = total - ready.len();
+        let sched = Mutex::new(ChainSched {
+            ready,
+            finished,
+            aborted: false,
+        });
+        let wakeup = Condvar::new();
+        let workers = self.threads.min(total);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = {
+                        let mut s = sched.lock().expect("scheduler mutex");
+                        loop {
+                            if s.aborted || s.finished == total {
+                                return;
+                            }
+                            if let Some(index) = s.ready.pop_front() {
+                                break index;
+                            }
+                            s = wakeup.wait(s).expect("scheduler condvar");
+                        }
+                    };
+                    let (state, stage, last) = {
+                        let mut chain = slots[index].lock().expect("chain mutex");
+                        let state = chain.state.take().expect("state present when scheduled");
+                        let stage = chain.stages.pop_front().expect("ready chain has a stage");
+                        (state, stage, chain.stages.is_empty())
+                    };
+                    // If the stage panics, unblock the other workers so the
+                    // scope can join and propagate the panic.
+                    struct Abort<'a> {
+                        sched: &'a Mutex<ChainSched>,
+                        wakeup: &'a Condvar,
+                        armed: bool,
+                    }
+                    impl Drop for Abort<'_> {
+                        fn drop(&mut self) {
+                            if self.armed {
+                                if let Ok(mut s) = self.sched.lock() {
+                                    s.aborted = true;
+                                }
+                                self.wakeup.notify_all();
+                            }
+                        }
+                    }
+                    let mut guard = Abort {
+                        sched: &sched,
+                        wakeup: &wakeup,
+                        armed: true,
+                    };
+                    let next = stage(state);
+                    guard.armed = false;
+                    slots[index].lock().expect("chain mutex").state = Some(next);
+                    let mut s = sched.lock().expect("scheduler mutex");
+                    if last {
+                        s.finished += 1;
+                        if s.finished == total {
+                            drop(s);
+                            wakeup.notify_all();
+                        }
+                    } else {
+                        s.ready.push_back(index);
+                        drop(s);
+                        wakeup.notify_one();
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("chain mutex")
+                    .state
+                    .expect("every chain ran to completion")
+            })
+            .collect()
+    }
+}
+
 impl Default for Executor {
     fn default() -> Self {
         Executor::from_env()
@@ -115,6 +258,8 @@ impl Default for Executor {
 }
 
 #[cfg(test)]
+// Boxed-stage chain fixtures are necessarily verbose types.
+#[allow(clippy::type_complexity)]
 mod tests {
     use super::*;
 
@@ -150,6 +295,80 @@ mod tests {
             })
             .collect();
         assert_eq!(Executor::with_threads(4).run(cells), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chains_thread_state_in_order_at_any_width() {
+        // Each chain appends its stage index; the final state must be the
+        // ordered sequence regardless of worker count or interleaving.
+        let build = |chains: usize,
+                     stages: usize|
+         -> Vec<(
+            Vec<usize>,
+            Vec<Box<dyn FnOnce(Vec<usize>) -> Vec<usize> + Send>>,
+        )> {
+            (0..chains)
+                .map(|_| {
+                    let stages: Vec<Box<dyn FnOnce(Vec<usize>) -> Vec<usize> + Send>> = (0..stages)
+                        .map(|k| {
+                            Box::new(move |mut v: Vec<usize>| {
+                                v.push(k);
+                                v
+                            })
+                                as Box<dyn FnOnce(Vec<usize>) -> Vec<usize> + Send>
+                        })
+                        .collect();
+                    (Vec::new(), stages)
+                })
+                .collect()
+        };
+        let expected: Vec<Vec<usize>> = (0..5).map(|_| (0..7).collect()).collect();
+        for threads in [1, 2, 4, 32] {
+            let result = Executor::with_threads(threads).run_chains(build(5, 7));
+            assert_eq!(result, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chains_of_unequal_length_and_empty_chains() {
+        let chains: Vec<(u64, Vec<Box<dyn FnOnce(u64) -> u64 + Send>>)> = (0..4u64)
+            .map(|i| {
+                let stages: Vec<Box<dyn FnOnce(u64) -> u64 + Send>> = (0..i)
+                    .map(|_| Box::new(|x: u64| x + 1) as Box<dyn FnOnce(u64) -> u64 + Send>)
+                    .collect();
+                (100 * i, stages)
+            })
+            .collect();
+        assert_eq!(
+            Executor::with_threads(3).run_chains(chains),
+            vec![0, 101, 202, 303]
+        );
+        let none: Vec<(u8, Vec<fn(u8) -> u8>)> = Vec::new();
+        assert!(Executor::with_threads(3).run_chains(none).is_empty());
+    }
+
+    #[test]
+    fn chain_stages_actually_pipeline_across_workers() {
+        // Two chains of two stages on two workers, all four stages meeting
+        // at one barrier: only possible if stage k of one chain overlaps
+        // stage k-1 (or k) of the other — i.e. chains are not serialized
+        // whole.
+        let barrier = std::sync::Barrier::new(2);
+        let chains: Vec<(usize, Vec<Box<dyn FnOnce(usize) -> usize + Send>>)> = (0..2)
+            .map(|i| {
+                let stages: Vec<Box<dyn FnOnce(usize) -> usize + Send>> = (0..2)
+                    .map(|_| {
+                        let barrier = &barrier;
+                        Box::new(move |x: usize| {
+                            barrier.wait();
+                            x + 1
+                        }) as Box<dyn FnOnce(usize) -> usize + Send>
+                    })
+                    .collect();
+                (i, stages)
+            })
+            .collect();
+        assert_eq!(Executor::with_threads(2).run_chains(chains), vec![2, 3]);
     }
 
     #[test]

@@ -223,7 +223,7 @@ mod tests {
 
     #[test]
     fn grid_dimensions_match_config() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 256 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let r = run(&roster, DeviceKind::LocalSsd, &tiny_cfg()).unwrap();
         assert_eq!(r.grids.len(), 4);
         assert_eq!(r.grids[0].cells.len(), 2);
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn gap_grid_shows_cloud_overhead() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 256 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let cfg = tiny_cfg();
         let ssd = run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
         let essd = run(&roster, DeviceKind::Essd1, &cfg).unwrap();

@@ -1,11 +1,29 @@
 //! Figure 3: runtime throughput under 3× capacity of sustained random
 //! writes.
+//!
+//! The endurance run is the one experiment whose virtual timeline cannot
+//! be fanned out as independent cells: each device's run is a single
+//! continuous history (FTL wear, buffer occupancy, token-bucket levels all
+//! carry forward). This module therefore slices the run into **resumable
+//! segments** at capacity-fraction milestones, using the checkpoint seam
+//! ([`CheckpointDevice`]) plus the resumable closed-loop driver
+//! ([`ClosedLoopJob`]): after each milestone the device and driver state
+//! are frozen into a [`Fig3Checkpoint`] that the next worker thaws and
+//! continues. [`run_pipelined`] feeds the per-device segment chains
+//! through [`Executor::run_chains`], so segment `k` of one device runs
+//! concurrently with segment `k-1` of another.
+//!
+//! Determinism is the contract: [`run`], [`run_segmented`] at any segment
+//! count, and [`run_pipelined`] at any thread count all produce
+//! byte-identical [`Fig3Result`]s (pinned by this module's tests and the
+//! facade-level property tests).
 
 use crate::devices::{DeviceKind, DeviceRoster};
-use uc_blockdev::IoError;
+use crate::experiments::Executor;
+use uc_blockdev::{CheckpointDevice, CheckpointError, DeviceCheckpoint, IoError};
 use uc_metrics::Series;
 use uc_sim::SimDuration;
-use uc_workload::{run_job, AccessPattern, JobSpec};
+use uc_workload::{AccessPattern, ClosedLoopJob, DriverCheckpoint, JobReport, JobSpec};
 
 /// Workload parameters for the Figure 3 endurance run.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,33 +129,23 @@ impl Fig3Result {
     }
 }
 
-/// Runs the Figure 3 endurance experiment on `kind`.
-///
-/// # Errors
-///
-/// Propagates the first I/O error from the device.
-pub fn run(
-    roster: &DeviceRoster,
-    kind: DeviceKind,
-    cfg: &Fig3Config,
-) -> Result<Fig3Result, IoError> {
-    let capacity = roster.capacity_of(kind);
-    let mut dev = roster.build_seeded(kind, 0xF1630000 + kind as u64);
-    let volume = (capacity as f64 * cfg.capacity_multiple) as u64;
-    // Scale the window so the run spans a few hundred points regardless of
-    // the simulated capacity (a scaled-down device finishes in well under a
-    // second of virtual time).
-    let est_secs = volume as f64 / 2.0e9;
-    let window = cfg
-        .window
-        .min(SimDuration::from_secs_f64(est_secs / 100.0))
-        .max(SimDuration::from_micros(500));
-    let spec = JobSpec::new(AccessPattern::RandWrite, cfg.io_size, cfg.queue_depth)
-        .with_byte_limit(volume)
-        .with_throughput_window(window)
-        .with_seed(0xF163);
-    let report = run_job(dev.as_mut(), &spec)?;
+/// The jitter-seed base every fig3 device is built with (`+ kind`).
+fn device_seed(kind: DeviceKind) -> u64 {
+    0xF1630000 + kind as u64
+}
 
+/// The throughput window for a run over `volume` bytes: scaled so the run
+/// spans a few hundred points regardless of the simulated capacity (a
+/// scaled-down device finishes in well under a second of virtual time).
+fn effective_window(cfg: &Fig3Config, volume: u64) -> SimDuration {
+    let est_secs = volume as f64 / 2.0e9;
+    cfg.window
+        .min(SimDuration::from_secs_f64(est_secs / 100.0))
+        .max(SimDuration::from_micros(500))
+}
+
+/// Post-processes a finished endurance report into the figure's series.
+fn finish(kind: DeviceKind, capacity: u64, window: SimDuration, report: &JobReport) -> Fig3Result {
     let time_series = report.throughput.series();
     // Re-index by cumulative written volume (normalized by capacity).
     let mut cumulative = 0.0f64;
@@ -147,7 +155,7 @@ pub fn run(
         cumulative += gbps * 1e9 * window_secs;
         volume_points.push((cumulative / capacity as f64, gbps));
     }
-    Ok(Fig3Result {
+    Fig3Result {
         device: kind,
         capacity,
         volume_series: Series::from_points(
@@ -155,12 +163,341 @@ pub fn run(
             volume_points,
         ),
         time_series,
-    })
+    }
+}
+
+/// A frozen endurance run between segments: everything needed to continue
+/// the run on any worker — the device's complete hidden state plus the
+/// paused closed-loop driver.
+///
+/// Produced by [`SegmentedRun::checkpoint`], thawed by
+/// [`SegmentedRun::resume`]. This is the unit of work [`run_pipelined`]
+/// feeds forward along each device's segment chain.
+#[derive(Debug, Clone)]
+pub struct Fig3Checkpoint {
+    /// Which device is being measured.
+    pub kind: DeviceKind,
+    /// The device capacity used for normalization.
+    pub capacity: u64,
+    /// The throughput-timeline window of this run.
+    pub window: SimDuration,
+    /// Ascending byte milestones; the last is the full endurance volume.
+    pub milestones: Vec<u64>,
+    /// Milestones already reached.
+    pub completed: usize,
+    /// The device's complete hidden state.
+    pub device: DeviceCheckpoint,
+    /// The paused workload driver.
+    pub driver: DriverCheckpoint,
+}
+
+/// A Figure 3 endurance run sliced into resumable segments.
+///
+/// Segment boundaries are capacity-fraction milestones of the total
+/// written volume. Between segments the run can be checkpointed, moved
+/// and resumed; however it is driven, the final [`Fig3Result`] is
+/// byte-identical to an unsliced run.
+pub struct SegmentedRun {
+    kind: DeviceKind,
+    capacity: u64,
+    window: SimDuration,
+    milestones: Vec<u64>,
+    completed: usize,
+    device: Box<dyn CheckpointDevice + Send>,
+    job: ClosedLoopJob,
+}
+
+impl SegmentedRun {
+    /// Primes an endurance run on a fresh device, sliced into `segments`
+    /// equal byte milestones (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the device.
+    pub fn start(
+        roster: &DeviceRoster,
+        kind: DeviceKind,
+        cfg: &Fig3Config,
+        segments: usize,
+    ) -> Result<Self, IoError> {
+        let capacity = roster.capacity_of(kind);
+        let mut device = roster.build_checkpointable(kind, device_seed(kind));
+        let volume = (capacity as f64 * cfg.capacity_multiple) as u64;
+        let window = effective_window(cfg, volume);
+        let segments = segments.max(1) as u64;
+        // Equal-volume milestones; the last always equals the full volume,
+        // which is also the spec's own byte limit.
+        let milestones: Vec<u64> = (1..=segments).map(|k| volume * k / segments).collect();
+        let spec = JobSpec::new(AccessPattern::RandWrite, cfg.io_size, cfg.queue_depth)
+            .with_byte_limit(volume)
+            .with_throughput_window(window)
+            .with_seed(0xF163);
+        let job = ClosedLoopJob::start(&mut device, &spec)?;
+        Ok(SegmentedRun {
+            kind,
+            capacity,
+            window,
+            milestones,
+            completed: 0,
+            device,
+            job,
+        })
+    }
+
+    /// Milestones already reached (segments executed).
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total segments in the plan.
+    pub fn segments(&self) -> usize {
+        self.milestones.len()
+    }
+
+    /// `true` once the endurance volume has been written.
+    pub fn is_finished(&self) -> bool {
+        self.job.is_finished() || self.completed >= self.milestones.len()
+    }
+
+    /// Runs one segment: drives the device to the next byte milestone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the device.
+    pub fn advance(&mut self) -> Result<(), IoError> {
+        let target = self.milestones[self.completed.min(self.milestones.len() - 1)];
+        self.job.run_until(&mut self.device, target)?;
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// Freezes the run between segments into a portable checkpoint.
+    pub fn checkpoint(&self) -> Fig3Checkpoint {
+        Fig3Checkpoint {
+            kind: self.kind,
+            capacity: self.capacity,
+            window: self.window,
+            milestones: self.milestones.clone(),
+            completed: self.completed,
+            device: self.device.checkpoint(),
+            driver: self.job.checkpoint(),
+        }
+    }
+
+    /// Thaws a checkpoint: builds a fresh device through the roster's
+    /// checkpoint seam, restores the frozen state into it, and resumes the
+    /// paused driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the checkpoint does not belong to
+    /// a device this roster builds for `checkpoint.kind` (e.g. a roster at
+    /// a different scale).
+    pub fn resume(
+        roster: &DeviceRoster,
+        checkpoint: Fig3Checkpoint,
+    ) -> Result<Self, CheckpointError> {
+        let mut device = roster.build_checkpointable(checkpoint.kind, device_seed(checkpoint.kind));
+        device.restore_from(checkpoint.device)?;
+        Ok(SegmentedRun {
+            kind: checkpoint.kind,
+            capacity: checkpoint.capacity,
+            window: checkpoint.window,
+            milestones: checkpoint.milestones,
+            completed: checkpoint.completed,
+            device,
+            job: ClosedLoopJob::resume(checkpoint.driver),
+        })
+    }
+
+    /// Consumes the finished run, yielding the figure's series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is not finished.
+    pub fn into_result(self) -> Fig3Result {
+        assert!(self.is_finished(), "fig3 run still has segments to go");
+        finish(self.kind, self.capacity, self.window, self.job.report())
+    }
+}
+
+/// Runs the Figure 3 endurance experiment on `kind` as one continuous
+/// (single-segment) run.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from the device.
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig3Config,
+) -> Result<Fig3Result, IoError> {
+    run_segmented(roster, kind, cfg, 1)
+}
+
+/// Runs the endurance experiment sliced into `segments` resumable
+/// segments on the calling thread, round-tripping through a
+/// [`Fig3Checkpoint`] at every boundary (exercising the same freeze/thaw
+/// path the pipelined runner uses). The result is byte-identical to
+/// [`run`]'s.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from the device.
+///
+/// # Panics
+///
+/// Panics if a checkpoint taken by this run fails to restore (a
+/// checkpoint-seam bug, not an I/O condition).
+pub fn run_segmented(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    cfg: &Fig3Config,
+    segments: usize,
+) -> Result<Fig3Result, IoError> {
+    let mut state = SegmentedRun::start(roster, kind, cfg, segments)?;
+    loop {
+        state.advance()?;
+        if state.is_finished() {
+            return Ok(state.into_result());
+        }
+        let frozen = state.checkpoint();
+        state = SegmentedRun::resume(roster, frozen).expect("own checkpoint restores");
+    }
+}
+
+/// Runs the endurance experiment for several devices with their segment
+/// chains pipelined across `exec`'s workers: segment `k` of one device
+/// runs concurrently with segment `k-1` of another, each boundary feeding
+/// a [`Fig3Checkpoint`] forward to whichever worker picks the chain up
+/// next.
+///
+/// Results are returned in `kinds` order and are byte-identical to
+/// [`run`]'s for every device, at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first I/O error any device reports.
+///
+/// # Panics
+///
+/// Panics if a checkpoint taken by this run fails to restore (a
+/// checkpoint-seam bug, not an I/O condition).
+pub fn run_pipelined(
+    roster: &DeviceRoster,
+    kinds: &[DeviceKind],
+    cfg: &Fig3Config,
+    segments: usize,
+    exec: &Executor,
+) -> Result<Vec<Fig3Result>, IoError> {
+    type Stage =
+        Box<dyn FnOnce(Result<Fig3Checkpoint, IoError>) -> Result<Fig3Checkpoint, IoError> + Send>;
+    let segments = segments.max(1);
+    let mut chains: Vec<(Result<Fig3Checkpoint, IoError>, Vec<Stage>)> =
+        Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        // Prime on the coordinating thread (cheap: one doorbell), then
+        // hand the frozen run to the chain.
+        let initial = SegmentedRun::start(roster, kind, cfg, segments).map(|r| r.checkpoint());
+        let stages: Vec<Stage> = (0..segments)
+            .map(|_| {
+                let roster = roster.clone();
+                Box::new(move |frozen: Result<Fig3Checkpoint, IoError>| {
+                    let mut state =
+                        SegmentedRun::resume(&roster, frozen?).expect("own checkpoint restores");
+                    state.advance()?;
+                    Ok(state.checkpoint())
+                }) as Stage
+            })
+            .collect();
+        chains.push((initial, stages));
+    }
+    exec.run_chains(chains)
+        .into_iter()
+        .map(|frozen| {
+            let state = SegmentedRun::resume(roster, frozen?).expect("own checkpoint restores");
+            Ok(state.into_result())
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::render_fig3;
+
+    #[test]
+    fn segmented_and_pipelined_match_unsliced_for_every_kind() {
+        // The determinism contract of the checkpoint redesign: slicing the
+        // endurance run into segments — in-place, with freeze/thaw round
+        // trips, or pipelined across workers — must leave the rendered
+        // figure byte-identical for every device class.
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let pipelined = run_pipelined(
+            &roster,
+            &DeviceKind::ALL,
+            &cfg,
+            4,
+            &Executor::with_threads(3),
+        )
+        .unwrap();
+        for (i, &kind) in DeviceKind::ALL.iter().enumerate() {
+            let unsliced = run(&roster, kind, &cfg).unwrap();
+            let segmented = run_segmented(&roster, kind, &cfg, 5).unwrap();
+            for (label, sliced) in [("segmented", &segmented), ("pipelined", &pipelined[i])] {
+                assert_eq!(sliced.capacity, unsliced.capacity, "{kind}/{label}");
+                assert_eq!(
+                    sliced.time_series, unsliced.time_series,
+                    "{kind}/{label} time series"
+                );
+                assert_eq!(
+                    sliced.volume_series, unsliced.volume_series,
+                    "{kind}/{label} volume series"
+                );
+                assert_eq!(
+                    render_fig3(sliced),
+                    render_fig3(&unsliced),
+                    "{kind}/{label} rendered figure"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_bookkeeping_and_checkpoint_flow() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let mut run = SegmentedRun::start(&roster, DeviceKind::Essd2, &cfg, 3).unwrap();
+        assert_eq!(run.segments(), 3);
+        assert_eq!(run.completed(), 0);
+        assert!(!run.is_finished());
+        run.advance().unwrap();
+        assert_eq!(run.completed(), 1);
+        let frozen = run.checkpoint();
+        assert_eq!(frozen.completed, 1);
+        assert_eq!(frozen.milestones.len(), 3);
+        assert!(frozen.device.device().contains("PL3") || !frozen.device.device().is_empty());
+        // A frozen run thaws on a roster clone (another worker's view).
+        let mut thawed = SegmentedRun::resume(&roster.clone(), frozen).unwrap();
+        while !thawed.is_finished() {
+            thawed.advance().unwrap();
+        }
+        let result = thawed.into_result();
+        assert!(result.peak_gbps() > 0.0);
+    }
+
+    #[test]
+    fn resume_on_mismatched_roster_fails_loudly() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let run = SegmentedRun::start(&roster, DeviceKind::LocalSsd, &cfg, 2).unwrap();
+        let frozen = run.checkpoint();
+        // A roster at another scale builds a different device; the name
+        // check (or payload check) must reject the stale checkpoint.
+        let other = roster.with_scale(2);
+        assert!(SegmentedRun::resume(&other, frozen).is_err());
+    }
 
     #[test]
     fn ssd_collapses_near_capacity() {

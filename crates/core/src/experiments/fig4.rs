@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn essd2_random_writes_win_big() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 1 << 30);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let cfg = Fig4Config {
             io_sizes: vec![64 << 10],
             queue_depths: vec![16],
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn ssd_gain_is_flat() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 256 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let cfg = Fig4Config {
             io_sizes: vec![64 << 10],
             queue_depths: vec![8],

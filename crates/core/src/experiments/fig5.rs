@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn essd_total_is_flat_at_budget() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 512 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let cfg = Fig5Config {
             write_ratios: vec![0.0, 0.5, 1.0],
             ios_per_cell: 1_000,
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn ssd_total_varies_with_mix() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 256 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let cfg = Fig5Config {
             write_ratios: vec![0.0, 0.5, 1.0],
             ios_per_cell: 2_500,

@@ -20,8 +20,14 @@
 //! [`DeviceFactory`](uc_blockdev::DeviceFactory) seam and carries its own
 //! virtual clock, parallel and sequential runs are byte-identical; every
 //! runner also exposes a `run_with` variant taking an explicit executor.
-//! (`fig3` is a single continuous endurance run per device and stays
-//! sequential; callers parallelize across devices.)
+//!
+//! `fig3` is different: each device's endurance run is one continuous
+//! virtual timeline, so instead of independent cells it is sliced into
+//! **resumable segments** through the checkpoint seam
+//! ([`CheckpointDevice`](uc_blockdev::CheckpointDevice)) — see
+//! [`fig3::run_pipelined`], which pipelines the per-device segment chains
+//! across workers ([`Executor::run_chains`]) with byte-identical results
+//! at any thread count.
 
 pub mod executor;
 pub mod fig2;
@@ -32,7 +38,7 @@ pub mod table1;
 
 pub use executor::Executor;
 pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
-pub use fig3::{Fig3Config, Fig3Result};
+pub use fig3::{Fig3Checkpoint, Fig3Config, Fig3Result, SegmentedRun};
 pub use fig4::{Fig4Config, Fig4Result};
 pub use fig5::{Fig5Config, Fig5Result};
 pub use table1::{run as run_table1, Table1Row};

@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn table_has_three_calibrated_rows() {
-        let roster = DeviceRoster::with_capacities(256 << 20, 512 << 20);
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
         let rows = run(&roster).unwrap();
         assert_eq!(rows.len(), 3);
         let by_kind = |k: DeviceKind| rows.iter().find(|r| r.device == k).unwrap();

@@ -52,7 +52,7 @@ pub struct ThrottlePolicy {
 /// assert!(cfg.iops.is_some());
 /// assert!(cfg.throttle.is_none()); // ESSD-2 sustains in Figure 3
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EssdConfig {
     /// Human-readable device name.
     pub name: String,

@@ -41,4 +41,4 @@ mod config;
 mod device;
 
 pub use config::{EssdConfig, IopsBudget, ThrottlePolicy};
-pub use device::{Essd, EssdStats};
+pub use device::{Essd, EssdCheckpoint, EssdStats};

@@ -1,7 +1,7 @@
 //! Flash array operation scheduling.
 
 use crate::{FlashGeometry, FlashTiming};
-use uc_sim::{ParallelResource, Resource, SimTime};
+use uc_sim::{ParallelResource, ParallelResourceSnapshot, Resource, ResourceSnapshot, SimTime};
 
 /// Counters of operations issued to a [`FlashArray`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +56,37 @@ pub struct FlashArray {
     dies: Vec<Resource>,
     channels: Vec<Resource>,
     stats: FlashOpStats,
+}
+
+/// The complete serializable state of a [`FlashArray`]: geometry, timing
+/// and every die/channel timeline plus the operation counters.
+///
+/// Captured by [`FlashArray::snapshot`]; [`FlashArray::restore`] rebuilds
+/// an array that schedules every future operation exactly as the original
+/// would have.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashArraySnapshot {
+    /// The array's geometry.
+    pub geometry: FlashGeometry,
+    /// The array's timing parameters.
+    pub timing: FlashTiming,
+    /// Per-die busy-until timelines.
+    pub dies: Vec<ResourceSnapshot>,
+    /// Per-channel busy-until timelines.
+    pub channels: Vec<ResourceSnapshot>,
+    /// Operation counters.
+    pub stats: FlashOpStats,
+}
+
+/// The complete serializable state of a [`DiePool`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiePoolSnapshot {
+    /// The k-server die station.
+    pub pool: ParallelResourceSnapshot,
+    /// NAND timing of the pool's dies.
+    pub timing: FlashTiming,
+    /// Flash page size in bytes.
+    pub page_size: u32,
 }
 
 impl FlashArray {
@@ -171,6 +202,48 @@ impl FlashArray {
         }
         self.stats = FlashOpStats::default();
     }
+
+    /// Captures the array's complete state.
+    pub fn snapshot(&self) -> FlashArraySnapshot {
+        FlashArraySnapshot {
+            geometry: self.geometry,
+            timing: self.timing,
+            dies: self.dies.iter().map(Resource::snapshot).collect(),
+            channels: self.channels.iter().map(Resource::snapshot).collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an array that continues exactly where `snapshot` was
+    /// taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's die/channel counts disagree with its
+    /// geometry (a corrupted snapshot).
+    pub fn restore(snapshot: FlashArraySnapshot) -> Self {
+        assert_eq!(
+            snapshot.dies.len(),
+            snapshot.geometry.total_dies() as usize,
+            "snapshot die count disagrees with geometry"
+        );
+        assert_eq!(
+            snapshot.channels.len(),
+            snapshot.geometry.channels() as usize,
+            "snapshot channel count disagrees with geometry"
+        );
+        FlashArray {
+            geometry: snapshot.geometry,
+            timing: snapshot.timing,
+            dies: snapshot.dies.into_iter().map(Resource::restore).collect(),
+            channels: snapshot
+                .channels
+                .into_iter()
+                .map(Resource::restore)
+                .collect(),
+            stats: snapshot.stats,
+        }
+    }
 }
 
 /// A convenience wrapper: a pool of dies treated as an anonymous k-server
@@ -218,6 +291,29 @@ impl DiePool {
             done = done.max(f);
         }
         done
+    }
+
+    /// Captures the pool's complete state.
+    pub fn snapshot(&self) -> DiePoolSnapshot {
+        DiePoolSnapshot {
+            pool: self.pool.snapshot(),
+            timing: self.timing,
+            page_size: self.page_size,
+        }
+    }
+
+    /// Rebuilds a pool that continues exactly where `snapshot` was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot holds no servers or a zero page size.
+    pub fn restore(snapshot: DiePoolSnapshot) -> Self {
+        assert!(snapshot.page_size > 0, "page size must be positive");
+        DiePool {
+            pool: ParallelResource::restore(snapshot.pool),
+            timing: snapshot.timing,
+            page_size: snapshot.page_size,
+        }
     }
 }
 
@@ -323,6 +419,42 @@ mod tests {
         a.reset();
         assert_eq!(a.stats().total(), 0);
         assert_eq!(a.die_free_at(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_scheduling() {
+        let mut a = array();
+        a.read_page(SimTime::ZERO, 0);
+        a.program_page(SimTime::ZERO, 1);
+        let snap = a.snapshot();
+        let mut b = FlashArray::restore(snap.clone());
+        assert_eq!(b.snapshot(), snap, "round trip is lossless");
+        assert_eq!(b.stats(), a.stats());
+        for die in 0..4 {
+            assert_eq!(b.die_free_at(die), a.die_free_at(die));
+        }
+        // Future operations schedule identically.
+        assert_eq!(a.read_page(SimTime::ZERO, 0), b.read_page(SimTime::ZERO, 0));
+        assert_eq!(
+            a.erase_block(SimTime::ZERO, 2),
+            b.erase_block(SimTime::ZERO, 2)
+        );
+
+        let mut p = DiePool::new(3, FlashTiming::mlc(), 4096);
+        p.read(SimTime::ZERO, 2 * 4096);
+        let mut q = DiePool::restore(p.snapshot());
+        assert_eq!(
+            p.program(SimTime::ZERO, 4 * 4096),
+            q.program(SimTime::ZERO, 4 * 4096)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with geometry")]
+    fn corrupted_snapshot_rejected() {
+        let mut snap = array().snapshot();
+        snap.dies.pop();
+        let _ = FlashArray::restore(snap);
     }
 
     #[test]

@@ -30,6 +30,6 @@ mod array;
 mod geometry;
 mod timing;
 
-pub use array::{DiePool, FlashArray, FlashOpStats};
+pub use array::{DiePool, DiePoolSnapshot, FlashArray, FlashArraySnapshot, FlashOpStats};
 pub use geometry::{FlashGeometry, GeometryError};
 pub use timing::FlashTiming;

@@ -1,7 +1,7 @@
 //! The page-mapping FTL itself.
 
 use crate::{BlockState, FtlConfig, FtlStats, GcPolicy, WearStats};
-use uc_flash::{FlashArray, FlashOpStats};
+use uc_flash::{FlashArray, FlashArraySnapshot, FlashOpStats};
 use uc_sim::SimTime;
 
 const UNMAPPED: u64 = u64::MAX;
@@ -57,6 +57,40 @@ pub struct Ftl {
     /// Monotonic open-sequence counter (GC age reference).
     seq: u64,
     stats: FtlStats,
+}
+
+/// The complete serializable state of an [`Ftl`]: the sanitized
+/// configuration, the flash-array timelines, the full logical↔physical
+/// mapping, per-block bookkeeping, free pools, both write frontiers, the
+/// striping cursor, the GC age counter and the activity counters.
+///
+/// Captured by [`Ftl::checkpoint`]; [`Ftl::restore`] rebuilds an FTL whose
+/// every future write, read, trim and GC decision is identical to the
+/// original's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtlCheckpoint {
+    /// The (sanitized) configuration the FTL was built with.
+    pub config: FtlConfig,
+    /// Die/channel timelines and NAND operation counters.
+    pub flash: FlashArraySnapshot,
+    /// Logical page → physical page map (`u64::MAX` = unmapped).
+    pub l2p: Vec<u64>,
+    /// Physical page → logical page map (`u64::MAX` = stale).
+    pub p2l: Vec<u64>,
+    /// All block states, indexed `die * blocks_per_die + slot`.
+    pub blocks: Vec<BlockState>,
+    /// Per-die stacks of free block slots.
+    pub free: Vec<Vec<u32>>,
+    /// Per-die open block receiving host writes.
+    pub open_host: Vec<u32>,
+    /// Per-die open block receiving GC relocations.
+    pub open_gc: Vec<u32>,
+    /// Round-robin die cursor for host writes.
+    pub cursor: u32,
+    /// Monotonic open-sequence counter (GC age reference).
+    pub seq: u64,
+    /// Activity counters.
+    pub stats: FtlStats,
 }
 
 impl Ftl {
@@ -256,6 +290,67 @@ impl Ftl {
     /// [`Ftl::mapped_pages`]; exposed for invariant testing).
     pub fn total_valid_pages(&self) -> u64 {
         self.blocks.iter().map(|b| b.valid as u64).sum()
+    }
+
+    /// Captures the FTL's complete state.
+    pub fn checkpoint(&self) -> FtlCheckpoint {
+        FtlCheckpoint {
+            config: self.config,
+            flash: self.flash.snapshot(),
+            l2p: self.l2p.clone(),
+            p2l: self.p2l.clone(),
+            blocks: self.blocks.clone(),
+            free: self.free.clone(),
+            open_host: self.open_host.clone(),
+            open_gc: self.open_gc.clone(),
+            cursor: self.cursor,
+            seq: self.seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an FTL that continues exactly where `checkpoint` was
+    /// taken.
+    ///
+    /// The checkpoint's configuration is used verbatim (it was already
+    /// sanitized by [`Ftl::new`] when the original FTL was built).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's vector lengths disagree with its
+    /// geometry (a corrupted checkpoint).
+    pub fn restore(checkpoint: FtlCheckpoint) -> Self {
+        let g = checkpoint.config.geometry;
+        let dies = g.total_dies() as usize;
+        assert_eq!(
+            checkpoint.p2l.len(),
+            g.total_pages() as usize,
+            "checkpoint p2l length disagrees with geometry"
+        );
+        assert_eq!(
+            checkpoint.blocks.len(),
+            g.total_blocks() as usize,
+            "checkpoint block count disagrees with geometry"
+        );
+        assert!(
+            checkpoint.free.len() == dies
+                && checkpoint.open_host.len() == dies
+                && checkpoint.open_gc.len() == dies,
+            "checkpoint per-die state disagrees with geometry"
+        );
+        Ftl {
+            flash: FlashArray::restore(checkpoint.flash),
+            l2p: checkpoint.l2p,
+            p2l: checkpoint.p2l,
+            blocks: checkpoint.blocks,
+            free: checkpoint.free,
+            open_host: checkpoint.open_host,
+            open_gc: checkpoint.open_gc,
+            cursor: checkpoint.cursor,
+            seq: checkpoint.seq,
+            stats: checkpoint.stats,
+            config: checkpoint.config,
+        }
     }
 
     // ---- internals ----------------------------------------------------
@@ -596,6 +691,46 @@ mod tests {
         let wear = ftl.wear();
         assert!(wear.max_erases > 0);
         assert!(wear.mean_erases > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically() {
+        // Drive a GC-heavy workload to a midpoint, checkpoint, and verify
+        // the restored FTL makes byte-identical scheduling and GC
+        // decisions from there on.
+        let mut a = gc_ftl(0.08, GcPolicy::Greedy);
+        let logical = a.logical_pages();
+        let mut now = SimTime::ZERO;
+        let mut state = 0x5EEDu64;
+        let next = |state: &mut u64| {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *state % logical
+        };
+        for _ in 0..(logical * 2) {
+            now = a.write_page(now, next(&mut state));
+        }
+        let cp = a.checkpoint();
+        let mut b = Ftl::restore(cp.clone());
+        assert_eq!(b.checkpoint(), cp, "round trip is lossless");
+        let mut state_b = state;
+        let mut now_b = now;
+        for _ in 0..(logical * 2) {
+            now = a.write_page(now, next(&mut state));
+            now_b = b.write_page(now_b, next(&mut state_b));
+            assert_eq!(now, now_b);
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.wear(), b.wear());
+        assert_eq!(a.free_blocks(), b.free_blocks());
+        assert_eq!(a.checkpoint(), b.checkpoint());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with geometry")]
+    fn corrupted_checkpoint_rejected() {
+        let mut cp = small_ftl().checkpoint();
+        cp.blocks.pop();
+        let _ = Ftl::restore(cp);
     }
 
     #[test]

@@ -39,6 +39,6 @@ mod stats;
 
 pub use blocks::{BlockId, BlockState};
 pub use config::FtlConfig;
-pub use ftl::Ftl;
+pub use ftl::{Ftl, FtlCheckpoint};
 pub use gc::GcPolicy;
 pub use stats::{FtlStats, WearStats};

@@ -27,7 +27,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use uc_sim::{LatencyDist, ParallelResource, SimDuration, SimRng, SimTime};
+use uc_sim::{
+    LatencyDist, ParallelResource, ParallelResourceSnapshot, SimDuration, SimRng, SimTime,
+};
 
 /// Parameters of a [`NetPath`].
 ///
@@ -42,7 +44,7 @@ use uc_sim::{LatencyDist, ParallelResource, SimDuration, SimRng, SimTime};
 ///     .with_connections(8);
 /// assert_eq!(cfg.connections, 8);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetConfig {
     /// One-way propagation + switching delay distribution.
     pub one_way: LatencyDist,
@@ -149,6 +151,50 @@ impl NetPath {
         self.transfers += 1;
         pushed + self.config.one_way.sample(rng)
     }
+
+    /// Captures the path's complete state.
+    pub fn snapshot(&self) -> NetPathSnapshot {
+        NetPathSnapshot {
+            config: self.config.clone(),
+            lanes: self.lanes.snapshot(),
+            bytes_sent: self.bytes_sent,
+            transfers: self.transfers,
+        }
+    }
+
+    /// Rebuilds a path that continues exactly where `snapshot` was taken.
+    pub fn restore(snapshot: NetPathSnapshot) -> Self {
+        NetPath {
+            lanes: ParallelResource::restore(snapshot.lanes),
+            config: snapshot.config,
+            bytes_sent: snapshot.bytes_sent,
+            transfers: snapshot.transfers,
+        }
+    }
+}
+
+/// The complete serializable state of a [`NetPath`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPathSnapshot {
+    /// The path configuration.
+    pub config: NetConfig,
+    /// Per-connection busy-until timelines.
+    pub lanes: ParallelResourceSnapshot,
+    /// Total payload bytes transferred.
+    pub bytes_sent: u64,
+    /// Total transfers performed.
+    pub transfers: u64,
+}
+
+/// The complete serializable state of a [`HostStack`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStackSnapshot {
+    /// The per-I/O service-time distribution.
+    pub per_io: LatencyDist,
+    /// Worker-pool busy-until timelines.
+    pub workers: ParallelResourceSnapshot,
+    /// I/Os processed so far.
+    pub ios: u64,
 }
 
 /// The host-side storage software stack (virtio/vhost, protocol encoding).
@@ -189,6 +235,24 @@ impl HostStack {
     /// I/Os processed so far.
     pub fn ios(&self) -> u64 {
         self.ios
+    }
+
+    /// Captures the stack's complete state.
+    pub fn snapshot(&self) -> HostStackSnapshot {
+        HostStackSnapshot {
+            per_io: self.per_io.clone(),
+            workers: self.workers.snapshot(),
+            ios: self.ios,
+        }
+    }
+
+    /// Rebuilds a stack that continues exactly where `snapshot` was taken.
+    pub fn restore(snapshot: HostStackSnapshot) -> Self {
+        HostStack {
+            per_io: snapshot.per_io,
+            workers: ParallelResource::restore(snapshot.workers),
+            ios: snapshot.ios,
+        }
     }
 }
 
@@ -277,5 +341,31 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_rejected() {
         let _ = NetConfig::intra_dc().with_stream_bandwidth(0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_path_and_stack() {
+        let mut rng = SimRng::new(9);
+        let mut path = NetPath::new(NetConfig::intra_dc().with_connections(2));
+        path.send(SimTime::ZERO, 1_000_000, &mut rng);
+        let snap = path.snapshot();
+        let mut resumed = NetPath::restore(snap.clone());
+        assert_eq!(resumed.snapshot(), snap, "round trip is lossless");
+        let mut rng2 = rng.clone();
+        assert_eq!(
+            path.send(SimTime::ZERO, 500_000, &mut rng),
+            resumed.send(SimTime::ZERO, 500_000, &mut rng2)
+        );
+        assert_eq!(path.bytes_sent(), resumed.bytes_sent());
+
+        let mut stack = HostStack::new(2, LatencyDist::constant(SimDuration::from_micros(10)));
+        stack.process(SimTime::ZERO, &mut rng);
+        let mut resumed = HostStack::restore(stack.snapshot());
+        let mut rng2 = rng.clone();
+        assert_eq!(
+            stack.process(SimTime::ZERO, &mut rng),
+            resumed.process(SimTime::ZERO, &mut rng2)
+        );
+        assert_eq!(stack.ios(), resumed.ios());
     }
 }

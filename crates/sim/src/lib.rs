@@ -17,6 +17,12 @@
 //! * [`TokenBucket`] — the rate-limiter used for elastic-SSD throughput and
 //!   IOPS budgets.
 //!
+//! Every stateful primitive can be frozen into a plain-data snapshot type
+//! ([`RngSnapshot`], [`ResourceSnapshot`], [`ParallelResourceSnapshot`],
+//! [`TokenBucketSnapshot`]) and restored exactly — the bottom layer of the
+//! device checkpoint/restore API (`uc-blockdev`'s `CheckpointDevice`) that
+//! lets long endurance runs be sliced into resumable segments.
+//!
 //! # Example
 //!
 //! ```
@@ -49,7 +55,7 @@ mod token;
 
 pub use dist::LatencyDist;
 pub use queue::EventQueue;
-pub use resource::{ParallelResource, Resource};
-pub use rng::SimRng;
+pub use resource::{ParallelResource, ParallelResourceSnapshot, Resource, ResourceSnapshot};
+pub use rng::{RngSnapshot, SimRng};
 pub use time::{SimDuration, SimTime};
-pub use token::TokenBucket;
+pub use token::{TokenBucket, TokenBucketSnapshot};

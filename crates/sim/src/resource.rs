@@ -37,6 +37,31 @@ pub struct Resource {
     busy_time: SimDuration,
 }
 
+/// The complete serializable state of a [`Resource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceSnapshot {
+    /// The instant the resource becomes idle.
+    pub busy_until: SimTime,
+    /// Total service time accumulated.
+    pub busy_time: SimDuration,
+}
+
+/// The complete serializable state of a [`ParallelResource`].
+///
+/// The per-server free-at instants are stored in ascending order — the
+/// canonical form — so two snapshots of behaviourally identical stations
+/// compare equal regardless of the internal heap layout they were captured
+/// from. Restoring from the sorted form is exact: the station only ever
+/// consults the *earliest-free* server, and servers with equal free-at
+/// instants are interchangeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelResourceSnapshot {
+    /// Per-server free-at instants, sorted ascending.
+    pub servers: Vec<SimTime>,
+    /// Total service time accumulated across all servers.
+    pub busy_time: SimDuration,
+}
+
 impl Resource {
     /// A resource that is idle from the simulation epoch.
     pub fn new() -> Self {
@@ -68,6 +93,23 @@ impl Resource {
     /// Forgets all scheduled work; the resource is idle from `SimTime::ZERO`.
     pub fn reset(&mut self) {
         *self = Resource::default();
+    }
+
+    /// Captures the resource's complete state.
+    pub fn snapshot(&self) -> ResourceSnapshot {
+        ResourceSnapshot {
+            busy_until: self.busy_until,
+            busy_time: self.busy_time,
+        }
+    }
+
+    /// Rebuilds a resource that continues exactly where `snapshot` was
+    /// taken.
+    pub fn restore(snapshot: ResourceSnapshot) -> Self {
+        Resource {
+            busy_until: snapshot.busy_until,
+            busy_time: snapshot.busy_time,
+        }
     }
 }
 
@@ -157,6 +199,34 @@ impl ParallelResource {
     pub fn reset(&mut self) {
         *self = ParallelResource::new(self.capacity);
     }
+
+    /// Captures the station's complete state in canonical (sorted) form.
+    pub fn snapshot(&self) -> ParallelResourceSnapshot {
+        let mut servers: Vec<SimTime> = self.servers.iter().map(|Reverse(t)| *t).collect();
+        servers.sort_unstable();
+        ParallelResourceSnapshot {
+            servers,
+            busy_time: self.busy_time,
+        }
+    }
+
+    /// Rebuilds a station that continues exactly where `snapshot` was
+    /// taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot holds no servers.
+    pub fn restore(snapshot: ParallelResourceSnapshot) -> Self {
+        assert!(
+            !snapshot.servers.is_empty(),
+            "ParallelResource snapshot requires at least one server"
+        );
+        ParallelResource {
+            capacity: snapshot.servers.len(),
+            servers: snapshot.servers.into_iter().map(Reverse).collect(),
+            busy_time: snapshot.busy_time,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +284,41 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_server_station_panics() {
         let _ = ParallelResource::new(0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_both_station_kinds() {
+        let d = SimDuration::from_micros(10);
+        let mut serial = Resource::new();
+        serial.acquire(SimTime::ZERO, d);
+        let resumed = Resource::restore(serial.snapshot());
+        assert_eq!(resumed.free_at(), serial.free_at());
+        assert_eq!(resumed.busy_time(), serial.busy_time());
+
+        let mut pool = ParallelResource::new(3);
+        pool.acquire(SimTime::ZERO, d);
+        pool.acquire(SimTime::ZERO, d * 4);
+        let snap = pool.snapshot();
+        assert_eq!(snap.servers.len(), 3);
+        assert!(snap.servers.windows(2).all(|w| w[0] <= w[1]), "canonical");
+        let mut resumed = ParallelResource::restore(snap.clone());
+        assert_eq!(resumed.capacity(), 3);
+        assert_eq!(resumed.snapshot(), snap, "round trip is lossless");
+        // The resumed pool schedules exactly as the original would.
+        assert_eq!(
+            resumed.acquire(SimTime::ZERO, d),
+            pool.acquire(SimTime::ZERO, d)
+        );
+        assert_eq!(resumed.drained_at(), pool.drained_at());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_parallel_snapshot_rejected() {
+        let _ = ParallelResource::restore(ParallelResourceSnapshot {
+            servers: Vec::new(),
+            busy_time: SimDuration::ZERO,
+        });
     }
 
     #[test]

@@ -33,6 +33,26 @@ pub struct TokenBucket {
     granted_total: u64,
 }
 
+/// The complete serializable state of a [`TokenBucket`].
+///
+/// Captures both the configuration (burst, rate — the rate may have been
+/// changed mid-run by a throttle policy) and the accrual state, so a
+/// restored bucket grants exactly the same instants the original would
+/// have.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketSnapshot {
+    /// Bucket capacity in tokens.
+    pub burst: f64,
+    /// Refill rate in tokens per second at the capture instant.
+    pub rate_per_sec: f64,
+    /// Tokens available at the capture instant.
+    pub available: f64,
+    /// The accrual clock (instant of the last settle or deferred grant).
+    pub last: SimTime,
+    /// Total tokens granted since construction or reset.
+    pub granted_total: u64,
+}
+
 impl TokenBucket {
     /// Creates a bucket that starts full.
     ///
@@ -125,6 +145,41 @@ impl TokenBucket {
         self.granted_total = 0;
     }
 
+    /// Captures the bucket's complete state.
+    pub fn snapshot(&self) -> TokenBucketSnapshot {
+        TokenBucketSnapshot {
+            burst: self.burst,
+            rate_per_sec: self.rate_per_sec,
+            available: self.available,
+            last: self.last,
+            granted_total: self.granted_total,
+        }
+    }
+
+    /// Rebuilds a bucket that continues exactly where `snapshot` was
+    /// taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's burst or rate is not positive and finite.
+    pub fn restore(snapshot: TokenBucketSnapshot) -> Self {
+        assert!(
+            snapshot.burst > 0.0 && snapshot.burst.is_finite(),
+            "token bucket burst must be positive and finite"
+        );
+        assert!(
+            snapshot.rate_per_sec > 0.0 && snapshot.rate_per_sec.is_finite(),
+            "token bucket rate must be positive and finite"
+        );
+        TokenBucket {
+            burst: snapshot.burst,
+            rate_per_sec: snapshot.rate_per_sec,
+            available: snapshot.available,
+            last: snapshot.last,
+            granted_total: snapshot.granted_total,
+        }
+    }
+
     /// Advances the accrual clock to `max(now, last)`.
     fn settle(&mut self, now: SimTime) {
         if now > self.last {
@@ -208,5 +263,29 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = TokenBucket::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_grant_schedule() {
+        let mut a = TokenBucket::new(100.0, 1000.0);
+        a.reserve(SimTime::ZERO, 80);
+        a.set_rate(SimTime::ZERO + SimDuration::from_millis(1), 500.0);
+        let snap = a.snapshot();
+        let mut b = TokenBucket::restore(snap);
+        assert_eq!(b.snapshot(), snap, "round trip is lossless");
+        assert_eq!(b.rate(), a.rate());
+        let now = SimTime::ZERO + SimDuration::from_millis(2);
+        for tokens in [10, 200, 45] {
+            assert_eq!(a.reserve(now, tokens), b.reserve(now, tokens));
+        }
+        assert_eq!(a.granted_total(), b.granted_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn restore_rejects_bad_rate() {
+        let mut snap = TokenBucket::new(1.0, 1.0).snapshot();
+        snap.rate_per_sec = f64::NAN;
+        let _ = TokenBucket::restore(snap);
     }
 }

@@ -19,7 +19,7 @@ use uc_sim::{LatencyDist, SimDuration};
 /// assert_eq!(cfg.name, "Samsung 970 Pro (scaled)");
 /// assert!(cfg.ftl.logical_capacity() >= 4 << 30);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SsdConfig {
     /// Human-readable device name.
     pub name: String,
@@ -147,6 +147,12 @@ impl SsdConfig {
             prefetch_trigger: 2,
             prefetch_window_pages: 64,
         }
+    }
+
+    /// Replaces the device name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
     }
 
     /// Replaces the firmware per-command cost.

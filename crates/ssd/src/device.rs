@@ -1,9 +1,12 @@
 //! The assembled SSD device.
 
-use crate::{Prefetcher, SsdConfig, WriteBuffer};
-use uc_blockdev::{BlockDevice, DeviceInfo, IoKind, IoRequest, IoResult};
-use uc_ftl::{Ftl, FtlStats};
-use uc_sim::{Resource, SimRng, SimTime};
+use crate::{Prefetcher, PrefetcherSnapshot, SsdConfig, WriteBuffer, WriteBufferSnapshot};
+use uc_blockdev::{
+    BlockDevice, CheckpointDevice, CheckpointError, DeviceCheckpoint, DeviceInfo, IoKind,
+    IoRequest, IoResult,
+};
+use uc_ftl::{Ftl, FtlCheckpoint, FtlStats};
+use uc_sim::{Resource, ResourceSnapshot, RngSnapshot, SimRng, SimTime};
 
 /// Activity counters of an [`Ssd`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +62,36 @@ pub struct Ssd {
     stats: SsdStats,
 }
 
+/// The complete serializable state of an [`Ssd`]: the configuration plus
+/// one snapshot per stateful layer (FTL and flash timelines, firmware and
+/// DMA-lane resources, write buffer, prefetcher, jitter RNG, counters).
+///
+/// Captured by [`Ssd::snapshot`] (or type-erased through
+/// [`CheckpointDevice::checkpoint`]); [`Ssd::restore`] rebuilds a device
+/// that serves any subsequent request sequence with completion instants
+/// identical to the original's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsdCheckpoint {
+    /// The configuration the device was built with.
+    pub config: SsdConfig,
+    /// FTL state (mapping, free blocks, GC cursor, wear, flash timelines).
+    pub ftl: FtlCheckpoint,
+    /// Firmware pipeline timeline.
+    pub firmware: ResourceSnapshot,
+    /// Host-DMA read lane timeline.
+    pub read_lane: ResourceSnapshot,
+    /// Host-DMA write lane timeline.
+    pub write_lane: ResourceSnapshot,
+    /// DRAM write-buffer state.
+    pub buffer: WriteBufferSnapshot,
+    /// Readahead prefetcher state.
+    pub prefetcher: PrefetcherSnapshot,
+    /// Firmware jitter RNG state.
+    pub rng: RngSnapshot,
+    /// Device activity counters.
+    pub stats: SsdStats,
+}
+
 impl Ssd {
     /// Builds the device described by `config`, seeding its internal jitter
     /// stream deterministically from the configuration name.
@@ -105,6 +138,42 @@ impl Ssd {
     /// Immutable access to the FTL (wear, mapping state) for analysis.
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// Captures the device's complete state as a typed checkpoint.
+    pub fn snapshot(&self) -> SsdCheckpoint {
+        SsdCheckpoint {
+            config: self.config.clone(),
+            ftl: self.ftl.checkpoint(),
+            firmware: self.firmware.snapshot(),
+            read_lane: self.read_lane.snapshot(),
+            write_lane: self.write_lane.snapshot(),
+            buffer: self.buffer.snapshot(),
+            prefetcher: self.prefetcher.snapshot(),
+            rng: self.rng.snapshot(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a device that continues exactly where `checkpoint` was
+    /// taken.
+    pub fn restore(checkpoint: SsdCheckpoint) -> Self {
+        let ftl = Ftl::restore(checkpoint.ftl);
+        let page = ftl.page_size() as u64;
+        let capacity = ftl.logical_pages() * page;
+        let info = DeviceInfo::new(checkpoint.config.name.clone(), capacity, ftl.page_size());
+        Ssd {
+            buffer: WriteBuffer::restore(checkpoint.buffer),
+            prefetcher: Prefetcher::restore(checkpoint.prefetcher),
+            ftl,
+            info,
+            firmware: Resource::restore(checkpoint.firmware),
+            read_lane: Resource::restore(checkpoint.read_lane),
+            write_lane: Resource::restore(checkpoint.write_lane),
+            rng: SimRng::restore(checkpoint.rng),
+            stats: checkpoint.stats,
+            config: checkpoint.config,
+        }
     }
 
     fn fw_acquire(&mut self, now: SimTime) -> SimTime {
@@ -197,6 +266,27 @@ impl BlockDevice for Ssd {
     // body is monomorphized per impl, so batched submission is already a
     // loop of statically dispatched `submit` calls with identical
     // completion instants (asserted by `batch_submission_matches_sequential`).
+}
+
+impl CheckpointDevice for Ssd {
+    fn checkpoint(&self) -> DeviceCheckpoint {
+        DeviceCheckpoint::new(self.info.name(), self.snapshot())
+    }
+
+    fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
+        checkpoint.expect_device(self.info.name())?;
+        let restored = Ssd::restore(checkpoint.into_state::<SsdCheckpoint>()?);
+        // Same name is not enough: a checkpoint from a differently-scaled
+        // device must not silently shrink or grow this one.
+        if restored.info != self.info {
+            return Err(CheckpointError::DeviceMismatch {
+                expected: format!("{} ({} B)", self.info.name(), self.info.capacity()),
+                found: format!("{} ({} B)", restored.info.name(), restored.info.capacity()),
+            });
+        }
+        *self = restored;
+        Ok(())
+    }
 }
 
 // The factory contract: built devices cross thread boundaries.
@@ -347,6 +437,53 @@ mod tests {
         assert_eq!(s.write_bytes, 8192);
         assert_eq!(s.read_bytes, 4096);
         assert_eq!(dev.ftl_stats().host_pages_written, 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically() {
+        // Drive mixed traffic to a midpoint, checkpoint, restore onto a
+        // fresh device, and verify both serve the same remaining requests
+        // with identical completion instants and counters.
+        let mut a = ssd();
+        let mut now = SimTime::ZERO;
+        let mut state = 11u64;
+        let next_req = |state: &mut u64, now: SimTime| {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = (*state % 2048) * 4096;
+            if (*state).is_multiple_of(3) {
+                IoRequest::read(off, 4096, now)
+            } else {
+                IoRequest::write(off, 8192, now)
+            }
+        };
+        for _ in 0..64 {
+            now = a.submit(&next_req(&mut state, now)).unwrap();
+        }
+        let cp = CheckpointDevice::checkpoint(&a);
+        let mut b = ssd();
+        b.restore_from(cp).unwrap();
+        assert_eq!(b.snapshot(), a.snapshot(), "restore is lossless");
+        let mut now_b = now;
+        let mut state_b = state;
+        for _ in 0..64 {
+            let done_a = a.submit(&next_req(&mut state, now)).unwrap();
+            let done_b = b.submit(&next_req(&mut state_b, now_b)).unwrap();
+            assert_eq!(done_a, done_b);
+            now = done_a;
+            now_b = done_b;
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.ftl_stats(), b.ftl_stats());
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_device() {
+        let cp = CheckpointDevice::checkpoint(&ssd());
+        let mut other = Ssd::new(SsdConfig::samsung_970_pro(1 << 30).with_name("other"));
+        assert!(matches!(
+            other.restore_from(cp),
+            Err(CheckpointError::DeviceMismatch { .. })
+        ));
     }
 
     #[test]

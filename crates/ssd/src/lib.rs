@@ -36,7 +36,7 @@ mod config;
 mod device;
 mod prefetch;
 
-pub use buffer::WriteBuffer;
+pub use buffer::{WriteBuffer, WriteBufferSnapshot};
 pub use config::SsdConfig;
-pub use device::{Ssd, SsdStats};
-pub use prefetch::Prefetcher;
+pub use device::{Ssd, SsdCheckpoint, SsdStats};
+pub use prefetch::{Prefetcher, PrefetcherSnapshot};

@@ -70,22 +70,284 @@ fn ring_doorbell<D: BlockDevice + ?Sized>(
     Ok(())
 }
 
+/// One request in flight at a pause point, in plain serializable form.
+///
+/// The closed-loop driver's heap entries, exposed through
+/// [`DriverCheckpoint`] so a paused job can be frozen and rebuilt exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflightIo {
+    /// The instant the request completes.
+    pub completes: SimTime,
+    /// The instant the request was submitted.
+    pub submitted: SimTime,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// The complete serializable state of a paused [`ClosedLoopJob`].
+///
+/// Captured by [`ClosedLoopJob::checkpoint`]; [`ClosedLoopJob::resume`]
+/// rebuilds a job that continues with a schedule identical to a job that
+/// was never paused. Pair it with the device's own checkpoint
+/// (`uc_blockdev::CheckpointDevice`) to move a half-finished run across
+/// threads (or, in principle, processes).
+#[derive(Debug, Clone)]
+pub struct DriverCheckpoint {
+    /// The job specification being executed.
+    pub spec: JobSpec,
+    /// The resolved device span `[start, end)` offsets are drawn from.
+    pub span: (u64, u64),
+    /// The offset/direction generator, mid-sequence.
+    pub stream: AddressStream,
+    /// Everything measured so far.
+    pub report: JobReport,
+    /// Outstanding requests, sorted by schedule order
+    /// (`(completes, submitted, kind, len)` ascending).
+    pub inflight: Vec<InflightIo>,
+    /// `true` once the job's stop condition has fired.
+    pub finished: bool,
+}
+
+/// How a [`ClosedLoopJob::run_until`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobProgress {
+    /// The byte milestone was reached; the job can be resumed.
+    Paused,
+    /// The spec's stop condition fired (or the address space drained);
+    /// the report is final.
+    Finished,
+}
+
+/// A resumable closed-loop job: the state [`run_job`] keeps on its stack,
+/// reified so a long run can pause at byte milestones, be checkpointed,
+/// travel to another worker, and continue.
+///
+/// The driver keeps `queue_depth` requests outstanding and speaks the
+/// queue-pair API: the initial fill is one [`IoBatch`] of `queue_depth`
+/// requests, and every later step drains the group of completions sharing
+/// the earliest instant, then rings one doorbell with all of their
+/// replacements. Because replacement requests are submitted at their
+/// predecessors' completion instants and devices report strictly positive
+/// service times, the batched schedule is *identical* to submitting one
+/// request per [`BlockDevice::submit`] call — same virtual-time schedule,
+/// fewer (and fatter) device calls. This reproduces FIO's `iodepth=N`
+/// behaviour with exact virtual-time bookkeeping.
+///
+/// **Pause exactness:** [`ClosedLoopJob::run_until`] only pauses at
+/// drain-group boundaries — after a group's replacements have gone out
+/// through their doorbell, before the next group is popped. Every
+/// recorded completion still queues its replacement exactly as an
+/// uninterrupted run would, so for any milestone sequence the final
+/// report (and the device-observed submission timeline) is byte-identical
+/// to [`run_job`]'s. This is the property that lets `uc-core` slice the
+/// Figure 3 endurance run into pipelined segments.
+///
+/// # Example
+///
+/// ```
+/// use uc_ssd::{Ssd, SsdConfig};
+/// use uc_workload::{AccessPattern, ClosedLoopJob, JobSpec, run_job};
+///
+/// let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 4)
+///     .with_byte_limit(64 * 4096);
+/// // Straight through…
+/// let mut a = Ssd::new(SsdConfig::samsung_970_pro(256 << 20));
+/// let straight = run_job(&mut a, &spec)?;
+/// // …equals paused-and-resumed at a midpoint.
+/// let mut b = Ssd::new(SsdConfig::samsung_970_pro(256 << 20));
+/// let mut job = ClosedLoopJob::start(&mut b, &spec)?;
+/// job.run_until(&mut b, 32 * 4096)?;
+/// let resumed = ClosedLoopJob::resume(job.checkpoint());
+/// let mut job = resumed;
+/// job.run_until(&mut b, u64::MAX)?;
+/// assert_eq!(job.report().finished_at, straight.finished_at);
+/// # Ok::<(), uc_blockdev::IoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoopJob {
+    spec: JobSpec,
+    span: (u64, u64),
+    stream: AddressStream,
+    report: JobReport,
+    inflight: BinaryHeap<Reverse<Inflight>>,
+    finished: bool,
+}
+
+impl ClosedLoopJob {
+    /// Primes a job against `dev`: resolves the span and submits the
+    /// initial `queue_depth` fill through one doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`IoError`] a submission reports (e.g. the
+    /// spec's span exceeds the device capacity).
+    pub fn start<D: BlockDevice + ?Sized>(dev: &mut D, spec: &JobSpec) -> Result<Self, IoError> {
+        let span = job_span(dev, spec);
+        let mut stream = AddressStream::new(spec.pattern, spec.io_size, span.0, span.1, spec.seed);
+        let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
+        let mut batch = IoBatch::with_capacity(spec.queue_depth);
+        for _ in 0..spec.queue_depth {
+            queue_next(&mut batch, &mut stream, spec.io_size, spec.start);
+        }
+        ring_doorbell(dev, &batch, &mut inflight)?;
+        Ok(ClosedLoopJob {
+            spec: spec.clone(),
+            span,
+            stream,
+            report: JobReport::new(spec.throughput_window, spec.start),
+            inflight,
+            finished: false,
+        })
+    }
+
+    /// Drives the job until at least `bytes` total bytes have completed,
+    /// pausing at the next drain-group boundary — or until the spec's own
+    /// stop condition fires, whichever comes first.
+    ///
+    /// Pass `u64::MAX` to run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`IoError`] a submission reports.
+    pub fn run_until<D: BlockDevice + ?Sized>(
+        &mut self,
+        dev: &mut D,
+        bytes: u64,
+    ) -> Result<JobProgress, IoError> {
+        if self.finished {
+            return Ok(JobProgress::Finished);
+        }
+        let mut batch = IoBatch::with_capacity(self.spec.queue_depth);
+        'drive: while let Some(Reverse(first)) = self.inflight.pop() {
+            batch.clear();
+            // Drain every completion sharing the earliest instant and
+            // queue one replacement per completion, all at that instant.
+            // (A replacement cannot complete before this instant, so the
+            // heap order — and therefore the schedule — matches
+            // request-at-a-time submission exactly.)
+            let mut done = first;
+            loop {
+                self.report.record(
+                    done.kind.is_write(),
+                    done.len,
+                    done.submitted,
+                    done.completes,
+                );
+                if limit_reached(&self.spec, &self.report) {
+                    // Replacements queued for the completions recorded
+                    // before the limit still go out (exactly the requests
+                    // the one-at-a-time driver had already submitted).
+                    ring_doorbell(dev, &batch, &mut self.inflight)?;
+                    break 'drive;
+                }
+                queue_next(
+                    &mut batch,
+                    &mut self.stream,
+                    self.spec.io_size,
+                    done.completes,
+                );
+                match self.inflight.peek() {
+                    Some(Reverse(next)) if next.completes == first.completes => {
+                        done = self.inflight.pop().expect("peeked").0;
+                    }
+                    _ => break,
+                }
+            }
+            ring_doorbell(dev, &batch, &mut self.inflight)?;
+            if self.report.bytes >= bytes {
+                return Ok(JobProgress::Paused);
+            }
+        }
+        self.finished = true;
+        Ok(JobProgress::Finished)
+    }
+
+    /// `true` once the job's stop condition has fired.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Everything measured so far (final once [`ClosedLoopJob::is_finished`]).
+    pub fn report(&self) -> &JobReport {
+        &self.report
+    }
+
+    /// Consumes the job, yielding its report.
+    pub fn into_report(self) -> JobReport {
+        self.report
+    }
+
+    /// Captures the job's complete state at a pause point.
+    pub fn checkpoint(&self) -> DriverCheckpoint {
+        let mut inflight: Vec<InflightIo> = self
+            .inflight
+            .iter()
+            .map(|Reverse(io)| InflightIo {
+                completes: io.completes,
+                submitted: io.submitted,
+                kind: io.kind,
+                len: io.len,
+            })
+            .collect();
+        // Canonical order: the heap's own schedule order. Entries equal on
+        // all fields are interchangeable, so this fully determines the
+        // continuation.
+        inflight
+            .sort_unstable_by_key(|io| (io.completes, io.submitted, io.kind.is_write(), io.len));
+        DriverCheckpoint {
+            spec: self.spec.clone(),
+            span: self.span,
+            stream: self.stream.clone(),
+            report: self.report.clone(),
+            inflight,
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuilds a job that continues exactly where `checkpoint` was taken.
+    pub fn resume(checkpoint: DriverCheckpoint) -> Self {
+        ClosedLoopJob {
+            spec: checkpoint.spec,
+            span: checkpoint.span,
+            stream: checkpoint.stream,
+            report: checkpoint.report,
+            inflight: checkpoint
+                .inflight
+                .into_iter()
+                .map(|io| {
+                    Reverse(Inflight {
+                        completes: io.completes,
+                        submitted: io.submitted,
+                        kind: io.kind,
+                        len: io.len,
+                    })
+                })
+                .collect(),
+            finished: checkpoint.finished,
+        }
+    }
+}
+
+/// Queues the next I/O of `stream` into `batch` at instant `at`.
+fn queue_next(batch: &mut IoBatch, stream: &mut AddressStream, io_size: u32, at: SimTime) {
+    let (kind, offset) = stream.next_io();
+    batch.push(IoRequest {
+        kind,
+        offset,
+        len: io_size,
+        submit_time: at,
+    });
+}
+
 /// Runs `spec` against `dev` with a closed-loop driver: `queue_depth`
 /// requests stay outstanding; each completion immediately queues the next
 /// request at its completion instant.
 ///
-/// The driver speaks the queue-pair API: the initial fill is one
-/// [`IoBatch`] of `queue_depth` requests, and every later step drains the
-/// group of completions sharing the earliest instant, then rings one
-/// doorbell with all of their replacements. Because replacement requests
-/// are submitted at their predecessors' completion instants and devices
-/// report strictly positive service times, the batched schedule is
-/// *identical* to submitting one request per [`BlockDevice::submit`] call
-/// — same virtual-time schedule, fewer (and fatter) device calls.
-///
-/// This reproduces FIO's `iodepth=N` behaviour with exact virtual-time
-/// bookkeeping: submissions happen in non-decreasing time order, which is
-/// the contract the timeline-driven devices require.
+/// This is [`ClosedLoopJob`] run straight through — see its documentation
+/// for the queue-pair batching and schedule-equivalence guarantees. Use
+/// `ClosedLoopJob` directly to pause at byte milestones and checkpoint.
 ///
 /// # Errors
 ///
@@ -96,61 +358,9 @@ fn ring_doorbell<D: BlockDevice + ?Sized>(
 ///
 /// See the crate-level example.
 pub fn run_job<D: BlockDevice + ?Sized>(dev: &mut D, spec: &JobSpec) -> Result<JobReport, IoError> {
-    let (start, end) = job_span(dev, spec);
-    let mut stream = AddressStream::new(spec.pattern, spec.io_size, start, end, spec.seed);
-    let mut report = JobReport::new(spec.throughput_window, spec.start);
-    let mut inflight: BinaryHeap<Reverse<Inflight>> = BinaryHeap::new();
-    let mut batch = IoBatch::with_capacity(spec.queue_depth);
-
-    let queue_next = |batch: &mut IoBatch, stream: &mut AddressStream, at: SimTime| {
-        let (kind, offset) = stream.next_io();
-        batch.push(IoRequest {
-            kind,
-            offset,
-            len: spec.io_size,
-            submit_time: at,
-        });
-    };
-
-    // Initial fill: the whole queue depth goes in through one doorbell.
-    for _ in 0..spec.queue_depth {
-        queue_next(&mut batch, &mut stream, spec.start);
-    }
-    ring_doorbell(dev, &batch, &mut inflight)?;
-
-    'drive: while let Some(Reverse(first)) = inflight.pop() {
-        batch.clear();
-        // Drain every completion sharing the earliest instant and queue
-        // one replacement per completion, all at that instant. (A
-        // replacement cannot complete before this instant, so the heap
-        // order — and therefore the schedule — matches request-at-a-time
-        // submission exactly.)
-        let mut done = first;
-        loop {
-            report.record(
-                done.kind.is_write(),
-                done.len,
-                done.submitted,
-                done.completes,
-            );
-            if limit_reached(spec, &report) {
-                // Replacements queued for the completions recorded before
-                // the limit still go out (exactly the requests the
-                // one-at-a-time driver had already submitted).
-                ring_doorbell(dev, &batch, &mut inflight)?;
-                break 'drive;
-            }
-            queue_next(&mut batch, &mut stream, done.completes);
-            match inflight.peek() {
-                Some(Reverse(next)) if next.completes == first.completes => {
-                    done = inflight.pop().expect("peeked").0;
-                }
-                _ => break,
-            }
-        }
-        ring_doorbell(dev, &batch, &mut inflight)?;
-    }
-    Ok(report)
+    let mut job = ClosedLoopJob::start(dev, spec)?;
+    job.run_until(dev, u64::MAX)?;
+    Ok(job.into_report())
 }
 
 /// Preconditions a device: sequentially fills its entire capacity with
@@ -499,6 +709,93 @@ mod tests {
         assert_eq!(batched.finished_at, ref_report.finished_at);
         assert_eq!(batched.latency.mean(), ref_report.latency.mean());
         assert_eq!(b.submissions, a.submissions);
+    }
+
+    #[test]
+    fn paused_job_matches_straight_run_exactly() {
+        // Pause at several byte milestones, checkpointing and resuming at
+        // each; the final report and the device-observed submission
+        // timeline must equal a straight run's.
+        for (qd, servers) in [(1usize, 1usize), (4, 4), (8, 3)] {
+            let spec = JobSpec::new(
+                AccessPattern::Mixed {
+                    write_ratio: 0.5,
+                    random: true,
+                },
+                4096,
+                qd,
+            )
+            .with_byte_limit(400 * 4096)
+            .with_seed(77);
+            let mut straight_dev = TestDevice::new(9, servers);
+            let straight = run_job(&mut straight_dev, &spec).unwrap();
+
+            let mut dev = TestDevice::new(9, servers);
+            let mut job = ClosedLoopJob::start(&mut dev, &spec).unwrap();
+            let mut milestone = 50 * 4096u64;
+            loop {
+                match job.run_until(&mut dev, milestone).unwrap() {
+                    JobProgress::Finished => break,
+                    JobProgress::Paused => {
+                        // Freeze and thaw: the continuation must not care.
+                        job = ClosedLoopJob::resume(job.checkpoint());
+                        milestone += 50 * 4096;
+                    }
+                }
+            }
+            assert!(job.is_finished());
+            let segmented = job.into_report();
+            assert_eq!(segmented.ios, straight.ios);
+            assert_eq!(segmented.bytes, straight.bytes);
+            assert_eq!(segmented.finished_at, straight.finished_at);
+            assert_eq!(segmented.latency.mean(), straight.latency.mean());
+            assert_eq!(
+                segmented.latency.percentile(99.9),
+                straight.latency.percentile(99.9)
+            );
+            assert_eq!(dev.submissions, straight_dev.submissions);
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_canonical_and_resume_lossless() {
+        let spec = JobSpec::new(AccessPattern::RandWrite, 4096, 6).with_byte_limit(200 * 4096);
+        let mut dev = TestDevice::new(5, 2);
+        let mut job = ClosedLoopJob::start(&mut dev, &spec).unwrap();
+        job.run_until(&mut dev, 40 * 4096).unwrap();
+        let cp = job.checkpoint();
+        assert!(!cp.finished);
+        assert_eq!(cp.inflight.len(), 6, "queue depth stays outstanding");
+        assert!(
+            cp.inflight
+                .windows(2)
+                .all(|w| (w[0].completes, w[0].submitted) <= (w[1].completes, w[1].submitted)),
+            "inflight entries are in canonical schedule order"
+        );
+        // A resumed job's own checkpoint is identical (canonical form).
+        let resumed = ClosedLoopJob::resume(cp.clone());
+        let cp2 = resumed.checkpoint();
+        assert_eq!(cp2.inflight, cp.inflight);
+        assert_eq!(cp2.spec, cp.spec);
+        assert_eq!(cp2.span, cp.span);
+        assert_eq!(cp2.report.bytes, cp.report.bytes);
+    }
+
+    #[test]
+    fn run_until_past_limit_reports_finished() {
+        let spec = JobSpec::new(AccessPattern::SeqWrite, 4096, 2).with_io_limit(10);
+        let mut dev = TestDevice::new(3, 1);
+        let mut job = ClosedLoopJob::start(&mut dev, &spec).unwrap();
+        assert_eq!(
+            job.run_until(&mut dev, u64::MAX).unwrap(),
+            JobProgress::Finished
+        );
+        // Idempotent once finished.
+        assert_eq!(
+            job.run_until(&mut dev, u64::MAX).unwrap(),
+            JobProgress::Finished
+        );
+        assert_eq!(job.report().ios, 10);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   stop condition),
 //! * [`run_job`] — a closed-loop driver keeping `queue_depth` requests
 //!   outstanding against any [`BlockDevice`](uc_blockdev::BlockDevice),
+//! * [`ClosedLoopJob`] — the same driver as a resumable object: pause at
+//!   byte milestones, capture a [`DriverCheckpoint`], continue on another
+//!   worker with a byte-identical schedule (the mechanism behind the
+//!   segmented Figure 3 endurance run in `uc-core`),
 //! * [`run_open_loop`] — an arrival-driven driver for burst/smoothing
 //!   studies (Implication 4),
 //! * [`JobReport`] — latency histograms (overall and split by direction)
@@ -38,7 +42,9 @@ mod spec;
 mod stream;
 mod trace;
 
-pub use driver::{precondition, run_job, run_open_loop};
+pub use driver::{
+    precondition, run_job, run_open_loop, ClosedLoopJob, DriverCheckpoint, InflightIo, JobProgress,
+};
 pub use report::JobReport;
 pub use shaper::Shaper;
 pub use spec::{AccessPattern, JobLimit, JobSpec};

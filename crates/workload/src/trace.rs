@@ -161,19 +161,28 @@ impl Trace {
         out
     }
 
-    /// Renders the text format.
+    /// Renders the text format (same output as the [`fmt::Display`] impl).
     pub fn to_text(&self) -> String {
-        let mut out = String::new();
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Writes the parseable text format: one `<nanos> <R|W> <offset>
+    /// <len>` line per entry, so `trace.to_string().parse::<Trace>()`
+    /// round-trips.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.entries {
-            out.push_str(&format!(
-                "{} {} {} {}\n",
+            writeln!(
+                f,
+                "{} {} {} {}",
                 e.at.as_nanos(),
                 if e.kind.is_write() { 'W' } else { 'R' },
                 e.offset,
                 e.len
-            ));
+            )?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -277,6 +286,32 @@ mod tests {
         assert!(err.reason.contains("direction"));
         let err = "0 W 0 4096 extra".parse::<Trace>().unwrap_err();
         assert!(err.reason.contains("trailing"));
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        // Generate a non-trivial trace, render it through `Display`, parse
+        // it back, and require exact equality (and a stable re-render).
+        let original = Trace::bursty_writes(3, 7, SimDuration::from_millis(2), 8192, 4 << 20, 42);
+        let text = original.to_string();
+        let reparsed: Trace = text.parse().unwrap();
+        assert_eq!(reparsed, original);
+        assert_eq!(reparsed.to_string(), text);
+        assert_eq!(original.to_text(), text, "to_text delegates to Display");
+        // An empty trace renders to nothing and parses back empty.
+        assert_eq!(Trace::new().to_string(), "");
+        assert_eq!("".parse::<Trace>().unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn parse_error_line_numbers_are_one_based_and_count_skipped_lines() {
+        // The bad line is line 5 of the input: a header comment, a blank
+        // line and two good entries precede it. Skipped lines still count.
+        let text = "# header\n\n0 W 0 4096\n10 R 4096 4096\n20 Q 0 4096\n";
+        let err = text.parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.reason.contains("direction"));
+        assert_eq!(err.to_string(), "trace line 5: bad direction `Q`");
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! |---|---|
 //! | [`sim`] | virtual clock, RNG, distributions, resources, token buckets |
 //! | [`metrics`] | latency histograms, throughput timelines, summary stats |
-//! | [`blockdev`] | the `BlockDevice` abstraction, queue-pair batching (`IoBatch`/`Completion`), `DeviceFactory` seam |
+//! | [`blockdev`] | the `BlockDevice` abstraction, queue-pair batching (`IoBatch`/`Completion`), `DeviceFactory` seam, `CheckpointDevice` snapshot/restore seam |
 //! | [`flash`] | NAND geometry/timing and die/channel scheduling |
 //! | [`ftl`] | page-mapping FTL with garbage collection |
 //! | [`ssd`] | the local-SSD device model (Samsung 970 Pro profile) |
@@ -68,7 +68,8 @@ pub use uc_workload as workload;
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use uc_blockdev::{
-        BlockDevice, Completion, DeviceFactory, DeviceInfo, IoBatch, IoError, IoKind, IoRequest,
+        BlockDevice, CheckpointDevice, CheckpointError, Completion, DeviceCheckpoint,
+        DeviceFactory, DeviceInfo, IoBatch, IoError, IoKind, IoRequest,
     };
     pub use uc_core::contract::{check_all, ContractInputs, ContractReport};
     pub use uc_core::devices::{DeviceKind, DeviceRoster};
@@ -77,5 +78,7 @@ pub mod prelude {
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};
     pub use uc_ssd::{Ssd, SsdConfig};
-    pub use uc_workload::{run_job, run_open_loop, AccessPattern, JobReport, JobSpec};
+    pub use uc_workload::{
+        run_job, run_open_loop, AccessPattern, ClosedLoopJob, JobReport, JobSpec,
+    };
 }
