@@ -2,7 +2,8 @@
 //! to 3× device capacity.
 //!
 //! Usage: `cargo run --release -p uc-bench --bin fig3 [--quick]
-//! [--scale <mult>] [--segments <n>] [--verify-segmented]`
+//! [--scale <mult>] [--segments <n>] [--verify-segmented]
+//! [--checkpoint-dir <dir> [--resume] [--kill-after <n>]]`
 //!
 //! * `--quick` — shorter run (1.5× capacity) for smoke tests.
 //! * `--scale <mult>` — multiply device capacities (`UC_SCALE` fallback).
@@ -12,31 +13,54 @@
 //! * `--verify-segmented` — run each device both unsliced and pipelined
 //!   and exit nonzero unless the rendered figures are byte-identical (the
 //!   checkpoint determinism contract; used by CI).
+//! * `--checkpoint-dir <dir>` — persist every segment boundary into
+//!   `<dir>` as self-describing record files, pruning superseded ones. A
+//!   killed run restarted with `--resume` continues from the newest valid
+//!   checkpoint and renders figures byte-identical to an uninterrupted
+//!   run (the crash-resume CI gate pins this).
+//! * `--resume` — with `--checkpoint-dir`, continue from on-disk state.
+//! * `--kill-after <n>` — crash-testing hook: terminate the process
+//!   (exit 42) after the n-th checkpoint save, simulating a crash at a
+//!   segment boundary. CI uses this to exercise `--resume`.
 
 use uc_bench::roster_from_args;
 use uc_core::devices::DeviceKind;
-use uc_core::experiments::fig3::{self, Fig3Config};
+use uc_core::experiments::fig3::{self, CheckpointDir, Fig3Config};
 use uc_core::experiments::Executor;
 use uc_core::report::render_fig3;
+
+/// Reads the value of `--flag <n>` as a positive integer, if present.
+fn parse_count(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"));
+        let n = v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got {v:?}"));
+        assert!(n > 0, "{flag} expects a positive integer, got 0");
+        n
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let verify = args.iter().any(|a| a == "--verify-segmented");
-    let segments = args
-        .iter()
-        .position(|a| a == "--segments")
-        .map(|i| {
-            let v = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--segments expects a value"));
-            let n = v
-                .parse::<usize>()
-                .unwrap_or_else(|_| panic!("--segments expects a positive integer, got {v:?}"));
-            assert!(n > 0, "--segments expects a positive integer, got 0");
-            n
-        })
-        .unwrap_or(8);
+    let resume = args.iter().any(|a| a == "--resume");
+    let segments = parse_count(&args, "--segments").unwrap_or(8);
+    let kill_after = parse_count(&args, "--kill-after");
+    let checkpoint_dir = args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--checkpoint-dir expects a path"))
+            .clone()
+    });
+    if resume && checkpoint_dir.is_none() {
+        panic!("--resume requires --checkpoint-dir");
+    }
+    if kill_after.is_some() && checkpoint_dir.is_none() {
+        panic!("--kill-after requires --checkpoint-dir");
+    }
     let roster = roster_from_args(&args);
     let cfg = if quick {
         Fig3Config::quick()
@@ -50,8 +74,32 @@ fn main() {
         DeviceKind::ALL.len(),
         exec.threads()
     );
-    let results =
-        fig3::run_pipelined(&roster, &DeviceKind::ALL, &cfg, segments, &exec).expect("fig3 run");
+    let results = match &checkpoint_dir {
+        Some(dir) => {
+            let mut store = CheckpointDir::create(dir).expect("create checkpoint dir");
+            if let Some(n) = kill_after {
+                store = store.with_kill_after(n as u64);
+            }
+            eprintln!(
+                "persisting segment checkpoints to {} ({})",
+                store.path().display(),
+                if resume { "resuming" } else { "fresh run" }
+            );
+            fig3::run_pipelined_durable(
+                &roster,
+                &DeviceKind::ALL,
+                &cfg,
+                segments,
+                &exec,
+                &store,
+                resume,
+            )
+            .expect("fig3 durable run")
+        }
+        None => {
+            fig3::run_pipelined(&roster, &DeviceKind::ALL, &cfg, segments, &exec).expect("fig3 run")
+        }
+    };
 
     let mut mismatches = 0;
     for (i, kind) in DeviceKind::ALL.into_iter().enumerate() {

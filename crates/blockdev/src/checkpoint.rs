@@ -24,8 +24,10 @@
 use std::any::Any;
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 
 use crate::BlockDevice;
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
 
 /// Object-safe clonable `Any` — the erased payload of a checkpoint.
 trait ErasedState: Any + Send {
@@ -50,6 +52,108 @@ impl<S: Any + Send + Clone> ErasedState for S {
     }
 }
 
+/// A device checkpoint payload with a durable on-disk form.
+///
+/// Implemented by the concrete per-device checkpoint types
+/// (`SsdCheckpoint`, `EssdCheckpoint`, …). The [`Persist`] supertrait
+/// provides the byte codec; [`PersistPayload::KIND`] is the **stable**
+/// record tag written next to the bytes, so a reader can dispatch to the
+/// right decoder — change the payload's layout and the tag must change
+/// with it (`…·v1` → `…·v2`).
+pub trait PersistPayload: Any + Send + Clone + Persist {
+    /// Stable on-disk tag naming this payload type and layout version.
+    const KIND: &'static str;
+}
+
+/// The erased encode/decode hooks of one [`PersistPayload`] type.
+///
+/// A codec is how [`DeviceCheckpoint::load_from`] turns a record tag back
+/// into a concrete payload: callers pass the codecs of every device class
+/// they can restore (e.g. `uc-core`'s roster passes the SSD and ESSD
+/// codecs), and the tag stored in the file selects one — or fails with
+/// [`DecodeError::UnknownKind`].
+#[derive(Clone, Copy)]
+pub struct PayloadCodec {
+    kind: &'static str,
+    encode: fn(&dyn Any, &mut Encoder),
+    decode: fn(&mut Decoder<'_>) -> Result<Box<dyn ErasedState>, DecodeError>,
+}
+
+impl PayloadCodec {
+    /// The codec of payload type `S`.
+    pub fn of<S: PersistPayload>() -> Self {
+        PayloadCodec {
+            kind: S::KIND,
+            encode: |state, w| {
+                state
+                    .downcast_ref::<S>()
+                    .expect("codec invoked on its own payload type")
+                    .encode(w)
+            },
+            decode: |r| Ok(Box::new(S::decode(r)?)),
+        }
+    }
+
+    /// The stable record tag this codec reads and writes.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+impl fmt::Debug for PayloadCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PayloadCodec")
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// Errors saving a [`DeviceCheckpoint`] to disk.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The checkpoint's payload was constructed without a persistence
+    /// codec ([`DeviceCheckpoint::new`] instead of
+    /// [`DeviceCheckpoint::persistent`]), so it has no on-disk form.
+    NotPersistent {
+        /// The payload type's name (diagnostics only).
+        state_type: &'static str,
+    },
+    /// Writing the record file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::NotPersistent { state_type } => {
+                write!(
+                    f,
+                    "checkpoint payload `{state_type}` has no persistence codec"
+                )
+            }
+            PersistError::Io(e) => write!(f, "writing checkpoint: {e}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::NotPersistent { .. } => None,
+            PersistError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// The record kind tag of a stand-alone device-checkpoint file.
+pub const DEVICE_RECORD_KIND: &str = "uc.device-checkpoint.v1";
+
 /// A type-erased snapshot of one device's complete hidden state.
 ///
 /// Produced by [`CheckpointDevice::checkpoint`]; consumed by
@@ -60,19 +164,125 @@ impl<S: Any + Send + Clone> ErasedState for S {
 /// device fails loudly instead of silently producing a chimera.
 ///
 /// Checkpoints are `Clone + Send`: they can be kept for re-runs and handed
-/// across worker threads.
+/// across worker threads. A checkpoint built with
+/// [`DeviceCheckpoint::persistent`] additionally carries its payload's
+/// [`PayloadCodec`], giving it a durable on-disk form via
+/// [`DeviceCheckpoint::save_to`] / [`DeviceCheckpoint::load_from`].
 pub struct DeviceCheckpoint {
     device: String,
     state: Box<dyn ErasedState>,
+    codec: Option<PayloadCodec>,
 }
 
 impl DeviceCheckpoint {
     /// Wraps a concrete checkpoint payload for the named device.
+    ///
+    /// The resulting checkpoint has no on-disk form (use
+    /// [`DeviceCheckpoint::persistent`] for payloads implementing
+    /// [`PersistPayload`]); it still travels freely between threads.
     pub fn new<S: Any + Send + Clone>(device: impl Into<String>, state: S) -> Self {
         DeviceCheckpoint {
             device: device.into(),
             state: Box::new(state),
+            codec: None,
         }
+    }
+
+    /// Wraps a persistable checkpoint payload for the named device,
+    /// capturing its [`PayloadCodec`] so the checkpoint can be saved to
+    /// and loaded from disk.
+    pub fn persistent<S: PersistPayload>(device: impl Into<String>, state: S) -> Self {
+        DeviceCheckpoint {
+            device: device.into(),
+            state: Box::new(state),
+            codec: Some(PayloadCodec::of::<S>()),
+        }
+    }
+
+    /// `true` if this checkpoint carries a persistence codec (was built
+    /// with [`DeviceCheckpoint::persistent`] or loaded from disk).
+    pub fn is_persistent(&self) -> bool {
+        self.codec.is_some()
+    }
+
+    /// Appends this checkpoint's wire form (device name, payload kind
+    /// tag, length-prefixed payload bytes) to `w` — the embedded form
+    /// larger records (a fig3 segment checkpoint) compose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NotPersistent`] if the payload was
+    /// constructed without a codec.
+    pub fn encode_into(&self, w: &mut Encoder) -> Result<(), PersistError> {
+        let codec = self.codec.ok_or(PersistError::NotPersistent {
+            state_type: self.state.state_type(),
+        })?;
+        w.put_str(&self.device);
+        w.put_str(codec.kind);
+        let mut payload = Encoder::new();
+        (codec.encode)(self.state.as_any(), &mut payload);
+        w.put_bytes(payload.as_bytes());
+        Ok(())
+    }
+
+    /// Parses a checkpoint back out of its wire form, dispatching the
+    /// payload to whichever of `codecs` wrote it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnknownKind`] if no codec matches the
+    /// stored tag, or the payload's own [`DecodeError`] if its bytes are
+    /// malformed.
+    pub fn decode_from(r: &mut Decoder<'_>, codecs: &[PayloadCodec]) -> Result<Self, DecodeError> {
+        let device = r.get_string()?;
+        let kind = r.get_string()?;
+        let payload = r.get_bytes()?;
+        let codec = codecs
+            .iter()
+            .find(|c| c.kind == kind)
+            .ok_or(DecodeError::UnknownKind { found: kind })?;
+        let mut pr = Decoder::new(payload);
+        let state = (codec.decode)(&mut pr)?;
+        pr.finish()?;
+        Ok(DeviceCheckpoint {
+            device,
+            state,
+            codec: Some(*codec),
+        })
+    }
+
+    /// Writes this checkpoint to `path` as a stand-alone record file
+    /// (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NotPersistent`] for codec-less payloads
+    /// and [`PersistError::Io`] for filesystem failures.
+    pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = Encoder::new();
+        self.encode_into(&mut w)?;
+        uc_persist::write_record_file(path, DEVICE_RECORD_KIND, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from a stand-alone record file written by
+    /// [`DeviceCheckpoint::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Every failure is a typed [`DecodeError`]: missing or unreadable
+    /// files, foreign bytes, truncation, bit flips, future format
+    /// versions and unknown payload kinds all come back as the matching
+    /// variant — never a panic.
+    pub fn load_from(path: &Path, codecs: &[PayloadCodec]) -> Result<Self, DecodeError> {
+        let (kind, payload) = uc_persist::read_record_file(path)?;
+        if kind != DEVICE_RECORD_KIND {
+            return Err(DecodeError::UnknownKind { found: kind });
+        }
+        let mut r = Decoder::new(&payload);
+        let checkpoint = Self::decode_from(&mut r, codecs)?;
+        r.finish()?;
+        Ok(checkpoint)
     }
 
     /// The name of the device this checkpoint was taken from.
@@ -143,6 +353,7 @@ impl Clone for DeviceCheckpoint {
         DeviceCheckpoint {
             device: self.device.clone(),
             state: self.state.clone_box(),
+            codec: self.codec,
         }
     }
 }
@@ -374,5 +585,147 @@ mod tests {
         let text = format!("{cp:?}");
         assert!(text.contains("dbg"));
         assert!(text.contains("u32"));
+    }
+
+    impl Persist for ToyCheckpoint {
+        fn encode(&self, w: &mut Encoder) {
+            self.busy_until.encode(w);
+        }
+        fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+            Ok(ToyCheckpoint {
+                busy_until: SimTime::decode(r)?,
+            })
+        }
+    }
+
+    impl PersistPayload for ToyCheckpoint {
+        const KIND: &'static str = "uc.toy-checkpoint.v1";
+    }
+
+    fn toy_codecs() -> Vec<PayloadCodec> {
+        vec![PayloadCodec::of::<ToyCheckpoint>()]
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("uc-blockdev-persist-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_and_load_round_trip_restores_the_device() {
+        let mut a = Toy {
+            busy_until: SimTime::ZERO,
+        };
+        for _ in 0..5 {
+            a.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
+        }
+        let cp = DeviceCheckpoint::persistent(
+            "toy",
+            ToyCheckpoint {
+                busy_until: a.busy_until,
+            },
+        );
+        assert!(cp.is_persistent());
+        let path = temp_path("toy-roundtrip.ckpt");
+        cp.save_to(&path).unwrap();
+
+        let loaded = DeviceCheckpoint::load_from(&path, &toy_codecs()).unwrap();
+        assert_eq!(loaded.device(), "toy");
+        assert!(loaded.is_persistent());
+        let mut b = Toy {
+            busy_until: SimTime::ZERO,
+        };
+        b.restore_from(loaded).unwrap();
+        let req = IoRequest::read(0, 4096, SimTime::ZERO);
+        assert_eq!(a.submit(&req), b.submit(&req));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_checkpoint_can_be_saved_again() {
+        let cp = DeviceCheckpoint::persistent(
+            "toy",
+            ToyCheckpoint {
+                busy_until: SimTime::from_nanos(7),
+            },
+        );
+        let path = temp_path("toy-resave.ckpt");
+        cp.save_to(&path).unwrap();
+        let loaded = DeviceCheckpoint::load_from(&path, &toy_codecs()).unwrap();
+        let path2 = temp_path("toy-resave-2.ckpt");
+        loaded.save_to(&path2).unwrap();
+        let again = DeviceCheckpoint::load_from(&path2, &toy_codecs()).unwrap();
+        assert_eq!(
+            again.state::<ToyCheckpoint>().unwrap().busy_until,
+            SimTime::from_nanos(7)
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&path2).ok();
+    }
+
+    #[test]
+    fn codec_less_checkpoints_refuse_to_save() {
+        let cp = DeviceCheckpoint::new("toy", 9u32);
+        assert!(!cp.is_persistent());
+        let err = cp.save_to(&temp_path("never-written.ckpt")).unwrap_err();
+        assert!(matches!(err, PersistError::NotPersistent { .. }));
+        assert!(err.to_string().contains("u32"));
+    }
+
+    #[test]
+    fn unknown_payload_kind_is_typed() {
+        let cp = DeviceCheckpoint::persistent(
+            "toy",
+            ToyCheckpoint {
+                busy_until: SimTime::ZERO,
+            },
+        );
+        let path = temp_path("toy-unknown-kind.ckpt");
+        cp.save_to(&path).unwrap();
+        // A reader with no codecs cannot dispatch the payload.
+        assert!(matches!(
+            DeviceCheckpoint::load_from(&path, &[]),
+            Err(DecodeError::UnknownKind { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_file_decodes_to_typed_errors() {
+        let cp = DeviceCheckpoint::persistent(
+            "toy",
+            ToyCheckpoint {
+                busy_until: SimTime::from_nanos(11),
+            },
+        );
+        let path = temp_path("toy-corrupt.ckpt");
+        cp.save_to(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flipped payload byte → checksum mismatch.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            DeviceCheckpoint::load_from(&path, &toy_codecs()),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+
+        // Truncated file → truncated (or checksum, if the cut lands in
+        // the trailing checksum field itself).
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            DeviceCheckpoint::load_from(&path, &toy_codecs()),
+            Err(DecodeError::Truncated { .. })
+        ));
+
+        // Missing file → typed I/O error.
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            DeviceCheckpoint::load_from(&path, &toy_codecs()),
+            Err(DecodeError::Io { .. })
+        ));
     }
 }

@@ -59,7 +59,10 @@ mod checkpoint;
 mod factory;
 
 pub use batch::{Completion, IoBatch};
-pub use checkpoint::{CheckpointDevice, CheckpointError, DeviceCheckpoint};
+pub use checkpoint::{
+    CheckpointDevice, CheckpointError, DeviceCheckpoint, PayloadCodec, PersistError,
+    PersistPayload, DEVICE_RECORD_KIND,
+};
 pub use factory::{DeviceFactory, FnFactory};
 
 use std::error::Error;
@@ -92,6 +95,20 @@ impl fmt::Display for IoKind {
         match self {
             IoKind::Read => write!(f, "read"),
             IoKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+impl uc_persist::Persist for IoKind {
+    fn encode(&self, w: &mut uc_persist::Encoder) {
+        w.put_u8(self.is_write() as u8);
+    }
+
+    fn decode(r: &mut uc_persist::Decoder<'_>) -> Result<Self, uc_persist::DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(IoKind::Read),
+            1 => Ok(IoKind::Write),
+            _ => Err(uc_persist::DecodeError::InvalidValue { what: "IoKind tag" }),
         }
     }
 }

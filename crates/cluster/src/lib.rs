@@ -32,6 +32,7 @@
 
 mod map;
 mod node;
+mod persist;
 
 pub use map::ChunkMap;
 pub use node::{NodeConfig, NodeStats, StorageNode, StorageNodeSnapshot};

@@ -27,6 +27,49 @@ impl DeviceKind {
             DeviceKind::Essd2 => "ESSD-2",
         }
     }
+
+    /// Filename-safe lowercase slug (used in checkpoint file names).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DeviceKind::LocalSsd => "ssd",
+            DeviceKind::Essd1 => "essd-1",
+            DeviceKind::Essd2 => "essd-2",
+        }
+    }
+}
+
+impl uc_persist::Persist for DeviceKind {
+    fn encode(&self, w: &mut uc_persist::Encoder) {
+        w.put_u8(match self {
+            DeviceKind::LocalSsd => 0,
+            DeviceKind::Essd1 => 1,
+            DeviceKind::Essd2 => 2,
+        });
+    }
+
+    fn decode(r: &mut uc_persist::Decoder<'_>) -> Result<Self, uc_persist::DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(DeviceKind::LocalSsd),
+            1 => Ok(DeviceKind::Essd1),
+            2 => Ok(DeviceKind::Essd2),
+            _ => Err(uc_persist::DecodeError::InvalidValue {
+                what: "DeviceKind tag",
+            }),
+        }
+    }
+}
+
+/// The payload codecs of every device class the roster builds.
+///
+/// This is the registry [`DeviceCheckpoint::load_from`]
+/// (`uc_blockdev::DeviceCheckpoint`) needs to thaw an on-disk checkpoint
+/// of *any* roster device: the record's kind tag selects the SSD or ESSD
+/// decoder, and an unknown tag fails typed instead of misparsing.
+pub fn payload_codecs() -> Vec<uc_blockdev::PayloadCodec> {
+    vec![
+        uc_blockdev::PayloadCodec::of::<uc_ssd::SsdCheckpoint>(),
+        uc_blockdev::PayloadCodec::of::<uc_essd::EssdCheckpoint>(),
+    ]
 }
 
 impl std::fmt::Display for DeviceKind {

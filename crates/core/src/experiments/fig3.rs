@@ -18,10 +18,14 @@
 //! byte-identical [`Fig3Result`]s (pinned by this module's tests and the
 //! facade-level property tests).
 
-use crate::devices::{DeviceKind, DeviceRoster};
+use crate::devices::{payload_codecs, DeviceKind, DeviceRoster};
 use crate::experiments::Executor;
-use uc_blockdev::{CheckpointDevice, CheckpointError, DeviceCheckpoint, IoError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uc_blockdev::{CheckpointDevice, CheckpointError, DeviceCheckpoint, IoError, PersistError};
 use uc_metrics::Series;
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
 use uc_sim::SimDuration;
 use uc_workload::{AccessPattern, ClosedLoopJob, DriverCheckpoint, JobReport, JobSpec};
 
@@ -144,6 +148,49 @@ fn effective_window(cfg: &Fig3Config, volume: u64) -> SimDuration {
         .max(SimDuration::from_micros(500))
 }
 
+/// The milestone plan of one device's endurance run: normalization
+/// capacity, throughput window, and ascending byte milestones (the last
+/// is the full volume). Derived in exactly one place — both
+/// [`SegmentedRun::start`] and the durable runner's resume-validity check
+/// go through here, so the check can never drift from what a fresh run
+/// actually executes.
+#[derive(Debug, Clone, PartialEq)]
+struct Plan {
+    capacity: u64,
+    window: SimDuration,
+    milestones: Vec<u64>,
+}
+
+impl Plan {
+    fn of(roster: &DeviceRoster, kind: DeviceKind, cfg: &Fig3Config, segments: usize) -> Plan {
+        let capacity = roster.capacity_of(kind);
+        let volume = (capacity as f64 * cfg.capacity_multiple) as u64;
+        let window = effective_window(cfg, volume);
+        let segments = segments.max(1) as u64;
+        // Equal-volume milestones; the last always equals the full
+        // volume, which is also the job spec's own byte limit.
+        let milestones = (1..=segments).map(|k| volume * k / segments).collect();
+        Plan {
+            capacity,
+            window,
+            milestones,
+        }
+    }
+
+    /// The full endurance volume in bytes.
+    fn volume(&self) -> u64 {
+        *self.milestones.last().expect("at least one milestone")
+    }
+
+    /// `true` if `checkpoint` was taken under this exact plan (same
+    /// scale, config and segment count) and can continue it.
+    fn matches(&self, checkpoint: &Fig3Checkpoint) -> bool {
+        checkpoint.capacity == self.capacity
+            && checkpoint.window == self.window
+            && checkpoint.milestones == self.milestones
+    }
+}
+
 /// Post-processes a finished endurance report into the figure's series.
 fn finish(kind: DeviceKind, capacity: u64, window: SimDuration, report: &JobReport) -> Fig3Result {
     let time_series = report.throughput.series();
@@ -191,6 +238,94 @@ pub struct Fig3Checkpoint {
     pub driver: DriverCheckpoint,
 }
 
+impl Fig3Checkpoint {
+    /// The on-disk record kind tag of a serialized fig3 segment
+    /// checkpoint. Bump the suffix when the layout changes.
+    pub const RECORD_KIND: &'static str = "uc.fig3-checkpoint.v1";
+
+    /// Appends this checkpoint's wire form to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NotPersistent`] if the embedded device
+    /// checkpoint carries no persistence codec (roster-built devices
+    /// always do).
+    pub fn encode_into(&self, w: &mut Encoder) -> Result<(), PersistError> {
+        self.kind.encode(w);
+        w.put_u64(self.capacity);
+        self.window.encode(w);
+        self.milestones.encode(w);
+        self.completed.encode(w);
+        self.device.encode_into(w)?;
+        self.driver.encode(w);
+        Ok(())
+    }
+
+    /// Parses a checkpoint back out of its wire form, thawing the device
+    /// payload through the roster's codec registry
+    /// ([`payload_codecs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] on any malformed input.
+    pub fn decode_from(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let kind = DeviceKind::decode(r)?;
+        let capacity = r.get_u64()?;
+        let window = SimDuration::decode(r)?;
+        let milestones = Vec::<u64>::decode(r)?;
+        let completed = usize::decode(r)?;
+        let device = DeviceCheckpoint::decode_from(r, &payload_codecs())?;
+        let driver = DriverCheckpoint::decode(r)?;
+        if completed > milestones.len() {
+            return Err(DecodeError::InvalidValue {
+                what: "Fig3Checkpoint.completed",
+            });
+        }
+        Ok(Fig3Checkpoint {
+            kind,
+            capacity,
+            window,
+            milestones,
+            completed,
+            device,
+            driver,
+        })
+    }
+
+    /// Writes this checkpoint to `path` as a self-describing record file
+    /// (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on codec-less payloads or filesystem
+    /// failures.
+    pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = Encoder::new();
+        self.encode_into(&mut w)?;
+        uc_persist::write_record_file(path, Self::RECORD_KIND, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from a record file written by
+    /// [`Fig3Checkpoint::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Every failure — unreadable file, foreign bytes, truncation,
+    /// flipped bits, future format version, unknown payload kind — is a
+    /// typed [`DecodeError`], never a panic.
+    pub fn load_from(path: &Path) -> Result<Self, DecodeError> {
+        let (kind, payload) = uc_persist::read_record_file(path)?;
+        if kind != Self::RECORD_KIND {
+            return Err(DecodeError::UnknownKind { found: kind });
+        }
+        let mut r = Decoder::new(&payload);
+        let checkpoint = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(checkpoint)
+    }
+}
+
 /// A Figure 3 endurance run sliced into resumable segments.
 ///
 /// Segment boundaries are capacity-fraction milestones of the total
@@ -220,24 +355,18 @@ impl SegmentedRun {
         cfg: &Fig3Config,
         segments: usize,
     ) -> Result<Self, IoError> {
-        let capacity = roster.capacity_of(kind);
+        let plan = Plan::of(roster, kind, cfg, segments);
         let mut device = roster.build_checkpointable(kind, device_seed(kind));
-        let volume = (capacity as f64 * cfg.capacity_multiple) as u64;
-        let window = effective_window(cfg, volume);
-        let segments = segments.max(1) as u64;
-        // Equal-volume milestones; the last always equals the full volume,
-        // which is also the spec's own byte limit.
-        let milestones: Vec<u64> = (1..=segments).map(|k| volume * k / segments).collect();
         let spec = JobSpec::new(AccessPattern::RandWrite, cfg.io_size, cfg.queue_depth)
-            .with_byte_limit(volume)
-            .with_throughput_window(window)
+            .with_byte_limit(plan.volume())
+            .with_throughput_window(plan.window)
             .with_seed(0xF163);
         let job = ClosedLoopJob::start(&mut device, &spec)?;
         Ok(SegmentedRun {
             kind,
-            capacity,
-            window,
-            milestones,
+            capacity: plan.capacity,
+            window: plan.window,
+            milestones: plan.milestones,
             completed: 0,
             device,
             job,
@@ -421,6 +550,296 @@ pub fn run_pipelined(
         .collect()
 }
 
+/// Errors of the durable (on-disk) fig3 runner.
+#[derive(Debug)]
+pub enum DurableError {
+    /// A device reported an I/O error while a segment was running.
+    Io(IoError),
+    /// Writing a segment checkpoint to disk failed.
+    Save(PersistError),
+    /// A checkpoint loaded from disk does not restore onto the devices
+    /// this roster builds (e.g. a checkpoint taken at another `--scale`).
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "device i/o error: {e}"),
+            DurableError::Save(e) => write!(f, "persisting segment checkpoint: {e}"),
+            DurableError::Restore(e) => write!(f, "restoring segment checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<IoError> for DurableError {
+    fn from(e: IoError) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+/// A directory of durable fig3 segment checkpoints.
+///
+/// One file per device per reached segment boundary, named
+/// `fig3-<slug>.seg<completed>.ckpt`. After every successful save the
+/// superseded older boundaries of that device are pruned, so the
+/// directory holds at most one checkpoint per device over an entire
+/// endurance run ([`CheckpointDir::prune_older`]). Resume scans newest →
+/// oldest and takes the first file that decodes cleanly
+/// ([`CheckpointDir::latest`]), so a truncated or half-written file
+/// degrades into resuming from the previous boundary rather than an
+/// error.
+///
+/// The store is cheaply cloneable and `Send + Sync`: the pipelined
+/// runner's worker threads share it.
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+    kill_after: Option<u64>,
+    saves: Arc<AtomicU64>,
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error if the directory cannot be
+    /// created.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointDir {
+            dir,
+            kill_after: None,
+            saves: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The directory holding the checkpoint files.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Crash-testing hook: terminate the *process* (exit code 42)
+    /// immediately after the `n`-th successful checkpoint save.
+    ///
+    /// This is how the CI kill-and-resume gate crashes a run
+    /// deterministically at a segment boundary — the strongest possible
+    /// crash short of `kill -9`, since no destructors run and no further
+    /// state is written. Never set in normal operation.
+    pub fn with_kill_after(mut self, saves: u64) -> Self {
+        self.kill_after = Some(saves);
+        self
+    }
+
+    /// Checkpoints saved through this store (and its clones) so far.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    fn file_name(kind: DeviceKind, completed: usize) -> String {
+        format!("fig3-{}.seg{completed:04}.ckpt", kind.slug())
+    }
+
+    /// The file path of `kind`'s checkpoint at segment boundary
+    /// `completed`.
+    pub fn segment_path(&self, kind: DeviceKind, completed: usize) -> PathBuf {
+        self.dir.join(Self::file_name(kind, completed))
+    }
+
+    /// Persists one segment-boundary checkpoint, returning its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from the underlying save.
+    pub fn save(&self, checkpoint: &Fig3Checkpoint) -> Result<PathBuf, PersistError> {
+        let path = self.segment_path(checkpoint.kind, checkpoint.completed);
+        checkpoint.save_to(&path)?;
+        let saved = self.saves.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.kill_after {
+            if saved >= limit {
+                eprintln!(
+                    "fig3: simulated crash after {saved} checkpoint save(s) \
+                     (--kill-after {limit})"
+                );
+                std::process::exit(42);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Segment boundaries of `kind` present on disk, ascending.
+    fn boundaries(&self, kind: DeviceKind) -> Vec<usize> {
+        let prefix = format!("fig3-{}.seg", kind.slug());
+        let mut found: Vec<usize> = std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name().into_string().ok()?;
+                let rest = name.strip_prefix(&prefix)?.strip_suffix(".ckpt")?;
+                rest.parse::<usize>().ok()
+            })
+            .collect();
+        found.sort_unstable();
+        found
+    }
+
+    /// Loads `kind`'s newest checkpoint that decodes cleanly, if any.
+    ///
+    /// Corrupt or unreadable files are skipped (newest first) with a
+    /// note on stderr — a crash can leave at most torn temp files, but a
+    /// degraded disk must not make resume fail outright while an older
+    /// valid boundary still exists.
+    pub fn latest(&self, kind: DeviceKind) -> Option<Fig3Checkpoint> {
+        self.latest_matching(kind, |_| true)
+    }
+
+    /// Loads `kind`'s newest checkpoint that decodes cleanly **and**
+    /// satisfies `accept`, scanning newest → oldest.
+    ///
+    /// This is the resume entry point: a stale higher-numbered boundary
+    /// (e.g. left over from a run with a different `--segments`) is
+    /// reported and scanned *past*, so it can never shadow an older file
+    /// that does match the current plan.
+    pub fn latest_matching<F>(&self, kind: DeviceKind, accept: F) -> Option<Fig3Checkpoint>
+    where
+        F: Fn(&Fig3Checkpoint) -> bool,
+    {
+        for completed in self.boundaries(kind).into_iter().rev() {
+            let path = self.segment_path(kind, completed);
+            match Fig3Checkpoint::load_from(&path) {
+                Ok(checkpoint) if checkpoint.kind != kind => eprintln!(
+                    "fig3: ignoring {} (names device {}, expected {kind})",
+                    path.display(),
+                    checkpoint.kind
+                ),
+                Ok(checkpoint) if accept(&checkpoint) => return Some(checkpoint),
+                Ok(_) => eprintln!(
+                    "fig3: ignoring {} (taken under a different plan — \
+                     scale/config/segments); trying older boundaries",
+                    path.display()
+                ),
+                Err(e) => eprintln!("fig3: ignoring {}: {e}", path.display()),
+            }
+        }
+        None
+    }
+
+    /// Deletes `kind`'s checkpoints at boundaries older than
+    /// `completed`, so the directory does not grow unboundedly over a
+    /// full endurance run. Best-effort: deletion errors are ignored (the
+    /// next prune retries).
+    pub fn prune_older(&self, kind: DeviceKind, completed: usize) {
+        for old in self.boundaries(kind) {
+            if old < completed {
+                let _ = std::fs::remove_file(self.segment_path(kind, old));
+            }
+        }
+    }
+}
+
+/// Runs the endurance experiment like [`run_pipelined`], additionally
+/// persisting every segment-boundary checkpoint into `store` — and, with
+/// `resume`, continuing each device from its newest valid on-disk
+/// checkpoint instead of from scratch.
+///
+/// Durability does not perturb the simulation: the persisted bytes are
+/// the same frozen state the in-memory pipeline hands between workers,
+/// so a run killed at any boundary and resumed from disk renders figures
+/// **byte-identical** to an uninterrupted run (the crash-resume CI gate
+/// pins this).
+///
+/// A resumed checkpoint must match the current plan (same capacity,
+/// window and byte milestones — i.e. same `--scale`, config and
+/// `--segments`); a stale one is reported on stderr and that device
+/// starts fresh.
+///
+/// # Errors
+///
+/// Returns the first device I/O error, checkpoint-save failure, or
+/// restore mismatch any chain hits.
+pub fn run_pipelined_durable(
+    roster: &DeviceRoster,
+    kinds: &[DeviceKind],
+    cfg: &Fig3Config,
+    segments: usize,
+    exec: &Executor,
+    store: &CheckpointDir,
+    resume: bool,
+) -> Result<Vec<Fig3Result>, DurableError> {
+    type Stage = Box<
+        dyn FnOnce(Result<Fig3Checkpoint, DurableError>) -> Result<Fig3Checkpoint, DurableError>
+            + Send,
+    >;
+    let segments = segments.max(1);
+    let mut chains: Vec<(Result<Fig3Checkpoint, DurableError>, Vec<Stage>)> =
+        Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        // The exact plan a fresh run would execute (`Plan::of` is shared
+        // with `SegmentedRun::start`); only a checkpoint taken under this
+        // plan may continue it.
+        let plan = Plan::of(roster, kind, cfg, segments);
+        let from_disk = if resume {
+            store.latest_matching(kind, |checkpoint| plan.matches(checkpoint))
+        } else {
+            None
+        };
+
+        let initial: Result<Fig3Checkpoint, DurableError> = match from_disk {
+            Some(checkpoint) => {
+                eprintln!(
+                    "fig3: resuming {kind} from segment boundary {}/{}",
+                    checkpoint.completed,
+                    checkpoint.milestones.len()
+                );
+                Ok(checkpoint)
+            }
+            None => SegmentedRun::start(roster, kind, cfg, segments)
+                .map_err(DurableError::Io)
+                .and_then(|run| {
+                    let checkpoint = run.checkpoint();
+                    // Persist the primed (segment-0) state too: a crash
+                    // before the first boundary then resumes instead of
+                    // re-priming.
+                    store.save(&checkpoint).map_err(DurableError::Save)?;
+                    Ok(checkpoint)
+                }),
+        };
+
+        let remaining = match &initial {
+            Ok(checkpoint) => segments - checkpoint.completed,
+            Err(_) => 0,
+        };
+        let stages: Vec<Stage> = (0..remaining)
+            .map(|_| {
+                let roster = roster.clone();
+                let store = store.clone();
+                Box::new(move |frozen: Result<Fig3Checkpoint, DurableError>| {
+                    let mut state =
+                        SegmentedRun::resume(&roster, frozen?).map_err(DurableError::Restore)?;
+                    state.advance()?;
+                    let checkpoint = state.checkpoint();
+                    store.save(&checkpoint).map_err(DurableError::Save)?;
+                    store.prune_older(checkpoint.kind, checkpoint.completed);
+                    Ok(checkpoint)
+                }) as Stage
+            })
+            .collect();
+        chains.push((initial, stages));
+    }
+    exec.run_chains(chains)
+        .into_iter()
+        .map(|frozen| {
+            let state = SegmentedRun::resume(roster, frozen?).map_err(DurableError::Restore)?;
+            Ok(state.into_result())
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,6 +916,220 @@ mod tests {
         // check (or payload check) must reject the stale checkpoint.
         let other = roster.with_scale(2);
         assert!(SegmentedRun::resume(&other, frozen).is_err());
+    }
+
+    fn temp_store(name: &str) -> CheckpointDir {
+        let dir = std::env::temp_dir()
+            .join("uc-fig3-durable-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        // Stale files from a previous failed run would perturb resume.
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointDir::create(dir).expect("create checkpoint dir")
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run_and_prunes_stale_files() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let store = temp_store("durable-matches");
+        let durable = run_pipelined_durable(
+            &roster,
+            &DeviceKind::ALL,
+            &cfg,
+            4,
+            &Executor::with_threads(3),
+            &store,
+            false,
+        )
+        .unwrap();
+        for (i, &kind) in DeviceKind::ALL.iter().enumerate() {
+            let plain = run(&roster, kind, &cfg).unwrap();
+            assert_eq!(
+                render_fig3(&durable[i]),
+                render_fig3(&plain),
+                "{kind}: durable run must render byte-identically"
+            );
+            // Superseded boundaries were pruned: exactly the final
+            // checkpoint file remains per device.
+            let files: Vec<usize> = store.boundaries(kind);
+            assert_eq!(files, vec![4], "{kind}: stale checkpoints must be pruned");
+        }
+        assert_eq!(store.saves(), 3 * 5, "3 devices x (seg0 + 4 boundaries)");
+        let _ = std::fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn killed_run_resumes_to_byte_identical_figures() {
+        // Simulate the crash-resume CI gate in-process: advance each
+        // device partway, persist the boundary (as the durable runner
+        // would), "crash", then resume from disk and compare against an
+        // uninterrupted run.
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let segments = 4;
+        let store = temp_store("kill-resume");
+        for &kind in &DeviceKind::ALL {
+            let mut partial = SegmentedRun::start(&roster, kind, &cfg, segments).unwrap();
+            partial.advance().unwrap();
+            if kind == DeviceKind::Essd2 {
+                partial.advance().unwrap(); // devices die at different points
+            }
+            store.save(&partial.checkpoint()).unwrap();
+            // The interrupted process's state is dropped here: only the
+            // on-disk checkpoint survives the "crash".
+        }
+        let resumed = run_pipelined_durable(
+            &roster,
+            &DeviceKind::ALL,
+            &cfg,
+            segments,
+            &Executor::with_threads(2),
+            &store,
+            true,
+        )
+        .unwrap();
+        for (i, &kind) in DeviceKind::ALL.iter().enumerate() {
+            let uninterrupted = run(&roster, kind, &cfg).unwrap();
+            assert_eq!(
+                render_fig3(&resumed[i]),
+                render_fig3(&uninterrupted),
+                "{kind}: kill-and-resume must render byte-identically"
+            );
+        }
+        let _ = std::fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn stale_plan_checkpoints_are_ignored_on_resume() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let store = temp_store("stale-plan");
+        // A checkpoint taken under a 3-segment plan...
+        let mut other = SegmentedRun::start(&roster, DeviceKind::LocalSsd, &cfg, 3).unwrap();
+        other.advance().unwrap();
+        store.save(&other.checkpoint()).unwrap();
+        // ...must not hijack a 5-segment resume: the device starts fresh
+        // and still produces the canonical figure.
+        let resumed = run_pipelined_durable(
+            &roster,
+            &[DeviceKind::LocalSsd],
+            &cfg,
+            5,
+            &Executor::sequential(),
+            &store,
+            true,
+        )
+        .unwrap();
+        let plain = run(&roster, DeviceKind::LocalSsd, &cfg).unwrap();
+        assert_eq!(render_fig3(&resumed[0]), render_fig3(&plain));
+        let _ = std::fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn stale_higher_boundary_does_not_shadow_matching_checkpoint() {
+        // A leftover seg0003 from an 8-segment plan must be scanned
+        // *past*, not merely rejected, so the seg0001 of the current
+        // 4-segment plan still resumes.
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let store = temp_store("stale-shadow");
+        let kind = DeviceKind::LocalSsd;
+        let mut stale = SegmentedRun::start(&roster, kind, &cfg, 8).unwrap();
+        for _ in 0..3 {
+            stale.advance().unwrap();
+        }
+        store.save(&stale.checkpoint()).unwrap();
+        let mut current = SegmentedRun::start(&roster, kind, &cfg, 4).unwrap();
+        current.advance().unwrap();
+        store.save(&current.checkpoint()).unwrap();
+
+        let found = store
+            .latest_matching(kind, |cp| cp.milestones.len() == 4)
+            .expect("the matching older boundary must be found");
+        assert_eq!(found.completed, 1);
+        let resumed = run_pipelined_durable(
+            &roster,
+            &[kind],
+            &cfg,
+            4,
+            &Executor::sequential(),
+            &store,
+            true,
+        )
+        .unwrap();
+        let plain = run(&roster, kind, &cfg).unwrap();
+        assert_eq!(render_fig3(&resumed[0]), render_fig3(&plain));
+        let _ = std::fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_older_boundary() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let store = temp_store("corrupt-fallback");
+        let kind = DeviceKind::LocalSsd;
+        let mut run_state = SegmentedRun::start(&roster, kind, &cfg, 4).unwrap();
+        run_state.advance().unwrap();
+        store.save(&run_state.checkpoint()).unwrap();
+        run_state.advance().unwrap();
+        let newest = store.save(&run_state.checkpoint()).unwrap();
+        // Torn write: the newest boundary is half a file.
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let latest = store.latest(kind).expect("older boundary survives");
+        assert_eq!(latest.completed, 1, "falls back past the torn file");
+        let _ = std::fs::remove_dir_all(store.path());
+    }
+
+    #[test]
+    fn fig3_checkpoint_file_round_trips_and_rejects_corruption() {
+        let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+        let cfg = Fig3Config::quick();
+        let mut state = SegmentedRun::start(&roster, DeviceKind::Essd1, &cfg, 3).unwrap();
+        state.advance().unwrap();
+        let checkpoint = state.checkpoint();
+        let store = temp_store("file-roundtrip");
+        let path = store.save(&checkpoint).unwrap();
+
+        let loaded = Fig3Checkpoint::load_from(&path).unwrap();
+        assert_eq!(loaded.kind, checkpoint.kind);
+        assert_eq!(loaded.capacity, checkpoint.capacity);
+        assert_eq!(loaded.milestones, checkpoint.milestones);
+        assert_eq!(loaded.completed, checkpoint.completed);
+        // The thawed run continues to the same final figure.
+        let mut a = SegmentedRun::resume(&roster, loaded).unwrap();
+        let mut b = SegmentedRun::resume(&roster, checkpoint).unwrap();
+        while !a.is_finished() {
+            a.advance().unwrap();
+            b.advance().unwrap();
+        }
+        assert_eq!(render_fig3(&a.into_result()), render_fig3(&b.into_result()));
+
+        // Corruptions decode to typed errors, never panics.
+        let good = std::fs::read(&path).unwrap();
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xFF;
+        std::fs::write(&path, &wrong_magic).unwrap();
+        assert!(matches!(
+            Fig3Checkpoint::load_from(&path),
+            Err(DecodeError::BadMagic)
+        ));
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            Fig3Checkpoint::load_from(&path),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+        let mut future = good.clone();
+        future[8] = 0xFF; // bump the format version
+        std::fs::write(&path, &future).unwrap();
+        assert!(matches!(
+            Fig3Checkpoint::load_from(&path),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
+        let _ = std::fs::remove_dir_all(store.path());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod table1;
 
 pub use executor::Executor;
 pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
-pub use fig3::{Fig3Checkpoint, Fig3Config, Fig3Result, SegmentedRun};
+pub use fig3::{CheckpointDir, DurableError, Fig3Checkpoint, Fig3Config, Fig3Result, SegmentedRun};
 pub use fig4::{Fig4Config, Fig4Result};
 pub use fig5::{Fig5Config, Fig5Result};
 pub use table1::{run as run_table1, Table1Row};

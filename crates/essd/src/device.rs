@@ -251,7 +251,9 @@ impl BlockDevice for Essd {
 
 impl CheckpointDevice for Essd {
     fn checkpoint(&self) -> DeviceCheckpoint {
-        DeviceCheckpoint::new(self.info.name(), self.snapshot())
+        // `EssdCheckpoint` is a `PersistPayload`, so every checkpoint taken
+        // through this seam has a durable on-disk form (`save_to`).
+        DeviceCheckpoint::persistent(self.info.name(), self.snapshot())
     }
 
     fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {

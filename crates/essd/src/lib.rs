@@ -39,6 +39,7 @@
 
 mod config;
 mod device;
+mod persist;
 
 pub use config::{EssdConfig, IopsBudget, ThrottlePolicy};
 pub use device::{Essd, EssdCheckpoint, EssdStats};

@@ -1,0 +1,201 @@
+//! [`Persist`] codecs for the elastic-SSD checkpoint types.
+//!
+//! [`EssdCheckpoint`] is a [`PersistPayload`], so an `Essd`'s type-erased
+//! [`DeviceCheckpoint`](uc_blockdev::DeviceCheckpoint) — including an
+//! engaged throttle's reduced token-bucket rate — can be saved to and
+//! loaded from disk under the stable record tag [`EssdCheckpoint::KIND`].
+
+use crate::{EssdCheckpoint, EssdConfig, EssdStats, IopsBudget, ThrottlePolicy};
+use uc_blockdev::PersistPayload;
+use uc_cluster::{ClusterConfig, ClusterSnapshot};
+use uc_net::{HostStackSnapshot, NetConfig, NetPathSnapshot};
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+use uc_sim::{LatencyDist, RngSnapshot, TokenBucketSnapshot};
+
+impl Persist for IopsBudget {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_f64(self.ops_per_sec);
+        w.put_u32(self.unit_bytes);
+        w.put_f64(self.burst_ops);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let budget = IopsBudget {
+            ops_per_sec: r.get_f64()?,
+            unit_bytes: r.get_u32()?,
+            burst_ops: r.get_f64()?,
+        };
+        if budget.unit_bytes == 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "IopsBudget.unit_bytes",
+            });
+        }
+        Ok(budget)
+    }
+}
+
+impl Persist for ThrottlePolicy {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_f64(self.after_capacity_multiple);
+        w.put_f64(self.limited_bytes_per_sec);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ThrottlePolicy {
+            after_capacity_multiple: r.get_f64()?,
+            limited_bytes_per_sec: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for EssdConfig {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_str(&self.name);
+        w.put_u64(self.capacity);
+        w.put_u32(self.logical_block);
+        self.stack_workers.encode(w);
+        self.stack_per_io.encode(w);
+        self.net.encode(w);
+        self.cluster.encode(w);
+        w.put_f64(self.bandwidth_bytes_per_sec);
+        w.put_f64(self.bandwidth_burst_bytes);
+        self.iops.encode(w);
+        self.throttle.encode(w);
+        w.put_u64(self.seed);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let config = EssdConfig {
+            name: r.get_string()?,
+            capacity: r.get_u64()?,
+            logical_block: r.get_u32()?,
+            stack_workers: usize::decode(r)?,
+            stack_per_io: LatencyDist::decode(r)?,
+            net: NetConfig::decode(r)?,
+            cluster: ClusterConfig::decode(r)?,
+            bandwidth_bytes_per_sec: r.get_f64()?,
+            bandwidth_burst_bytes: r.get_f64()?,
+            iops: Option::<IopsBudget>::decode(r)?,
+            throttle: Option::<ThrottlePolicy>::decode(r)?,
+            seed: r.get_u64()?,
+        };
+        if config.logical_block == 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "EssdConfig.logical_block",
+            });
+        }
+        if !(config.bandwidth_bytes_per_sec > 0.0 && config.bandwidth_bytes_per_sec.is_finite()) {
+            return Err(DecodeError::InvalidValue {
+                what: "EssdConfig.bandwidth_bytes_per_sec",
+            });
+        }
+        Ok(config)
+    }
+}
+
+impl Persist for EssdStats {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.reads);
+        w.put_u64(self.writes);
+        w.put_u64(self.read_bytes);
+        w.put_u64(self.write_bytes);
+        w.put_bool(self.throttled);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EssdStats {
+            reads: r.get_u64()?,
+            writes: r.get_u64()?,
+            read_bytes: r.get_u64()?,
+            write_bytes: r.get_u64()?,
+            throttled: r.get_bool()?,
+        })
+    }
+}
+
+impl Persist for EssdCheckpoint {
+    fn encode(&self, w: &mut Encoder) {
+        self.config.encode(w);
+        self.stack.encode(w);
+        self.tx.encode(w);
+        self.rx.encode(w);
+        self.cluster.encode(w);
+        self.bandwidth.encode(w);
+        self.iops.encode(w);
+        self.rng.encode(w);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EssdCheckpoint {
+            config: EssdConfig::decode(r)?,
+            stack: HostStackSnapshot::decode(r)?,
+            tx: NetPathSnapshot::decode(r)?,
+            rx: NetPathSnapshot::decode(r)?,
+            cluster: ClusterSnapshot::decode(r)?,
+            bandwidth: TokenBucketSnapshot::decode(r)?,
+            iops: Option::<TokenBucketSnapshot>::decode(r)?,
+            rng: RngSnapshot::decode(r)?,
+            stats: EssdStats::decode(r)?,
+        })
+    }
+}
+
+impl PersistPayload for EssdCheckpoint {
+    const KIND: &'static str = "uc.essd-checkpoint.v1";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Essd;
+    use uc_blockdev::{BlockDevice, IoRequest};
+    use uc_sim::SimTime;
+
+    #[test]
+    fn throttled_essd_checkpoint_round_trips() {
+        // Drive past the throttle threshold so the checkpoint carries the
+        // engaged flag and the reduced token-bucket rate.
+        let cfg = EssdConfig::aws_io2(32 << 20).with_throttle(Some(ThrottlePolicy {
+            after_capacity_multiple: 1.0,
+            limited_bytes_per_sec: 5e6,
+        }));
+        let mut essd = Essd::new(cfg);
+        let io = 1 << 20;
+        let mut now = SimTime::ZERO;
+        for i in 0..40u64 {
+            let off = (i % 30) * io as u64;
+            now = essd.submit(&IoRequest::write(off, io, now)).unwrap();
+        }
+        assert!(essd.stats().throttled);
+
+        let checkpoint = essd.snapshot();
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = EssdCheckpoint::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, checkpoint);
+
+        let mut restored = Essd::restore(back);
+        assert_eq!(restored.current_rate(), 5e6, "throttled rate survives");
+        let req = IoRequest::read(0, 4096, now);
+        assert_eq!(restored.submit(&req), essd.submit(&req));
+    }
+
+    #[test]
+    fn corrupt_config_is_typed() {
+        let mut checkpoint = Essd::new(EssdConfig::alibaba_pl3(64 << 20)).snapshot();
+        checkpoint.config.bandwidth_bytes_per_sec = f64::INFINITY;
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            EssdCheckpoint::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue {
+                what: "EssdConfig.bandwidth_bytes_per_sec"
+            })
+        ));
+    }
+}

@@ -28,6 +28,7 @@
 
 mod array;
 mod geometry;
+mod persist;
 mod timing;
 
 pub use array::{DiePool, DiePoolSnapshot, FlashArray, FlashArraySnapshot, FlashOpStats};

@@ -84,6 +84,36 @@ impl FtlConfig {
         (raw * (1.0 - self.over_provisioning)) as u64
     }
 
+    /// This configuration with the watermark sanitization
+    /// [`Ftl::new`](crate::Ftl::new) applies: trigger raised to at least
+    /// 3, target clamped into `(trigger, trigger + 3]`.
+    pub fn sanitized(&self) -> FtlConfig {
+        let mut config = *self;
+        config.gc_trigger_free = config.gc_trigger_free.max(3);
+        config.gc_target_free = config
+            .gc_target_free
+            .clamp(config.gc_trigger_free + 1, config.gc_trigger_free + 3);
+        config
+    }
+
+    /// The logical page count an FTL built from this configuration
+    /// actually exposes: [`FtlConfig::logical_pages`] clamped (after
+    /// watermark sanitization) so that, even fully mapped, each die keeps
+    /// its two write frontiers plus the GC target watermark free.
+    ///
+    /// This is the single source of truth shared by
+    /// [`Ftl::new`](crate::Ftl::new) and the checkpoint decoder (which
+    /// rejects an `l2p` table of any other length), so the two can never
+    /// drift apart.
+    pub fn effective_logical_pages(&self) -> u64 {
+        let config = self.sanitized();
+        let g = config.geometry;
+        let max_blocks_per_die = g.blocks_per_die().saturating_sub(2 + config.gc_target_free);
+        let max_logical =
+            g.total_dies() as u64 * max_blocks_per_die as u64 * g.pages_per_block() as u64;
+        config.logical_pages().min(max_logical)
+    }
+
     /// Host-visible capacity in bytes.
     pub fn logical_capacity(&self) -> u64 {
         self.logical_pages() * self.geometry.page_size() as u64

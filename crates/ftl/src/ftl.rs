@@ -109,29 +109,21 @@ impl Ftl {
     /// Panics if the geometry has too few blocks per die to hold the two
     /// write frontiers plus the GC watermark (needs `blocks_per_die >
     /// target + 3`).
-    pub fn new(mut config: FtlConfig) -> Self {
+    pub fn new(config: FtlConfig) -> Self {
+        // Sanitization and the logical-capacity clamp live on `FtlConfig`
+        // so the checkpoint decoder can validate against the same math.
+        let config = config.sanitized();
         let g = config.geometry;
         let dies = g.total_dies() as usize;
         let bpd = g.blocks_per_die();
         let total_blocks = g.total_blocks() as usize;
-
-        // Sanitize watermarks (see method docs).
-        config.gc_trigger_free = config.gc_trigger_free.max(3);
-        config.gc_target_free = config
-            .gc_target_free
-            .clamp(config.gc_trigger_free + 1, config.gc_trigger_free + 3);
         assert!(
             bpd > config.gc_target_free + 3,
             "geometry too small: {} blocks/die cannot hold frontiers + watermark {}",
             bpd,
             config.gc_target_free
         );
-
-        // Clamp logical capacity to keep the fully-mapped free floor at or
-        // above the GC target watermark.
-        let max_blocks_per_die = bpd - 2 - config.gc_target_free;
-        let max_logical = dies as u64 * max_blocks_per_die as u64 * g.pages_per_block() as u64;
-        let logical = config.logical_pages().min(max_logical) as usize;
+        let logical = config.effective_logical_pages() as usize;
 
         let mut free: Vec<Vec<u32>> = (0..dies)
             // Stacks pop from the back; push slots in reverse so low slots
@@ -322,6 +314,11 @@ impl Ftl {
     pub fn restore(checkpoint: FtlCheckpoint) -> Self {
         let g = checkpoint.config.geometry;
         let dies = g.total_dies() as usize;
+        assert_eq!(
+            checkpoint.l2p.len() as u64,
+            checkpoint.config.effective_logical_pages(),
+            "checkpoint l2p length disagrees with configuration"
+        );
         assert_eq!(
             checkpoint.p2l.len(),
             g.total_pages() as usize,

@@ -35,6 +35,7 @@ mod blocks;
 mod config;
 mod ftl;
 mod gc;
+mod persist;
 mod stats;
 
 pub use blocks::{BlockId, BlockState};

@@ -1,0 +1,255 @@
+//! [`Persist`] codecs for the FTL's checkpoint types.
+//!
+//! An [`FtlCheckpoint`] is the largest leaf of a device checkpoint — the
+//! full logical↔physical mapping plus per-block bookkeeping — so its wire
+//! form is a straight field-by-field dump of the plain-data snapshot.
+//! Structural invariants that [`Ftl::restore`](crate::Ftl::restore)
+//! relies on (map and block-table lengths matching the geometry) are
+//! validated on decode, so corrupted bytes surface as typed errors.
+
+use crate::{BlockState, FtlCheckpoint, FtlConfig, FtlStats, GcPolicy};
+use uc_flash::{FlashArraySnapshot, FlashGeometry, FlashTiming};
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+
+impl Persist for GcPolicy {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u8(match self {
+            GcPolicy::Greedy => 0,
+            GcPolicy::CostBenefit => 1,
+            GcPolicy::Fifo => 2,
+        });
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(GcPolicy::Greedy),
+            1 => Ok(GcPolicy::CostBenefit),
+            2 => Ok(GcPolicy::Fifo),
+            _ => Err(DecodeError::InvalidValue {
+                what: "GcPolicy tag",
+            }),
+        }
+    }
+}
+
+impl Persist for FtlConfig {
+    fn encode(&self, w: &mut Encoder) {
+        self.geometry.encode(w);
+        self.timing.encode(w);
+        w.put_f64(self.over_provisioning);
+        w.put_u32(self.gc_trigger_free);
+        w.put_u32(self.gc_target_free);
+        self.gc_policy.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(FtlConfig {
+            geometry: FlashGeometry::decode(r)?,
+            timing: FlashTiming::decode(r)?,
+            over_provisioning: r.get_f64()?,
+            gc_trigger_free: r.get_u32()?,
+            gc_target_free: r.get_u32()?,
+            gc_policy: GcPolicy::decode(r)?,
+        })
+    }
+}
+
+impl Persist for BlockState {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u32(self.written);
+        w.put_u32(self.valid);
+        w.put_u32(self.erase_count);
+        w.put_u64(self.opened_seq);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockState {
+            written: r.get_u32()?,
+            valid: r.get_u32()?,
+            erase_count: r.get_u32()?,
+            opened_seq: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for FtlStats {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.host_pages_written);
+        w.put_u64(self.gc_pages_relocated);
+        w.put_u64(self.gc_blocks_erased);
+        w.put_u64(self.host_pages_read);
+        w.put_u64(self.pages_trimmed);
+        w.put_u64(self.gc_invocations);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(FtlStats {
+            host_pages_written: r.get_u64()?,
+            gc_pages_relocated: r.get_u64()?,
+            gc_blocks_erased: r.get_u64()?,
+            host_pages_read: r.get_u64()?,
+            pages_trimmed: r.get_u64()?,
+            gc_invocations: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for FtlCheckpoint {
+    fn encode(&self, w: &mut Encoder) {
+        self.config.encode(w);
+        self.flash.encode(w);
+        self.l2p.encode(w);
+        self.p2l.encode(w);
+        self.blocks.encode(w);
+        self.free.encode(w);
+        self.open_host.encode(w);
+        self.open_gc.encode(w);
+        w.put_u32(self.cursor);
+        w.put_u64(self.seq);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let checkpoint = FtlCheckpoint {
+            config: FtlConfig::decode(r)?,
+            flash: FlashArraySnapshot::decode(r)?,
+            l2p: Vec::<u64>::decode(r)?,
+            p2l: Vec::<u64>::decode(r)?,
+            blocks: Vec::<BlockState>::decode(r)?,
+            free: Vec::<Vec<u32>>::decode(r)?,
+            open_host: Vec::<u32>::decode(r)?,
+            open_gc: Vec::<u32>::decode(r)?,
+            cursor: r.get_u32()?,
+            seq: r.get_u64()?,
+            stats: FtlStats::decode(r)?,
+        };
+        let g = checkpoint.config.geometry;
+        let dies = g.total_dies() as usize;
+        if checkpoint.l2p.len() as u64 != checkpoint.config.effective_logical_pages() {
+            return Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint.l2p",
+            });
+        }
+        if checkpoint.p2l.len() != g.total_pages() as usize {
+            return Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint.p2l",
+            });
+        }
+        if checkpoint.blocks.len() != g.total_blocks() as usize {
+            return Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint.blocks",
+            });
+        }
+        if checkpoint.free.len() != dies
+            || checkpoint.open_host.len() != dies
+            || checkpoint.open_gc.len() != dies
+        {
+            return Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint per-die tables",
+            });
+        }
+        Ok(checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ftl;
+    use uc_sim::SimTime;
+
+    fn busy_ftl() -> Ftl {
+        let geometry = FlashGeometry::new(2, 2, 1, 16, 32, 4096).unwrap();
+        let mut ftl =
+            Ftl::new(FtlConfig::new(geometry, FlashTiming::slc()).with_over_provisioning(0.12));
+        let pages = ftl.logical_pages();
+        let mut now = SimTime::ZERO;
+        let mut state = 3u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            now = ftl.write_page(now, state % pages);
+        }
+        ftl
+    }
+
+    #[test]
+    fn checkpoint_round_trips_after_gc_activity() {
+        let ftl = busy_ftl();
+        let checkpoint = ftl.checkpoint();
+        assert!(checkpoint.stats.gc_invocations > 0, "exercise GC state");
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = FtlCheckpoint::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, checkpoint);
+        // The decoded checkpoint restores into a working FTL.
+        let restored = Ftl::restore(back);
+        assert_eq!(restored.stats(), ftl.stats());
+    }
+
+    #[test]
+    fn mismatched_tables_are_rejected() {
+        let mut checkpoint = busy_ftl().checkpoint();
+        checkpoint.blocks.pop();
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            FtlCheckpoint::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint.blocks"
+            })
+        );
+    }
+
+    #[test]
+    fn shortened_l2p_is_rejected() {
+        // A CRC-valid but shortened logical map must fail at decode time,
+        // not panic later inside `Ftl::write_page`.
+        let mut checkpoint = busy_ftl().checkpoint();
+        checkpoint.l2p.pop();
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            FtlCheckpoint::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue {
+                what: "FtlCheckpoint.l2p"
+            })
+        );
+    }
+
+    #[test]
+    fn effective_logical_pages_matches_built_ftl() {
+        for (op, trigger, target) in [(0.12, 4, 6), (0.0, 1, 1), (0.3, 8, 20)] {
+            let geometry = FlashGeometry::new(2, 2, 1, 32, 32, 4096).unwrap();
+            let config = FtlConfig::new(geometry, FlashTiming::slc())
+                .with_over_provisioning(op)
+                .with_gc_watermarks(trigger, target);
+            let ftl = Ftl::new(config);
+            assert_eq!(
+                config.effective_logical_pages(),
+                ftl.logical_pages(),
+                "op={op} trigger={trigger} target={target}"
+            );
+        }
+    }
+
+    #[test]
+    fn gc_policy_tags_round_trip() {
+        for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
+            let mut w = Encoder::new();
+            policy.encode(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(GcPolicy::decode(&mut Decoder::new(&bytes)), Ok(policy));
+        }
+        assert_eq!(
+            GcPolicy::decode(&mut Decoder::new(&[9])),
+            Err(DecodeError::InvalidValue {
+                what: "GcPolicy tag"
+            })
+        );
+    }
+}

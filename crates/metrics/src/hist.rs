@@ -184,6 +184,37 @@ impl Default for LatencyHistogram {
     }
 }
 
+impl uc_persist::Persist for LatencyHistogram {
+    fn encode(&self, w: &mut uc_persist::Encoder) {
+        self.buckets.encode(w);
+        w.put_u64(self.count);
+        // `sum_ns` is a u128; split into high/low words for the wire.
+        w.put_u64((self.sum_ns >> 64) as u64);
+        w.put_u64(self.sum_ns as u64);
+        w.put_u64(self.min_ns);
+        w.put_u64(self.max_ns);
+    }
+
+    fn decode(r: &mut uc_persist::Decoder<'_>) -> Result<Self, uc_persist::DecodeError> {
+        let buckets = Vec::<u64>::decode(r)?;
+        if buckets.len() != SUB as usize * GROUPS {
+            return Err(uc_persist::DecodeError::InvalidValue {
+                what: "LatencyHistogram.buckets",
+            });
+        }
+        let count = r.get_u64()?;
+        let sum_hi = r.get_u64()?;
+        let sum_lo = r.get_u64()?;
+        Ok(LatencyHistogram {
+            buckets,
+            count,
+            sum_ns: ((sum_hi as u128) << 64) | sum_lo as u128,
+            min_ns: r.get_u64()?,
+            max_ns: r.get_u64()?,
+        })
+    }
+}
+
 impl fmt::Debug for LatencyHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LatencyHistogram")
@@ -200,6 +231,7 @@ impl fmt::Debug for LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uc_persist::Persist;
 
     #[test]
     fn empty_histogram_is_zeroed() {
@@ -307,6 +339,47 @@ mod tests {
         let (avg, p999) = h.headline();
         assert_eq!(avg, h.mean());
         assert_eq!(p999, h.percentile(99.9));
+    }
+
+    #[test]
+    fn persist_round_trip_is_lossless() {
+        let mut h = LatencyHistogram::new();
+        let mut seed = 99u64;
+        for _ in 0..5000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(SimDuration::from_nanos(seed % 50_000_000));
+        }
+        let mut w = uc_persist::Encoder::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = uc_persist::Decoder::new(&bytes);
+        let back = LatencyHistogram::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+    }
+
+    #[test]
+    fn persist_rejects_resized_bucket_table() {
+        let mut w = uc_persist::Encoder::new();
+        vec![0u64; 3].encode(&mut w); // wrong bucket count
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(0);
+        w.put_u64(u64::MAX);
+        w.put_u64(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            LatencyHistogram::decode(&mut uc_persist::Decoder::new(&bytes)),
+            Err(uc_persist::DecodeError::InvalidValue {
+                what: "LatencyHistogram.buckets"
+            })
+        ));
     }
 
     #[test]

@@ -120,9 +120,34 @@ impl ThroughputTracker {
     }
 }
 
+impl uc_persist::Persist for ThroughputTracker {
+    fn encode(&self, w: &mut uc_persist::Encoder) {
+        self.window.encode(w);
+        self.windows.encode(w);
+        w.put_u64(self.total_bytes);
+        self.last_time.encode(w);
+    }
+
+    fn decode(r: &mut uc_persist::Decoder<'_>) -> Result<Self, uc_persist::DecodeError> {
+        let window = SimDuration::decode(r)?;
+        if window.is_zero() {
+            return Err(uc_persist::DecodeError::InvalidValue {
+                what: "ThroughputTracker.window",
+            });
+        }
+        Ok(ThroughputTracker {
+            window,
+            windows: Vec::<u64>::decode(r)?,
+            total_bytes: r.get_u64()?,
+            last_time: SimTime::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uc_persist::Persist;
 
     #[test]
     #[should_panic(expected = "non-zero")]
@@ -163,6 +188,40 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert_eq!(pts.last().map(|p| p.1), Some(250.0));
+    }
+
+    #[test]
+    fn persist_round_trip_is_lossless() {
+        let mut t = ThroughputTracker::new(SimDuration::from_millis(10));
+        for i in 0..100u64 {
+            t.record(SimTime::from_nanos(i * 7_000_000), 1000 + i);
+        }
+        let mut w = uc_persist::Encoder::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = uc_persist::Decoder::new(&bytes);
+        let back = ThroughputTracker::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.window(), t.window());
+        assert_eq!(back.total_bytes(), t.total_bytes());
+        assert_eq!(back.last_time(), t.last_time());
+        assert_eq!(back.series(), t.series());
+    }
+
+    #[test]
+    fn persist_rejects_zero_window() {
+        let mut w = uc_persist::Encoder::new();
+        SimDuration::ZERO.encode(&mut w);
+        Vec::<u64>::new().encode(&mut w);
+        w.put_u64(0);
+        SimTime::ZERO.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ThroughputTracker::decode(&mut uc_persist::Decoder::new(&bytes)),
+            Err(uc_persist::DecodeError::InvalidValue {
+                what: "ThroughputTracker.window"
+            })
+        ));
     }
 
     #[test]

@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod persist;
+
 use uc_sim::{
     LatencyDist, ParallelResource, ParallelResourceSnapshot, SimDuration, SimRng, SimTime,
 };

@@ -1,0 +1,112 @@
+//! [`Persist`] codecs for the network-layer snapshot types.
+
+use crate::{HostStackSnapshot, NetConfig, NetPathSnapshot};
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+use uc_sim::{LatencyDist, ParallelResourceSnapshot};
+
+impl Persist for NetConfig {
+    fn encode(&self, w: &mut Encoder) {
+        self.one_way.encode(w);
+        w.put_f64(self.stream_bytes_per_sec);
+        self.connections.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let config = NetConfig {
+            one_way: LatencyDist::decode(r)?,
+            stream_bytes_per_sec: r.get_f64()?,
+            connections: usize::decode(r)?,
+        };
+        if !(config.stream_bytes_per_sec > 0.0 && config.stream_bytes_per_sec.is_finite()) {
+            return Err(DecodeError::InvalidValue {
+                what: "NetConfig.stream_bytes_per_sec",
+            });
+        }
+        if config.connections == 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "NetConfig.connections",
+            });
+        }
+        Ok(config)
+    }
+}
+
+impl Persist for NetPathSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        self.config.encode(w);
+        self.lanes.encode(w);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.transfers);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(NetPathSnapshot {
+            config: NetConfig::decode(r)?,
+            lanes: ParallelResourceSnapshot::decode(r)?,
+            bytes_sent: r.get_u64()?,
+            transfers: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for HostStackSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        self.per_io.encode(w);
+        self.workers.encode(w);
+        w.put_u64(self.ios);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(HostStackSnapshot {
+            per_io: LatencyDist::decode(r)?,
+            workers: ParallelResourceSnapshot::decode(r)?,
+            ios: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HostStack, NetPath};
+    use uc_sim::{SimDuration, SimRng, SimTime};
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Encoder::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = T::decode(&mut r).expect("decodes");
+        r.finish().expect("fully consumed");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn busy_path_and_stack_round_trip() {
+        let mut rng = SimRng::new(5);
+        let mut path = NetPath::new(NetConfig::intra_dc().with_connections(4));
+        for _ in 0..8 {
+            path.send(SimTime::ZERO, 500_000, &mut rng);
+        }
+        round_trip(path.snapshot());
+
+        let mut stack = HostStack::new(2, LatencyDist::constant(SimDuration::from_micros(10)));
+        stack.process(SimTime::ZERO, &mut rng);
+        round_trip(stack.snapshot());
+    }
+
+    #[test]
+    fn invalid_config_values_are_typed() {
+        let mut snapshot = NetPath::new(NetConfig::intra_dc()).snapshot();
+        snapshot.config.stream_bytes_per_sec = -1.0;
+        let mut w = Encoder::new();
+        snapshot.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            NetPathSnapshot::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue {
+                what: "NetConfig.stream_bytes_per_sec"
+            })
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! Byte-level primitives and the [`Persist`] trait.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a byte buffer failed to decode.
+///
+/// Every failure mode of the persistence layer is a variant here — decode
+/// paths return errors, they never panic, so a corrupted checkpoint file
+/// degrades a resume into a fresh start instead of crashing the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not begin with the checkpoint magic.
+    BadMagic,
+    /// The record was written by a newer (or unknown) format version.
+    UnsupportedVersion {
+        /// The version stored in the record.
+        found: u16,
+        /// The newest version this build can read.
+        supported: u16,
+    },
+    /// The buffer ended before the value did.
+    Truncated {
+        /// Bytes the next read needed.
+        needed: u64,
+        /// Bytes actually remaining.
+        available: u64,
+    },
+    /// The record's checksum does not match its payload.
+    ChecksumMismatch {
+        /// The checksum stored in the record.
+        stored: u32,
+        /// The checksum computed over the bytes actually present.
+        computed: u32,
+    },
+    /// A field held a value outside its type's domain (an unknown enum
+    /// tag, a non-boolean boolean, a length that overflows `usize`, …).
+    InvalidValue {
+        /// Which field or type rejected the value.
+        what: &'static str,
+    },
+    /// The buffer continued after the value ended.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: u64,
+    },
+    /// The record's kind tag names a payload type this reader does not
+    /// know (a checkpoint from a different device class, or a future
+    /// record type).
+    UnknownKind {
+        /// The kind tag found in the record.
+        found: String,
+    },
+    /// Reading the underlying file failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The operating-system error, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a checkpoint record (bad magic)"),
+            DecodeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is newer than the supported {supported}"
+            ),
+            DecodeError::Truncated { needed, available } => write!(
+                f,
+                "checkpoint truncated: needed {needed} more bytes, {available} available"
+            ),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DecodeError::InvalidValue { what } => {
+                write!(f, "checkpoint field `{what}` holds an invalid value")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "checkpoint has {count} trailing bytes after the payload")
+            }
+            DecodeError::UnknownKind { found } => {
+                write!(f, "unknown checkpoint record kind `{found}`")
+            }
+            DecodeError::Io { path, message } => {
+                write!(f, "reading checkpoint `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Appends values to a growing byte buffer in the canonical wire form.
+///
+/// All integers are little-endian and fixed-width; floats are their
+/// IEEE-754 bit patterns; strings and sequences carry a `u64` length
+/// prefix.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, yielding its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round trip,
+    /// including signed zeros and NaN payloads).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte (`0` or `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte block.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Reads values back out of a byte buffer, validating every access.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n as u64,
+                available: self.remaining() as u64,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a boolean; any byte other than `0`/`1` is invalid.
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::InvalidValue { what: "bool" }),
+        }
+    }
+
+    /// Reads a length prefix as a `usize`, guarding against platforms
+    /// where `usize` is narrower than `u64`.
+    pub fn get_len(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.get_u64()?).map_err(|_| DecodeError::InvalidValue { what: "length" })
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, DecodeError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidValue { what: "utf-8" })
+    }
+
+    /// Reads a length-prefixed byte block, borrowing from the buffer.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_len()?;
+        self.take(len)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() > 0 {
+            Err(DecodeError::TrailingBytes {
+                count: self.remaining() as u64,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A type with a canonical, lossless byte form.
+///
+/// The contract is exact round-tripping: for every value `x`,
+/// `T::decode(&mut Decoder::new(encode(x)))` must reproduce a value equal
+/// to `x`, and decoding must consume exactly the bytes encoding produced.
+/// Decode must return a [`DecodeError`] — never panic — on any byte
+/// sequence, however corrupted.
+pub trait Persist: Sized {
+    /// Appends this value's canonical byte form to `w`.
+    fn encode(&self, w: &mut Encoder);
+
+    /// Parses a value back out of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes are truncated or hold a
+    /// value outside this type's domain.
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+macro_rules! persist_prim {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl Persist for $ty {
+            fn encode(&self, w: &mut Encoder) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+persist_prim!(u8, put_u8, get_u8);
+persist_prim!(u16, put_u16, get_u16);
+persist_prim!(u32, put_u32, get_u32);
+persist_prim!(u64, put_u64, get_u64);
+persist_prim!(i64, put_i64, get_i64);
+persist_prim!(f64, put_f64, get_f64);
+persist_prim!(bool, put_bool, get_bool);
+
+impl Persist for usize {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(*self as u64);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.get_len()
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        r.get_string()
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, w: &mut Encoder) {
+        match self {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        if r.get_bool()? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = r.get_len()?;
+        // A corrupted length cannot force a huge allocation: capacity is
+        // bounded by the bytes actually present (each element consumes at
+        // least one), and element decoding fails `Truncated` before the
+        // phantom tail is reached.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, w: &mut Encoder) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn encode(&self, w: &mut Encoder) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl Persist for [u64; 4] {
+    fn encode(&self, w: &mut Encoder) {
+        for v in self {
+            w.put_u64(*v);
+        }
+    }
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok([r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = Encoder::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = T::decode(&mut r).expect("decodes");
+        r.finish().expect("fully consumed");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(std::f64::consts::PI);
+        round_trip(-0.0f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+        round_trip(String::from("héllo wörld"));
+        round_trip(String::new());
+        round_trip(Option::<u64>::None);
+        round_trip(Some(7u64));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip((1u64, String::from("x")));
+        round_trip((1u64, 2u32, 3u8));
+        round_trip([1u64, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let mut w = Encoder::new();
+        f64::NAN.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = f64::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = Encoder::new();
+        12345u64.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes[..5]);
+        assert!(matches!(
+            u64::decode(&mut r),
+            Err(DecodeError::Truncated { needed: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_typed() {
+        let mut r = Decoder::new(&[7]);
+        assert_eq!(
+            bool::decode(&mut r),
+            Err(DecodeError::InvalidValue { what: "bool" })
+        );
+        let mut w = Encoder::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            String::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue { what: "utf-8" })
+        );
+    }
+
+    #[test]
+    fn huge_claimed_length_fails_without_allocating() {
+        // A corrupt length prefix claims 2^60 elements backed by 0 bytes.
+        let mut w = Encoder::new();
+        w.put_u64(1 << 60);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Vec::<u64>::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut w = Encoder::new();
+        1u8.encode(&mut w);
+        2u8.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        u8::decode(&mut r).unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { count: 1 }));
+    }
+
+    #[test]
+    fn errors_display_and_box() {
+        let errs: Vec<DecodeError> = vec![
+            DecodeError::BadMagic,
+            DecodeError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            DecodeError::Truncated {
+                needed: 8,
+                available: 2,
+            },
+            DecodeError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+            DecodeError::InvalidValue { what: "x" },
+            DecodeError::TrailingBytes { count: 3 },
+            DecodeError::UnknownKind {
+                found: "mystery".into(),
+            },
+            DecodeError::Io {
+                path: "/tmp/x".into(),
+                message: "gone".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+            let boxed: Box<dyn Error> = Box::new(e);
+            assert!(!boxed.to_string().is_empty());
+        }
+    }
+}

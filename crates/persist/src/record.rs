@@ -1,0 +1,248 @@
+//! The self-describing on-disk record envelope.
+//!
+//! Layout, in order:
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 8 | [`MAGIC`] |
+//! | 2 | [`FORMAT_VERSION`], little-endian |
+//! | 8 + n | record kind: `u64` length + UTF-8 tag |
+//! | 8 | payload length, little-endian |
+//! | … | payload |
+//! | 4 | CRC-32 (IEEE) of everything after the magic |
+//!
+//! The kind tag names the payload type (`"uc.ssd-checkpoint.v1"`,
+//! `"uc.fig3-checkpoint.v1"`, …) so a reader can dispatch to the right
+//! decoder — or fail with [`DecodeError::UnknownKind`] instead of
+//! misinterpreting bytes. Bumping a payload's layout means bumping its
+//! kind tag; bumping the envelope itself means bumping
+//! [`FORMAT_VERSION`], which old readers reject as
+//! [`DecodeError::UnsupportedVersion`].
+
+use crate::codec::{DecodeError, Decoder, Encoder};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The 8-byte signature every checkpoint record starts with.
+pub const MAGIC: [u8; 8] = *b"UCSSDCP\0";
+
+/// The envelope format version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+///
+/// This is the per-record checksum; a single flipped payload bit decodes
+/// as [`DecodeError::ChecksumMismatch`] instead of corrupt state.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Wraps `payload` in the record envelope under the given kind tag.
+pub fn encode_record(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let mut body = Encoder::new();
+    body.put_u16(FORMAT_VERSION);
+    body.put_str(kind);
+    body.put_bytes(payload);
+    let checksum = crc32(body.as_bytes());
+
+    let mut record = Vec::with_capacity(MAGIC.len() + body.as_bytes().len() + 4);
+    record.extend_from_slice(&MAGIC);
+    record.extend_from_slice(body.as_bytes());
+    record.extend_from_slice(&checksum.to_le_bytes());
+    record
+}
+
+/// Unwraps a record envelope, returning `(kind, payload)`.
+///
+/// # Errors
+///
+/// Returns the [`DecodeError`] variant matching exactly what is wrong:
+/// [`BadMagic`](DecodeError::BadMagic) for foreign bytes,
+/// [`UnsupportedVersion`](DecodeError::UnsupportedVersion) for records
+/// from a future format, [`Truncated`](DecodeError::Truncated) for short
+/// reads, [`ChecksumMismatch`](DecodeError::ChecksumMismatch) for flipped
+/// bits and [`TrailingBytes`](DecodeError::TrailingBytes) for appended
+/// junk.
+pub fn decode_record(bytes: &[u8]) -> Result<(String, &[u8]), DecodeError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let body = &bytes[MAGIC.len()..];
+    let mut r = Decoder::new(body);
+    let version = r.get_u16()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let kind = r.get_string()?;
+    let payload = r.get_bytes()?;
+    let checked_len = body.len() - r.remaining();
+    let stored = r.get_u32()?;
+    let computed = crc32(&body[..checked_len]);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    r.finish()?;
+    Ok((kind, payload))
+}
+
+/// Writes a record file atomically: the bytes go to `<path>.tmp` first
+/// and are renamed into place, so a crash mid-write never leaves a torn
+/// record at `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors.
+pub fn write_record_file(path: &Path, kind: &str, payload: &[u8]) -> io::Result<()> {
+    let record = encode_record(kind, payload);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&record)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and unwraps a record file, returning `(kind, payload)`.
+///
+/// # Errors
+///
+/// Filesystem errors surface as [`DecodeError::Io`]; malformed bytes as
+/// the matching [`DecodeError`] variant (see [`decode_record`]).
+pub fn read_record_file(path: &Path) -> Result<(String, Vec<u8>), DecodeError> {
+    let bytes = std::fs::read(path).map_err(|e| DecodeError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let (kind, payload) = decode_record(&bytes)?;
+    Ok((kind, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let record = encode_record("test.v1", b"hello payload");
+        let (kind, payload) = decode_record(&record).unwrap();
+        assert_eq!(kind, "test.v1");
+        assert_eq!(payload, b"hello payload");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let record = encode_record("empty.v1", b"");
+        let (kind, payload) = decode_record(&record).unwrap();
+        assert_eq!(kind, "empty.v1");
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut record = encode_record("t", b"x");
+        record[0] ^= 0xFF;
+        assert_eq!(decode_record(&record), Err(DecodeError::BadMagic));
+        // Too short to even hold the magic.
+        assert_eq!(decode_record(b"UC"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_is_typed() {
+        let mut record = encode_record("t", b"x");
+        // The version is the first body field after the 8-byte magic.
+        record[8] = 0xEE;
+        record[9] = 0x7F;
+        assert_eq!(
+            decode_record(&record),
+            Err(DecodeError::UnsupportedVersion {
+                found: 0x7FEE,
+                supported: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn flipped_payload_bit_is_a_checksum_mismatch() {
+        let mut record = encode_record("t", b"payload-bytes");
+        let payload_at = record.len() - 4 - 4; // inside the payload
+        record[payload_at] ^= 0x01;
+        assert!(matches!(
+            decode_record(&record),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_typed() {
+        let record = encode_record("t", b"payload-bytes");
+        for cut in [record.len() - 1, record.len() - 5, 12] {
+            assert!(
+                matches!(
+                    decode_record(&record[..cut]),
+                    Err(DecodeError::Truncated { .. }) | Err(DecodeError::ChecksumMismatch { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_junk_is_typed() {
+        let mut record = encode_record("t", b"x");
+        record.extend_from_slice(b"junk");
+        assert_eq!(
+            decode_record(&record),
+            Err(DecodeError::TrailingBytes { count: 4 })
+        );
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join("uc-persist-test-record");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        write_record_file(&path, "file.v1", b"on disk").unwrap();
+        let (kind, payload) = read_record_file(&path).unwrap();
+        assert_eq!(kind, "file.v1");
+        assert_eq!(payload, b"on disk");
+        // No stray temp file is left behind.
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            read_record_file(&path),
+            Err(DecodeError::Io { .. })
+        ));
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod dist;
+mod persist;
 mod queue;
 mod resource;
 mod rng;

@@ -34,6 +34,7 @@
 mod buffer;
 mod config;
 mod device;
+mod persist;
 mod prefetch;
 
 pub use buffer::{WriteBuffer, WriteBufferSnapshot};

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod driver;
+mod persist;
 mod report;
 mod shaper;
 mod spec;

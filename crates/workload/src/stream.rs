@@ -107,6 +107,36 @@ impl AddressStream {
     }
 }
 
+impl uc_persist::Persist for AddressStream {
+    fn encode(&self, w: &mut uc_persist::Encoder) {
+        self.pattern.encode(w);
+        w.put_u64(self.io_size);
+        w.put_u64(self.start);
+        w.put_u64(self.slots);
+        w.put_u64(self.read_cursor);
+        w.put_u64(self.write_cursor);
+        self.rng.encode(w);
+    }
+
+    fn decode(r: &mut uc_persist::Decoder<'_>) -> Result<Self, uc_persist::DecodeError> {
+        let stream = AddressStream {
+            pattern: AccessPattern::decode(r)?,
+            io_size: r.get_u64()?,
+            start: r.get_u64()?,
+            slots: r.get_u64()?,
+            read_cursor: r.get_u64()?,
+            write_cursor: r.get_u64()?,
+            rng: SimRng::decode(r)?,
+        };
+        if stream.io_size == 0 || stream.slots == 0 {
+            return Err(uc_persist::DecodeError::InvalidValue {
+                what: "AddressStream span",
+            });
+        }
+        Ok(stream)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

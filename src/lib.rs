@@ -38,6 +38,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | [`persist`] | versioned binary checkpoint codec (magic, version, checksum records) |
 //! | [`sim`] | virtual clock, RNG, distributions, resources, token buckets |
 //! | [`metrics`] | latency histograms, throughput timelines, summary stats |
 //! | [`blockdev`] | the `BlockDevice` abstraction, queue-pair batching (`IoBatch`/`Completion`), `DeviceFactory` seam, `CheckpointDevice` snapshot/restore seam |
@@ -61,6 +62,7 @@ pub use uc_flash as flash;
 pub use uc_ftl as ftl;
 pub use uc_metrics as metrics;
 pub use uc_net as net;
+pub use uc_persist as persist;
 pub use uc_sim as sim;
 pub use uc_ssd as ssd;
 pub use uc_workload as workload;
