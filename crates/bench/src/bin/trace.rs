@@ -1,0 +1,208 @@
+//! The trace experiment: replay a captured or generated block-I/O trace
+//! against every device class and print the per-phase contract report.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin trace [--quick]
+//! [--scale <mult>] [--shape bursty|steady|diurnal] [--speed <f>]
+//! [--phases <n>] [--mode open|closed] [--trace <path>]
+//! [--save-trace <path>]
+//! [--checkpoint-dir <dir> [--resume] [--kill-after <n>]]`
+//!
+//! * `--quick` — a shorter generated trace for smoke tests.
+//! * `--scale <mult>` — multiply device capacities (`UC_SCALE`
+//!   fallback); the generated trace's offset span scales with them.
+//! * `--shape` — the synthetic arrival shape when no `--trace` is given
+//!   (default `bursty`, the paper's Implication 4 ON/OFF pattern).
+//! * `--speed <f>` — replay acceleration: arrival instants are divided
+//!   by `f` (default 1, the captured timing).
+//! * `--phases <n>` — reporting phases / resumable segments (default 8).
+//! * `--mode` — `open` (arrival-driven, default) or `closed` (QD 32).
+//! * `--trace <path>` — replay this file instead of generating: binary
+//!   `uc.trace.v1` records, falling back to the text format.
+//! * `--save-trace <path>` — write the trace being replayed as a binary
+//!   `uc.trace.v1` record file before running.
+//! * `--checkpoint-dir <dir>` — persist every phase boundary; a killed
+//!   run restarted with `--resume` continues from disk and prints a
+//!   report byte-identical to an uninterrupted run (the trace CI smoke
+//!   pins this).
+//! * `--kill-after <n>` — crash-testing hook: exit 42 after the n-th
+//!   checkpoint save.
+//!
+//! Exits nonzero if any phase violates the contract thresholds, so the
+//! report doubles as a gate.
+
+use uc_bench::roster_from_args;
+use uc_core::devices::DeviceKind;
+use uc_core::experiments::trace::{self as trace_exp, TraceRunConfig, TraceStore};
+use uc_core::experiments::Executor;
+use uc_core::report::render_trace_report;
+use uc_sim::SimDuration;
+use uc_trace::{load_trace, save_trace, ReplayConfig, Trace, TraceSpec};
+
+/// Reads the value of `--flag <n>` as a positive integer, if present.
+fn parse_count(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"));
+        let n = v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got {v:?}"));
+        assert!(n > 0, "{flag} expects a positive integer, got 0");
+        n
+    })
+}
+
+/// Reads the value of `--flag <s>` as a string, if present.
+fn parse_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+/// The synthetic trace for the selected shape, sized to the roster (the
+/// offset span is the smallest device's capacity, so the same trace
+/// replays on every device at any `--scale`).
+fn generated(shape: &str, quick: bool, span: u64, seed: u64) -> Trace {
+    let duration = if quick {
+        SimDuration::from_millis(100)
+    } else {
+        SimDuration::from_secs(1)
+    };
+    let spec = match shape {
+        "bursty" => TraceSpec::bursty(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(6),
+            40_000.0,
+        ),
+        "steady" => TraceSpec::steady(10_000.0),
+        "diurnal" => TraceSpec::diurnal(2_000.0, 30_000.0, duration),
+        other => panic!("--shape expects bursty|steady|diurnal, got {other:?}"),
+    };
+    spec.with_duration(duration)
+        .with_io_size(64 << 10)
+        .with_write_ratio(0.8)
+        .with_span(span)
+        .with_seed(seed)
+        .generate()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
+    let shape = parse_value(&args, "--shape").unwrap_or_else(|| "bursty".to_string());
+    let phases = parse_count(&args, "--phases").unwrap_or(8);
+    let kill_after = parse_count(&args, "--kill-after");
+    let checkpoint_dir = parse_value(&args, "--checkpoint-dir");
+    let speed = parse_value(&args, "--speed")
+        .map(|v| {
+            v.parse::<f64>()
+                .unwrap_or_else(|_| panic!("--speed expects a number, got {v:?}"))
+        })
+        .unwrap_or(1.0);
+    let mode = parse_value(&args, "--mode").unwrap_or_else(|| "open".to_string());
+    if resume && checkpoint_dir.is_none() {
+        panic!("--resume requires --checkpoint-dir");
+    }
+    if kill_after.is_some() && checkpoint_dir.is_none() {
+        panic!("--kill-after requires --checkpoint-dir");
+    }
+    let roster = roster_from_args(&args);
+
+    let trace = match parse_value(&args, "--trace") {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            match load_trace(&path) {
+                Ok(trace) => {
+                    eprintln!("loaded binary trace {}", path.display());
+                    trace
+                }
+                Err(binary_err) => {
+                    // Interop: fall back to the text format.
+                    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                        panic!("cannot read {}: {binary_err}; {e}", path.display())
+                    });
+                    let trace: Trace = text.parse().unwrap_or_else(|e| {
+                        panic!(
+                            "{} is neither a uc.trace.v1 record ({binary_err}) \
+                             nor a text trace ({e})",
+                            path.display()
+                        )
+                    });
+                    eprintln!("loaded text trace {}", path.display());
+                    trace
+                }
+            }
+        }
+        None => generated(&shape, quick, roster.ssd_capacity(), 0x7ACE),
+    };
+    eprintln!(
+        "trace: {} entries, {} MiB, {:.1} ms span",
+        trace.len(),
+        trace.total_bytes() >> 20,
+        trace.duration().as_secs_f64() * 1e3
+    );
+    if let Some(path) = parse_value(&args, "--save-trace") {
+        let path = std::path::PathBuf::from(path);
+        save_trace(&path, &trace).expect("save trace");
+        eprintln!("saved uc.trace.v1 record to {}", path.display());
+    }
+
+    // Report windows sized so each phase spans several of them.
+    let scaled_nanos = (trace.duration().as_nanos() as f64 / speed).max(1.0) as u64;
+    let window = SimDuration::from_nanos((scaled_nanos / (phases as u64 * 8).max(1)).max(1))
+        .min(SimDuration::from_millis(10))
+        .max(SimDuration::from_micros(100));
+    let replay = match mode.as_str() {
+        "open" => ReplayConfig::open_loop(),
+        "closed" => ReplayConfig::closed_loop(32),
+        other => panic!("--mode expects open|closed, got {other:?}"),
+    }
+    .with_window(window)
+    .with_speed(speed);
+    let cfg = TraceRunConfig::open_loop(phases).with_replay(replay);
+
+    let exec = Executor::from_env();
+    eprintln!(
+        "replaying at speed {speed}x ({mode} loop) on {} device(s), {phases} phase(s), \
+         {} worker(s)…",
+        DeviceKind::ALL.len(),
+        exec.threads()
+    );
+    let results = match &checkpoint_dir {
+        Some(dir) => {
+            let mut store = TraceStore::create(dir).expect("create checkpoint dir");
+            if let Some(n) = kill_after {
+                store = store.with_kill_after(n as u64);
+            }
+            eprintln!(
+                "persisting phase checkpoints to {} ({})",
+                store.path().display(),
+                if resume { "resuming" } else { "fresh run" }
+            );
+            trace_exp::run_pipelined_durable(
+                &roster,
+                &DeviceKind::ALL,
+                &trace,
+                &cfg,
+                &exec,
+                &store,
+                resume,
+            )
+            .expect("trace durable run")
+        }
+        None => trace_exp::run_pipelined(&roster, &DeviceKind::ALL, &trace, &cfg, &exec)
+            .expect("trace run"),
+    };
+
+    let report = trace_exp::evaluate(results);
+    print!("{}", render_trace_report(&report));
+    println!(
+        "Reference shapes: bursts that fit the budget keep every phase near the \
+         best-phase latency; bursts beyond it flag LAT!/LAG! phases — the \
+         smoothing case of Implication 4."
+    );
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}

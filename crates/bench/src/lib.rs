@@ -3,12 +3,13 @@
 //! This crate hosts:
 //!
 //! * **figure/table binaries** (`src/bin/`): `table1`, `fig2`, `fig3`,
-//!   `fig4`, `fig5`, and `contract` — each regenerates one artifact of the
-//!   paper and prints the same rows/series the paper reports. Grid
-//!   experiments fan their cells out across every core (`UC_THREADS`
-//!   overrides; reports are byte-identical at any width), and `contract`
-//!   takes `--scale <mult>` / `UC_SCALE` to grow the roster toward the
-//!   paper's TB-scale capacities,
+//!   `fig4`, `fig5`, `contract`, and `trace` — each regenerates one
+//!   artifact of the paper (or, for `trace`, the trace-driven per-phase
+//!   contract report) and prints the same rows/series the paper reports.
+//!   Grid experiments fan their cells out across every core
+//!   (`UC_THREADS` overrides; reports are byte-identical at any width),
+//!   and every binary takes `--scale <mult>` / `UC_SCALE` to grow the
+//!   roster toward the paper's TB-scale capacities,
 //! * **criterion benches** (`benches/`): `fig2_latency`, `fig3_gc`,
 //!   `fig4_pattern`, `fig5_budget` measure the cost of the experiments, and
 //!   `ablations` measures the design choices called out in DESIGN.md (GC

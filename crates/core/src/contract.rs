@@ -75,6 +75,22 @@ pub mod thresholds {
     /// mixes must exceed this fraction of its mean — the baseline really
     /// does move with the mix (read and write envelopes differ by ~2×).
     pub const OBS4_MIN_SSD_SPREAD: f64 = 0.15;
+
+    /// Trace experiment: a replay phase whose mean latency exceeds the
+    /// device's best phase by more than this factor is flagged as a
+    /// burst-overdrive violation — the arrival pattern pushed the device
+    /// past its budget (the queueing Implication 4 tells clients to
+    /// smooth away). 3× separates real overdrive from the ~2× swing
+    /// ordinary queue-depth variation produces.
+    pub const TRACE_PHASE_LATENCY_BLOWUP: f64 = 3.0;
+
+    /// Trace experiment: a phase whose last completion runs past the
+    /// phase's nominal end by more than this fraction of the phase
+    /// length is flagged as sustained saturation — the device is not
+    /// absorbing the offered load in the phase it arrived. Transient
+    /// spill-over from a burst at a phase edge stays well under half a
+    /// phase.
+    pub const TRACE_MAX_PHASE_LAG: f64 = 0.5;
 }
 
 /// Verdict and evidence for one observation.

@@ -28,6 +28,12 @@
 //! [`fig3::run_pipelined`], which pipelines the per-device segment chains
 //! across workers ([`Executor::run_chains`]) with byte-identical results
 //! at any thread count.
+//!
+//! [`trace`] goes beyond the paper's own artifacts: it replays a
+//! captured or generated block-I/O trace (see the `uc-trace` crate)
+//! against every device and evaluates the contract phase by phase,
+//! using the same resumable-chain machinery as `fig3` (and the same
+//! determinism bar).
 
 pub mod executor;
 pub mod fig2;
@@ -35,6 +41,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod table1;
+pub mod trace;
 
 pub use executor::Executor;
 pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
@@ -42,3 +49,7 @@ pub use fig3::{CheckpointDir, DurableError, Fig3Checkpoint, Fig3Config, Fig3Resu
 pub use fig4::{Fig4Config, Fig4Result};
 pub use fig5::{Fig5Config, Fig5Result};
 pub use table1::{run as run_table1, Table1Row};
+pub use trace::{
+    PhaseStat, TraceContractReport, TraceRun, TraceRunCheckpoint, TraceRunConfig, TraceRunResult,
+    TraceStore, TraceViolation, TraceViolationKind,
+};

@@ -1,0 +1,1263 @@
+//! The trace-driven contract experiment: replay one arrival history
+//! against every device class and report, phase by phase, where the
+//! unwritten contract was violated.
+//!
+//! Every other experiment drives the devices with synthetic closed- or
+//! open-loop specs; this one replays a [`Trace`] — captured through
+//! `uc-trace`'s recorder or generated from an arrival shape — so the
+//! contract is evaluated under the arrival patterns real tenants
+//! produce (the axis the paper's Implication 4 varies).
+//!
+//! Like fig3, a replay is one continuous virtual timeline per device, so
+//! it is sliced into **resumable phases** (equal spans of scaled arrival
+//! time) through the checkpoint seam and pipelined across workers with
+//! [`Executor::run_chains`]; phase boundaries double as the reporting
+//! granularity. Determinism is the same contract fig3 pins: sequential,
+//! pipelined and kill-resumed runs all produce byte-identical reports.
+//!
+//! The per-phase **violation report** checks two trace-level expectations
+//! derived from the contract (thresholds in
+//! [`thresholds`](crate::contract::thresholds)):
+//!
+//! * **latency blow-up** — a phase whose mean latency exceeds
+//!   [`TRACE_PHASE_LATENCY_BLOWUP`] times the device's best phase means
+//!   the arrival pattern overdrove the device (burst beyond the budget /
+//!   GC debt), the behaviour Implication 4 tells clients to smooth away;
+//! * **completion lag** — a phase whose last completion runs past its
+//!   nominal end by more than [`TRACE_MAX_PHASE_LAG`] of the phase
+//!   length means the device is not absorbing the offered load in the
+//!   phase it arrived (sustained saturation, not just a transient spike).
+
+use crate::contract::thresholds::{TRACE_MAX_PHASE_LAG, TRACE_PHASE_LATENCY_BLOWUP};
+use crate::devices::{payload_codecs, DeviceKind, DeviceRoster};
+use crate::experiments::Executor;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uc_blockdev::{CheckpointDevice, CheckpointError, DeviceCheckpoint, PersistError};
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+use uc_sim::{SimDuration, SimTime};
+use uc_workload::{JobReport, ReplayCheckpoint, ReplayConfig, ReplayError, Trace, TraceReplayJob};
+
+/// Parameters of a trace experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRunConfig {
+    /// How the trace is replayed (mode, throughput window, speed, ring).
+    pub replay: ReplayConfig,
+    /// Number of reporting phases the replay is sliced into (equal spans
+    /// of scaled arrival time; also the resumable-segment granularity).
+    pub phases: usize,
+}
+
+impl TraceRunConfig {
+    /// An open-loop run sliced into `phases` phases (clamped to ≥ 1).
+    pub fn open_loop(phases: usize) -> Self {
+        TraceRunConfig {
+            replay: ReplayConfig::open_loop(),
+            phases: phases.max(1),
+        }
+    }
+
+    /// Replaces the replay configuration.
+    pub fn with_replay(mut self, replay: ReplayConfig) -> Self {
+        self.replay = replay;
+        self
+    }
+}
+
+/// A stable identity for a trace's exact contents: the CRC-32 of its
+/// canonical entry wire form (the same bytes `uc-trace` writes as the
+/// `uc.trace.v1` payload). Resuming a checkpoint against a *different*
+/// trace would silently corrupt the continuation; the fingerprint makes
+/// that a detectable mismatch instead.
+pub fn trace_fingerprint(trace: &Trace) -> u32 {
+    let mut w = Encoder::new();
+    w.put_u64(trace.len() as u64);
+    for entry in trace.entries() {
+        entry.encode(&mut w);
+    }
+    uc_persist::crc32(w.as_bytes())
+}
+
+/// The milestone plan of one replay: entry-index milestones at equal
+/// spans of scaled arrival time, plus the nominal phase length. Derived
+/// in exactly one place so the durable runner's resume-validity check
+/// can never drift from what a fresh run executes.
+#[derive(Debug, Clone, PartialEq)]
+struct Plan {
+    fingerprint: u32,
+    milestones: Vec<u64>,
+    phase: SimDuration,
+}
+
+impl Plan {
+    fn of(trace: &Trace, cfg: &TraceRunConfig) -> Plan {
+        let phases = cfg.phases.max(1) as u64;
+        // The scaled span: one past the last scaled arrival (so the last
+        // entry falls inside the final phase), or 1 ns for empty traces.
+        let end = trace
+            .entries()
+            .last()
+            .map(|e| cfg.replay.scaled(e.at).as_nanos() + 1)
+            .unwrap_or(1);
+        let phase_nanos = end.div_ceil(phases).max(1);
+        let entries = trace.entries();
+        let milestones = (1..=phases)
+            .map(|k| {
+                let boundary = phase_nanos * k;
+                entries.partition_point(|e| cfg.replay.scaled(e.at).as_nanos() < boundary) as u64
+            })
+            .collect();
+        Plan {
+            fingerprint: trace_fingerprint(trace),
+            milestones,
+            phase: SimDuration::from_nanos(phase_nanos),
+        }
+    }
+
+    /// `true` if `checkpoint` was taken under this exact plan (same
+    /// trace, same slicing, same replay configuration) and can continue
+    /// it.
+    fn matches(&self, checkpoint: &TraceRunCheckpoint, replay: &ReplayConfig) -> bool {
+        checkpoint.fingerprint == self.fingerprint
+            && checkpoint.milestones == self.milestones
+            && checkpoint.driver.config == *replay
+    }
+}
+
+/// A cumulative snapshot of the replay report at one phase boundary —
+/// the difference of consecutive cuts yields the per-phase statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseCut {
+    /// I/Os completed so far.
+    pub ios: u64,
+    /// Bytes completed so far.
+    pub bytes: u64,
+    /// Latency samples so far.
+    pub lat_count: u64,
+    /// Exact sum of latency samples so far, in nanoseconds (the
+    /// histogram tracks this exactly, so per-phase means reconstructed
+    /// from cut differences carry no truncation error).
+    pub lat_sum_nanos: u128,
+    /// Latest completion instant so far.
+    pub finished_at: SimTime,
+}
+
+impl PhaseCut {
+    fn of(report: &JobReport) -> PhaseCut {
+        PhaseCut {
+            ios: report.ios,
+            bytes: report.bytes,
+            lat_count: report.latency.count(),
+            lat_sum_nanos: report.latency.sum_nanos(),
+            finished_at: report.finished_at,
+        }
+    }
+}
+
+impl Persist for PhaseCut {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.ios);
+        w.put_u64(self.bytes);
+        w.put_u64(self.lat_count);
+        // u128 as little-endian halves (the wire format has no u128).
+        w.put_u64(self.lat_sum_nanos as u64);
+        w.put_u64((self.lat_sum_nanos >> 64) as u64);
+        self.finished_at.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PhaseCut {
+            ios: r.get_u64()?,
+            bytes: r.get_u64()?,
+            lat_count: r.get_u64()?,
+            lat_sum_nanos: {
+                let lo = r.get_u64()? as u128;
+                let hi = r.get_u64()? as u128;
+                (hi << 64) | lo
+            },
+            finished_at: SimTime::decode(r)?,
+        })
+    }
+}
+
+/// Per-phase statistics of one device's replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase number (0-based).
+    pub index: usize,
+    /// Nominal end of the phase on the scaled arrival timeline.
+    pub end: SimTime,
+    /// Nominal phase length.
+    pub duration: SimDuration,
+    /// I/Os completed in this phase.
+    pub ios: u64,
+    /// Bytes completed in this phase.
+    pub bytes: u64,
+    /// Mean latency of this phase's I/Os.
+    pub mean_latency: SimDuration,
+    /// Throughput over the nominal phase length, in GB/s.
+    pub gbps: f64,
+    /// Latest completion instant at the phase cut.
+    pub finished_at: SimTime,
+}
+
+impl PhaseStat {
+    /// How far the last completion ran past the phase's nominal end.
+    pub fn lag(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.end)
+    }
+}
+
+/// One device's trace replay: the full report plus its per-phase slices.
+#[derive(Debug, Clone)]
+pub struct TraceRunResult {
+    /// Which device was measured.
+    pub device: DeviceKind,
+    /// The complete replay report.
+    pub report: JobReport,
+    /// Per-phase statistics, in phase order.
+    pub phases: Vec<PhaseStat>,
+}
+
+/// What a phase did wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolationKind {
+    /// Mean latency exceeded the device's best phase by this factor.
+    LatencyBlowup {
+        /// `phase mean / best phase mean`.
+        factor: f64,
+    },
+    /// The phase's last completion ran this far past its nominal end.
+    CompletionLag {
+        /// The overrun.
+        lag: SimDuration,
+    },
+}
+
+/// One flagged phase of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceViolation {
+    /// The device that violated.
+    pub device: DeviceKind,
+    /// The offending phase (0-based).
+    pub phase: usize,
+    /// What went wrong.
+    pub kind: TraceViolationKind,
+}
+
+/// The contract verdict of a trace experiment.
+#[derive(Debug, Clone)]
+pub struct TraceContractReport {
+    /// Per-device results, in the order the experiment ran them.
+    pub results: Vec<TraceRunResult>,
+    /// Every flagged phase, in device-then-phase order.
+    pub violations: Vec<TraceViolation>,
+    /// Overall ESSD-versus-SSD mean-latency gaps (Observation 1's axis),
+    /// present when the run included the local SSD.
+    pub gaps: Vec<(DeviceKind, f64)>,
+}
+
+impl TraceContractReport {
+    /// `true` if no phase of any device was flagged.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Evaluates the per-phase contract checks over a set of replay results.
+///
+/// Deterministic: the same results always produce the same report (the
+/// CI trace smoke diffs two full runs byte for byte).
+pub fn evaluate(results: Vec<TraceRunResult>) -> TraceContractReport {
+    let mut violations = Vec::new();
+    for result in &results {
+        let best = result
+            .phases
+            .iter()
+            .filter(|p| p.ios > 0)
+            .map(|p| p.mean_latency)
+            .min()
+            .unwrap_or(SimDuration::ZERO);
+        for phase in &result.phases {
+            if phase.ios > 0 && !best.is_zero() {
+                let factor = phase.mean_latency.as_nanos() as f64 / best.as_nanos() as f64;
+                if factor > TRACE_PHASE_LATENCY_BLOWUP {
+                    violations.push(TraceViolation {
+                        device: result.device,
+                        phase: phase.index,
+                        kind: TraceViolationKind::LatencyBlowup { factor },
+                    });
+                }
+            }
+            let lag = phase.lag();
+            if lag.as_nanos() as f64 > phase.duration.as_nanos() as f64 * TRACE_MAX_PHASE_LAG {
+                violations.push(TraceViolation {
+                    device: result.device,
+                    phase: phase.index,
+                    kind: TraceViolationKind::CompletionLag { lag },
+                });
+            }
+        }
+    }
+    let gaps = match results.iter().find(|r| r.device == DeviceKind::LocalSsd) {
+        Some(ssd) if !ssd.report.latency.mean().is_zero() => {
+            let base = ssd.report.latency.mean().as_nanos() as f64;
+            results
+                .iter()
+                .filter(|r| r.device != DeviceKind::LocalSsd)
+                .map(|r| (r.device, r.report.latency.mean().as_nanos() as f64 / base))
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    TraceContractReport {
+        results,
+        violations,
+        gaps,
+    }
+}
+
+/// The jitter-seed base every trace-experiment device is built with.
+fn device_seed(kind: DeviceKind) -> u64 {
+    0x7_2ACE_0000 + kind as u64
+}
+
+/// A frozen trace replay between phases: everything needed to continue
+/// the run on any worker (or, persisted, in any process) — except the
+/// trace itself, whose identity is pinned by the fingerprint.
+#[derive(Debug, Clone)]
+pub struct TraceRunCheckpoint {
+    /// Which device is being measured.
+    pub kind: DeviceKind,
+    /// Fingerprint of the trace this run replays
+    /// ([`trace_fingerprint`]).
+    pub fingerprint: u32,
+    /// Entry-index milestones; the last equals the trace length.
+    pub milestones: Vec<u64>,
+    /// Phases already completed.
+    pub completed: usize,
+    /// Boundary snapshots taken so far (one per completed phase).
+    pub cuts: Vec<PhaseCut>,
+    /// The device's complete hidden state.
+    pub device: DeviceCheckpoint,
+    /// The paused replay driver.
+    pub driver: ReplayCheckpoint,
+}
+
+impl TraceRunCheckpoint {
+    /// The on-disk record kind tag of a serialized trace-run checkpoint.
+    /// Bump the suffix when the layout changes.
+    pub const RECORD_KIND: &'static str = "uc.trace-run.v1";
+
+    /// Appends this checkpoint's wire form to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NotPersistent`] if the embedded device
+    /// checkpoint carries no persistence codec (roster-built devices
+    /// always do).
+    pub fn encode_into(&self, w: &mut Encoder) -> Result<(), PersistError> {
+        self.kind.encode(w);
+        w.put_u32(self.fingerprint);
+        self.milestones.encode(w);
+        self.completed.encode(w);
+        self.cuts.encode(w);
+        self.device.encode_into(w)?;
+        self.driver.encode(w);
+        Ok(())
+    }
+
+    /// Parses a checkpoint back out of its wire form, thawing the device
+    /// payload through the roster's codec registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] on any malformed input.
+    pub fn decode_from(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let kind = DeviceKind::decode(r)?;
+        let fingerprint = r.get_u32()?;
+        let milestones = Vec::<u64>::decode(r)?;
+        let completed = usize::decode(r)?;
+        let cuts = Vec::<PhaseCut>::decode(r)?;
+        let device = DeviceCheckpoint::decode_from(r, &payload_codecs())?;
+        let driver = ReplayCheckpoint::decode(r)?;
+        if completed > milestones.len() || cuts.len() != completed {
+            return Err(DecodeError::InvalidValue {
+                what: "TraceRunCheckpoint.completed",
+            });
+        }
+        Ok(TraceRunCheckpoint {
+            kind,
+            fingerprint,
+            milestones,
+            completed,
+            cuts,
+            device,
+            driver,
+        })
+    }
+
+    /// Writes this checkpoint to `path` as a self-describing record file
+    /// (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on codec-less payloads or filesystem
+    /// failures.
+    pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = Encoder::new();
+        self.encode_into(&mut w)?;
+        uc_persist::write_record_file(path, Self::RECORD_KIND, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from a record file written by
+    /// [`TraceRunCheckpoint::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Every failure is a typed [`DecodeError`], never a panic.
+    pub fn load_from(path: &Path) -> Result<Self, DecodeError> {
+        let (kind, payload) = uc_persist::read_record_file(path)?;
+        if kind != Self::RECORD_KIND {
+            return Err(DecodeError::UnknownKind { found: kind });
+        }
+        let mut r = Decoder::new(&payload);
+        let checkpoint = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(checkpoint)
+    }
+}
+
+/// A trace replay sliced into resumable phases.
+///
+/// Phase boundaries are equal spans of scaled arrival time; between
+/// phases the run can be checkpointed, moved and resumed. However it is
+/// driven, the final [`TraceRunResult`] is byte-identical to an unsliced
+/// run's.
+pub struct TraceRun {
+    kind: DeviceKind,
+    fingerprint: u32,
+    milestones: Vec<u64>,
+    phase: SimDuration,
+    completed: usize,
+    cuts: Vec<PhaseCut>,
+    device: Box<dyn CheckpointDevice + Send>,
+    job: TraceReplayJob,
+}
+
+impl TraceRun {
+    /// Primes a replay on a fresh device (no I/O is issued yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Trace`] if the trace fails validation
+    /// against the device this roster builds for `kind`.
+    pub fn start(
+        roster: &DeviceRoster,
+        kind: DeviceKind,
+        trace: &Trace,
+        cfg: &TraceRunConfig,
+    ) -> Result<Self, ReplayError> {
+        let plan = Plan::of(trace, cfg);
+        let device = roster.build_checkpointable(kind, device_seed(kind));
+        let job = TraceReplayJob::start(&device, trace, &cfg.replay)?;
+        Ok(TraceRun {
+            kind,
+            fingerprint: plan.fingerprint,
+            milestones: plan.milestones,
+            phase: plan.phase,
+            completed: 0,
+            cuts: Vec::new(),
+            device,
+            job,
+        })
+    }
+
+    /// Phases already completed.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Total phases in the plan.
+    pub fn phases(&self) -> usize {
+        self.milestones.len()
+    }
+
+    /// `true` once every phase has run.
+    ///
+    /// Deliberately *not* shortcut by the driver finishing early (an
+    /// intermediate milestone can already cover the whole trace, e.g.
+    /// for very short or heavily `--speed`-compressed traces): every
+    /// runner executes exactly [`TraceRun::phases`] advances so the
+    /// sequential, pipelined and durable paths always produce the same
+    /// number of [`PhaseStat`]s.
+    pub fn is_finished(&self) -> bool {
+        self.completed >= self.milestones.len()
+    }
+
+    /// Runs one phase: drives the replay to the next entry milestone (the
+    /// final phase drains to completion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the device.
+    pub fn advance(&mut self, trace: &Trace) -> Result<(), ReplayError> {
+        let last = self.completed + 1 >= self.milestones.len();
+        let target = if last {
+            usize::MAX
+        } else {
+            self.milestones[self.completed] as usize
+        };
+        self.job.run_until(&mut self.device, trace, target)?;
+        self.cuts.push(PhaseCut::of(self.job.report()));
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// Freezes the run between phases into a portable checkpoint.
+    pub fn checkpoint(&self) -> TraceRunCheckpoint {
+        TraceRunCheckpoint {
+            kind: self.kind,
+            fingerprint: self.fingerprint,
+            milestones: self.milestones.clone(),
+            completed: self.completed,
+            cuts: self.cuts.clone(),
+            device: self.device.checkpoint(),
+            driver: self.job.checkpoint(),
+        }
+    }
+
+    /// Thaws a checkpoint onto a fresh roster-built device and resumes
+    /// the paused driver. The caller must pass the same trace the
+    /// checkpoint was taken from (pinned by the fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the device state does not belong
+    /// to the device this roster builds for `checkpoint.kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` does not match the checkpoint's fingerprint —
+    /// continuing a replay against different entries is never meaningful.
+    pub fn resume(
+        roster: &DeviceRoster,
+        trace: &Trace,
+        checkpoint: TraceRunCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        assert_eq!(
+            trace_fingerprint(trace),
+            checkpoint.fingerprint,
+            "checkpoint does not belong to this trace"
+        );
+        let mut device = roster.build_checkpointable(checkpoint.kind, device_seed(checkpoint.kind));
+        device.restore_from(checkpoint.device)?;
+        // The phase length is a pure function of (trace, config, phase
+        // count) — recompute rather than persist it.
+        let cfg = TraceRunConfig {
+            replay: checkpoint.driver.config,
+            phases: checkpoint.milestones.len(),
+        };
+        let plan = Plan::of(trace, &cfg);
+        Ok(TraceRun {
+            kind: checkpoint.kind,
+            fingerprint: checkpoint.fingerprint,
+            milestones: checkpoint.milestones,
+            phase: plan.phase,
+            completed: checkpoint.completed,
+            cuts: checkpoint.cuts,
+            device,
+            job: TraceReplayJob::resume(checkpoint.driver),
+        })
+    }
+
+    /// Consumes the finished run, yielding the result with its per-phase
+    /// slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is not finished.
+    pub fn into_result(self) -> TraceRunResult {
+        assert!(self.is_finished(), "trace run still has phases to go");
+        let phase_secs = self.phase.as_secs_f64();
+        let mut phases = Vec::with_capacity(self.cuts.len());
+        let mut prev = PhaseCut {
+            ios: 0,
+            bytes: 0,
+            lat_count: 0,
+            lat_sum_nanos: 0,
+            finished_at: SimTime::ZERO,
+        };
+        for (index, cut) in self.cuts.iter().enumerate() {
+            let ios = cut.ios - prev.ios;
+            let bytes = cut.bytes - prev.bytes;
+            let count = cut.lat_count - prev.lat_count;
+            let mean_latency = if count == 0 {
+                SimDuration::ZERO
+            } else {
+                let sum = cut.lat_sum_nanos - prev.lat_sum_nanos;
+                SimDuration::from_nanos((sum / count as u128) as u64)
+            };
+            phases.push(PhaseStat {
+                index,
+                end: SimTime::ZERO + self.phase * (index as u64 + 1),
+                duration: self.phase,
+                ios,
+                bytes,
+                mean_latency,
+                gbps: if phase_secs > 0.0 {
+                    bytes as f64 / 1e9 / phase_secs
+                } else {
+                    0.0
+                },
+                finished_at: cut.finished_at,
+            });
+            prev = *cut;
+        }
+        TraceRunResult {
+            device: self.kind,
+            report: self.job.into_report(),
+            phases,
+        }
+    }
+}
+
+/// Replays the trace on one device as a single-threaded run that still
+/// round-trips through a [`TraceRunCheckpoint`] at every phase boundary
+/// (exercising the same freeze/thaw path the pipelined runner uses).
+///
+/// # Errors
+///
+/// Propagates trace-validation and device I/O errors.
+///
+/// # Panics
+///
+/// Panics if a checkpoint taken by this run fails to restore (a
+/// checkpoint-seam bug, not an I/O condition).
+pub fn run(
+    roster: &DeviceRoster,
+    kind: DeviceKind,
+    trace: &Trace,
+    cfg: &TraceRunConfig,
+) -> Result<TraceRunResult, ReplayError> {
+    let mut state = TraceRun::start(roster, kind, trace, cfg)?;
+    loop {
+        state.advance(trace)?;
+        if state.is_finished() {
+            return Ok(state.into_result());
+        }
+        let frozen = state.checkpoint();
+        state = TraceRun::resume(roster, trace, frozen).expect("own checkpoint restores");
+    }
+}
+
+/// Replays the trace on several devices with their phase chains
+/// pipelined across `exec`'s workers ([`Executor::run_chains`]): phase
+/// `k` of one device runs concurrently with phase `k-1` of another, each
+/// boundary feeding a [`TraceRunCheckpoint`] forward.
+///
+/// Results are returned in `kinds` order and are byte-identical to
+/// [`run`]'s for every device, at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first trace-validation or I/O error any device
+/// reports.
+///
+/// # Panics
+///
+/// Panics if a checkpoint taken by this run fails to restore.
+pub fn run_pipelined(
+    roster: &DeviceRoster,
+    kinds: &[DeviceKind],
+    trace: &Trace,
+    cfg: &TraceRunConfig,
+    exec: &Executor,
+) -> Result<Vec<TraceRunResult>, ReplayError> {
+    // Stages only borrow the trace (`run_chains` runs on scoped
+    // threads, so non-'static closures are fine) — a GiB-scale trace is
+    // shared, never copied.
+    type Stage<'t> = Box<
+        dyn FnOnce(
+                Result<TraceRunCheckpoint, ReplayError>,
+            ) -> Result<TraceRunCheckpoint, ReplayError>
+            + Send
+            + 't,
+    >;
+    let phases = cfg.phases.max(1);
+    let mut chains: Vec<(Result<TraceRunCheckpoint, ReplayError>, Vec<Stage<'_>>)> =
+        Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let initial = TraceRun::start(roster, kind, trace, cfg).map(|r| r.checkpoint());
+        let stages: Vec<Stage<'_>> = (0..phases)
+            .map(|_| {
+                let roster = roster.clone();
+                Box::new(move |frozen: Result<TraceRunCheckpoint, ReplayError>| {
+                    let mut state =
+                        TraceRun::resume(&roster, trace, frozen?).expect("own checkpoint restores");
+                    state.advance(trace)?;
+                    Ok(state.checkpoint())
+                }) as Stage<'_>
+            })
+            .collect();
+        chains.push((initial, stages));
+    }
+    exec.run_chains(chains)
+        .into_iter()
+        .map(|frozen| {
+            let state = TraceRun::resume(roster, trace, frozen?).expect("own checkpoint restores");
+            Ok(state.into_result())
+        })
+        .collect()
+}
+
+/// Errors of the durable (on-disk) trace runner.
+#[derive(Debug)]
+pub enum TraceDurableError {
+    /// The trace failed validation or a device reported an I/O error.
+    Replay(ReplayError),
+    /// Writing a phase checkpoint to disk failed.
+    Save(PersistError),
+    /// A checkpoint loaded from disk does not restore onto the devices
+    /// this roster builds.
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for TraceDurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDurableError::Replay(e) => write!(f, "replay error: {e}"),
+            TraceDurableError::Save(e) => write!(f, "persisting phase checkpoint: {e}"),
+            TraceDurableError::Restore(e) => write!(f, "restoring phase checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDurableError {}
+
+impl From<ReplayError> for TraceDurableError {
+    fn from(e: ReplayError) -> Self {
+        TraceDurableError::Replay(e)
+    }
+}
+
+/// A directory of durable trace-run checkpoints: one file per device
+/// (`trace-<slug>.ckpt`), atomically overwritten at every phase
+/// boundary, so the newest boundary is always the only one on disk and
+/// a crash can never leave a torn record (temp file + rename).
+///
+/// Cheaply cloneable and `Send + Sync`: the pipelined runner's worker
+/// threads share it.
+#[derive(Debug, Clone)]
+pub struct TraceStore {
+    dir: PathBuf,
+    kill_after: Option<u64>,
+    saves: Arc<AtomicU64>,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error if the directory cannot be
+    /// created.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceStore {
+            dir,
+            kill_after: None,
+            saves: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The directory holding the checkpoint files.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Crash-testing hook: terminate the *process* (exit code 42)
+    /// immediately after the `n`-th successful checkpoint save — the
+    /// same deterministic stand-in for `kill -9` the fig3 crash-resume
+    /// gate uses. Never set in normal operation.
+    pub fn with_kill_after(mut self, saves: u64) -> Self {
+        self.kill_after = Some(saves);
+        self
+    }
+
+    /// Checkpoints saved through this store (and its clones) so far.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// The checkpoint file path of `kind`.
+    pub fn device_path(&self, kind: DeviceKind) -> PathBuf {
+        self.dir.join(format!("trace-{}.ckpt", kind.slug()))
+    }
+
+    /// Persists one phase-boundary checkpoint (atomically overwriting
+    /// the device's previous boundary), returning its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from the underlying save.
+    pub fn save(&self, checkpoint: &TraceRunCheckpoint) -> Result<PathBuf, PersistError> {
+        let path = self.device_path(checkpoint.kind);
+        checkpoint.save_to(&path)?;
+        let saved = self.saves.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.kill_after {
+            if saved >= limit {
+                eprintln!(
+                    "trace: simulated crash after {saved} checkpoint save(s) \
+                     (--kill-after {limit})"
+                );
+                std::process::exit(42);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads `kind`'s checkpoint if it exists, decodes cleanly and
+    /// satisfies `accept`; anything else is reported on stderr and the
+    /// device starts fresh.
+    pub fn load_matching<F>(&self, kind: DeviceKind, accept: F) -> Option<TraceRunCheckpoint>
+    where
+        F: Fn(&TraceRunCheckpoint) -> bool,
+    {
+        let path = self.device_path(kind);
+        if !path.exists() {
+            return None;
+        }
+        match TraceRunCheckpoint::load_from(&path) {
+            Ok(checkpoint) if checkpoint.kind != kind => {
+                eprintln!(
+                    "trace: ignoring {} (names device {}, expected {kind})",
+                    path.display(),
+                    checkpoint.kind
+                );
+                None
+            }
+            Ok(checkpoint) if accept(&checkpoint) => Some(checkpoint),
+            Ok(_) => {
+                eprintln!(
+                    "trace: ignoring {} (taken under a different plan — \
+                     trace/config/phases); starting fresh",
+                    path.display()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("trace: ignoring {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Runs the trace experiment like [`run_pipelined`], additionally
+/// persisting every phase-boundary checkpoint into `store` — and, with
+/// `resume`, continuing each device from its on-disk checkpoint instead
+/// of from scratch.
+///
+/// Durability does not perturb the simulation: a run killed at any
+/// boundary and resumed from disk produces results **byte-identical** to
+/// an uninterrupted run (the trace CI smoke pins this end to end).
+///
+/// A resumed checkpoint must match the current plan (same trace
+/// fingerprint, milestones and replay configuration); a stale one is
+/// reported on stderr and that device starts fresh.
+///
+/// # Errors
+///
+/// Returns the first replay error, checkpoint-save failure, or restore
+/// mismatch any chain hits.
+pub fn run_pipelined_durable(
+    roster: &DeviceRoster,
+    kinds: &[DeviceKind],
+    trace: &Trace,
+    cfg: &TraceRunConfig,
+    exec: &Executor,
+    store: &TraceStore,
+    resume: bool,
+) -> Result<Vec<TraceRunResult>, TraceDurableError> {
+    // As in `run_pipelined`, stages borrow the trace — no copy.
+    type Stage<'t> = Box<
+        dyn FnOnce(
+                Result<TraceRunCheckpoint, TraceDurableError>,
+            ) -> Result<TraceRunCheckpoint, TraceDurableError>
+            + Send
+            + 't,
+    >;
+    let phases = cfg.phases.max(1);
+    let plan = Plan::of(trace, cfg);
+    let mut chains: Vec<(
+        Result<TraceRunCheckpoint, TraceDurableError>,
+        Vec<Stage<'_>>,
+    )> = Vec::with_capacity(kinds.len());
+    for &kind in kinds {
+        let from_disk = if resume {
+            store.load_matching(kind, |checkpoint| plan.matches(checkpoint, &cfg.replay))
+        } else {
+            None
+        };
+        let initial: Result<TraceRunCheckpoint, TraceDurableError> = match from_disk {
+            Some(checkpoint) => {
+                eprintln!(
+                    "trace: resuming {kind} from phase boundary {}/{}",
+                    checkpoint.completed,
+                    checkpoint.milestones.len()
+                );
+                Ok(checkpoint)
+            }
+            None => TraceRun::start(roster, kind, trace, cfg)
+                .map_err(TraceDurableError::Replay)
+                .and_then(|state| {
+                    let checkpoint = state.checkpoint();
+                    // Persist the primed (phase-0) state too: a crash
+                    // before the first boundary then resumes instead of
+                    // re-validating from scratch.
+                    store.save(&checkpoint).map_err(TraceDurableError::Save)?;
+                    Ok(checkpoint)
+                }),
+        };
+        let remaining = match &initial {
+            Ok(checkpoint) => phases - checkpoint.completed,
+            Err(_) => 0,
+        };
+        let stages: Vec<Stage<'_>> = (0..remaining)
+            .map(|_| {
+                let roster = roster.clone();
+                let store = store.clone();
+                Box::new(
+                    move |frozen: Result<TraceRunCheckpoint, TraceDurableError>| {
+                        let mut state = TraceRun::resume(&roster, trace, frozen?)
+                            .map_err(TraceDurableError::Restore)?;
+                        state.advance(trace)?;
+                        let checkpoint = state.checkpoint();
+                        store.save(&checkpoint).map_err(TraceDurableError::Save)?;
+                        Ok(checkpoint)
+                    },
+                ) as Stage<'_>
+            })
+            .collect();
+        chains.push((initial, stages));
+    }
+    exec.run_chains(chains)
+        .into_iter()
+        .map(|frozen| {
+            let state =
+                TraceRun::resume(roster, trace, frozen?).map_err(TraceDurableError::Restore)?;
+            Ok(state.into_result())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_trace_report;
+
+    fn roster() -> DeviceRoster {
+        DeviceRoster::with_capacities(128 << 20, 128 << 20)
+    }
+
+    /// A bursty trace sized for the 128 MiB test roster: 20 kIOPS bursts
+    /// of 64 KiB writes, 25 % duty cycle.
+    fn bursty_trace() -> Trace {
+        // Hand-rolled (uc-core does not depend on uc-trace): 8 bursts of
+        // 24 entries, 1 ms apart within the burst region.
+        let mut entries = Vec::new();
+        let mut rng = uc_sim::SimRng::new(0xBEE5);
+        for burst in 0..8u64 {
+            let start = SimTime::ZERO + SimDuration::from_millis(burst * 4);
+            for i in 0..24u64 {
+                entries.push(uc_workload::TraceEntry {
+                    at: start + SimDuration::from_micros(40 * i),
+                    kind: uc_blockdev::IoKind::Write,
+                    offset: rng.range_u64(0, 1024) * 65536,
+                    len: 65536,
+                });
+            }
+        }
+        Trace::from_entries(entries)
+    }
+
+    #[test]
+    fn pipelined_and_sequential_match_for_every_kind() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let cfg = TraceRunConfig::open_loop(4)
+            .with_replay(ReplayConfig::open_loop().with_window(SimDuration::from_millis(1)));
+        let pipelined = run_pipelined(
+            &roster,
+            &DeviceKind::ALL,
+            &trace,
+            &cfg,
+            &Executor::with_threads(3),
+        )
+        .unwrap();
+        for (i, &kind) in DeviceKind::ALL.iter().enumerate() {
+            let sequential = run(&roster, kind, &trace, &cfg).unwrap();
+            assert_eq!(sequential.phases, pipelined[i].phases, "{kind}");
+            assert_eq!(
+                sequential.report.finished_at, pipelined[i].report.finished_at,
+                "{kind}"
+            );
+            assert_eq!(
+                sequential.report.latency.mean(),
+                pipelined[i].report.latency.mean(),
+                "{kind}"
+            );
+        }
+        // The full rendered report is identical run-to-run (the CI bar).
+        let a = render_trace_report(&evaluate(pipelined));
+        let again = run_pipelined(
+            &roster,
+            &DeviceKind::ALL,
+            &trace,
+            &cfg,
+            &Executor::sequential(),
+        )
+        .unwrap();
+        assert_eq!(a, render_trace_report(&evaluate(again)));
+    }
+
+    #[test]
+    fn early_covering_milestones_keep_sequential_and_pipelined_aligned() {
+        // A short trace with far more phases than distinct arrival spans:
+        // intermediate milestones equal the trace length, so the replay
+        // driver finishes phases early. Sequential and pipelined runners
+        // must still emit the same (full) number of PhaseStats.
+        let roster = roster();
+        let entries: Vec<uc_workload::TraceEntry> = (0..17u64)
+            .map(|i| uc_workload::TraceEntry {
+                at: SimTime::from_nanos(i),
+                kind: uc_blockdev::IoKind::Write,
+                offset: i * 65536,
+                len: 65536,
+            })
+            .collect();
+        let trace = Trace::from_entries(entries);
+        let cfg = TraceRunConfig::open_loop(16);
+        let sequential = run(&roster, DeviceKind::LocalSsd, &trace, &cfg).unwrap();
+        let pipelined = run_pipelined(
+            &roster,
+            &[DeviceKind::LocalSsd],
+            &trace,
+            &cfg,
+            &Executor::with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(sequential.phases.len(), 16);
+        assert_eq!(sequential.phases, pipelined[0].phases);
+        assert_eq!(
+            sequential.report.finished_at,
+            pipelined[0].report.finished_at
+        );
+    }
+
+    #[test]
+    fn phase_bookkeeping_sums_to_the_full_report() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let cfg = TraceRunConfig::open_loop(5);
+        let result = run(&roster, DeviceKind::Essd1, &trace, &cfg).unwrap();
+        assert_eq!(result.phases.len(), 5);
+        let ios: u64 = result.phases.iter().map(|p| p.ios).sum();
+        let bytes: u64 = result.phases.iter().map(|p| p.bytes).sum();
+        assert_eq!(ios, result.report.ios);
+        assert_eq!(bytes, result.report.bytes);
+        assert_eq!(ios, trace.len() as u64, "open loop replays every entry");
+        // Phase ends ascend by one phase length.
+        for w in result.phases.windows(2) {
+            assert_eq!(w[1].end.saturating_since(w[0].end), w[1].duration);
+        }
+    }
+
+    #[test]
+    fn fingerprint_pins_the_trace_identity() {
+        let trace = bursty_trace();
+        assert_eq!(trace_fingerprint(&trace), trace_fingerprint(&trace.clone()));
+        let mut other = trace.entries().to_vec();
+        other.pop();
+        assert_ne!(
+            trace_fingerprint(&trace),
+            trace_fingerprint(&Trace::from_entries(other))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong to this trace")]
+    fn resume_against_a_different_trace_panics() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let cfg = TraceRunConfig::open_loop(3);
+        let mut state = TraceRun::start(&roster, DeviceKind::LocalSsd, &trace, &cfg).unwrap();
+        state.advance(&trace).unwrap();
+        let frozen = state.checkpoint();
+        let other = Trace::from_entries(trace.entries()[..10].to_vec());
+        let _ = TraceRun::resume(&roster, &other, frozen);
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips_and_rejects_corruption() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let cfg = TraceRunConfig::open_loop(4);
+        let mut state = TraceRun::start(&roster, DeviceKind::Essd2, &trace, &cfg).unwrap();
+        state.advance(&trace).unwrap();
+        state.advance(&trace).unwrap();
+        let checkpoint = state.checkpoint();
+
+        let dir = std::env::temp_dir()
+            .join("uc-trace-run-tests")
+            .join(format!("roundtrip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::create(&dir).unwrap();
+        let path = store.save(&checkpoint).unwrap();
+        assert_eq!(store.saves(), 1);
+
+        let loaded = TraceRunCheckpoint::load_from(&path).unwrap();
+        assert_eq!(loaded.kind, checkpoint.kind);
+        assert_eq!(loaded.fingerprint, checkpoint.fingerprint);
+        assert_eq!(loaded.milestones, checkpoint.milestones);
+        assert_eq!(loaded.completed, checkpoint.completed);
+        assert_eq!(loaded.cuts, checkpoint.cuts);
+
+        // The thawed run continues to the same final result.
+        let mut a = TraceRun::resume(&roster, &trace, loaded).unwrap();
+        let mut b = TraceRun::resume(&roster, &trace, checkpoint).unwrap();
+        while !a.is_finished() {
+            a.advance(&trace).unwrap();
+            b.advance(&trace).unwrap();
+        }
+        assert_eq!(a.into_result().phases, b.into_result().phases);
+
+        // Corruption decodes to typed errors.
+        let good = std::fs::read(&path).unwrap();
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x08;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            TraceRunCheckpoint::load_from(&path),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+        // A stale file is skipped (fresh start), not an error.
+        assert!(store.load_matching(DeviceKind::Essd2, |_| true).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_to_identical_results() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let cfg = TraceRunConfig::open_loop(4);
+        let dir = std::env::temp_dir()
+            .join("uc-trace-run-tests")
+            .join(format!("kill-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::create(&dir).unwrap();
+        // Advance each device partway, persist, "crash" (drop state).
+        for &kind in &DeviceKind::ALL {
+            let mut partial = TraceRun::start(&roster, kind, &trace, &cfg).unwrap();
+            partial.advance(&trace).unwrap();
+            if kind == DeviceKind::Essd1 {
+                partial.advance(&trace).unwrap(); // devices die at different points
+            }
+            store.save(&partial.checkpoint()).unwrap();
+        }
+        let resumed = run_pipelined_durable(
+            &roster,
+            &DeviceKind::ALL,
+            &trace,
+            &cfg,
+            &Executor::with_threads(2),
+            &store,
+            true,
+        )
+        .unwrap();
+        for (i, &kind) in DeviceKind::ALL.iter().enumerate() {
+            let uninterrupted = run(&roster, kind, &trace, &cfg).unwrap();
+            assert_eq!(resumed[i].phases, uninterrupted.phases, "{kind}");
+            assert_eq!(
+                resumed[i].report.latency.mean(),
+                uninterrupted.report.latency.mean(),
+                "{kind}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_plan_checkpoints_start_fresh() {
+        let roster = roster();
+        let trace = bursty_trace();
+        let dir = std::env::temp_dir()
+            .join("uc-trace-run-tests")
+            .join(format!("stale-plan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::create(&dir).unwrap();
+        // A checkpoint under a 3-phase plan…
+        let cfg3 = TraceRunConfig::open_loop(3);
+        let mut other = TraceRun::start(&roster, DeviceKind::LocalSsd, &trace, &cfg3).unwrap();
+        other.advance(&trace).unwrap();
+        store.save(&other.checkpoint()).unwrap();
+        // …must not hijack a 5-phase resume.
+        let cfg5 = TraceRunConfig::open_loop(5);
+        let resumed = run_pipelined_durable(
+            &roster,
+            &[DeviceKind::LocalSsd],
+            &trace,
+            &cfg5,
+            &Executor::sequential(),
+            &store,
+            true,
+        )
+        .unwrap();
+        let plain = run(&roster, DeviceKind::LocalSsd, &trace, &cfg5).unwrap();
+        assert_eq!(resumed[0].phases, plain.phases);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evaluation_flags_overdriven_phases() {
+        // Two synthetic results: one clean, one with a 10x latency phase
+        // and a phase whose completions lag a full phase length.
+        let phase = SimDuration::from_millis(1);
+        let mk = |index: usize, mean_us: u64, lag: SimDuration| PhaseStat {
+            index,
+            end: SimTime::ZERO + phase * (index as u64 + 1),
+            duration: phase,
+            ios: 10,
+            bytes: 10 << 16,
+            mean_latency: SimDuration::from_micros(mean_us),
+            gbps: 0.5,
+            finished_at: SimTime::ZERO + phase * (index as u64 + 1) + lag,
+        };
+        let clean = TraceRunResult {
+            device: DeviceKind::Essd2,
+            report: JobReport::empty(SimDuration::from_millis(1), SimTime::ZERO),
+            phases: vec![mk(0, 100, SimDuration::ZERO), mk(1, 150, SimDuration::ZERO)],
+        };
+        let dirty = TraceRunResult {
+            device: DeviceKind::LocalSsd,
+            report: JobReport::empty(SimDuration::from_millis(1), SimTime::ZERO),
+            phases: vec![mk(0, 100, SimDuration::ZERO), mk(1, 1000, phase)],
+        };
+        let report = evaluate(vec![clean, dirty]);
+        assert!(!report.clean());
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report.violations.iter().any(
+            |v| matches!(v.kind, TraceViolationKind::LatencyBlowup { factor } if factor > 9.0)
+        ));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, TraceViolationKind::CompletionLag { .. })));
+        assert!(report.violations.iter().all(|v| v.phase == 1));
+    }
+}

@@ -1,6 +1,9 @@
 //! Plain-text rendering of experiment results in the paper's layout.
 
-use crate::experiments::{Fig2Result, Fig3Result, Fig4Result, Fig5Result, Table1Row};
+use crate::experiments::trace::TraceViolationKind;
+use crate::experiments::{
+    Fig2Result, Fig3Result, Fig4Result, Fig5Result, Table1Row, TraceContractReport,
+};
 use uc_metrics::Series;
 use uc_sim::SimDuration;
 
@@ -187,6 +190,75 @@ pub fn render_fig5(result: &Fig5Result) -> String {
         result.total_cv(),
         result.total_spread() * 100.0
     ));
+    out
+}
+
+/// Renders the trace experiment's contract report: one per-phase table
+/// per device, the flagged phases, and the overall latency gaps.
+///
+/// Deterministic for deterministic inputs — the CI trace smoke diffs two
+/// runs of this rendering byte for byte.
+pub fn render_trace_report(report: &TraceContractReport) -> String {
+    let mut out = String::new();
+    for result in &report.results {
+        out.push_str(&format!(
+            "==== {} — {} I/Os over {} phases ====\n",
+            result.device,
+            result.report.ios,
+            result.phases.len()
+        ));
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>10} {:>10} {:>12} {:>10}\n",
+            "phase", "I/Os", "MiB", "GB/s", "mean lat", "lag"
+        ));
+        for phase in &result.phases {
+            let flags: Vec<&str> = report
+                .violations
+                .iter()
+                .filter(|v| v.device == result.device && v.phase == phase.index)
+                .map(|v| match v.kind {
+                    TraceViolationKind::LatencyBlowup { .. } => "LAT!",
+                    TraceViolationKind::CompletionLag { .. } => "LAG!",
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:>6} {:>8} {:>10.2} {:>10.3} {:>12} {:>10} {}\n",
+                phase.index,
+                phase.ios,
+                phase.bytes as f64 / (1 << 20) as f64,
+                phase.gbps,
+                paper_duration(phase.mean_latency),
+                paper_duration(phase.lag()),
+                flags.join(" ")
+            ));
+        }
+    }
+    for (device, gap) in &report.gaps {
+        out.push_str(&format!(
+            "{device} overall mean latency: {gap:.1}x the local SSD's\n"
+        ));
+    }
+    if report.clean() {
+        out.push_str("no contract violations: every phase stayed within budget\n");
+    } else {
+        out.push_str(&format!("{} flagged phase(s):\n", report.violations.len()));
+        for v in &report.violations {
+            out.push_str(&match &v.kind {
+                TraceViolationKind::LatencyBlowup { factor } => format!(
+                    "  {} phase {}: mean latency {factor:.1}x the device's best phase \
+                     (burst overdrive — smooth arrivals per Implication 4)\n",
+                    v.device, v.phase
+                ),
+                TraceViolationKind::CompletionLag { lag } => format!(
+                    "  {} phase {}: completions ran {} past the phase end \
+                     (offered load exceeds the sustainable budget)\n",
+                    v.device,
+                    v.phase,
+                    paper_duration(*lag)
+                ),
+            });
+        }
+    }
     out
 }
 

@@ -81,6 +81,14 @@ impl LatencyHistogram {
         self.count == 0
     }
 
+    /// Exact sum of every recorded value, in nanoseconds.
+    ///
+    /// `u128`: a `u64` would overflow after ~584 sample-years of summed
+    /// latency, which TB-scale endurance runs can reach.
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// Exact arithmetic mean, or zero if empty.
     pub fn mean(&self) -> SimDuration {
         if self.count == 0 {

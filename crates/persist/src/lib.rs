@@ -52,5 +52,6 @@ mod record;
 
 pub use codec::{DecodeError, Decoder, Encoder, Persist};
 pub use record::{
-    crc32, decode_record, encode_record, read_record_file, write_record_file, FORMAT_VERSION, MAGIC,
+    crc32, decode_record, encode_record, read_record_file, write_record_file, Crc32,
+    FORMAT_VERSION, MAGIC,
 };

@@ -30,13 +30,9 @@ pub const MAGIC: [u8; 8] = *b"UCSSDCP\0";
 /// The envelope format version this build writes and reads.
 pub const FORMAT_VERSION: u16 = 1;
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
-///
-/// This is the per-record checksum; a single flipped payload bit decodes
-/// as [`DecodeError::ChecksumMismatch`] instead of corrupt state.
-pub fn crc32(bytes: &[u8]) -> u32 {
+fn crc_table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
@@ -50,12 +46,65 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             *entry = c;
         }
         table
-    });
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    })
+}
+
+/// An incremental CRC-32 (IEEE 802.3 polynomial, reflected) hasher.
+///
+/// Streaming writers (e.g. a GiB-scale trace encoder) feed bytes through
+/// [`Crc32::update`] as they go to disk instead of buffering the whole
+/// payload just to checksum it; [`Crc32::finalize`] yields the same value
+/// [`crc32`] computes over the concatenation of every update.
+///
+/// # Example
+///
+/// ```
+/// use uc_persist::{crc32, Crc32};
+///
+/// let mut hasher = Crc32::new();
+/// hasher.update(b"1234");
+/// hasher.update(b"56789");
+/// assert_eq!(hasher.finalize(), crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A hasher over the empty byte sequence.
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
     }
-    !crc
+
+    /// Feeds `bytes` through the hasher.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = crc_table();
+        for &b in bytes {
+            self.state = table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The CRC-32 of every byte fed so far (the hasher stays usable).
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+///
+/// This is the per-record checksum; a single flipped payload bit decodes
+/// as [`DecodeError::ChecksumMismatch`] instead of corrupt state.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finalize()
 }
 
 /// Wraps `payload` in the record envelope under the given kind tag.
@@ -151,6 +200,24 @@ mod tests {
         // The IEEE CRC-32 check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot_at_any_split() {
+        let bytes: Vec<u8> = (0u16..300).map(|i| (i * 7) as u8).collect();
+        let expected = crc32(&bytes);
+        for split in [0, 1, 9, 150, 299, 300] {
+            let mut hasher = Crc32::new();
+            hasher.update(&bytes[..split]);
+            hasher.update(&bytes[split..]);
+            assert_eq!(hasher.finalize(), expected, "split at {split}");
+        }
+        // `finalize` does not consume: more updates keep accumulating.
+        let mut hasher = Crc32::default();
+        hasher.update(b"1234");
+        let _ = hasher.finalize();
+        hasher.update(b"56789");
+        assert_eq!(hasher.finalize(), crc32(b"123456789"));
     }
 
     #[test]

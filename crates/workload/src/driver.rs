@@ -86,6 +86,24 @@ pub struct InflightIo {
     pub len: u32,
 }
 
+impl PartialOrd for InflightIo {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InflightIo {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // The same canonical schedule order as the internal heap entries:
+        // (completes, submitted) first, kind/len as total-order tie-breaks.
+        // The trace-replay driver keys its completion heap on this.
+        self.completes
+            .cmp(&other.completes)
+            .then_with(|| self.submitted.cmp(&other.submitted))
+            .then_with(|| self.kind.is_write().cmp(&other.kind.is_write()))
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
 /// The complete serializable state of a paused [`ClosedLoopJob`].
 ///
 /// Captured by [`ClosedLoopJob::checkpoint`]; [`ClosedLoopJob::resume`]

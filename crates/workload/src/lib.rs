@@ -37,6 +37,7 @@
 
 mod driver;
 mod persist;
+mod replay;
 mod report;
 mod shaper;
 mod spec;
@@ -46,8 +47,12 @@ mod trace;
 pub use driver::{
     precondition, run_job, run_open_loop, ClosedLoopJob, DriverCheckpoint, InflightIo, JobProgress,
 };
+pub use replay::{
+    replay_with, ReplayCheckpoint, ReplayConfig, ReplayError, ReplayMode, ReplayProgress,
+    TraceReplayJob,
+};
 pub use report::JobReport;
 pub use shaper::Shaper;
 pub use spec::{AccessPattern, JobLimit, JobSpec};
 pub use stream::AddressStream;
-pub use trace::{replay, ParseTraceError, Trace, TraceEntry};
+pub use trace::{replay, validate_entries, ParseTraceError, Trace, TraceEntry, TraceError};

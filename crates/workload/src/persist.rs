@@ -7,7 +7,10 @@
 //! where it was killed.
 
 use crate::driver::InflightIo;
-use crate::{AccessPattern, AddressStream, DriverCheckpoint, JobLimit, JobReport, JobSpec};
+use crate::{
+    AccessPattern, AddressStream, DriverCheckpoint, JobLimit, JobReport, JobSpec, ReplayCheckpoint,
+    ReplayConfig, ReplayMode, TraceEntry,
+};
 use uc_blockdev::IoKind;
 use uc_metrics::{LatencyHistogram, ThroughputTracker};
 use uc_persist::{DecodeError, Decoder, Encoder, Persist};
@@ -181,6 +184,101 @@ impl Persist for InflightIo {
     }
 }
 
+impl Persist for TraceEntry {
+    fn encode(&self, w: &mut Encoder) {
+        self.at.encode(w);
+        self.kind.encode(w);
+        w.put_u64(self.offset);
+        w.put_u32(self.len);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TraceEntry {
+            at: SimTime::decode(r)?,
+            kind: IoKind::decode(r)?,
+            offset: r.get_u64()?,
+            len: r.get_u32()?,
+        })
+    }
+}
+
+impl Persist for ReplayMode {
+    fn encode(&self, w: &mut Encoder) {
+        match self {
+            ReplayMode::OpenLoop => w.put_u8(0),
+            ReplayMode::ClosedLoop { queue_depth } => {
+                w.put_u8(1);
+                queue_depth.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(ReplayMode::OpenLoop),
+            1 => {
+                let queue_depth = usize::decode(r)?;
+                if queue_depth == 0 {
+                    return Err(DecodeError::InvalidValue {
+                        what: "ReplayMode queue_depth",
+                    });
+                }
+                Ok(ReplayMode::ClosedLoop { queue_depth })
+            }
+            _ => Err(DecodeError::InvalidValue {
+                what: "ReplayMode tag",
+            }),
+        }
+    }
+}
+
+impl Persist for ReplayConfig {
+    fn encode(&self, w: &mut Encoder) {
+        self.mode.encode(w);
+        self.window.encode(w);
+        w.put_f64(self.speed);
+        self.ring.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let config = ReplayConfig {
+            mode: ReplayMode::decode(r)?,
+            window: SimDuration::decode(r)?,
+            speed: r.get_f64()?,
+            ring: usize::decode(r)?,
+        };
+        if !(config.speed.is_finite() && config.speed > 0.0)
+            || config.ring == 0
+            || config.window.is_zero()
+        {
+            return Err(DecodeError::InvalidValue {
+                what: "ReplayConfig window/speed/ring",
+            });
+        }
+        Ok(config)
+    }
+}
+
+impl Persist for ReplayCheckpoint {
+    fn encode(&self, w: &mut Encoder) {
+        self.config.encode(w);
+        w.put_u64(self.position);
+        self.report.encode(w);
+        self.inflight.encode(w);
+        w.put_bool(self.finished);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ReplayCheckpoint {
+            config: ReplayConfig::decode(r)?,
+            position: r.get_u64()?,
+            report: JobReport::decode(r)?,
+            inflight: Vec::<InflightIo>::decode(r)?,
+            finished: r.get_bool()?,
+        })
+    }
+}
+
 impl Persist for DriverCheckpoint {
     fn encode(&self, w: &mut Encoder) {
         self.spec.encode(w);
@@ -322,6 +420,93 @@ mod tests {
             let bytes = w.into_bytes();
             assert_eq!(JobLimit::decode(&mut Decoder::new(&bytes)), Ok(limit));
         }
+    }
+
+    #[test]
+    fn replay_checkpoint_round_trips_and_continues() {
+        use crate::{ReplayConfig, Trace, TraceReplayJob};
+        let trace = Trace::bursty_writes(4, 9, SimDuration::from_millis(1), 4096, 4 << 20, 11);
+        let config = ReplayConfig::closed_loop(5).with_speed(2.0);
+        let mut dev = TestDevice {
+            servers: uc_sim::ParallelResource::new(2),
+        };
+        let mut job = TraceReplayJob::start(&dev, &trace, &config).unwrap();
+        job.run_until(&mut dev, &trace, 15).unwrap();
+        let checkpoint = job.checkpoint();
+
+        let mut w = Encoder::new();
+        checkpoint.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = ReplayCheckpoint::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.config, checkpoint.config);
+        assert_eq!(back.position, checkpoint.position);
+        assert_eq!(back.inflight, checkpoint.inflight);
+        assert_eq!(back.finished, checkpoint.finished);
+
+        // The decoded continuation finishes byte-identically.
+        let mut dev_a = TestDevice {
+            servers: uc_sim::ParallelResource::new(2),
+        };
+        let mut dev_b = TestDevice {
+            servers: uc_sim::ParallelResource::new(2),
+        };
+        let mut straight = TraceReplayJob::resume(checkpoint);
+        let mut decoded = TraceReplayJob::resume(back);
+        straight.run_until(&mut dev_a, &trace, usize::MAX).unwrap();
+        decoded.run_until(&mut dev_b, &trace, usize::MAX).unwrap();
+        assert_eq!(straight.report().ios, decoded.report().ios);
+        assert_eq!(straight.report().finished_at, decoded.report().finished_at);
+        assert_eq!(
+            straight.report().latency.mean(),
+            decoded.report().latency.mean()
+        );
+    }
+
+    #[test]
+    fn trace_entry_and_replay_config_round_trip() {
+        use crate::ReplayMode;
+        let entry = TraceEntry {
+            at: SimTime::from_nanos(12345),
+            kind: IoKind::Write,
+            offset: 1 << 20,
+            len: 8192,
+        };
+        let mut w = Encoder::new();
+        entry.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(TraceEntry::decode(&mut Decoder::new(&bytes)), Ok(entry));
+
+        for config in [
+            ReplayConfig::open_loop(),
+            ReplayConfig::closed_loop(7)
+                .with_speed(12.5)
+                .with_window(SimDuration::from_millis(7))
+                .with_ring(3),
+        ] {
+            let mut w = Encoder::new();
+            config.encode(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(ReplayConfig::decode(&mut Decoder::new(&bytes)), Ok(config));
+        }
+        // Corrupt configs are typed, not panics.
+        let mut w = Encoder::new();
+        ReplayConfig::open_loop().encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // speed is the f64 after mode tag (1) + window (8).
+        bytes[9..17].fill(0);
+        assert!(matches!(
+            ReplayConfig::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+        let mut w = Encoder::new();
+        w.put_u8(9); // unknown mode tag
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ReplayMode::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub struct JobReport {
 }
 
 impl JobReport {
+    /// An empty report with the given throughput window, starting at
+    /// `start` — the state every driver begins from. Useful for
+    /// assembling synthetic results in tests and tools; drivers populate
+    /// reports through their own execution paths.
+    pub fn empty(window: SimDuration, start: SimTime) -> Self {
+        JobReport::new(window, start)
+    }
+
     pub(crate) fn new(window: SimDuration, start: SimTime) -> Self {
         JobReport {
             latency: LatencyHistogram::new(),

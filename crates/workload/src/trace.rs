@@ -9,7 +9,7 @@
 use crate::JobReport;
 use std::fmt;
 use std::str::FromStr;
-use uc_blockdev::{BlockDevice, IoError, IoKind, IoRequest};
+use uc_blockdev::{BlockDevice, IoError, IoKind};
 use uc_sim::{SimDuration, SimRng, SimTime};
 
 /// One traced I/O.
@@ -23,6 +23,128 @@ pub struct TraceEntry {
     pub offset: u64,
     /// Length in bytes.
     pub len: u32,
+}
+
+impl TraceEntry {
+    /// Validates this entry in isolation: the length must be non-zero
+    /// and, when a device `capacity` is known, `offset + len` must fit
+    /// inside it.
+    ///
+    /// This is the entry-level half of the shared trace validation — the
+    /// text parser calls it per line, the binary decoder per record, and
+    /// [`Trace::validate`] over a whole trace — so a malformed entry is a
+    /// typed [`TraceError`] at ingest time, never a mid-replay failure on
+    /// its first I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ZeroLength`] or [`TraceError::OutOfRange`]
+    /// (with `index` as given).
+    pub fn validate(&self, index: usize, capacity: Option<u64>) -> Result<(), TraceError> {
+        if self.len == 0 {
+            return Err(TraceError::ZeroLength { index });
+        }
+        let end = self.offset.saturating_add(self.len as u64);
+        if let Some(capacity) = capacity {
+            if end > capacity {
+                return Err(TraceError::OutOfRange {
+                    index,
+                    end,
+                    capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a trace (or one of its entries) is invalid.
+///
+/// Shared by the text parser, the binary decoder in `uc-trace`, and the
+/// replay drivers: an invalid trace is rejected with one of these typed
+/// errors *before* any I/O is issued, instead of surfacing as the first
+/// request's [`IoError`] halfway through a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// An entry's length is zero.
+    ZeroLength {
+        /// Index of the offending entry.
+        index: usize,
+    },
+    /// An entry extends past the device capacity.
+    OutOfRange {
+        /// Index of the offending entry.
+        index: usize,
+        /// First byte past the entry's range.
+        end: u64,
+        /// The device capacity the trace was validated against.
+        capacity: u64,
+    },
+    /// An entry arrives earlier than its predecessor (the sequence is
+    /// not arrival-ordered).
+    TimestampRegression {
+        /// Index of the offending entry.
+        index: usize,
+        /// The predecessor's arrival instant.
+        prev: SimTime,
+        /// The offending entry's arrival instant.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ZeroLength { index } => {
+                write!(f, "trace entry {index}: zero-length i/o")
+            }
+            TraceError::OutOfRange {
+                index,
+                end,
+                capacity,
+            } => write!(
+                f,
+                "trace entry {index}: i/o extends to byte {end} beyond capacity {capacity}"
+            ),
+            TraceError::TimestampRegression { index, prev, at } => write!(
+                f,
+                "trace entry {index}: arrival {} ns precedes the previous entry's {} ns",
+                at.as_nanos(),
+                prev.as_nanos()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Validates an arrival-ordered entry sequence: every entry passes
+/// [`TraceEntry::validate`] and timestamps never decrease.
+///
+/// A [`Trace`] is sorted by construction, so its own
+/// [`Trace::validate`] can never report a regression — this standalone
+/// form exists for decoders (the binary trace reader) that ingest entry
+/// streams *before* they become a `Trace` and must reject unsorted
+/// input rather than silently reorder it.
+///
+/// # Errors
+///
+/// Returns the first [`TraceError`] found, with the offending entry's
+/// index.
+pub fn validate_entries(entries: &[TraceEntry], capacity: Option<u64>) -> Result<(), TraceError> {
+    let mut prev = SimTime::ZERO;
+    for (index, entry) in entries.iter().enumerate() {
+        entry.validate(index, capacity)?;
+        if entry.at < prev {
+            return Err(TraceError::TimestampRegression {
+                index,
+                prev,
+                at: entry.at,
+            });
+        }
+        prev = entry.at;
+    }
+    Ok(())
 }
 
 /// An arrival-ordered block I/O trace.
@@ -165,6 +287,21 @@ impl Trace {
     pub fn to_text(&self) -> String {
         self.to_string()
     }
+
+    /// Validates every entry against a device of `capacity` bytes:
+    /// non-zero lengths and in-range offsets (arrival order holds by
+    /// construction).
+    ///
+    /// The replay drivers call this before issuing any I/O, so a bad
+    /// trace is a typed [`TraceError`] up front instead of an
+    /// [`IoError`] on whichever entry first hits the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] found.
+    pub fn validate(&self, capacity: u64) -> Result<(), TraceError> {
+        validate_entries(&self.entries, Some(capacity))
+    }
 }
 
 impl fmt::Display for Trace {
@@ -224,38 +361,51 @@ impl FromStr for Trace {
             if parts.next().is_some() {
                 return Err(err("trailing fields"));
             }
-            entries.push(TraceEntry {
+            let entry = TraceEntry {
                 at: SimTime::from_nanos(at),
                 kind,
                 offset,
                 len,
-            });
+            };
+            // The shared entry validation (capacity is unknown at parse
+            // time; range checks happen against a concrete device in
+            // `Trace::validate`).
+            entry
+                .validate(entries.len(), None)
+                .map_err(|e| err(&e.to_string()))?;
+            entries.push(entry);
         }
         Ok(Trace::from_entries(entries))
     }
 }
 
 /// Replays a trace open-loop against a device (arrivals are honoured even
-/// if the device falls behind), collecting the usual [`JobReport`].
+/// if the device falls behind), collecting the usual [`JobReport`] over
+/// the historical 100 ms throughput window.
+///
+/// This is a thin wrapper over [`replay_with`](crate::replay_with) with
+/// [`ReplayConfig::open_loop`](crate::ReplayConfig::open_loop): requests
+/// route through the queue-pair API ([`BlockDevice::submit_batch`]) one
+/// burst per doorbell, which produces completions identical to the old
+/// request-at-a-time loop. Use `replay_with` directly to choose the
+/// window, a closed-loop mode, or a `speed` factor.
 ///
 /// # Errors
 ///
 /// Propagates the first validation error (e.g. a trace offset beyond the
-/// device capacity).
+/// device capacity) — now detected up front, before any I/O is issued —
+/// or the first [`IoError`] the device reports.
 pub fn replay<D: BlockDevice + ?Sized>(dev: &mut D, trace: &Trace) -> Result<JobReport, IoError> {
-    let window = SimDuration::from_millis(100);
-    let mut report = JobReport::new(window, SimTime::ZERO);
-    for e in trace.entries() {
-        let req = IoRequest {
-            kind: e.kind,
-            offset: e.offset,
-            len: e.len,
-            submit_time: e.at,
-        };
-        let done = dev.submit(&req)?;
-        report.record(e.kind.is_write(), e.len, e.at, done);
-    }
-    Ok(report)
+    crate::replay_with(dev, trace, &crate::ReplayConfig::open_loop()).map_err(|e| match e {
+        crate::ReplayError::Io(e) => e,
+        crate::ReplayError::Trace(TraceError::ZeroLength { .. }) => IoError::ZeroLength,
+        crate::ReplayError::Trace(TraceError::OutOfRange { end, capacity, .. }) => {
+            IoError::OutOfRange { end, capacity }
+        }
+        crate::ReplayError::Trace(TraceError::TimestampRegression { .. }) => {
+            unreachable!("Trace entries are arrival-sorted by construction")
+        }
+    })
 }
 
 #[cfg(test)]
@@ -347,7 +497,7 @@ mod tests {
 
     #[test]
     fn replay_reports_queueing() {
-        use uc_blockdev::{DeviceInfo, IoResult};
+        use uc_blockdev::{DeviceInfo, IoRequest, IoResult};
         struct Slow(uc_sim::Resource);
         impl BlockDevice for Slow {
             fn info(&self) -> DeviceInfo {
@@ -366,6 +516,88 @@ mod tests {
         let report = replay(&mut dev, &trace).unwrap();
         assert_eq!(report.ios, 10);
         assert_eq!(report.latency.max(), SimDuration::from_micros(1000));
+    }
+
+    #[test]
+    fn validation_is_typed_and_shared() {
+        // Zero length: caught by the parser (with a line number)…
+        let err = "0 W 0 0".parse::<Trace>().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("zero-length"));
+        // …and by the trace-level validator (with an entry index).
+        let zero = TraceEntry {
+            at: SimTime::ZERO,
+            kind: IoKind::Write,
+            offset: 0,
+            len: 0,
+        };
+        assert_eq!(
+            zero.validate(3, None),
+            Err(TraceError::ZeroLength { index: 3 })
+        );
+        // Range checks need a capacity.
+        let far = TraceEntry {
+            at: SimTime::ZERO,
+            kind: IoKind::Read,
+            offset: 1 << 20,
+            len: 4096,
+        };
+        assert_eq!(far.validate(0, None), Ok(()));
+        assert_eq!(
+            far.validate(0, Some(1 << 20)),
+            Err(TraceError::OutOfRange {
+                index: 0,
+                end: (1 << 20) + 4096,
+                capacity: 1 << 20,
+            })
+        );
+        // A whole trace validates against a device capacity; the first
+        // offender's index is reported.
+        let trace = Trace::from_entries(vec![
+            TraceEntry {
+                at: SimTime::ZERO,
+                kind: IoKind::Write,
+                offset: 0,
+                len: 4096,
+            },
+            far,
+        ]);
+        assert!(trace.validate(2 << 20).is_ok());
+        assert_eq!(
+            trace.validate(1 << 20),
+            Err(TraceError::OutOfRange {
+                index: 1,
+                end: (1 << 20) + 4096,
+                capacity: 1 << 20,
+            })
+        );
+        // The standalone entry-sequence validator also rejects unsorted
+        // streams (a binary decoder must not silently reorder).
+        let unsorted = vec![far, zero];
+        assert!(matches!(
+            validate_entries(&unsorted, None),
+            Err(TraceError::ZeroLength { index: 1 })
+        ));
+        let regressing = vec![
+            TraceEntry {
+                at: SimTime::from_nanos(100),
+                kind: IoKind::Write,
+                offset: 0,
+                len: 4096,
+            },
+            TraceEntry {
+                at: SimTime::from_nanos(50),
+                kind: IoKind::Write,
+                offset: 0,
+                len: 4096,
+            },
+        ];
+        let err = validate_entries(&regressing, None).unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::TimestampRegression { index: 1, .. }
+        ));
+        assert!(!err.to_string().is_empty());
     }
 
     #[test]

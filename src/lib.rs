@@ -48,7 +48,8 @@
 //! | [`net`] | datacenter fabric + host stack model |
 //! | [`cluster`] | chunked, replicated storage cluster |
 //! | [`essd`] | the elastic-SSD device model (AWS io2 / Alibaba PL3) |
-//! | [`workload`] | FIO-like jobs and queue-pair batched drivers |
+//! | [`workload`] | FIO-like jobs, queue-pair batched drivers, trace replay |
+//! | [`trace`] | trace capture (`TraceRecorder`), the `uc.trace.v1` binary format, arrival-shape generators |
 //! | [`core`] | experiments (parallel cell executor), contract checker, implication advisors |
 
 #![forbid(unsafe_code)]
@@ -65,6 +66,7 @@ pub use uc_net as net;
 pub use uc_persist as persist;
 pub use uc_sim as sim;
 pub use uc_ssd as ssd;
+pub use uc_trace as trace;
 pub use uc_workload as workload;
 
 /// The types most programs need, in one import.
@@ -80,7 +82,9 @@ pub mod prelude {
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};
     pub use uc_ssd::{Ssd, SsdConfig};
+    pub use uc_trace::{TraceRecorder, TraceSpec};
     pub use uc_workload::{
-        run_job, run_open_loop, AccessPattern, ClosedLoopJob, JobReport, JobSpec,
+        replay_with, run_job, run_open_loop, AccessPattern, ClosedLoopJob, JobReport, JobSpec,
+        ReplayConfig, Trace,
     };
 }

@@ -72,11 +72,41 @@ fn fig3_checkpoint() -> Fig3Checkpoint {
     run.checkpoint()
 }
 
-/// How a checkpoint file decodes: through the device-checkpoint reader
-/// or the fig3 reader.
+/// A non-trivial `uc.trace.v1` trace.
+fn sample_trace() -> unwritten_contract::workload::Trace {
+    unwritten_contract::workload::Trace::bursty_writes(
+        4,
+        9,
+        SimDuration::from_millis(1),
+        8192,
+        8 << 20,
+        0x7ACE,
+    )
+}
+
+/// A mid-run trace-phase checkpoint (device + paused replay driver).
+fn trace_run_checkpoint() -> unwritten_contract::core::experiments::TraceRunCheckpoint {
+    use unwritten_contract::core::experiments::trace::{TraceRun, TraceRunConfig};
+    let roster = DeviceRoster::with_capacities(128 << 20, 128 << 20);
+    let trace = sample_trace();
+    let mut run = TraceRun::start(
+        &roster,
+        DeviceKind::Essd1,
+        &trace,
+        &TraceRunConfig::open_loop(3),
+    )
+    .unwrap();
+    run.advance(&trace).unwrap();
+    run.checkpoint()
+}
+
+/// How a checkpoint file decodes: through the device-checkpoint reader,
+/// the fig3 reader, the trace-run reader, or the binary-trace decoder.
 enum Reader {
     Device,
     Fig3,
+    TraceRun,
+    Trace,
 }
 
 impl Reader {
@@ -84,6 +114,31 @@ impl Reader {
         match self {
             Reader::Device => DeviceCheckpoint::load_from(path, &payload_codecs()).map(|_| ()),
             Reader::Fig3 => Fig3Checkpoint::load_from(path).map(|_| ()),
+            Reader::TraceRun => {
+                unwritten_contract::core::experiments::TraceRunCheckpoint::load_from(path)
+                    .map(|_| ())
+            }
+            // The in-memory decoder checks the envelope CRC before any
+            // entry, so every byte-level mutation lands on the same
+            // typed error the other record codecs report. (The
+            // streaming `TraceReader` is corruption-swept in its own
+            // unit tests.)
+            Reader::Trace => {
+                let bytes = std::fs::read(path).map_err(|e| DecodeError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                unwritten_contract::trace::decode_trace(&bytes)
+                    .map(|_| ())
+                    .map_err(|e| match e {
+                        unwritten_contract::trace::TraceFileError::Decode(e) => e,
+                        unwritten_contract::trace::TraceFileError::Invalid(_) => {
+                            DecodeError::InvalidValue {
+                                what: "trace entries",
+                            }
+                        }
+                    })
+            }
         }
     }
 }
@@ -105,11 +160,17 @@ fn corruption_table_over_every_record_codec() {
         .unwrap();
     let fig3_path = dir.join("fig3.ckpt");
     fig3_checkpoint().save_to(&fig3_path).unwrap();
+    let trace_run_path = dir.join("trace-run.ckpt");
+    trace_run_checkpoint().save_to(&trace_run_path).unwrap();
+    let trace_path = dir.join("t.trace");
+    unwritten_contract::trace::save_trace(&trace_path, &sample_trace()).unwrap();
 
-    let files: [(&str, PathBuf, Reader); 3] = [
+    let files: [(&str, PathBuf, Reader); 5] = [
         ("ssd", ssd_path, Reader::Device),
         ("essd", essd_path, Reader::Device),
         ("fig3", fig3_path, Reader::Fig3),
+        ("trace-run", trace_run_path, Reader::TraceRun),
+        ("trace", trace_path, Reader::Trace),
     ];
 
     for (codec, path, reader) in &files {
@@ -229,6 +290,16 @@ fn unknown_record_kinds_are_typed() {
         Fig3Checkpoint::load_from(&path),
         Err(DecodeError::UnknownKind { .. })
     ));
+    assert!(matches!(
+        unwritten_contract::core::experiments::TraceRunCheckpoint::load_from(&path),
+        Err(DecodeError::UnknownKind { .. })
+    ));
+    assert!(matches!(
+        unwritten_contract::trace::load_trace(&path),
+        Err(unwritten_contract::trace::TraceFileError::Decode(
+            DecodeError::UnknownKind { .. }
+        ))
+    ));
 
     // A device record whose *payload* tag is foreign also fails typed:
     // write a fig3 record and read it as a device checkpoint.
@@ -339,6 +410,38 @@ proptest! {
         bytes in proptest::collection::vec(0u8..255, 0..200),
     ) {
         let _ = unwritten_contract::persist::decode_record(&bytes);
+    }
+
+    // Random traces survive text → binary → text round trips
+    // byte-identically: the `uc.trace.v1` codec neither reorders,
+    // rewrites nor loses entries the text format can express.
+    #[test]
+    fn trace_text_binary_text_round_trips_byte_identically(
+        raw in proptest::collection::vec(
+            (0u64..1u64 << 40, any::<bool>(), 0u64..1u64 << 40, 1u32..1u32 << 24),
+            0..100,
+        ),
+    ) {
+        use unwritten_contract::blockdev::IoKind;
+        use unwritten_contract::trace::{decode_trace, encode_trace};
+        use unwritten_contract::workload::{Trace, TraceEntry};
+        let entries: Vec<TraceEntry> = raw
+            .into_iter()
+            .map(|(at, write, offset, len)| TraceEntry {
+                at: SimTime::from_nanos(at),
+                kind: if write { IoKind::Write } else { IoKind::Read },
+                offset,
+                len,
+            })
+            .collect();
+        let trace = Trace::from_entries(entries);
+        let text = trace.to_text();
+        let back = decode_trace(&encode_trace(&trace)).expect("binary round trip");
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.to_text(), text);
+        // …and the text side re-parses to the same trace, closing the
+        // text → binary → text → parse loop.
+        prop_assert_eq!(text.parse::<Trace>().expect("text round trip"), trace);
     }
 }
 
