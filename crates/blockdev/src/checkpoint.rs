@@ -27,6 +27,7 @@ use std::fmt;
 use std::path::Path;
 
 use crate::BlockDevice;
+use uc_invariant::{ensure, Contract, Violation};
 use uc_persist::{DecodeError, Decoder, Encoder, Persist};
 
 /// Object-safe clonable `Any` — the erased payload of a checkpoint.
@@ -345,6 +346,74 @@ impl DeviceCheckpoint {
                 found: self.device.clone(),
             })
         }
+    }
+}
+
+/// Durability audit of a frozen device: a persistent checkpoint's wire
+/// form must decode back with its own codec and re-encode to the identical
+/// bytes — the on-disk half of the freeze/thaw exactness contract.
+/// O(payload size); called by the invariant property suites, not per op.
+impl Contract for DeviceCheckpoint {
+    fn contract_name(&self) -> &'static str {
+        "uc-blockdev/DeviceCheckpoint"
+    }
+
+    fn check(&self) -> Result<(), Violation> {
+        ensure!(
+            self,
+            "device-named",
+            !self.device.is_empty(),
+            "checkpoint has an empty device name"
+        );
+        // Codec-less checkpoints have no wire form to audit.
+        let Some(codec) = self.codec else {
+            return Ok(());
+        };
+        let mut w = Encoder::new();
+        ensure!(
+            self,
+            "persistent-encodes",
+            self.encode_into(&mut w).is_ok(),
+            "persistent checkpoint of {} failed to encode",
+            self.device
+        );
+        let mut r = Decoder::new(w.as_bytes());
+        let decoded = match DeviceCheckpoint::decode_from(&mut r, &[codec]) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                return Err(Violation::new(
+                    self.contract_name(),
+                    "wire-roundtrip-decodes",
+                    format!("checkpoint of {} does not decode back: {e}", self.device),
+                ))
+            }
+        };
+        ensure!(
+            self,
+            "wire-roundtrip-device",
+            decoded.device == self.device,
+            "decoded device name {:?} != {:?}",
+            decoded.device,
+            self.device
+        );
+        let mut again = Encoder::new();
+        ensure!(
+            self,
+            "wire-roundtrip-reencodes",
+            decoded.encode_into(&mut again).is_ok(),
+            "decoded checkpoint of {} failed to re-encode",
+            self.device
+        );
+        ensure!(
+            self,
+            "wire-roundtrip-stable",
+            again.as_bytes() == w.as_bytes(),
+            "re-encoding the decoded checkpoint of {} changed {} -> {} bytes or contents",
+            self.device,
+            w.as_bytes().len(),
+            again.as_bytes().len()
+        );
+        Ok(())
     }
 }
 

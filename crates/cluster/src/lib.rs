@@ -229,13 +229,15 @@ impl Cluster {
             snapshot.config.nodes,
             "snapshot node count disagrees with configuration"
         );
+        #[cfg(feature = "strict-invariants")]
+        let expected = snapshot.clone();
         let map = ChunkMap::new(
             snapshot.config.chunk_bytes,
             snapshot.config.nodes,
             snapshot.config.replication,
             snapshot.config.placement_seed,
         );
-        Cluster {
+        let restored = Cluster {
             map,
             nodes: snapshot
                 .nodes
@@ -244,7 +246,20 @@ impl Cluster {
                 .collect(),
             stats: snapshot.stats,
             config: snapshot.config,
-        }
+        };
+        // Contract hook (deep): thaw(freeze(c)) is observationally exact.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-cluster/Cluster",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored cluster does not reproduce its snapshot",
+                ));
+            }
+            Ok(())
+        });
+        restored
     }
 
     /// Reads `len` bytes at `offset`, arriving at the cluster at `now`.

@@ -206,7 +206,9 @@ impl StorageNode {
 
     /// Rebuilds a node that continues exactly where `snapshot` was taken.
     pub fn restore(snapshot: StorageNodeSnapshot) -> Self {
-        StorageNode {
+        #[cfg(feature = "strict-invariants")]
+        let expected = snapshot.clone();
+        let restored = StorageNode {
             config: snapshot.config,
             lanes: snapshot
                 .lanes
@@ -215,7 +217,20 @@ impl StorageNode {
                 .collect(),
             flash: DiePool::restore(snapshot.flash),
             stats: snapshot.stats,
-        }
+        };
+        // Contract hook (deep): thaw(freeze(n)) is observationally exact.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-cluster/StorageNode",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored node does not reproduce its snapshot",
+                ));
+            }
+            Ok(())
+        });
+        restored
     }
 }
 

@@ -372,6 +372,38 @@ mod tests {
     }
 
     #[test]
+    fn chain_edge_shapes_match_sequential() {
+        // The degenerate shapes — no chains at all, a lone
+        // single-segment chain, and more workers than chains — must all
+        // produce exactly what the sequential fold produces.
+        let build = |chains: u64| -> Vec<(u64, Vec<Box<dyn FnOnce(u64) -> u64 + Send>>)> {
+            (0..chains)
+                .map(|i| {
+                    // Single-segment chains: one stage each, mixing the
+                    // seed in a way that is order-sensitive.
+                    let stages: Vec<Box<dyn FnOnce(u64) -> u64 + Send>> =
+                        vec![Box::new(move |x: u64| {
+                            x.wrapping_mul(6364136223846793005).wrapping_add(i)
+                        })];
+                    (i * 31, stages)
+                })
+                .collect()
+        };
+        for chains in [0u64, 1, 3] {
+            let expected = Executor::sequential().run_chains(build(chains));
+            for threads in [2, 8, 64] {
+                // Worker count exceeds chain count in every pairing here
+                // except (3 chains, 2 threads), which rides along.
+                let got = Executor::with_threads(threads).run_chains(build(chains));
+                assert_eq!(got, expected, "chains={chains} threads={threads}");
+            }
+        }
+        // An empty chain list returns an empty result at any width.
+        let none: Vec<(u8, Vec<fn(u8) -> u8>)> = Vec::new();
+        assert!(Executor::with_threads(64).run_chains(none).is_empty());
+    }
+
+    #[test]
     fn threads_clamp_and_env_default() {
         assert_eq!(Executor::with_threads(0).threads(), 1);
         assert!(Executor::from_env().threads() >= 1);

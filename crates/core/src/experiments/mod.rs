@@ -50,6 +50,6 @@ pub use fig4::{Fig4Config, Fig4Result};
 pub use fig5::{Fig5Config, Fig5Result};
 pub use table1::{run as run_table1, Table1Row};
 pub use trace::{
-    PhaseStat, TraceContractReport, TraceRun, TraceRunCheckpoint, TraceRunConfig, TraceRunResult,
-    TraceStore, TraceViolation, TraceViolationKind,
+    PhaseStat, TraceContractReport, TraceRun, TraceRunCheckpoint, TraceRunConfig, TraceRunError,
+    TraceRunResult, TraceStore, TraceViolation, TraceViolationKind,
 };

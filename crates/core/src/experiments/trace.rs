@@ -630,18 +630,17 @@ impl TraceRun {
 ///
 /// # Errors
 ///
-/// Propagates trace-validation and device I/O errors.
-///
-/// # Panics
-///
-/// Panics if a checkpoint taken by this run fails to restore (a
-/// checkpoint-seam bug, not an I/O condition).
+/// Propagates trace-validation and device I/O errors as
+/// [`TraceRunError::Replay`]. A checkpoint taken by this run that fails
+/// to restore (a checkpoint-seam bug, not an I/O condition) surfaces as
+/// [`TraceRunError::Restore`] instead of a panic, so callers on the
+/// non-test path get a typed error they can report.
 pub fn run(
     roster: &DeviceRoster,
     kind: DeviceKind,
     trace: &Trace,
     cfg: &TraceRunConfig,
-) -> Result<TraceRunResult, ReplayError> {
+) -> Result<TraceRunResult, TraceRunError> {
     let mut state = TraceRun::start(roster, kind, trace, cfg)?;
     loop {
         state.advance(trace)?;
@@ -649,7 +648,7 @@ pub fn run(
             return Ok(state.into_result());
         }
         let frozen = state.checkpoint();
-        state = TraceRun::resume(roster, trace, frozen).expect("own checkpoint restores");
+        state = TraceRun::resume(roster, trace, frozen).map_err(TraceRunError::Restore)?;
     }
 }
 
@@ -664,39 +663,38 @@ pub fn run(
 /// # Errors
 ///
 /// Propagates the first trace-validation or I/O error any device
-/// reports.
-///
-/// # Panics
-///
-/// Panics if a checkpoint taken by this run fails to restore.
+/// reports as [`TraceRunError::Replay`]; a checkpoint that fails to
+/// restore onto its own roster surfaces as [`TraceRunError::Restore`].
 pub fn run_pipelined(
     roster: &DeviceRoster,
     kinds: &[DeviceKind],
     trace: &Trace,
     cfg: &TraceRunConfig,
     exec: &Executor,
-) -> Result<Vec<TraceRunResult>, ReplayError> {
+) -> Result<Vec<TraceRunResult>, TraceRunError> {
     // Stages only borrow the trace (`run_chains` runs on scoped
     // threads, so non-'static closures are fine) — a GiB-scale trace is
     // shared, never copied.
     type Stage<'t> = Box<
         dyn FnOnce(
-                Result<TraceRunCheckpoint, ReplayError>,
-            ) -> Result<TraceRunCheckpoint, ReplayError>
+                Result<TraceRunCheckpoint, TraceRunError>,
+            ) -> Result<TraceRunCheckpoint, TraceRunError>
             + Send
             + 't,
     >;
     let phases = cfg.phases.max(1);
-    let mut chains: Vec<(Result<TraceRunCheckpoint, ReplayError>, Vec<Stage<'_>>)> =
+    let mut chains: Vec<(Result<TraceRunCheckpoint, TraceRunError>, Vec<Stage<'_>>)> =
         Vec::with_capacity(kinds.len());
     for &kind in kinds {
-        let initial = TraceRun::start(roster, kind, trace, cfg).map(|r| r.checkpoint());
+        let initial = TraceRun::start(roster, kind, trace, cfg)
+            .map(|r| r.checkpoint())
+            .map_err(TraceRunError::Replay);
         let stages: Vec<Stage<'_>> = (0..phases)
             .map(|_| {
                 let roster = roster.clone();
-                Box::new(move |frozen: Result<TraceRunCheckpoint, ReplayError>| {
-                    let mut state =
-                        TraceRun::resume(&roster, trace, frozen?).expect("own checkpoint restores");
+                Box::new(move |frozen: Result<TraceRunCheckpoint, TraceRunError>| {
+                    let mut state = TraceRun::resume(&roster, trace, frozen?)
+                        .map_err(TraceRunError::Restore)?;
                     state.advance(trace)?;
                     Ok(state.checkpoint())
                 }) as Stage<'_>
@@ -707,15 +705,16 @@ pub fn run_pipelined(
     exec.run_chains(chains)
         .into_iter()
         .map(|frozen| {
-            let state = TraceRun::resume(roster, trace, frozen?).expect("own checkpoint restores");
+            let state = TraceRun::resume(roster, trace, frozen?).map_err(TraceRunError::Restore)?;
             Ok(state.into_result())
         })
         .collect()
 }
 
-/// Errors of the durable (on-disk) trace runner.
+/// Errors of the trace runners ([`run`], [`run_pipelined`] and
+/// [`run_pipelined_durable`]).
 #[derive(Debug)]
-pub enum TraceDurableError {
+pub enum TraceRunError {
     /// The trace failed validation or a device reported an I/O error.
     Replay(ReplayError),
     /// Writing a phase checkpoint to disk failed.
@@ -725,21 +724,21 @@ pub enum TraceDurableError {
     Restore(CheckpointError),
 }
 
-impl std::fmt::Display for TraceDurableError {
+impl std::fmt::Display for TraceRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceDurableError::Replay(e) => write!(f, "replay error: {e}"),
-            TraceDurableError::Save(e) => write!(f, "persisting phase checkpoint: {e}"),
-            TraceDurableError::Restore(e) => write!(f, "restoring phase checkpoint: {e}"),
+            TraceRunError::Replay(e) => write!(f, "replay error: {e}"),
+            TraceRunError::Save(e) => write!(f, "persisting phase checkpoint: {e}"),
+            TraceRunError::Restore(e) => write!(f, "restoring phase checkpoint: {e}"),
         }
     }
 }
 
-impl std::error::Error for TraceDurableError {}
+impl std::error::Error for TraceRunError {}
 
-impl From<ReplayError> for TraceDurableError {
+impl From<ReplayError> for TraceRunError {
     fn from(e: ReplayError) -> Self {
-        TraceDurableError::Replay(e)
+        TraceRunError::Replay(e)
     }
 }
 
@@ -882,28 +881,26 @@ pub fn run_pipelined_durable(
     exec: &Executor,
     store: &TraceStore,
     resume: bool,
-) -> Result<Vec<TraceRunResult>, TraceDurableError> {
+) -> Result<Vec<TraceRunResult>, TraceRunError> {
     // As in `run_pipelined`, stages borrow the trace — no copy.
     type Stage<'t> = Box<
         dyn FnOnce(
-                Result<TraceRunCheckpoint, TraceDurableError>,
-            ) -> Result<TraceRunCheckpoint, TraceDurableError>
+                Result<TraceRunCheckpoint, TraceRunError>,
+            ) -> Result<TraceRunCheckpoint, TraceRunError>
             + Send
             + 't,
     >;
     let phases = cfg.phases.max(1);
     let plan = Plan::of(trace, cfg);
-    let mut chains: Vec<(
-        Result<TraceRunCheckpoint, TraceDurableError>,
-        Vec<Stage<'_>>,
-    )> = Vec::with_capacity(kinds.len());
+    let mut chains: Vec<(Result<TraceRunCheckpoint, TraceRunError>, Vec<Stage<'_>>)> =
+        Vec::with_capacity(kinds.len());
     for &kind in kinds {
         let from_disk = if resume {
             store.load_matching(kind, |checkpoint| plan.matches(checkpoint, &cfg.replay))
         } else {
             None
         };
-        let initial: Result<TraceRunCheckpoint, TraceDurableError> = match from_disk {
+        let initial: Result<TraceRunCheckpoint, TraceRunError> = match from_disk {
             Some(checkpoint) => {
                 eprintln!(
                     "trace: resuming {kind} from phase boundary {}/{}",
@@ -913,13 +910,13 @@ pub fn run_pipelined_durable(
                 Ok(checkpoint)
             }
             None => TraceRun::start(roster, kind, trace, cfg)
-                .map_err(TraceDurableError::Replay)
+                .map_err(TraceRunError::Replay)
                 .and_then(|state| {
                     let checkpoint = state.checkpoint();
                     // Persist the primed (phase-0) state too: a crash
                     // before the first boundary then resumes instead of
                     // re-validating from scratch.
-                    store.save(&checkpoint).map_err(TraceDurableError::Save)?;
+                    store.save(&checkpoint).map_err(TraceRunError::Save)?;
                     Ok(checkpoint)
                 }),
         };
@@ -931,16 +928,14 @@ pub fn run_pipelined_durable(
             .map(|_| {
                 let roster = roster.clone();
                 let store = store.clone();
-                Box::new(
-                    move |frozen: Result<TraceRunCheckpoint, TraceDurableError>| {
-                        let mut state = TraceRun::resume(&roster, trace, frozen?)
-                            .map_err(TraceDurableError::Restore)?;
-                        state.advance(trace)?;
-                        let checkpoint = state.checkpoint();
-                        store.save(&checkpoint).map_err(TraceDurableError::Save)?;
-                        Ok(checkpoint)
-                    },
-                ) as Stage<'_>
+                Box::new(move |frozen: Result<TraceRunCheckpoint, TraceRunError>| {
+                    let mut state = TraceRun::resume(&roster, trace, frozen?)
+                        .map_err(TraceRunError::Restore)?;
+                    state.advance(trace)?;
+                    let checkpoint = state.checkpoint();
+                    store.save(&checkpoint).map_err(TraceRunError::Save)?;
+                    Ok(checkpoint)
+                }) as Stage<'_>
             })
             .collect();
         chains.push((initial, stages));
@@ -948,8 +943,7 @@ pub fn run_pipelined_durable(
     exec.run_chains(chains)
         .into_iter()
         .map(|frozen| {
-            let state =
-                TraceRun::resume(roster, trace, frozen?).map_err(TraceDurableError::Restore)?;
+            let state = TraceRun::resume(roster, trace, frozen?).map_err(TraceRunError::Restore)?;
             Ok(state.into_result())
         })
         .collect()

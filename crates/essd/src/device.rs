@@ -258,7 +258,10 @@ impl CheckpointDevice for Essd {
 
     fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
         checkpoint.expect_device(self.info.name())?;
-        let restored = Essd::restore(checkpoint.into_state::<EssdCheckpoint>()?);
+        let state = checkpoint.into_state::<EssdCheckpoint>()?;
+        #[cfg(feature = "strict-invariants")]
+        let expected = state.clone();
+        let restored = Essd::restore(state);
         // Same name is not enough: a checkpoint from a differently-scaled
         // device must not silently shrink or grow this one.
         if restored.info != self.info {
@@ -267,6 +270,19 @@ impl CheckpointDevice for Essd {
                 found: format!("{} ({} B)", restored.info.name(), restored.info.capacity()),
             });
         }
+        // Contract hook (deep): thaw(freeze(d)) is observationally exact —
+        // re-freezing the thawed device reproduces the checkpoint verbatim.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-essd/Essd",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored device does not reproduce its checkpoint",
+                ));
+            }
+            Ok(())
+        });
         *self = restored;
         Ok(())
     }

@@ -2,9 +2,26 @@
 
 use crate::{BlockState, FtlConfig, FtlStats, GcPolicy, WearStats};
 use uc_flash::{FlashArray, FlashArraySnapshot, FlashOpStats};
+use uc_invariant::{ensure, Contract, Violation};
 use uc_sim::SimTime;
 
 const UNMAPPED: u64 = u64::MAX;
+
+/// A deterministic, one-shot map-corruption fault for invariant testing.
+///
+/// Only exists with the test-only `fault-injection` feature; the invariant
+/// property suites arm one of these and prove the [`Contract`] audit
+/// catches the corruption with a shrunk minimal repro.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapFault {
+    /// The next host write updates L2P but leaves the reverse map stale —
+    /// the classic torn-map-update bug.
+    DropReverseMapping,
+    /// The next host write forgets the block's valid-count increment,
+    /// breaking valid-count conservation.
+    SkipValidCount,
+}
 
 /// A page-level flash translation layer over a [`FlashArray`].
 ///
@@ -57,6 +74,9 @@ pub struct Ftl {
     /// Monotonic open-sequence counter (GC age reference).
     seq: u64,
     stats: FtlStats,
+    /// One-shot fault armed by the invariant test suites.
+    #[cfg(feature = "fault-injection")]
+    armed_fault: Option<MapFault>,
 }
 
 /// The complete serializable state of an [`Ftl`]: the sanitized
@@ -158,7 +178,16 @@ impl Ftl {
             seq,
             stats: FtlStats::default(),
             config,
+            #[cfg(feature = "fault-injection")]
+            armed_fault: None,
         }
+    }
+
+    /// Arms a one-shot [`MapFault`]: the next host write executes with the
+    /// corresponding bookkeeping bug. Test-only.
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_fault(&mut self, fault: MapFault) {
+        self.armed_fault = Some(fault);
     }
 
     /// The configuration this FTL was built with.
@@ -222,6 +251,31 @@ impl Ftl {
         let ppn = self.allocate_host_page(die);
         self.l2p[lpn as usize] = ppn;
         self.p2l[ppn as usize] = lpn;
+
+        #[cfg(feature = "fault-injection")]
+        if let Some(fault) = self.armed_fault.take() {
+            match fault {
+                MapFault::DropReverseMapping => self.p2l[ppn as usize] = UNMAPPED,
+                MapFault::SkipValidCount => {
+                    // Undo the increment `allocate_host_page` just made.
+                    let block = (ppn / self.ppb() as u64) as usize;
+                    self.blocks[block].valid -= 1;
+                }
+            }
+        }
+
+        // Contract hook (O(1)): the map update we just made round-trips.
+        uc_invariant::enforce(|| {
+            ensure!(
+                self,
+                "map-update-roundtrip",
+                self.p2l[ppn as usize] == lpn,
+                "write lpn {lpn} -> ppn {ppn}, but reverse map holds {:#x}",
+                self.p2l[ppn as usize]
+            );
+            Ok(())
+        });
+
         self.stats.host_pages_written += 1;
         self.flash.program_page(now, die)
     }
@@ -265,6 +319,20 @@ impl Ftl {
             self.invalidate_ppn(old);
             self.l2p[lpn as usize] = UNMAPPED;
             self.stats.pages_trimmed += 1;
+
+            // Contract hook (O(1)): both directions of the dead mapping
+            // are gone.
+            uc_invariant::enforce(|| {
+                ensure!(
+                    self,
+                    "trim-unmaps-both-directions",
+                    self.l2p[lpn as usize] == UNMAPPED && self.p2l[old as usize] == UNMAPPED,
+                    "trim of lpn {lpn} left l2p {:#x} / p2l[{old}] {:#x}",
+                    self.l2p[lpn as usize],
+                    self.p2l[old as usize]
+                );
+                Ok(())
+            });
         }
     }
 
@@ -347,6 +415,8 @@ impl Ftl {
             seq: checkpoint.seq,
             stats: checkpoint.stats,
             config: checkpoint.config,
+            #[cfg(feature = "fault-injection")]
+            armed_fault: None,
         }
     }
 
@@ -474,8 +544,36 @@ impl Ftl {
             self.p2l[new_ppn as usize] = lpn;
             self.blocks[victim_idx].valid -= 1;
             self.stats.gc_pages_relocated += 1;
+
+            // Contract hook (O(1)): the relocation rebound the logical
+            // page and retired the old physical page.
+            uc_invariant::enforce(|| {
+                ensure!(
+                    self,
+                    "gc-relocation-rebinds",
+                    self.l2p[lpn as usize] == new_ppn
+                        && self.p2l[new_ppn as usize] == lpn
+                        && self.p2l[ppn as usize] == UNMAPPED,
+                    "GC moved lpn {lpn}: ppn {ppn} -> {new_ppn}, maps now \
+                     l2p {:#x} / p2l[new] {:#x} / p2l[old] {:#x}",
+                    self.l2p[lpn as usize],
+                    self.p2l[new_ppn as usize],
+                    self.p2l[ppn as usize]
+                );
+                Ok(())
+            });
         }
-        debug_assert_eq!(self.blocks[victim_idx].valid, 0);
+        // Contract hook (O(1)): a collected victim holds no live data.
+        uc_invariant::enforce(|| {
+            ensure!(
+                self,
+                "gc-victim-drained",
+                self.blocks[victim_idx].valid == 0,
+                "victim block {victim_idx} still has {} valid pages after GC",
+                self.blocks[victim_idx].valid
+            );
+            Ok(())
+        });
 
         // Erase and return the victim to the free pool.
         self.flash.erase_block(now, die);
@@ -502,6 +600,109 @@ impl Ftl {
             self.seq += 1;
         }
         self.ppn_of(die, slot, page)
+    }
+}
+
+/// Full structural audit of the FTL mapping machinery. O(physical pages);
+/// called by the invariant property suites after every op, and manually
+/// from debuggers — never from the per-op hot path.
+impl Contract for Ftl {
+    fn contract_name(&self) -> &'static str {
+        "uc-ftl/Ftl"
+    }
+
+    fn check(&self) -> Result<(), Violation> {
+        let ppb = self.ppb();
+        // Forward direction: every mapped logical page round-trips.
+        for (lpn, &ppn) in self.l2p.iter().enumerate() {
+            if ppn == UNMAPPED {
+                continue;
+            }
+            ensure!(
+                self,
+                "l2p-in-range",
+                (ppn as usize) < self.p2l.len(),
+                "lpn {lpn} maps to ppn {ppn} beyond {} physical pages",
+                self.p2l.len()
+            );
+            ensure!(
+                self,
+                "l2p-p2l-bijective",
+                self.p2l[ppn as usize] == lpn as u64,
+                "lpn {lpn} -> ppn {ppn}, but reverse map holds {:#x}",
+                self.p2l[ppn as usize]
+            );
+        }
+        // Reverse direction: every live physical page round-trips.
+        for (ppn, &lpn) in self.p2l.iter().enumerate() {
+            if lpn == UNMAPPED {
+                continue;
+            }
+            ensure!(
+                self,
+                "p2l-in-range",
+                (lpn as usize) < self.l2p.len(),
+                "ppn {ppn} claims lpn {lpn} beyond {} logical pages",
+                self.l2p.len()
+            );
+            ensure!(
+                self,
+                "p2l-l2p-bijective",
+                self.l2p[lpn as usize] == ppn as u64,
+                "ppn {ppn} claims lpn {lpn}, but forward map holds {:#x}",
+                self.l2p[lpn as usize]
+            );
+        }
+        // Conservation: block valid counts account for exactly the mapped
+        // pages — no leaked and no phantom liveness.
+        let mapped = self.mapped_pages();
+        let valid = self.total_valid_pages();
+        ensure!(
+            self,
+            "valid-count-conservation",
+            mapped == valid,
+            "{mapped} mapped logical pages but block valid counts sum to {valid}"
+        );
+        let live = self.p2l.iter().filter(|&&l| l != UNMAPPED).count() as u64;
+        ensure!(
+            self,
+            "live-ppn-conservation",
+            live == mapped,
+            "{mapped} mapped logical pages but {live} live physical pages"
+        );
+        // Per-block sanity.
+        for (i, b) in self.blocks.iter().enumerate() {
+            ensure!(
+                self,
+                "block-valid-le-written",
+                b.valid <= b.written,
+                "block {i}: {} valid pages exceed {} written",
+                b.valid,
+                b.written
+            );
+            ensure!(
+                self,
+                "block-written-le-capacity",
+                b.written <= ppb,
+                "block {i}: {} written pages exceed block capacity {ppb}",
+                b.written
+            );
+        }
+        // Free blocks are blank (erase really reset them).
+        for (die, stack) in self.free.iter().enumerate() {
+            for &slot in stack {
+                let b = &self.blocks[die * self.bpd() as usize + slot as usize];
+                ensure!(
+                    self,
+                    "free-block-blank",
+                    b.written == 0 && b.valid == 0,
+                    "free block die {die} slot {slot} has written {} / valid {}",
+                    b.written,
+                    b.valid
+                );
+            }
+        }
+        Ok(())
     }
 }
 

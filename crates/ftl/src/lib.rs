@@ -40,6 +40,8 @@ mod stats;
 
 pub use blocks::{BlockId, BlockState};
 pub use config::FtlConfig;
+#[cfg(feature = "fault-injection")]
+pub use ftl::MapFault;
 pub use ftl::{Ftl, FtlCheckpoint};
 pub use gc::GcPolicy;
 pub use stats::{FtlStats, WearStats};

@@ -166,12 +166,27 @@ impl NetPath {
 
     /// Rebuilds a path that continues exactly where `snapshot` was taken.
     pub fn restore(snapshot: NetPathSnapshot) -> Self {
-        NetPath {
+        #[cfg(feature = "strict-invariants")]
+        let expected = snapshot.clone();
+        let restored = NetPath {
             lanes: ParallelResource::restore(snapshot.lanes),
             config: snapshot.config,
             bytes_sent: snapshot.bytes_sent,
             transfers: snapshot.transfers,
-        }
+        };
+        // Contract hook (deep): thaw(freeze(p)) is observationally exact.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-net/NetPath",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored path does not reproduce its snapshot",
+                ));
+            }
+            Ok(())
+        });
+        restored
     }
 }
 
@@ -250,11 +265,26 @@ impl HostStack {
 
     /// Rebuilds a stack that continues exactly where `snapshot` was taken.
     pub fn restore(snapshot: HostStackSnapshot) -> Self {
-        HostStack {
+        #[cfg(feature = "strict-invariants")]
+        let expected = snapshot.clone();
+        let restored = HostStack {
             per_io: snapshot.per_io,
             workers: ParallelResource::restore(snapshot.workers),
             ios: snapshot.ios,
-        }
+        };
+        // Contract hook (deep): thaw(freeze(s)) is observationally exact.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-net/HostStack",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored stack does not reproduce its snapshot",
+                ));
+            }
+            Ok(())
+        });
+        restored
     }
 }
 

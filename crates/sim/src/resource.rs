@@ -11,6 +11,7 @@
 use crate::{SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use uc_invariant::{ensure, Contract, Violation};
 
 /// A serialized FIFO station (one server).
 ///
@@ -170,6 +171,19 @@ impl ParallelResource {
         let finish = start + service;
         self.servers.push(Reverse(finish));
         self.busy_time += service;
+        // Contract hook (O(1)): the pop/push pair conserved the server
+        // count — a lost server would silently serialize the station.
+        uc_invariant::enforce(|| {
+            ensure!(
+                self,
+                "server-count-conserved",
+                self.servers.len() == self.capacity,
+                "{} servers in heap, capacity {}",
+                self.servers.len(),
+                self.capacity
+            );
+            Ok(())
+        });
         (start, finish)
     }
 
@@ -226,6 +240,32 @@ impl ParallelResource {
             servers: snapshot.servers.into_iter().map(Reverse).collect(),
             busy_time: snapshot.busy_time,
         }
+    }
+}
+
+/// Structural audit of a k-server station: the server pool never leaks or
+/// duplicates a server. O(servers).
+impl Contract for ParallelResource {
+    fn contract_name(&self) -> &'static str {
+        "uc-sim/ParallelResource"
+    }
+
+    fn check(&self) -> Result<(), Violation> {
+        ensure!(
+            self,
+            "capacity-positive",
+            self.capacity > 0,
+            "station has zero capacity"
+        );
+        ensure!(
+            self,
+            "server-count-conserved",
+            self.servers.len() == self.capacity,
+            "{} servers in heap, capacity {}",
+            self.servers.len(),
+            self.capacity
+        );
+        Ok(())
     }
 }
 

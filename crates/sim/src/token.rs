@@ -1,6 +1,7 @@
 //! Token-bucket rate limiting.
 
 use crate::{SimDuration, SimTime};
+use uc_invariant::{ensure, Contract, Violation};
 
 /// A deterministic token bucket.
 ///
@@ -128,6 +129,21 @@ impl TokenBucket {
         self.available = 0.0;
         let grant = self.last + wait;
         self.last = grant;
+
+        // Contract hook (O(1)): a deferred grant drains the bucket exactly
+        // — never below zero — and keeps the accrual clock at the grant.
+        uc_invariant::enforce(|| {
+            ensure!(
+                self,
+                "deferred-grant-drains-exactly",
+                self.available == 0.0 && self.last == grant,
+                "deferred grant left {} tokens, clock {:?} vs grant {:?}",
+                self.available,
+                self.last,
+                grant
+            );
+            Ok(())
+        });
         grant
     }
 
@@ -187,6 +203,56 @@ impl TokenBucket {
             self.available = (self.available + dt * self.rate_per_sec).min(self.burst);
             self.last = now;
         }
+        // Contract hook (O(1)): refill clamps at burst, never negative.
+        uc_invariant::debug_check(self);
+    }
+}
+
+/// Conservation audit for the token bucket: tokens never go negative,
+/// never exceed the burst capacity, and the configuration stays sane. O(1).
+impl Contract for TokenBucket {
+    fn contract_name(&self) -> &'static str {
+        "uc-sim/TokenBucket"
+    }
+
+    fn check(&self) -> Result<(), Violation> {
+        ensure!(
+            self,
+            "burst-positive-finite",
+            self.burst > 0.0 && self.burst.is_finite(),
+            "burst is {}",
+            self.burst
+        );
+        ensure!(
+            self,
+            "rate-positive-finite",
+            self.rate_per_sec > 0.0 && self.rate_per_sec.is_finite(),
+            "rate is {}",
+            self.rate_per_sec
+        );
+        ensure!(
+            self,
+            "no-negative-balance",
+            self.available >= 0.0,
+            "available balance is {}",
+            self.available
+        );
+        ensure!(
+            self,
+            "balance-within-burst",
+            self.available <= self.burst,
+            "available {} exceeds burst capacity {}",
+            self.available,
+            self.burst
+        );
+        ensure!(
+            self,
+            "balance-finite",
+            self.available.is_finite(),
+            "available balance is {}",
+            self.available
+        );
+        Ok(())
     }
 }
 

@@ -277,7 +277,10 @@ impl CheckpointDevice for Ssd {
 
     fn restore_from(&mut self, checkpoint: DeviceCheckpoint) -> Result<(), CheckpointError> {
         checkpoint.expect_device(self.info.name())?;
-        let restored = Ssd::restore(checkpoint.into_state::<SsdCheckpoint>()?);
+        let state = checkpoint.into_state::<SsdCheckpoint>()?;
+        #[cfg(feature = "strict-invariants")]
+        let expected = state.clone();
+        let restored = Ssd::restore(state);
         // Same name is not enough: a checkpoint from a differently-scaled
         // device must not silently shrink or grow this one.
         if restored.info != self.info {
@@ -286,6 +289,19 @@ impl CheckpointDevice for Ssd {
                 found: format!("{} ({} B)", restored.info.name(), restored.info.capacity()),
             });
         }
+        // Contract hook (deep): thaw(freeze(d)) is observationally exact —
+        // re-freezing the thawed device reproduces the checkpoint verbatim.
+        #[cfg(feature = "strict-invariants")]
+        uc_invariant::deep_enforce(|| {
+            if restored.snapshot() != expected {
+                return Err(uc_invariant::Violation::new(
+                    "uc-ssd/Ssd",
+                    "thaw-freeze-exact",
+                    "re-freezing the restored device does not reproduce its checkpoint",
+                ));
+            }
+            Ok(())
+        });
         *self = restored;
         Ok(())
     }

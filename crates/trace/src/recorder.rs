@@ -68,6 +68,24 @@ impl<D: BlockDevice> TraceRecorder<D> {
     }
 
     fn record(&mut self, req: &IoRequest) {
+        // Contract hook (O(1)): arrivals enter in non-decreasing order
+        // (the BlockDevice monotonicity contract), so the capture is a
+        // valid trace without sorting.
+        uc_invariant::enforce(|| {
+            if let Some(last) = self.entries.last() {
+                if req.submit_time < last.at {
+                    return Err(uc_invariant::Violation::new(
+                        "uc-trace/TraceRecorder",
+                        "entry-monotonicity",
+                        format!(
+                            "request at {:?} arrived after an entry at {:?}",
+                            req.submit_time, last.at
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        });
         self.entries.push(TraceEntry {
             at: req.submit_time,
             kind: req.kind,

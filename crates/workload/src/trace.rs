@@ -304,6 +304,21 @@ impl Trace {
     }
 }
 
+/// Structural audit of a trace: entries are arrival-ordered (the property
+/// `Trace::from_entries` sorting establishes and every later operation
+/// must preserve) and individually well-formed. O(entries).
+impl uc_invariant::Contract for Trace {
+    fn contract_name(&self) -> &'static str {
+        "uc-workload/Trace"
+    }
+
+    fn check(&self) -> Result<(), uc_invariant::Violation> {
+        validate_entries(&self.entries, None).map_err(|e| {
+            uc_invariant::Violation::new(self.contract_name(), "entry-monotonicity", e.to_string())
+        })
+    }
+}
+
 impl fmt::Display for Trace {
     /// Writes the parseable text format: one `<nanos> <R|W> <offset>
     /// <len>` line per entry, so `trace.to_string().parse::<Trace>()`

@@ -44,6 +44,7 @@
 //! | [`blockdev`] | the `BlockDevice` abstraction, queue-pair batching (`IoBatch`/`Completion`), `DeviceFactory` seam, `CheckpointDevice` snapshot/restore seam |
 //! | [`flash`] | NAND geometry/timing and die/channel scheduling |
 //! | [`ftl`] | page-mapping FTL with garbage collection |
+//! | [`invariant`] | the `Contract` trait, structured `Violation` reports, `strict-invariants` enforcement hooks |
 //! | [`ssd`] | the local-SSD device model (Samsung 970 Pro profile) |
 //! | [`net`] | datacenter fabric + host stack model |
 //! | [`cluster`] | chunked, replicated storage cluster |
@@ -61,6 +62,7 @@ pub use uc_core as core;
 pub use uc_essd as essd;
 pub use uc_flash as flash;
 pub use uc_ftl as ftl;
+pub use uc_invariant as invariant;
 pub use uc_metrics as metrics;
 pub use uc_net as net;
 pub use uc_persist as persist;
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use uc_core::devices::{DeviceKind, DeviceRoster};
     pub use uc_core::experiments::Executor;
     pub use uc_essd::{Essd, EssdConfig};
+    pub use uc_invariant::{Contract, Violation};
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};
     pub use uc_ssd::{Ssd, SsdConfig};

@@ -202,6 +202,43 @@ fn corruption_table_over_every_record_codec() {
                 |e| matches!(e, DecodeError::Truncated { .. }),
             ),
             (
+                "truncated mid-record",
+                Box::new(|b: &[u8]| {
+                    // Cut inside the payload proper (not at an arbitrary
+                    // byte count): 8 magic + 2 version + (8 + kind tag) +
+                    // 8-byte payload length, then half the payload.
+                    let kind_len = u64::from_le_bytes(b[10..18].try_into().unwrap()) as usize;
+                    let payload_start = 26 + kind_len;
+                    let payload_len =
+                        u64::from_le_bytes(b[18 + kind_len..payload_start].try_into().unwrap())
+                            as usize;
+                    b[..payload_start + payload_len / 2].to_vec()
+                }),
+                |e| matches!(e, DecodeError::Truncated { .. }),
+            ),
+            (
+                "flipped bit in the payload length field",
+                Box::new(|b: &[u8]| {
+                    let kind_len = u64::from_le_bytes(b[10..18].try_into().unwrap()) as usize;
+                    let mut v = b.to_vec();
+                    // MSB of the little-endian u64 payload length: the
+                    // decoder now wants ~2^63 bytes it does not have.
+                    v[25 + kind_len] ^= 0x80;
+                    v
+                }),
+                |e| matches!(e, DecodeError::Truncated { .. }),
+            ),
+            (
+                "flipped bit in the kind length field",
+                Box::new(|b: &[u8]| {
+                    let mut v = b.to_vec();
+                    // MSB of the kind-tag length at bytes 10..18.
+                    v[17] ^= 0x80;
+                    v
+                }),
+                |e| matches!(e, DecodeError::Truncated { .. }),
+            ),
+            (
                 "flipped payload bit",
                 Box::new(|b: &[u8]| {
                     let mut v = b.to_vec();

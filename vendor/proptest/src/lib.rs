@@ -1,15 +1,24 @@
 //! Offline stand-in for [proptest](https://github.com/proptest-rs/proptest).
 //!
 //! The build container has no crates.io access, so this crate implements the
-//! subset of proptest's surface that `tests/proptests.rs` uses: the
-//! `proptest!` macro, `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`,
-//! integer/float range strategies, `Just`, `any`, tuple strategies, and
+//! subset of proptest's surface that the workspace uses: the `proptest!`
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`, integer/float
+//! range strategies, `Just`, `any`, tuple strategies, and
 //! `collection::vec`. Sampling is deterministic (seeded from the test name)
-//! rather than adaptive, and failures panic immediately instead of
-//! shrinking — good enough to exercise the same invariants reproducibly.
+//! rather than adaptive.
+//!
+//! Unlike the original stub, failures **shrink**: when a sampled case fails,
+//! the runner greedily walks [`Strategy::shrink`] candidates — binary search
+//! toward the range start for numeric strategies, element removal plus
+//! per-element shrinking for `collection::vec`, componentwise recursion for
+//! tuples and `prop_oneof!` unions — and reports the *minimal* failing input
+//! it converged on. Because sampling and shrinking are both deterministic,
+//! the reported counterexample is identical on every run.
 
 /// Deterministic random generation used to sample strategies.
 pub mod test_runner {
+    use std::fmt;
+
     /// Runner configuration, mirroring `proptest::test_runner::Config`.
     #[derive(Debug, Clone, Copy)]
     pub struct Config {
@@ -29,6 +38,28 @@ pub mod test_runner {
             Self { cases: 256 }
         }
     }
+
+    /// Why one sampled case failed, mirroring
+    /// `proptest::test_runner::TestCaseError` (the `Fail` half; this stub
+    /// has no `Reject`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A case failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The result type of one property-test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
 
     /// SplitMix64 generator, seeded deterministically per test.
     #[derive(Debug, Clone)]
@@ -67,12 +98,25 @@ pub mod test_runner {
 pub mod strategy {
     use crate::test_runner::TestRng;
 
-    /// A recipe for generating values of `Self::Value`.
+    /// A recipe for generating values of `Self::Value` — and for walking a
+    /// failing value toward a simpler one.
     pub trait Strategy {
         /// The type of value this strategy produces.
         type Value;
+
         /// Draws one value using `rng`.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of `value`, most aggressive first.
+        ///
+        /// Every candidate must lie in this strategy's domain (so a shrunk
+        /// counterexample is always an input the strategy could have
+        /// produced). Returning an empty vector means `value` is already
+        /// minimal. The default is no shrinking.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// Strategy that always yields a clone of the given value.
@@ -95,6 +139,26 @@ pub mod strategy {
                     assert!(width > 0, "empty range strategy");
                     (self.start as u64).wrapping_add(rng.next_u64() % width) as $t
                 }
+
+                /// Binary-search shrink toward the range start: candidates
+                /// are `v - d` for a halving sequence of distances
+                /// `d = v-start, (v-start)/2, ..., 1`. Each greedy step
+                /// that accepts a candidate at least halves the gap to the
+                /// true failure boundary, so the runner converges on the
+                /// exact boundary in O(log²(width)) evaluations.
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let v = *value;
+                    if !self.contains(&v) || v == self.start {
+                        return Vec::new();
+                    }
+                    let mut out = Vec::new();
+                    let mut d = v - self.start;
+                    while d > 0 {
+                        out.push(v - d);
+                        d /= 2;
+                    }
+                    out
+                }
             }
         )+};
     }
@@ -105,19 +169,55 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.next_unit_f64() * (self.end - self.start)
         }
+
+        /// Binary-search toward the range start via a halving sequence of
+        /// distances, stopping once the step is negligible relative to the
+        /// range width (floats would otherwise halve forever).
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let v = *value;
+            if !(v >= self.start && v < self.end) || v == self.start {
+                return Vec::new();
+            }
+            let negligible = (self.end - self.start) * 1e-9;
+            let mut out = Vec::new();
+            let mut d = v - self.start;
+            while d > negligible {
+                out.push(v - d);
+                d /= 2.0;
+            }
+            out
+        }
     }
 
     macro_rules! tuple_strategy {
         ($(($($n:tt $s:ident),+))+) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$n.sample(rng),)+)
+                }
+
+                /// Componentwise recursion: shrink each position with the
+                /// others held fixed.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$n.shrink(&value.$n) {
+                            let mut next = value.clone();
+                            next.$n = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )+};
     }
     tuple_strategy! {
+        (0 A)
         (0 A, 1 B)
         (0 A, 1 B, 2 C)
         (0 A, 1 B, 2 C, 3 D)
@@ -141,6 +241,18 @@ pub mod strategy {
             let i = (rng.next_u64() % self.0.len() as u64) as usize;
             self.0[i].sample(rng)
         }
+
+        /// Union of every option's shrinks. Options are required to return
+        /// only in-domain candidates (and nothing for foreign values), so
+        /// delegating to all of them is safe even though the union does not
+        /// remember which branch produced `value`.
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            let mut out = Vec::new();
+            for option in &self.0 {
+                out.extend(option.shrink(value));
+            }
+            out
+        }
     }
 
     /// Strategy for any value of a type, built by [`any`].
@@ -151,22 +263,75 @@ pub mod strategy {
     pub trait Arbitrary {
         /// Draws one arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate simplifications of `value` (see [`Strategy::shrink`]).
+        fn shrink_value(value: &Self) -> Vec<Self>
+        where
+            Self: Sized,
+        {
+            let _ = value;
+            Vec::new()
+        }
     }
 
-    macro_rules! int_arbitrary {
+    macro_rules! uint_arbitrary {
         ($($t:ty),+) => {$(
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
                 }
+                fn shrink_value(value: &$t) -> Vec<$t> {
+                    let v = *value;
+                    let mut out = Vec::new();
+                    let mut d = v;
+                    while d > 0 {
+                        out.push(v - d);
+                        d /= 2;
+                    }
+                    out
+                }
             }
         )+};
     }
-    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    uint_arbitrary!(u8, u16, u32, u64, usize);
+
+    macro_rules! sint_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+                fn shrink_value(value: &$t) -> Vec<$t> {
+                    let v = *value;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    // Toward zero from either side.
+                    let mut out = vec![0];
+                    if v / 2 != 0 {
+                        out.push(v / 2);
+                    }
+                    let step = if v > 0 { v - 1 } else { v + 1 };
+                    if step != 0 && step != v / 2 {
+                        out.push(step);
+                    }
+                    out
+                }
+            }
+        )+};
+    }
+    sint_arbitrary!(i8, i16, i32, i64, isize);
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -174,6 +339,9 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_value(value)
         }
     }
 
@@ -202,12 +370,200 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let width = (self.len.end - self.len.start) as u64;
             let n = self.len.start + (rng.next_u64() % width) as usize;
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+
+        /// Element removal first (truncate to the minimum length, halve,
+        /// then drop single elements), then per-element shrinking — the
+        /// classic list-shrink order that converges on the single offending
+        /// element, itself minimized.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let n = value.len();
+            let min = self.len.start;
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = min + (n - min) / 2;
+                if half > min && half < n {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..n {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for i in 0..n {
+                for candidate in self.element.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The property runner: sampling, failure detection and shrinking.
+pub mod runner {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Config, TestCaseResult, TestRng};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Once;
+
+    /// Total candidate evaluations a shrink search may spend. Generous —
+    /// binary-search shrinks converge in tens of evaluations — but bounds
+    /// pathological strategies.
+    pub const SHRINK_BUDGET: usize = 4096;
+
+    static SUPPRESSED: AtomicUsize = AtomicUsize::new(0);
+    static HOOK: Once = Once::new();
+
+    /// Silences the global panic hook while candidate cases run: shrinking
+    /// deliberately evaluates hundreds of failing inputs, and each would
+    /// otherwise print a full panic report. The hook delegates to the
+    /// default one whenever no runner is active, so unrelated test panics
+    /// keep their diagnostics.
+    struct Quiet;
+
+    impl Quiet {
+        fn new() -> Self {
+            HOOK.call_once(|| {
+                let default = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    if SUPPRESSED.load(Ordering::SeqCst) == 0 {
+                        default(info);
+                    }
+                }));
+            });
+            SUPPRESSED.fetch_add(1, Ordering::SeqCst);
+            Quiet
+        }
+    }
+
+    impl Drop for Quiet {
+        fn drop(&mut self) {
+            SUPPRESSED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test case panicked".to_string()
+        }
+    }
+
+    /// Runs one candidate, converting both `prop_assert!` failures and
+    /// plain panics (`assert!`, `unwrap`) into an error message.
+    fn run_one<V>(test: &impl Fn(&V) -> TestCaseResult, value: &V) -> Result<(), String> {
+        let _quiet = Quiet::new();
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(panic_message(payload)),
+        }
+    }
+
+    /// A failing input after shrinking: the minimal counterexample the
+    /// greedy search converged on.
+    #[derive(Debug, Clone)]
+    pub struct Shrunk<V> {
+        /// The minimal failing value.
+        pub value: V,
+        /// The failure message the minimal value produced.
+        pub message: String,
+        /// How many accepted shrink steps led here (0 = the original
+        /// sample was already minimal).
+        pub shrink_steps: usize,
+        /// Which sampled case (0-based) failed first.
+        pub case: u32,
+    }
+
+    /// Samples `config.cases` inputs; on the first failure, greedily
+    /// shrinks it to a minimal counterexample and returns it. `None`
+    /// means every case passed.
+    ///
+    /// Deterministic end to end: sampling is seeded from `name` and the
+    /// shrink walk has no randomness, so a failing property reports the
+    /// same minimal counterexample on every run.
+    pub fn find_minimal<S>(
+        name: &str,
+        config: Config,
+        strategy: &S,
+        test: impl Fn(&S::Value) -> TestCaseResult,
+    ) -> Option<Shrunk<S::Value>>
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
+        let mut rng = TestRng::deterministic(name);
+        for case in 0..config.cases {
+            let sampled = strategy.sample(&mut rng);
+            let Err(first_message) = run_one(&test, &sampled) else {
+                continue;
+            };
+            // Greedy descent: take the first candidate that still fails
+            // and restart from it; stop at a fixpoint or on budget.
+            let mut value = sampled;
+            let mut message = first_message;
+            let mut shrink_steps = 0;
+            let mut budget = SHRINK_BUDGET;
+            'descend: loop {
+                for candidate in strategy.shrink(&value) {
+                    if budget == 0 {
+                        break 'descend;
+                    }
+                    budget -= 1;
+                    if let Err(m) = run_one(&test, &candidate) {
+                        value = candidate;
+                        message = m;
+                        shrink_steps += 1;
+                        continue 'descend;
+                    }
+                }
+                break;
+            }
+            return Some(Shrunk {
+                value,
+                message,
+                shrink_steps,
+                case,
+            });
+        }
+        None
+    }
+
+    /// The `proptest!` entry point: panics with the minimal counterexample
+    /// if any sampled case fails.
+    pub fn run_property<S>(
+        name: &str,
+        config: Config,
+        strategy: &S,
+        test: impl Fn(&S::Value) -> TestCaseResult,
+    ) where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        if let Some(found) = find_minimal(name, config, strategy, &test) {
+            panic!(
+                "proptest `{name}` failed on case {}.\n\
+                 Minimal counterexample (after {} shrink steps): {:?}\n{}",
+                found.case, found.shrink_steps, found.value, found.message
+            );
         }
     }
 }
@@ -216,29 +572,60 @@ pub mod collection {
 pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
     pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
-/// Asserts a condition inside a property test; panics with context on failure.
+/// Asserts a condition inside a property test.
+///
+/// On failure the enclosing case returns an error (instead of panicking),
+/// which lets the runner shrink the input before reporting.
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {
-        assert!($cond);
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
     };
     ($cond:expr, $($fmt:tt)+) => {
-        assert!($cond, $($fmt)+);
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", format_args!($($fmt)+)),
+            ));
+        }
     };
 }
 
-/// Asserts equality inside a property test; panics with both values on failure.
+/// Asserts equality inside a property test; fails the case (shrinking the
+/// input) with both values on mismatch.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($a:expr, $b:expr $(,)?) => {
-        assert_eq!($a, $b);
-    };
-    ($a:expr, $b:expr, $($fmt:tt)+) => {
-        assert_eq!($a, $b, $($fmt)+);
-    };
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                    format_args!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
 }
 
 /// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
@@ -252,7 +639,9 @@ macro_rules! prop_oneof {
 /// Declares deterministic property tests, mirroring `proptest::proptest!`.
 ///
 /// Each declared function becomes a `#[test]` that samples its arguments
-/// `config.cases` times from the given strategies and runs the body.
+/// `config.cases` times from the given strategies and runs the body. A
+/// failing case is shrunk to a minimal counterexample before the test
+/// panics (see [`runner::run_property`]).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -282,16 +671,181 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
-                let mut rng =
-                    $crate::test_runner::TestRng::deterministic(stringify!($name));
-                for _case in 0..config.cases {
-                    $(
-                        let $arg =
-                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
-                    )+
-                    $body
-                }
+                let strategy = ( $( ($strategy), )+ );
+                $crate::runner::run_property(
+                    stringify!($name),
+                    config,
+                    &strategy,
+                    |__uc_proptest_case: &_|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ( $( $arg, )+ ) = ::std::clone::Clone::clone(__uc_proptest_case);
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::runner::{find_minimal, Shrunk};
+    use crate::test_runner::{Config, TestCaseError};
+
+    fn fail_if<V>(pred: impl Fn(&V) -> bool) -> impl Fn(&V) -> Result<(), TestCaseError> {
+        move |v| {
+            if pred(v) {
+                Err(TestCaseError::fail("predicate violated"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// The documented shrink regression: `x in 0..100_000` failing
+    /// whenever `x >= 1000` must report exactly `1000` — the known-minimal
+    /// counterexample — and do so deterministically.
+    #[test]
+    fn integer_range_shrinks_to_the_exact_boundary() {
+        let run = || {
+            find_minimal(
+                "integer_boundary",
+                Config::with_cases(64),
+                &(0u64..100_000),
+                fail_if(|&v: &u64| v >= 1000),
+            )
+            .expect("the predicate fails well inside 64 cases")
+        };
+        let first = run();
+        assert_eq!(first.value, 1000, "binary search lands on the boundary");
+        assert!(first.shrink_steps > 0, "the raw sample was not minimal");
+        // Determinism: an identical invocation reports the identical
+        // counterexample by the identical path.
+        let second = run();
+        assert_eq!(second.value, first.value);
+        assert_eq!(second.shrink_steps, first.shrink_steps);
+        assert_eq!(second.case, first.case);
+    }
+
+    /// Vector shrink: removal strips every innocent element, then the
+    /// per-element pass minimizes the single offender — `[10]` exactly.
+    #[test]
+    fn vec_shrinks_to_single_minimal_offender() {
+        let found: Shrunk<Vec<u64>> = find_minimal(
+            "vec_offender",
+            Config::with_cases(64),
+            &crate::collection::vec(0u64..100, 0..10),
+            fail_if(|v: &Vec<u64>| v.iter().any(|&x| x >= 10)),
+        )
+        .expect("some sampled vec contains an element >= 10");
+        assert_eq!(found.value, vec![10]);
+    }
+
+    /// Tuple shrink recurses componentwise: with independent failure
+    /// conditions per component, the survivor shrinks to its boundary and
+    /// the innocent component shrinks all the way to the range start.
+    #[test]
+    fn tuple_shrinks_componentwise_to_a_known_minimal() {
+        let found = find_minimal(
+            "tuple_components",
+            Config::with_cases(64),
+            &(0u64..1000, 0u64..1000),
+            fail_if(|&(a, b): &(u64, u64)| a >= 500 || b >= 700),
+        )
+        .expect("some sampled pair trips one of the conditions");
+        assert!(
+            found.value == (500, 0) || found.value == (0, 700),
+            "minimal must isolate one boundary, got {:?}",
+            found.value
+        );
+        let again = find_minimal(
+            "tuple_components",
+            Config::with_cases(64),
+            &(0u64..1000, 0u64..1000),
+            fail_if(|&(a, b): &(u64, u64)| a >= 500 || b >= 700),
+        )
+        .unwrap();
+        assert_eq!(again.value, found.value, "deterministic");
+    }
+
+    /// `prop_oneof!` shrink candidates stay inside the branch domains: a
+    /// value from the high branch can never shrink below that branch's
+    /// start.
+    #[test]
+    fn union_shrinks_within_branch_domains() {
+        let strategy = crate::prop_oneof![0u64..10, 100u64..200];
+        let found = find_minimal(
+            "union_domains",
+            Config::with_cases(64),
+            &strategy,
+            fail_if(|&v: &u64| v >= 5),
+        )
+        .expect("every high-branch sample fails");
+        assert!(
+            found.value == 5 || found.value == 100,
+            "minimal must be a branch-local boundary, got {}",
+            found.value
+        );
+    }
+
+    /// Plain panics (`assert!`, `unwrap`) inside the case body are caught
+    /// and shrunk exactly like `prop_assert!` failures.
+    #[test]
+    fn panicking_bodies_are_caught_and_shrunk() {
+        let found = find_minimal(
+            "panic_capture",
+            Config::with_cases(64),
+            &(0u64..100_000),
+            |&v: &u64| {
+                assert!(v < 1000, "boom at {v}");
+                Ok(())
+            },
+        )
+        .expect("assert fires inside 64 cases");
+        assert_eq!(found.value, 1000);
+        assert!(found.message.contains("boom at 1000"));
+    }
+
+    #[test]
+    fn passing_properties_find_no_counterexample() {
+        assert!(find_minimal(
+            "all_pass",
+            Config::with_cases(64),
+            &(0u64..100),
+            fail_if(|_: &u64| false),
+        )
+        .is_none());
+    }
+
+    /// Float ranges shrink toward the start without looping forever.
+    #[test]
+    fn float_range_shrinks_toward_start() {
+        let found = find_minimal(
+            "float_boundary",
+            Config::with_cases(64),
+            &(0.0f64..1000.0),
+            fail_if(|&v: &f64| v >= 250.0),
+        )
+        .expect("some sample exceeds 250");
+        assert!(found.value >= 250.0, "counterexample still fails");
+        assert!(found.value < 250.0 + 1e-3, "and is near-minimal");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // The macro surface still works end to end on a passing property.
+        #[test]
+        fn macro_surface_round_trips(
+            v in crate::collection::vec((0u64..50, 0u8..2), 0..8),
+            x in 1u64..100,
+        ) {
+            prop_assert!(x >= 1);
+            prop_assert!(v.len() < 8, "length {} in range", v.len());
+            let doubled: Vec<u64> = v.iter().map(|&(a, _)| a * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+        }
+    }
 }
