@@ -22,8 +22,10 @@
 //! * `--kill-after <n>` — crash-testing hook: terminate the process
 //!   (exit 42) after the n-th checkpoint save, simulating a crash at a
 //!   segment boundary. CI uses this to exercise `--resume`.
+//! * `--bench-json <path>` — write a machine-readable benchmark record
+//!   (wall clock, simulated bytes/sec, devices) for CI artifacts.
 
-use uc_bench::roster_from_args;
+use uc_bench::{roster_from_args, BenchJson};
 use uc_core::devices::DeviceKind;
 use uc_core::experiments::fig3::{self, CheckpointDir, Fig3Config};
 use uc_core::experiments::Executor;
@@ -61,6 +63,11 @@ fn main() {
     if kill_after.is_some() && checkpoint_dir.is_none() {
         panic!("--kill-after requires --checkpoint-dir");
     }
+    let bench_json = args.iter().position(|a| a == "--bench-json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--bench-json expects a path"))
+            .clone()
+    });
     let roster = roster_from_args(&args);
     let cfg = if quick {
         Fig3Config::quick()
@@ -68,6 +75,7 @@ fn main() {
         Fig3Config::paper()
     };
     let exec = Executor::from_env();
+    let started = std::time::Instant::now();
 
     eprintln!(
         "running {} endurance timelines as {segments} pipelined segment(s) on {} worker(s)…",
@@ -100,6 +108,28 @@ fn main() {
             fig3::run_pipelined(&roster, &DeviceKind::ALL, &cfg, segments, &exec).expect("fig3 run")
         }
     };
+    let wall = started.elapsed().as_secs_f64();
+
+    if let Some(path) = &bench_json {
+        let simulated_bytes: f64 = results
+            .iter()
+            .map(|r| {
+                r.volume_series
+                    .points()
+                    .last()
+                    .map_or(0.0, |&(multiple, _)| multiple * r.capacity as f64)
+            })
+            .sum();
+        BenchJson::new("fig3")
+            .u64("devices", DeviceKind::ALL.len() as u64)
+            .u64("segments", segments as u64)
+            .u64("simulated_bytes", simulated_bytes as u64)
+            .f64("wall_seconds", wall)
+            .f64("simulated_bytes_per_sec", simulated_bytes / wall.max(1e-9))
+            .write_to(path)
+            .expect("write bench json");
+        eprintln!("wrote benchmark record to {path}");
+    }
 
     let mut mismatches = 0;
     for (i, kind) in DeviceKind::ALL.into_iter().enumerate() {

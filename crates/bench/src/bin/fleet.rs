@@ -1,0 +1,186 @@
+//! The fleet experiment: hundreds of tenants multiplexed onto a shared
+//! eSSD pool, with per-tenant interference metrics, epoch fairness, and
+//! optional checkpoint-based rebalancing.
+//!
+//! Usage: `cargo run --release -p uc-bench --bin fleet [--tenants <n>]
+//! [--devices <n>] [--shape-mix <s:d:b>] [--rebalance] [--epochs <n>]
+//! [--duration-ms <n>] [--seed <n>] [--scale <mult>]
+//! [--bench-json <path>]
+//! [--checkpoint-dir <dir> [--resume] [--kill-after <n>]]`
+//!
+//! * `--tenants <n>` — fleet population (default 256).
+//! * `--devices <n>` — shared eSSD pool size (default 8; alternating
+//!   AWS io2 / Alibaba PL3 presets).
+//! * `--shape-mix <s:d:b>` — steady:diurnal:bursty population ratio
+//!   (default `2:1:1`).
+//! * `--rebalance` — enable hot-device detection and checkpoint-seam
+//!   tenant migration at epoch boundaries.
+//! * `--epochs <n>` — epoch count (default 4; each boundary audits the
+//!   conservation contracts and, durably, persists a checkpoint).
+//! * `--duration-ms <n>` — per-tenant arrival horizon (default 200).
+//! * `--seed <n>` — the fleet seed driving every tenant's synthesis.
+//! * `--scale <mult>` — multiply per-device capacity (`UC_SCALE`
+//!   fallback; 1 = 256 MiB per device).
+//! * `--bench-json <path>` — write a machine-readable benchmark record
+//!   (wall clock, simulated bytes/sec, tenants/devices) for CI
+//!   artifacts.
+//! * `--checkpoint-dir <dir>` — persist every epoch boundary; a killed
+//!   run restarted with `--resume` continues from disk and prints a
+//!   report byte-identical to an uninterrupted run (the fleet CI smoke
+//!   pins this).
+//! * `--kill-after <n>` — crash-testing hook: exit 42 after the n-th
+//!   checkpoint save.
+//!
+//! Exits nonzero if the run recorded any contract violation (tenant
+//! conservation, ledger conservation, queue-head monotonicity) — flagged
+//! interference findings are measurements, not failures.
+
+use uc_bench::{scale_from_args, BenchJson};
+use uc_core::experiments::fleet::{self as fleet_exp, FleetRunConfig, FleetStore};
+use uc_core::report::render_fleet_report;
+use uc_fleet::{RebalancePolicy, ShapeMix};
+use uc_sim::SimDuration;
+
+/// Reads the value of `--flag <n>` as a positive integer, if present.
+fn parse_count(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"));
+        let n = v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got {v:?}"));
+        assert!(n > 0, "{flag} expects a positive integer, got 0");
+        n
+    })
+}
+
+/// Reads the value of `--flag <s>` as a string, if present.
+fn parse_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+/// Parses `s:d:b` into a [`ShapeMix`].
+fn parse_mix(v: &str) -> ShapeMix {
+    let parts: Vec<u32> = v
+        .split(':')
+        .map(|p| {
+            p.parse::<u32>()
+                .unwrap_or_else(|_| panic!("--shape-mix expects s:d:b integers, got {v:?}"))
+        })
+        .collect();
+    assert!(
+        parts.len() == 3 && parts.iter().any(|&p| p > 0),
+        "--shape-mix expects three ratios with at least one nonzero, got {v:?}"
+    );
+    ShapeMix {
+        steady: parts[0],
+        diurnal: parts[1],
+        bursty: parts[2],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tenants = parse_count(&args, "--tenants").unwrap_or(256);
+    let devices = parse_count(&args, "--devices").unwrap_or(8);
+    let epochs = parse_count(&args, "--epochs").unwrap_or(4);
+    let duration_ms = parse_count(&args, "--duration-ms").unwrap_or(200);
+    let rebalance = args.iter().any(|a| a == "--rebalance");
+    let resume = args.iter().any(|a| a == "--resume");
+    let kill_after = parse_count(&args, "--kill-after");
+    let checkpoint_dir = parse_value(&args, "--checkpoint-dir");
+    let bench_json = parse_value(&args, "--bench-json");
+    let seed = parse_value(&args, "--seed")
+        .map(|v| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| panic!("--seed expects an integer, got {v:?}"))
+        })
+        .unwrap_or(0xF1EE7);
+    let mix = parse_value(&args, "--shape-mix")
+        .map(|v| parse_mix(&v))
+        .unwrap_or_else(ShapeMix::default_mix);
+    if resume && checkpoint_dir.is_none() {
+        panic!("--resume requires --checkpoint-dir");
+    }
+    if kill_after.is_some() && checkpoint_dir.is_none() {
+        panic!("--kill-after requires --checkpoint-dir");
+    }
+
+    let mut config = FleetRunConfig::new(tenants, devices).with_scale(scale_from_args(&args));
+    config.fleet = config
+        .fleet
+        .with_mix(mix)
+        .with_epochs(epochs)
+        .with_duration(SimDuration::from_millis(duration_ms as u64))
+        .with_seed(seed);
+    if rebalance {
+        config.fleet = config.fleet.with_rebalance(RebalancePolicy::default());
+    }
+
+    eprintln!(
+        "fleet: {tenants} tenant(s) on {devices} shared device(s) \
+         ({} MiB each), {epochs} epoch(s), {duration_ms} ms horizon, \
+         rebalance {}…",
+        config.capacity >> 20,
+        if rebalance { "on" } else { "off" }
+    );
+    let started = std::time::Instant::now();
+    let verdict = match &checkpoint_dir {
+        Some(dir) => {
+            let mut store = FleetStore::create(dir).expect("create checkpoint dir");
+            if let Some(n) = kill_after {
+                store = store.with_kill_after(n as u64);
+            }
+            eprintln!(
+                "persisting epoch checkpoints to {dir} ({})",
+                if resume { "resuming" } else { "fresh run" }
+            );
+            fleet_exp::run_durable(&config, &mut store, resume).expect("fleet durable run")
+        }
+        None => fleet_exp::run(&config).expect("fleet run"),
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    print!("{}", render_fleet_report(&verdict));
+    println!(
+        "Reference shapes: co-located bursty tenants drag epoch fairness and \
+         flag latency blow-ups on their neighbors; rebalancing migrates the \
+         busiest tenant off the hot device through the checkpoint seam."
+    );
+    eprintln!(
+        "fleet wall time: {wall:.3}s ({:.1} simulated MiB/s)",
+        verdict.report.total_bytes as f64 / (1 << 20) as f64 / wall.max(1e-9)
+    );
+
+    if let Some(path) = bench_json {
+        BenchJson::new("fleet")
+            .u64("tenants", tenants as u64)
+            .u64("devices", devices as u64)
+            .u64("epochs", verdict.report.epochs as u64)
+            .u64("total_ios", verdict.report.total_ios)
+            .u64("total_bytes", verdict.report.total_bytes)
+            .u64("migrations", verdict.report.migrations.len() as u64)
+            .u64("violations", verdict.report.violations.len() as u64)
+            .u64("findings", verdict.findings.len() as u64)
+            .f64("min_fairness", verdict.report.min_fairness())
+            .f64("wall_seconds", wall)
+            .f64(
+                "simulated_bytes_per_sec",
+                verdict.report.total_bytes as f64 / wall.max(1e-9),
+            )
+            .write_to(&path)
+            .expect("write bench json");
+        eprintln!("wrote benchmark record to {path}");
+    }
+
+    std::process::exit(if verdict.report.violations.is_empty() {
+        0
+    } else {
+        1
+    });
+}

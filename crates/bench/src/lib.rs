@@ -54,6 +54,107 @@ pub fn roster_from_args(args: &[String]) -> DeviceRoster {
     DeviceRoster::scaled_default().with_scale(scale_from_args(args))
 }
 
+/// A flat machine-readable benchmark record, hand-rolled (this workspace
+/// carries no JSON dependency): one object per file, insertion-ordered
+/// keys, written atomically enough for CI artifact upload (single
+/// `write`).
+///
+/// # Example
+///
+/// ```
+/// let json = uc_bench::BenchJson::new("fleet")
+///     .u64("tenants", 256)
+///     .f64("wall_seconds", 1.25)
+///     .str("mode", "rebalance");
+/// assert_eq!(
+///     json.render(),
+///     r#"{"bench":"fleet","tenants":256,"wall_seconds":1.25,"mode":"rebalance"}"#
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchJson {
+    /// A record identifying the benchmark `name` (always the first key).
+    pub fn new(name: &str) -> Self {
+        let mut json = BenchJson { fields: Vec::new() };
+        json.push_str("bench", name);
+        json
+    }
+
+    fn push_raw(&mut self, key: &str, rendered: String) {
+        self.fields.push((Self::escape(key), rendered));
+    }
+
+    fn push_str(&mut self, key: &str, value: &str) {
+        self.push_raw(key, format!("\"{}\"", Self::escape(value)));
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.push_raw(key, value.to_string());
+        self
+    }
+
+    /// Appends a floating-point field (non-finite values become `null` —
+    /// JSON has no NaN).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.push_raw(key, rendered);
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.push_str(key, value);
+        self
+    }
+
+    /// The rendered single-line JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{key}\":{value}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the record (plus a trailing newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render() + "\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +183,18 @@ mod tests {
     #[should_panic(expected = "expects a value")]
     fn scale_flag_requires_value() {
         let _ = scale_from_args(&args(&["bin", "--scale"]));
+    }
+
+    #[test]
+    fn bench_json_renders_and_escapes() {
+        let json = BenchJson::new("fig3")
+            .u64("devices", 3)
+            .f64("gbps", 2.5)
+            .f64("bad", f64::NAN)
+            .str("note", "a \"quoted\"\nline");
+        assert_eq!(
+            json.render(),
+            r#"{"bench":"fig3","devices":3,"gbps":2.5,"bad":null,"note":"a \"quoted\"\nline"}"#
+        );
     }
 }

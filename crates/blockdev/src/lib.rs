@@ -24,7 +24,11 @@
 //! * the **checkpoint seam** ([`CheckpointDevice`] / [`DeviceCheckpoint`])
 //!   captures a device's complete hidden state and restores it exactly,
 //!   so one device's long virtual timeline can be sliced into resumable
-//!   segments that different workers execute in turn.
+//!   segments that different workers execute in turn,
+//! * the **session seam** ([`SharedDevice`] / [`SessionId`]) multiplexes
+//!   several tenants onto one device behind a shared queue discipline,
+//!   with per-session accounting whose conservation is a machine-checked
+//!   contract — the substrate of the multi-tenant fleet (`uc-fleet`).
 //!
 //! # Example
 //!
@@ -57,6 +61,7 @@
 mod batch;
 mod checkpoint;
 mod factory;
+mod session;
 
 pub use batch::{Completion, IoBatch};
 pub use checkpoint::{
@@ -64,6 +69,7 @@ pub use checkpoint::{
     PersistPayload, DEVICE_RECORD_KIND,
 };
 pub use factory::{DeviceFactory, FnFactory};
+pub use session::{SessionId, SessionStats, SharedDevice};
 
 use std::error::Error;
 use std::fmt;

@@ -91,6 +91,24 @@ pub mod thresholds {
     /// spill-over from a burst at a phase edge stays well under half a
     /// phase.
     pub const TRACE_MAX_PHASE_LAG: f64 = 0.5;
+
+    /// Fleet experiment: a tenant whose mean latency exceeds the fleet's
+    /// mean of tenant means by more than this factor is flagged as a
+    /// noisy-neighbor victim — its requests queue behind co-located
+    /// tenants' bursts (latency is measured from the budget grant, so a
+    /// tenant's *own* throttling can never trip this). 3× separates real
+    /// interference from the spread heterogeneous arrival shapes produce
+    /// on a healthy fleet.
+    pub const FLEET_TENANT_LATENCY_BLOWUP: f64 = 3.0;
+
+    /// Fleet experiment: an epoch whose Jain fairness index (over the
+    /// tenants' inverse mean latencies) falls below this floor is
+    /// flagged as a fairness collapse — service quality diverged so far
+    /// across tenants that some device's residents are starving, the
+    /// placement skew the rebalancer exists to drain. A healthy mixed
+    /// fleet stays well above 0.5; one tenant taking everything scores
+    /// `1/n`.
+    pub const FLEET_MIN_FAIRNESS: f64 = 0.5;
 }
 
 /// Verdict and evidence for one observation.

@@ -1,0 +1,598 @@
+//! The fleet experiment: hundreds of tenants multiplexed onto a shared
+//! eSSD pool, with the contract evaluated per tenant.
+//!
+//! The paper measures one tenant per device; cloud fleets multiplex many.
+//! This experiment drives [`uc_fleet`]'s simulation against a pool of
+//! roster-class eSSDs (alternating the AWS io2 and Alibaba PL3 presets)
+//! and evaluates two fleet-level contract expectations (thresholds in
+//! [`thresholds`](crate::contract::thresholds)):
+//!
+//! * **noisy-neighbor blow-up** — a tenant whose mean latency exceeds
+//!   [`FLEET_TENANT_LATENCY_BLOWUP`] times the fleet's mean of tenant
+//!   means is a flagged interference victim: its requests queue behind
+//!   co-located tenants' bursts rather than its own budget;
+//! * **fairness floor** — an epoch whose Jain index falls below
+//!   [`FLEET_MIN_FAIRNESS`] means service quality on some device
+//!   collapsed for its residents (placement skew the rebalancer should
+//!   be draining).
+//!
+//! Like fig3 and the trace experiment, the run is **durable**: at every
+//! epoch boundary the whole fleet — placement, cursors, budgets,
+//! metrics, and each device's complete hidden state — freezes into one
+//! on-disk [`FleetCheckpoint`], and a killed run resumes byte-identical
+//! to an uninterrupted one (the fleet CI smoke pins this end to end).
+
+use crate::contract::thresholds::{FLEET_MIN_FAIRNESS, FLEET_TENANT_LATENCY_BLOWUP};
+use crate::devices::payload_codecs;
+use std::path::{Path, PathBuf};
+use uc_blockdev::{CheckpointError, DeviceCheckpoint, IoError, PersistError};
+use uc_essd::{Essd, EssdConfig};
+use uc_fleet::{FleetConfig, FleetDevice, FleetReport, FleetSim, FleetSnapshot};
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+
+/// Parameters of a fleet experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRunConfig {
+    /// The fleet itself: tenants, devices, mix, horizon, epochs, seed,
+    /// rebalancing policy.
+    pub fleet: FleetConfig,
+    /// Per-device capacity, in bytes.
+    pub capacity: u64,
+}
+
+impl FleetRunConfig {
+    /// A fleet of `tenants` on `devices` of 256 MiB each, under
+    /// [`FleetConfig::new`]'s defaults.
+    pub fn new(tenants: usize, devices: usize) -> Self {
+        FleetRunConfig {
+            fleet: FleetConfig::new(tenants, devices),
+            capacity: 256 << 20,
+        }
+    }
+
+    /// Scales per-device capacity by `scale` (the `--scale` axis of the
+    /// fleet binary; larger devices mean larger tenant regions).
+    pub fn with_scale(mut self, scale: u64) -> Self {
+        self.capacity = (256 << 20) * scale.max(1);
+        self
+    }
+}
+
+/// The jitter-seed base every fleet-pool device is built with.
+fn device_seed(index: usize) -> u64 {
+    0xF_1EE7_0000 + index as u64
+}
+
+/// Builds the experiment's device pool: `devices` eSSDs of `capacity`
+/// bytes, alternating the AWS io2 and Alibaba PL3 presets so the pool
+/// mixes both throttle behaviours, each uniquely named (the checkpoint
+/// seam validates names on thaw) and deterministically seeded.
+pub fn build_pool(config: &FleetRunConfig) -> Vec<FleetDevice> {
+    (0..config.fleet.devices)
+        .map(|i| {
+            let preset = if i % 2 == 0 {
+                EssdConfig::aws_io2(config.capacity)
+            } else {
+                EssdConfig::alibaba_pl3(config.capacity)
+            };
+            let essd = preset
+                .with_name(format!("fleet-essd-{i}"))
+                .with_seed(device_seed(i));
+            Box::new(Essd::new(essd)) as FleetDevice
+        })
+        .collect()
+}
+
+/// A stable identity for a fleet run's exact definition: the CRC-32 of
+/// the config's canonical wire form. Resuming a checkpoint under a
+/// different fleet definition would silently corrupt the continuation;
+/// the fingerprint makes it a detectable mismatch instead.
+pub fn fleet_fingerprint(config: &FleetRunConfig) -> u32 {
+    let mut w = Encoder::new();
+    w.put_u64(config.fleet.tenants as u64);
+    w.put_u64(config.fleet.devices as u64);
+    w.put_u64(config.fleet.mix.steady as u64);
+    w.put_u64(config.fleet.mix.diurnal as u64);
+    w.put_u64(config.fleet.mix.bursty as u64);
+    config.fleet.duration.encode(&mut w);
+    w.put_u64(config.fleet.epochs as u64);
+    w.put_u32(config.fleet.io_size);
+    w.put_u64(config.fleet.seed);
+    match config.fleet.rebalance {
+        Some(policy) => {
+            w.put_bool(true);
+            w.put_f64(policy.hot_ratio);
+            w.put_u64(policy.max_moves as u64);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u64(config.capacity);
+    uc_persist::crc32(w.as_bytes())
+}
+
+/// One flagged tenant or epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetFinding {
+    /// A tenant's mean latency exceeded the fleet mean by this factor.
+    NoisyNeighborVictim {
+        /// The suffering tenant.
+        tenant: u32,
+        /// `tenant mean / fleet mean-of-means`.
+        factor: f64,
+    },
+    /// An epoch's Jain fairness index fell below the floor.
+    FairnessCollapse {
+        /// The offending epoch (0-based).
+        epoch: usize,
+        /// The epoch's index.
+        fairness: f64,
+    },
+}
+
+/// The contract verdict of a fleet experiment.
+#[derive(Debug, Clone)]
+pub struct FleetContractReport {
+    /// The underlying fleet report.
+    pub report: FleetReport,
+    /// Every flagged tenant and epoch, tenants first (ascending id),
+    /// then epochs in order.
+    pub findings: Vec<FleetFinding>,
+}
+
+impl FleetContractReport {
+    /// `true` if nothing was flagged *and* the run recorded no contract
+    /// violations (tenant conservation, ledger conservation, queue-head
+    /// monotonicity).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.report.violations.is_empty()
+    }
+}
+
+/// Evaluates the fleet-level contract checks over one run's report.
+///
+/// Deterministic: the same report always produces the same findings (the
+/// CI fleet smoke diffs two full runs byte for byte).
+pub fn evaluate(report: FleetReport) -> FleetContractReport {
+    let mut findings = Vec::new();
+    let base = report.mean_of_tenant_means();
+    if base > 0.0 {
+        for tenant in &report.per_tenant {
+            let mean = tenant.mean_latency.as_nanos() as f64;
+            let factor = mean / base;
+            if factor > FLEET_TENANT_LATENCY_BLOWUP {
+                findings.push(FleetFinding::NoisyNeighborVictim {
+                    tenant: tenant.id,
+                    factor,
+                });
+            }
+        }
+    }
+    for (epoch, &fairness) in report.fairness_per_epoch.iter().enumerate() {
+        if fairness < FLEET_MIN_FAIRNESS {
+            findings.push(FleetFinding::FairnessCollapse { epoch, fairness });
+        }
+    }
+    FleetContractReport { report, findings }
+}
+
+/// Runs the fleet experiment in one piece (no durability) and evaluates
+/// the contract.
+///
+/// # Errors
+///
+/// Propagates the first device [`IoError`] (a placement/geometry bug;
+/// healthy fleets never hit one).
+pub fn run(config: &FleetRunConfig) -> Result<FleetContractReport, IoError> {
+    let mut sim = FleetSim::new(config.fleet.clone(), build_pool(config));
+    Ok(evaluate(sim.run()?))
+}
+
+/// A frozen fleet between epochs: the simulation snapshot plus every
+/// device's complete hidden state, pinned to one fleet definition by the
+/// fingerprint.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    /// Fingerprint of the config this run executes
+    /// ([`fleet_fingerprint`]).
+    pub fingerprint: u32,
+    /// The fleet's resumable state.
+    pub snapshot: FleetSnapshot,
+    /// One checkpoint per pool device, in pool order.
+    pub devices: Vec<DeviceCheckpoint>,
+}
+
+impl FleetCheckpoint {
+    /// The on-disk record kind tag of a serialized fleet checkpoint.
+    /// Bump the suffix when the layout changes.
+    pub const RECORD_KIND: &'static str = "uc.fleet.v1";
+
+    /// Appends this checkpoint's wire form to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::NotPersistent`] if any embedded device
+    /// checkpoint carries no persistence codec (pool-built devices
+    /// always do).
+    pub fn encode_into(&self, w: &mut Encoder) -> Result<(), PersistError> {
+        w.put_u32(self.fingerprint);
+        self.snapshot.encode(w);
+        w.put_u64(self.devices.len() as u64);
+        for device in &self.devices {
+            device.encode_into(w)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a checkpoint back out of its wire form, thawing the device
+    /// payloads through the roster's codec registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] on any malformed input.
+    pub fn decode_from(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let fingerprint = r.get_u32()?;
+        let snapshot = FleetSnapshot::decode(r)?;
+        let count = r.get_u64()? as usize;
+        let codecs = payload_codecs();
+        let mut devices = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            devices.push(DeviceCheckpoint::decode_from(r, &codecs)?);
+        }
+        if devices.len() != snapshot.queue_heads.len() {
+            return Err(DecodeError::InvalidValue {
+                what: "FleetCheckpoint device count",
+            });
+        }
+        Ok(FleetCheckpoint {
+            fingerprint,
+            snapshot,
+            devices,
+        })
+    }
+
+    /// Writes this checkpoint to `path` as a self-describing record file
+    /// (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on codec-less payloads or filesystem
+    /// failures.
+    pub fn save_to(&self, path: &Path) -> Result<(), PersistError> {
+        let mut w = Encoder::new();
+        self.encode_into(&mut w)?;
+        uc_persist::write_record_file(path, Self::RECORD_KIND, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint back from a record file written by
+    /// [`FleetCheckpoint::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Every failure is a typed [`DecodeError`], never a panic.
+    pub fn load_from(path: &Path) -> Result<Self, DecodeError> {
+        let (kind, payload) = uc_persist::read_record_file(path)?;
+        if kind != Self::RECORD_KIND {
+            return Err(DecodeError::UnknownKind { found: kind });
+        }
+        let mut r = Decoder::new(&payload);
+        let checkpoint = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(checkpoint)
+    }
+}
+
+/// Errors of the durable fleet runner.
+#[derive(Debug)]
+pub enum FleetRunError {
+    /// A pool device reported an I/O error.
+    Io(IoError),
+    /// Writing an epoch-boundary checkpoint to disk failed.
+    Save(PersistError),
+    /// A checkpoint loaded from disk does not thaw onto the devices this
+    /// experiment builds.
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for FleetRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetRunError::Io(e) => write!(f, "fleet i/o error: {e}"),
+            FleetRunError::Save(e) => write!(f, "persisting fleet checkpoint: {e}"),
+            FleetRunError::Restore(e) => write!(f, "restoring fleet checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetRunError {}
+
+impl From<IoError> for FleetRunError {
+    fn from(e: IoError) -> Self {
+        FleetRunError::Io(e)
+    }
+}
+
+/// A directory holding one durable fleet checkpoint (`fleet.ckpt`),
+/// atomically overwritten at every epoch boundary, so the newest
+/// boundary is always the only one on disk and a crash can never leave a
+/// torn record (temp file + rename).
+#[derive(Debug, Clone)]
+pub struct FleetStore {
+    dir: PathBuf,
+    kill_after: Option<u64>,
+    saves: u64,
+}
+
+impl FleetStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error if the directory cannot be
+    /// created.
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FleetStore {
+            dir,
+            kill_after: None,
+            saves: 0,
+        })
+    }
+
+    /// Crash-testing hook: terminate the *process* (exit code 42)
+    /// immediately after the `n`-th successful checkpoint save — the
+    /// same deterministic stand-in for `kill -9` the fig3 and trace
+    /// crash-resume gates use. Never set in normal operation.
+    pub fn with_kill_after(mut self, saves: u64) -> Self {
+        self.kill_after = Some(saves);
+        self
+    }
+
+    /// Checkpoints saved through this store so far.
+    pub fn saves(&self) -> u64 {
+        self.saves
+    }
+
+    /// The checkpoint file path.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("fleet.ckpt")
+    }
+
+    /// Persists one epoch-boundary checkpoint (atomically overwriting
+    /// the previous boundary), returning its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PersistError`] from the underlying save.
+    pub fn save(&mut self, checkpoint: &FleetCheckpoint) -> Result<PathBuf, PersistError> {
+        let path = self.checkpoint_path();
+        checkpoint.save_to(&path)?;
+        self.saves += 1;
+        if let Some(limit) = self.kill_after {
+            if self.saves >= limit {
+                eprintln!(
+                    "fleet: simulated crash after {} checkpoint save(s) \
+                     (--kill-after {limit})",
+                    self.saves
+                );
+                std::process::exit(42);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads the checkpoint if it exists, decodes cleanly and carries
+    /// `fingerprint`; anything else is reported on stderr and the fleet
+    /// starts fresh.
+    pub fn load_matching(&self, fingerprint: u32) -> Option<FleetCheckpoint> {
+        let path = self.checkpoint_path();
+        if !path.exists() {
+            return None;
+        }
+        match FleetCheckpoint::load_from(&path) {
+            Ok(checkpoint) if checkpoint.fingerprint == fingerprint => Some(checkpoint),
+            Ok(_) => {
+                eprintln!(
+                    "fleet: ignoring {} (taken under a different fleet \
+                     definition); starting fresh",
+                    path.display()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("fleet: ignoring {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Runs the fleet experiment durably: every epoch boundary persists a
+/// [`FleetCheckpoint`] into `store`, and with `resume` the run continues
+/// from the on-disk boundary instead of from scratch.
+///
+/// Durability does not perturb the simulation: a run killed at any
+/// boundary and resumed from disk produces results **byte-identical** to
+/// an uninterrupted run (the fleet CI smoke pins this end to end).
+///
+/// A resumed checkpoint must carry the current config's fingerprint; a
+/// stale one is reported on stderr and the fleet starts fresh.
+///
+/// # Errors
+///
+/// Returns the first I/O error, checkpoint-save failure, or restore
+/// mismatch the run hits.
+pub fn run_durable(
+    config: &FleetRunConfig,
+    store: &mut FleetStore,
+    resume: bool,
+) -> Result<FleetContractReport, FleetRunError> {
+    let fingerprint = fleet_fingerprint(config);
+    let from_disk = if resume {
+        store.load_matching(fingerprint)
+    } else {
+        None
+    };
+    let mut sim = match from_disk {
+        Some(checkpoint) => {
+            eprintln!(
+                "fleet: resuming from epoch boundary {}/{}",
+                checkpoint.snapshot.epoch, config.fleet.epochs
+            );
+            let mut pool = build_pool(config);
+            for (device, frozen) in pool.iter_mut().zip(checkpoint.devices) {
+                device
+                    .restore_from(frozen)
+                    .map_err(FleetRunError::Restore)?;
+            }
+            FleetSim::resume(config.fleet.clone(), pool, &checkpoint.snapshot)
+        }
+        None => FleetSim::new(config.fleet.clone(), build_pool(config)),
+    };
+    while !sim.is_finished() {
+        sim.run_epoch()?;
+        let checkpoint = FleetCheckpoint {
+            fingerprint,
+            snapshot: sim.snapshot(),
+            devices: sim.checkpoint_devices(),
+        };
+        store.save(&checkpoint).map_err(FleetRunError::Save)?;
+    }
+    Ok(evaluate(sim.report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_fleet_report;
+    use uc_fleet::RebalancePolicy;
+    use uc_sim::SimDuration;
+
+    fn small() -> FleetRunConfig {
+        let mut config = FleetRunConfig::new(12, 2);
+        config.capacity = 64 << 20;
+        config.fleet = config
+            .fleet
+            .with_duration(SimDuration::from_millis(20))
+            .with_rebalance(RebalancePolicy::default());
+        config
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("uc-fleet-exp-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn two_runs_render_identically() {
+        let config = small();
+        let a = render_fleet_report(&run(&config).unwrap());
+        let b = render_fleet_report(&run(&config).unwrap());
+        assert_eq!(a, b);
+        assert!(a.contains("fairness"), "{a}");
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run_and_resumes_mid_flight() {
+        let config = small();
+        let plain = run(&config).unwrap();
+        let dir = tempdir("durable");
+
+        let mut store = FleetStore::create(&dir).unwrap();
+        let durable = run_durable(&config, &mut store, false).unwrap();
+        assert_eq!(store.saves(), config.fleet.epochs as u64);
+        assert_eq!(render_fleet_report(&plain), render_fleet_report(&durable));
+
+        // "Kill" after two epochs: run a fresh sim two epochs, persist,
+        // then resume from disk and finish.
+        let mut partial = FleetSim::new(config.fleet.clone(), build_pool(&config));
+        partial.run_epoch().unwrap();
+        partial.run_epoch().unwrap();
+        let mut store = FleetStore::create(&dir).unwrap();
+        store
+            .save(&FleetCheckpoint {
+                fingerprint: fleet_fingerprint(&config),
+                snapshot: partial.snapshot(),
+                devices: partial.checkpoint_devices(),
+            })
+            .unwrap();
+        drop(partial);
+
+        let resumed = run_durable(&config, &mut store, true).unwrap();
+        assert_eq!(render_fleet_report(&plain), render_fleet_report(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_starts_fresh() {
+        let config = small();
+        let dir = tempdir("stale");
+        let mut store = FleetStore::create(&dir).unwrap();
+        let mut partial = FleetSim::new(config.fleet.clone(), build_pool(&config));
+        partial.run_epoch().unwrap();
+        store
+            .save(&FleetCheckpoint {
+                fingerprint: fleet_fingerprint(&config) ^ 1, // wrong identity
+                snapshot: partial.snapshot(),
+                devices: partial.checkpoint_devices(),
+            })
+            .unwrap();
+        let resumed = run_durable(&config, &mut store, true).unwrap();
+        let plain = run(&config).unwrap();
+        assert_eq!(render_fleet_report(&plain), render_fleet_report(&resumed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrips_and_rejects_corruption() {
+        let config = small();
+        let dir = tempdir("roundtrip");
+        let mut store = FleetStore::create(&dir).unwrap();
+        let mut sim = FleetSim::new(config.fleet.clone(), build_pool(&config));
+        sim.run_epoch().unwrap();
+        let checkpoint = FleetCheckpoint {
+            fingerprint: fleet_fingerprint(&config),
+            snapshot: sim.snapshot(),
+            devices: sim.checkpoint_devices(),
+        };
+        let path = store.save(&checkpoint).unwrap();
+
+        let loaded = FleetCheckpoint::load_from(&path).unwrap();
+        assert_eq!(loaded.fingerprint, checkpoint.fingerprint);
+        assert_eq!(loaded.snapshot.epoch, 1);
+        assert_eq!(loaded.devices.len(), 2);
+
+        let good = std::fs::read(&path).unwrap();
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x08;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(FleetCheckpoint::load_from(&path).is_err());
+        assert!(store.load_matching(checkpoint.fingerprint).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evaluation_flags_victims_and_collapses() {
+        let config = small();
+        let mut report = run(&config).unwrap().report;
+        // Synthesize a pathological report on top of a real one.
+        report.fairness_per_epoch[0] = 0.3;
+        let fleet_mean = report.mean_of_tenant_means();
+        report.per_tenant[0].mean_latency = SimDuration::from_nanos((fleet_mean * 10.0) as u64);
+        let verdict = evaluate(report);
+        assert!(!verdict.clean());
+        assert!(verdict
+            .findings
+            .iter()
+            .any(|f| matches!(f, FleetFinding::NoisyNeighborVictim { tenant: 0, .. })));
+        assert!(verdict
+            .findings
+            .iter()
+            .any(|f| matches!(f, FleetFinding::FairnessCollapse { epoch: 0, .. })));
+    }
+}

@@ -34,12 +34,19 @@
 //! against every device and evaluates the contract phase by phase,
 //! using the same resumable-chain machinery as `fig3` (and the same
 //! determinism bar).
+//!
+//! [`fleet`] scales the contract out: hundreds of tenants multiplexed
+//! onto a shared eSSD pool (the `uc-fleet` crate), with per-tenant
+//! interference findings, epoch fairness, checkpoint-seam rebalancing,
+//! and a durable epoch-boundary checkpoint matching fig3's kill-resume
+//! determinism bar.
 
 pub mod executor;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet;
 pub mod table1;
 pub mod trace;
 
@@ -48,6 +55,9 @@ pub use fig2::{Fig2Config, Fig2Result, LatencyCell, PatternGrid};
 pub use fig3::{CheckpointDir, DurableError, Fig3Checkpoint, Fig3Config, Fig3Result, SegmentedRun};
 pub use fig4::{Fig4Config, Fig4Result};
 pub use fig5::{Fig5Config, Fig5Result};
+pub use fleet::{
+    FleetCheckpoint, FleetContractReport, FleetFinding, FleetRunConfig, FleetRunError, FleetStore,
+};
 pub use table1::{run as run_table1, Table1Row};
 pub use trace::{
     PhaseStat, TraceContractReport, TraceRun, TraceRunCheckpoint, TraceRunConfig, TraceRunError,

@@ -1,5 +1,6 @@
 //! Plain-text rendering of experiment results in the paper's layout.
 
+use crate::experiments::fleet::{FleetContractReport, FleetFinding};
 use crate::experiments::trace::TraceViolationKind;
 use crate::experiments::{
     Fig2Result, Fig3Result, Fig4Result, Fig5Result, Table1Row, TraceContractReport,
@@ -255,6 +256,92 @@ pub fn render_trace_report(report: &TraceContractReport) -> String {
                     v.device,
                     v.phase,
                     paper_duration(*lag)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the fleet experiment's contract report: the fleet header,
+/// per-epoch fairness, the migration log, the worst-served tenants, and
+/// every flagged finding or recorded contract violation.
+///
+/// Deterministic for deterministic inputs — the CI fleet smoke diffs two
+/// runs of this rendering byte for byte.
+pub fn render_fleet_report(verdict: &FleetContractReport) -> String {
+    let report = &verdict.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "==== fleet — {} tenants on {} devices, {} epochs ====\n",
+        report.tenants, report.devices, report.epochs
+    ));
+    out.push_str(&format!(
+        "total: {} I/Os, {:.2} MiB, last completion at {:.3} ms\n",
+        report.total_ios,
+        report.total_bytes as f64 / (1 << 20) as f64,
+        report.finished_at.as_secs_f64() * 1e3
+    ));
+    out.push_str("fairness per epoch:");
+    for fairness in &report.fairness_per_epoch {
+        out.push_str(&format!(" {fairness:.4}"));
+    }
+    out.push('\n');
+    for m in &report.migrations {
+        out.push_str(&format!(
+            "migration @epoch {}: tenant {} {}:{} -> {}:{} ({} B copied, \
+             frozen {}, completed {}, crc {:08x})\n",
+            m.epoch,
+            m.tenant,
+            m.from.0,
+            m.from.1,
+            m.to.0,
+            m.to.1,
+            m.bytes_copied,
+            paper_duration(m.frozen_at.saturating_since(uc_sim::SimTime::ZERO)),
+            paper_duration(m.completed_at.saturating_since(uc_sim::SimTime::ZERO)),
+            m.freeze_crc
+        ));
+    }
+    // The five worst-served tenants (by mean latency): the interference
+    // victims a fleet operator looks at first.
+    let mut worst: Vec<&uc_fleet::TenantSummary> = report.per_tenant.iter().collect();
+    worst.sort_by(|a, b| {
+        b.mean_latency
+            .cmp(&a.mean_latency)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    out.push_str(&format!(
+        "{:>7} {:>6} {:>8} {:>12} {:>12} {:>12} {:>9}\n",
+        "tenant", "dev", "I/Os", "mean lat", "p99 lat", "max lat", "throttles"
+    ));
+    for t in worst.iter().take(5) {
+        out.push_str(&format!(
+            "{:>7} {:>6} {:>8} {:>12} {:>12} {:>12} {:>9}\n",
+            t.id,
+            t.device,
+            t.ios,
+            paper_duration(t.mean_latency),
+            paper_duration(t.p99_latency),
+            paper_duration(t.max_latency),
+            t.throttle_events
+        ));
+    }
+    if verdict.clean() {
+        out.push_str("fleet clean: no contract violations, no flagged tenants or epochs\n");
+    } else {
+        for v in &report.violations {
+            out.push_str(&format!("  contract violation: {v}\n"));
+        }
+        for finding in &verdict.findings {
+            out.push_str(&match finding {
+                FleetFinding::NoisyNeighborVictim { tenant, factor } => format!(
+                    "  tenant {tenant}: mean latency {factor:.1}x the fleet mean \
+                     (noisy-neighbor victim — rebalance or isolate)\n"
+                ),
+                FleetFinding::FairnessCollapse { epoch, fairness } => format!(
+                    "  epoch {epoch}: fairness {fairness:.3} below the floor \
+                     (placement skew starving a device's residents)\n"
                 ),
             });
         }

@@ -267,6 +267,14 @@ impl EssdConfig {
         self.seed = seed;
         self
     }
+
+    /// Replaces the device name. Checkpoints validate against the name
+    /// at restore time, so fleet pools give each pool member a distinct
+    /// one (e.g. `fleet-essd-3`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -305,10 +313,12 @@ mod tests {
             .with_bandwidth_budget(5e9)
             .with_iops(None)
             .with_throttle(None)
-            .with_seed(42);
+            .with_seed(42)
+            .with_name("fleet-essd-0");
         assert_eq!(cfg.bandwidth_bytes_per_sec, 5e9);
         assert!(cfg.throttle.is_none());
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.name, "fleet-essd-0");
     }
 
     #[test]

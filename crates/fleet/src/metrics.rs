@@ -1,0 +1,173 @@
+//! Per-tenant interference metrics and fleet-level fairness.
+//!
+//! Interference on a shared device shows up in *latency*, not byte
+//! counts — every request eventually completes, so throughput shares
+//! trivially mirror offered load. The fleet therefore tracks, per tenant,
+//! a full latency histogram plus budget-throttle accounting, and per
+//! epoch a demand-normalized progress share from which Jain's fairness
+//! index is computed: a tenant whose epoch's work drags past the epoch
+//! window (queueing behind a noisy neighbor) scores below 1.
+
+use crate::placement::MigrationRecord;
+use uc_metrics::LatencyHistogram;
+use uc_sim::{SimDuration, SimTime};
+
+/// One tenant's running measurements.
+#[derive(Debug, Clone)]
+pub struct TenantMetrics {
+    /// Host-observed latency of every completed request, measured from
+    /// the *budget grant* instant — so queueing behind other tenants
+    /// (the shared-queue clamp) counts as interference, but the tenant's
+    /// own budget throttling does not.
+    pub latency: LatencyHistogram,
+    /// Completed requests.
+    pub ios: u64,
+    /// Completed bytes.
+    pub bytes: u64,
+    /// Requests delayed by the tenant's own token-bucket budget.
+    pub throttle_events: u64,
+    /// Total budget-throttle delay across those requests.
+    pub throttled: SimDuration,
+}
+
+impl TenantMetrics {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        TenantMetrics {
+            latency: LatencyHistogram::new(),
+            ios: 0,
+            bytes: 0,
+            throttle_events: 0,
+            throttled: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for TenantMetrics {
+    fn default() -> Self {
+        TenantMetrics::new()
+    }
+}
+
+/// Per-epoch cut of fleet progress: what each tenant and device moved in
+/// one epoch, and the epoch's fairness index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStat {
+    /// Bytes each tenant completed this epoch (indexed by tenant id).
+    pub tenant_bytes: Vec<u64>,
+    /// Bytes each device served this epoch (indexed by device).
+    pub device_bytes: Vec<u64>,
+    /// Jain's fairness index over the tenants' demand-normalized
+    /// progress shares this epoch (1.0 = perfectly fair).
+    pub fairness: f64,
+}
+
+/// Jain's fairness index of the shares `xs`: `(Σx)² / (n·Σx²)`.
+///
+/// Ranges from `1/n` (one tenant takes everything) to `1.0` (all equal).
+/// Returns 1.0 for an empty or all-zero slice.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+/// One tenant's row in the final fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant id.
+    pub id: u32,
+    /// The device the tenant ended the run on.
+    pub device: usize,
+    /// Completed requests.
+    pub ios: u64,
+    /// Completed bytes.
+    pub bytes: u64,
+    /// Mean request latency.
+    pub mean_latency: SimDuration,
+    /// P99 request latency.
+    pub p99_latency: SimDuration,
+    /// Worst request latency.
+    pub max_latency: SimDuration,
+    /// Requests delayed by the tenant's own budget.
+    pub throttle_events: u64,
+    /// Total budget-throttle delay.
+    pub throttled: SimDuration,
+}
+
+/// The final report of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Tenants simulated.
+    pub tenants: usize,
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Per-tenant summaries, ascending id.
+    pub per_tenant: Vec<TenantSummary>,
+    /// Jain's fairness index per epoch.
+    pub fairness_per_epoch: Vec<f64>,
+    /// Completed migrations, in execution order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Rendered contract violations found at epoch boundaries (empty on
+    /// a healthy run).
+    pub violations: Vec<String>,
+    /// Total completed requests across the fleet.
+    pub total_ios: u64,
+    /// Total completed bytes across the fleet.
+    pub total_bytes: u64,
+    /// The last completion instant across the fleet.
+    pub finished_at: SimTime,
+}
+
+impl FleetReport {
+    /// The lowest per-epoch fairness index (1.0 if no epochs ran).
+    pub fn min_fairness(&self) -> f64 {
+        self.fairness_per_epoch.iter().cloned().fold(1.0, f64::min)
+    }
+
+    /// Mean of the per-tenant mean latencies, as nanoseconds — the
+    /// fleet-wide baseline tenants are compared against for
+    /// interference attribution.
+    pub fn mean_of_tenant_means(&self) -> f64 {
+        if self.per_tenant.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .per_tenant
+            .iter()
+            .map(|t| t.mean_latency.as_nanos() as f64)
+            .sum();
+        sum / self.per_tenant.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_brackets() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One tenant takes everything: 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Skewed shares land strictly between.
+        let j = jain_index(&[1.0, 0.5, 0.5, 0.5]);
+        assert!(j > 0.25 && j < 1.0, "{j}");
+    }
+
+    #[test]
+    fn tenant_metrics_start_empty() {
+        let m = TenantMetrics::new();
+        assert_eq!(m.ios, 0);
+        assert_eq!(m.throttled, SimDuration::ZERO);
+        assert!(m.latency.is_empty());
+    }
+}

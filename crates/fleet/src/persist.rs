@@ -1,0 +1,229 @@
+//! [`Persist`] codecs for the fleet's resumable state.
+//!
+//! A [`FleetSnapshot`] is everything the simulation needs back besides
+//! the devices themselves (whose [`DeviceCheckpoint`]s the durable layer
+//! stores alongside) and the tenant traces (regenerated from the config's
+//! seed). The codecs follow the workspace's canonical little-endian
+//! plain-data forms, so a snapshot written by one build decodes bit-for-
+//! bit in another.
+//!
+//! [`DeviceCheckpoint`]: uc_blockdev::DeviceCheckpoint
+
+use crate::metrics::{EpochStat, TenantMetrics};
+use crate::placement::{MigrationRecord, Placement};
+use crate::sim::FleetSnapshot;
+use uc_metrics::LatencyHistogram;
+use uc_persist::{DecodeError, Decoder, Encoder, Persist};
+use uc_sim::{SimDuration, SimTime};
+
+impl Persist for TenantMetrics {
+    fn encode(&self, w: &mut Encoder) {
+        self.latency.encode(w);
+        w.put_u64(self.ios);
+        w.put_u64(self.bytes);
+        w.put_u64(self.throttle_events);
+        self.throttled.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TenantMetrics {
+            latency: LatencyHistogram::decode(r)?,
+            ios: r.get_u64()?,
+            bytes: r.get_u64()?,
+            throttle_events: r.get_u64()?,
+            throttled: SimDuration::decode(r)?,
+        })
+    }
+}
+
+impl Persist for EpochStat {
+    fn encode(&self, w: &mut Encoder) {
+        self.tenant_bytes.encode(w);
+        self.device_bytes.encode(w);
+        w.put_f64(self.fairness);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EpochStat {
+            tenant_bytes: Vec::decode(r)?,
+            device_bytes: Vec::decode(r)?,
+            fairness: r.get_f64()?,
+        })
+    }
+}
+
+impl Persist for MigrationRecord {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.epoch);
+        w.put_u32(self.tenant);
+        self.from.encode(w);
+        self.to.encode(w);
+        self.frozen_at.encode(w);
+        self.completed_at.encode(w);
+        w.put_u64(self.bytes_copied);
+        w.put_u32(self.freeze_crc);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MigrationRecord {
+            epoch: r.get_u64()?,
+            tenant: r.get_u32()?,
+            from: <(usize, usize)>::decode(r)?,
+            to: <(usize, usize)>::decode(r)?,
+            frozen_at: SimTime::decode(r)?,
+            completed_at: SimTime::decode(r)?,
+            bytes_copied: r.get_u64()?,
+            freeze_crc: r.get_u32()?,
+        })
+    }
+}
+
+impl Persist for Placement {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.region_span());
+        self.slots_per_device().encode(w);
+        self.device_count().encode(w);
+        self.homes().to_vec().encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let region_span = r.get_u64()?;
+        let slots_per_device = usize::decode(r)?;
+        let device_count = usize::decode(r)?;
+        let homes: Vec<Option<(usize, usize)>> = Vec::decode(r)?;
+        // Bounds are validated here; *conservation* deliberately is not —
+        // a run carrying a recorded violation (e.g. under fault
+        // injection) must resume and re-report it identically.
+        if region_span == 0 || device_count == 0 || slots_per_device == 0 {
+            return Err(DecodeError::InvalidValue {
+                what: "Placement geometry",
+            });
+        }
+        for home in homes.iter().flatten() {
+            if home.0 >= device_count || home.1 >= slots_per_device {
+                return Err(DecodeError::InvalidValue {
+                    what: "Placement home out of bounds",
+                });
+            }
+        }
+        Ok(Placement::from_parts(
+            region_span,
+            slots_per_device,
+            device_count,
+            homes,
+        ))
+    }
+}
+
+impl Persist for FleetSnapshot {
+    fn encode(&self, w: &mut Encoder) {
+        w.put_u64(self.epoch);
+        self.placement.encode(w);
+        self.cursors.encode(w);
+        self.floors.encode(w);
+        self.written_highs.encode(w);
+        self.metrics.encode(w);
+        self.buckets.encode(w);
+        self.epoch_stats.encode(w);
+        self.migrations.encode(w);
+        self.violations.encode(w);
+        self.queue_heads.encode(w);
+        self.finished_at.encode(w);
+    }
+
+    fn decode(r: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let snapshot = FleetSnapshot {
+            epoch: r.get_u64()?,
+            placement: Placement::decode(r)?,
+            cursors: Vec::decode(r)?,
+            floors: Vec::decode(r)?,
+            written_highs: Vec::decode(r)?,
+            metrics: Vec::decode(r)?,
+            buckets: Vec::decode(r)?,
+            epoch_stats: Vec::decode(r)?,
+            migrations: Vec::decode(r)?,
+            violations: Vec::decode(r)?,
+            queue_heads: Vec::decode(r)?,
+            finished_at: SimTime::decode(r)?,
+        };
+        let tenants = snapshot.placement.tenant_count();
+        if snapshot.cursors.len() != tenants
+            || snapshot.floors.len() != tenants
+            || snapshot.written_highs.len() != tenants
+            || snapshot.metrics.len() != tenants
+            || snapshot.buckets.len() != tenants
+        {
+            return Err(DecodeError::InvalidValue {
+                what: "FleetSnapshot per-tenant vector lengths",
+            });
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Persist>(value: &T) -> T {
+        let mut w = Encoder::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Decoder::new(&bytes);
+        let back = T::decode(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        back
+    }
+
+    #[test]
+    fn placement_roundtrips() {
+        let mut p = Placement::contiguous(5, 2, 4, 1 << 20);
+        p.migrate(0, 1, p.free_slot(1).unwrap());
+        assert_eq!(roundtrip(&p), p);
+    }
+
+    #[test]
+    fn out_of_bounds_home_is_a_typed_error() {
+        let p = Placement::from_parts(1 << 20, 2, 2, vec![Some((5, 0))]);
+        let mut w = Encoder::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Placement::decode(&mut Decoder::new(&bytes)),
+            Err(DecodeError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_and_records_roundtrip() {
+        let mut m = TenantMetrics::new();
+        m.latency.record(SimDuration::from_micros(120));
+        m.ios = 1;
+        m.bytes = 4096;
+        m.throttle_events = 2;
+        m.throttled = SimDuration::from_micros(30);
+        let back = roundtrip(&m);
+        assert_eq!(back.ios, 1);
+        assert_eq!(back.latency.count(), 1);
+        assert_eq!(back.throttled, m.throttled);
+
+        let rec = MigrationRecord {
+            epoch: 2,
+            tenant: 7,
+            from: (0, 3),
+            to: (1, 4),
+            frozen_at: SimTime::from_nanos(1000),
+            completed_at: SimTime::from_nanos(5000),
+            bytes_copied: 1 << 20,
+            freeze_crc: 0xDEAD_BEEF,
+        };
+        assert_eq!(roundtrip(&rec), rec);
+
+        let stat = EpochStat {
+            tenant_bytes: vec![1, 2, 3],
+            device_bytes: vec![3, 3],
+            fairness: 0.87,
+        };
+        assert_eq!(roundtrip(&stat), stat);
+    }
+}

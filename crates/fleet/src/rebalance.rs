@@ -1,0 +1,160 @@
+//! Hot-device detection and migration planning.
+//!
+//! At each epoch boundary the rebalancer looks at the epoch's per-device
+//! byte counts: when the hottest device outweighs the coldest device
+//! with free capacity by more than `hot_ratio`, it plans to move the
+//! hottest device's busiest tenant there. Planning is a pure function of
+//! the epoch stats and the placement — deterministic tie-breaks (lowest
+//! device index, lowest tenant id) keep two runs of the same fleet
+//! byte-identical.
+
+use crate::metrics::EpochStat;
+use crate::placement::Placement;
+
+/// When and how much to rebalance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RebalancePolicy {
+    /// Trigger threshold: plan a move when the hottest device's epoch
+    /// bytes exceed `hot_ratio` times the coldest candidate's.
+    pub hot_ratio: f64,
+    /// At most this many migrations per epoch boundary.
+    pub max_moves: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            hot_ratio: 1.15,
+            max_moves: 1,
+        }
+    }
+}
+
+/// One planned migration: move `tenant` from device `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedMove {
+    /// The tenant to migrate.
+    pub tenant: u32,
+    /// Source device.
+    pub from: usize,
+    /// Target device.
+    pub to: usize,
+}
+
+impl RebalancePolicy {
+    /// Plans up to [`max_moves`](Self::max_moves) migrations from the
+    /// epoch's load distribution. Device loads are adjusted after each
+    /// planned move so one boundary never stampedes a single cold
+    /// device.
+    pub fn plan(&self, stat: &EpochStat, placement: &Placement) -> Vec<PlannedMove> {
+        let mut loads: Vec<u64> = stat.device_bytes.clone();
+        let mut placed = placement.clone();
+        let mut moves = Vec::new();
+        for _ in 0..self.max_moves {
+            // Hottest device: most epoch bytes, lowest index on ties.
+            let Some(hot) = (0..loads.len()).max_by_key(|&d| (loads[d], usize::MAX - d)) else {
+                break;
+            };
+            // Coldest target with a free slot, excluding the hot device.
+            let Some(cold) = (0..loads.len())
+                .filter(|&d| d != hot && placed.free_slot(d).is_some())
+                .min_by_key(|&d| (loads[d], d))
+            else {
+                break;
+            };
+            if (loads[hot] as f64) <= self.hot_ratio * (loads[cold].max(1) as f64) {
+                break; // balanced enough
+            }
+            // The hot device's busiest tenant this epoch, lowest id on
+            // ties; a tenant that moved nothing is never worth moving.
+            let Some(tenant) = placed
+                .residents(hot)
+                .into_iter()
+                .filter(|&t| stat.tenant_bytes[t as usize] > 0)
+                .max_by_key(|&t| (stat.tenant_bytes[t as usize], u32::MAX - t))
+            else {
+                break;
+            };
+            let slot = placed.free_slot(cold).expect("filtered for a free slot");
+            placed.migrate(tenant, cold, slot);
+            let moved = stat.tenant_bytes[tenant as usize];
+            loads[hot] -= moved.min(loads[hot]);
+            loads[cold] += moved;
+            moves.push(PlannedMove {
+                tenant,
+                from: hot,
+                to: cold,
+            });
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(device_bytes: Vec<u64>, tenant_bytes: Vec<u64>) -> EpochStat {
+        EpochStat {
+            tenant_bytes,
+            device_bytes,
+            fairness: 1.0,
+        }
+    }
+
+    #[test]
+    fn plans_nothing_when_balanced() {
+        let p = Placement::contiguous(4, 2, 3, 1 << 20);
+        let s = stat(vec![1000, 1000], vec![500, 500, 500, 500]);
+        assert!(RebalancePolicy::default().plan(&s, &p).is_empty());
+    }
+
+    #[test]
+    fn moves_the_busiest_tenant_off_the_hot_device() {
+        // Tenants 0,1 on device 0; 2,3 on device 1. Device 0 is hot and
+        // tenant 1 is its biggest contributor.
+        let p = Placement::contiguous(4, 2, 3, 1 << 20);
+        let s = stat(vec![9000, 1000], vec![3000, 6000, 600, 400]);
+        let moves = RebalancePolicy::default().plan(&s, &p);
+        assert_eq!(
+            moves,
+            vec![PlannedMove {
+                tenant: 1,
+                from: 0,
+                to: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn planning_is_deterministic_on_ties() {
+        // Devices 1 and 2 equally cold: lowest index wins. Tenants 0 and
+        // 1 equally busy: lowest id moves.
+        let p = Placement::contiguous(6, 3, 3, 1 << 20);
+        let s = stat(vec![9000, 100, 100], vec![4500, 4500, 50, 50, 50, 50]);
+        let a = RebalancePolicy::default().plan(&s, &p);
+        let b = RebalancePolicy::default().plan(&s, &p);
+        assert_eq!(a, b);
+        assert_eq!(a[0].tenant, 0);
+        assert_eq!(a[0].to, 1);
+    }
+
+    #[test]
+    fn respects_max_moves_and_adjusts_loads() {
+        let p = Placement::contiguous(6, 3, 4, 1 << 20);
+        let s = stat(
+            vec![20_000, 100, 100],
+            vec![9_000, 8_000, 3_000, 50, 50, 50],
+        );
+        let policy = RebalancePolicy {
+            hot_ratio: 1.15,
+            max_moves: 2,
+        };
+        let moves = policy.plan(&s, &p);
+        assert_eq!(moves.len(), 2);
+        assert_eq!(moves[0].tenant, 0);
+        // After moving tenant 0 to device 1, device 2 is the cold target.
+        assert_eq!(moves[1].tenant, 1);
+        assert_eq!(moves[1].to, 2);
+    }
+}

@@ -1,0 +1,783 @@
+//! The fleet simulation: N tenants interleaved onto a pool of shared
+//! devices, epoch by epoch, with checkpoint-based rebalancing.
+//!
+//! Execution is *epoch-driven*: the arrival horizon is cut into equal
+//! windows, and within each window every device independently merges its
+//! residents' budget-granted arrival streams
+//! ([`merge_streams`](uc_trace::merge_streams)) and drives them through
+//! one shared queue-pair doorbell. Epoch boundaries are the fleet's only
+//! synchronization points — where contracts are audited, interference is
+//! cut into [`EpochStat`]s, the rebalancer plans, and (in the durable
+//! runner) the whole fleet freezes into a resumable checkpoint.
+//!
+//! Everything here is a pure function of [`FleetConfig`] and the device
+//! pool: two runs of the same fleet produce byte-identical snapshots and
+//! reports.
+
+use crate::metrics::{jain_index, EpochStat, FleetReport, TenantMetrics, TenantSummary};
+use crate::placement::{MigrationAudit, MigrationRecord, Placement};
+use crate::rebalance::RebalancePolicy;
+use crate::tenant::{ShapeMix, TenantSpec};
+use uc_blockdev::{
+    CheckpointDevice, DeviceCheckpoint, IoBatch, IoError, IoRequest, SessionId, SharedDevice,
+};
+use uc_invariant::Contract;
+use uc_persist::Encoder;
+use uc_sim::{BucketSet, SimDuration, SimTime, TokenBucket, TokenBucketSnapshot};
+use uc_trace::merge_streams;
+use uc_workload::TraceEntry;
+
+/// A device that can serve a fleet: block I/O plus the checkpoint seam,
+/// movable across the executor boundary.
+pub type FleetDevice = Box<dyn CheckpointDevice + Send>;
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Number of shared devices in the pool.
+    pub devices: usize,
+    /// Arrival-shape population mix.
+    pub mix: ShapeMix,
+    /// Arrival horizon per tenant.
+    pub duration: SimDuration,
+    /// Number of epochs the horizon is cut into (each ends with a
+    /// contract audit and an optional rebalance).
+    pub epochs: usize,
+    /// Bytes per I/O.
+    pub io_size: u32,
+    /// Fleet seed: drives every tenant's synthesis.
+    pub seed: u64,
+    /// Rebalancing policy; `None` pins tenants to their initial homes.
+    pub rebalance: Option<RebalancePolicy>,
+}
+
+impl FleetConfig {
+    /// A fleet of `tenants` on `devices` with the default mix, a 200 ms
+    /// horizon in 4 epochs, 4 KiB I/O, and no rebalancing.
+    pub fn new(tenants: usize, devices: usize) -> Self {
+        FleetConfig {
+            tenants,
+            devices,
+            mix: ShapeMix::default_mix(),
+            duration: SimDuration::from_millis(200),
+            epochs: 4,
+            io_size: 4096,
+            seed: 0xF1EE7,
+            rebalance: None,
+        }
+    }
+
+    /// Replaces the shape mix.
+    pub fn with_mix(mut self, mix: ShapeMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Replaces the arrival horizon.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Replaces the epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Replaces the fleet seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables rebalancing under `policy`.
+    pub fn with_rebalance(mut self, policy: RebalancePolicy) -> Self {
+        self.rebalance = Some(policy);
+        self
+    }
+}
+
+/// The complete resumable state of a [`FleetSim`], minus the devices
+/// (whose own checkpoints the durable layer stores alongside).
+///
+/// Tenant *traces* are deliberately absent: they are regenerated from the
+/// config on resume (same seed, same trace), so checkpoints stay small.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Completed epochs.
+    pub epoch: u64,
+    /// The tenant-to-slot assignment.
+    pub placement: Placement,
+    /// Per-tenant replay cursor (next trace entry index).
+    pub cursors: Vec<u64>,
+    /// Per-tenant arrival floor (migration-tail deferral).
+    pub floors: Vec<SimTime>,
+    /// Per-tenant high-water mark of written bytes within the region.
+    pub written_highs: Vec<u64>,
+    /// Per-tenant measurements.
+    pub metrics: Vec<TenantMetrics>,
+    /// Per-tenant budget state.
+    pub buckets: Vec<TokenBucketSnapshot>,
+    /// Per-epoch cuts so far.
+    pub epoch_stats: Vec<EpochStat>,
+    /// Completed migrations so far.
+    pub migrations: Vec<MigrationRecord>,
+    /// Rendered contract violations found so far.
+    pub violations: Vec<String>,
+    /// Per-device shared-queue heads (the doorbell clamp floor a thawed
+    /// device must resume with).
+    pub queue_heads: Vec<SimTime>,
+    /// Last completion instant observed so far.
+    pub finished_at: SimTime,
+}
+
+/// Extent-copy chunk size during migration.
+const COPY_CHUNK: u64 = 1 << 20;
+
+struct TenantRun {
+    spec: TenantSpec,
+    entries: Vec<TraceEntry>,
+    cursor: usize,
+    floor: SimTime,
+    written_high: u64,
+    metrics: TenantMetrics,
+}
+
+/// A live fleet: devices, tenants, budgets, placement, and the epoch
+/// clock. Drive it with [`run`](FleetSim::run) or epoch by epoch with
+/// [`run_epoch`](FleetSim::run_epoch) (the durable runner checkpoints
+/// between epochs).
+pub struct FleetSim {
+    config: FleetConfig,
+    devices: Vec<SharedDevice<FleetDevice>>,
+    placement: Placement,
+    tenants: Vec<TenantRun>,
+    buckets: BucketSet,
+    epoch: usize,
+    epoch_stats: Vec<EpochStat>,
+    migrations: Vec<MigrationRecord>,
+    violations: Vec<String>,
+    finished_at: SimTime,
+    #[cfg(feature = "fault-injection")]
+    drop_next_migrant: bool,
+}
+
+impl FleetSim {
+    /// Builds a fresh fleet on `pool`, placing tenants contiguously.
+    ///
+    /// The pool's smallest device determines the per-tenant region span:
+    /// each device is carved into `ceil(tenants/devices) + 1` slots (one
+    /// spare as migration headroom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool size disagrees with the config, any count is
+    /// zero, or the devices are too small to give every tenant a region
+    /// of at least one I/O.
+    pub fn new(config: FleetConfig, pool: Vec<FleetDevice>) -> Self {
+        let (placement, tenants, buckets) = Self::build(&config, &pool, None);
+        FleetSim {
+            devices: pool.into_iter().map(SharedDevice::new).collect(),
+            config,
+            placement,
+            tenants,
+            buckets,
+            epoch: 0,
+            epoch_stats: Vec::new(),
+            migrations: Vec::new(),
+            violations: Vec::new(),
+            finished_at: SimTime::ZERO,
+            #[cfg(feature = "fault-injection")]
+            drop_next_migrant: false,
+        }
+    }
+
+    /// Rebuilds a fleet mid-run: `pool` must hold devices already thawed
+    /// from the checkpoints taken alongside `snapshot`. Tenant traces are
+    /// regenerated from the config; cursors, floors, budgets, metrics,
+    /// and the placement come from the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape (tenant/device counts, region span)
+    /// disagrees with the config and pool — resuming under a different
+    /// fleet definition is a caller bug; the durable store fingerprints
+    /// configs to prevent it.
+    pub fn resume(config: FleetConfig, pool: Vec<FleetDevice>, snapshot: &FleetSnapshot) -> Self {
+        let (_, mut tenants, _) = Self::build(&config, &pool, Some(&snapshot.placement));
+        assert_eq!(snapshot.cursors.len(), tenants.len(), "tenant count drift");
+        assert_eq!(snapshot.queue_heads.len(), pool.len(), "device count drift");
+        for (t, run) in tenants.iter_mut().enumerate() {
+            run.cursor = snapshot.cursors[t] as usize;
+            assert!(run.cursor <= run.entries.len(), "cursor past trace end");
+            run.floor = snapshot.floors[t];
+            run.written_high = snapshot.written_highs[t];
+            run.metrics = snapshot.metrics[t].clone();
+        }
+        let buckets = BucketSet::restore(&snapshot.buckets);
+        let devices = pool
+            .into_iter()
+            .zip(&snapshot.queue_heads)
+            .map(|(d, &head)| SharedDevice::with_queue_head(d, head))
+            .collect();
+        FleetSim {
+            devices,
+            config,
+            placement: snapshot.placement.clone(),
+            tenants,
+            buckets,
+            epoch: snapshot.epoch as usize,
+            epoch_stats: snapshot.epoch_stats.clone(),
+            migrations: snapshot.migrations.clone(),
+            violations: snapshot.violations.clone(),
+            finished_at: snapshot.finished_at,
+            #[cfg(feature = "fault-injection")]
+            drop_next_migrant: false,
+        }
+    }
+
+    /// Shared construction: geometry, tenant synthesis, placement,
+    /// budgets. When `resumed` placement is given, validates the
+    /// regenerated geometry against it instead of placing fresh.
+    fn build(
+        config: &FleetConfig,
+        pool: &[FleetDevice],
+        resumed: Option<&Placement>,
+    ) -> (Placement, Vec<TenantRun>, BucketSet) {
+        assert!(config.tenants > 0, "fleet needs tenants");
+        assert!(config.epochs > 0, "fleet needs at least one epoch");
+        assert_eq!(pool.len(), config.devices, "pool size != config.devices");
+        assert!(!pool.is_empty(), "fleet needs devices");
+        let min_cap = pool.iter().map(|d| d.info().capacity()).min().unwrap();
+        let align = pool.iter().map(|d| d.info().logical_block()).max().unwrap() as u64;
+        for d in pool {
+            assert!(
+                (config.io_size as u64).is_multiple_of(d.info().logical_block() as u64),
+                "io_size {} misaligned for {}",
+                config.io_size,
+                d.info().name()
+            );
+        }
+        let slots = config.tenants.div_ceil(config.devices) + 1;
+        let region_span = (min_cap / slots as u64) / align * align;
+        assert!(
+            region_span >= config.io_size as u64,
+            "devices too small: {region_span}-byte regions cannot hold one {}-byte i/o",
+            config.io_size
+        );
+        let placement = match resumed {
+            Some(p) => {
+                assert_eq!(p.region_span(), region_span, "region span drift on resume");
+                assert_eq!(p.device_count(), config.devices, "device count drift");
+                assert_eq!(p.tenant_count(), config.tenants, "tenant count drift");
+                p.clone()
+            }
+            None => Placement::contiguous(config.tenants, config.devices, slots, region_span),
+        };
+        let mut tenants = Vec::with_capacity(config.tenants);
+        let mut buckets = BucketSet::new();
+        for id in 0..config.tenants {
+            let spec = TenantSpec::synthesize(
+                id as u32,
+                &config.mix,
+                config.seed,
+                region_span,
+                config.duration,
+                config.io_size,
+            );
+            buckets.push(TokenBucket::new(spec.burst_bytes, spec.rate_bytes_per_sec));
+            tenants.push(TenantRun {
+                entries: spec.trace.generate().entries().to_vec(),
+                spec,
+                cursor: 0,
+                floor: SimTime::ZERO,
+                written_high: 0,
+                metrics: TenantMetrics::new(),
+            });
+        }
+        (placement, tenants, buckets)
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// `true` once every epoch has run.
+    pub fn is_finished(&self) -> bool {
+        self.epoch >= self.config.epochs
+    }
+
+    /// The per-tenant region span, in bytes.
+    pub fn region_span(&self) -> u64 {
+        self.placement.region_span()
+    }
+
+    /// The current placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Arms a one-shot fault: the next migration "forgets" to re-home
+    /// the migrant, so the tenant-conservation contract must report it
+    /// at the following epoch boundary.
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_migration_fault(&mut self) {
+        self.drop_next_migrant = true;
+    }
+
+    /// Nominal end of epoch `e` on the arrival axis.
+    fn window_end(&self, e: usize) -> SimTime {
+        SimTime::from_nanos(
+            (self.config.duration.as_nanos() as u128 * (e as u128 + 1) / self.config.epochs as u128)
+                as u64,
+        )
+    }
+
+    /// Runs the next epoch: merge, drive, audit, rebalance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device [`IoError`] (a placement/geometry bug;
+    /// healthy fleets never hit one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet already finished.
+    pub fn run_epoch(&mut self) -> Result<(), IoError> {
+        assert!(!self.is_finished(), "fleet already finished");
+        let e = self.epoch;
+        let cut = if e + 1 == self.config.epochs {
+            SimTime::MAX // final epoch drains everything
+        } else {
+            self.window_end(e)
+        };
+        let n = self.tenants.len();
+        let mut ep_bytes = vec![0u64; n];
+        let mut ep_ios = vec![0u64; n];
+        let mut ep_lat_ns = vec![0u128; n];
+        let mut dev_bytes = vec![0u64; self.devices.len()];
+        for (dev, dev_total) in dev_bytes.iter_mut().enumerate() {
+            let residents = self.placement.residents(dev);
+            // Per-tenant granted streams with region-absolute offsets.
+            let mut streams: Vec<(u32, Vec<TraceEntry>)> = Vec::with_capacity(residents.len());
+            for &t in &residents {
+                let base = self
+                    .placement
+                    .base(self.placement.home(t).expect("resident has a home").1);
+                let run = &mut self.tenants[t as usize];
+                let mut stream = Vec::new();
+                while run.cursor < run.entries.len() && run.entries[run.cursor].at < cut {
+                    let entry = run.entries[run.cursor];
+                    let arrival = entry.at.max(run.floor);
+                    let grant = self.buckets.reserve(t as usize, arrival, entry.len as u64);
+                    if grant > arrival {
+                        run.metrics.throttle_events += 1;
+                        run.metrics.throttled += grant - arrival;
+                    }
+                    stream.push(TraceEntry {
+                        at: grant,
+                        kind: entry.kind,
+                        offset: base + entry.offset,
+                        len: entry.len,
+                    });
+                    run.cursor += 1;
+                }
+                streams.push((t, stream));
+            }
+            let refs: Vec<(u32, &[TraceEntry])> =
+                streams.iter().map(|(t, s)| (*t, s.as_slice())).collect();
+            let merged = merge_streams(&refs).expect("granted streams are monotone per tenant");
+            if merged.is_empty() {
+                continue;
+            }
+            // One session per resident, one doorbell ring for the window.
+            let mut sessions: Vec<(u32, SessionId)> = Vec::with_capacity(residents.len());
+            for &t in &residents {
+                sessions.push((t, self.devices[dev].open_session()));
+            }
+            let session_of = |tenant: u32| {
+                sessions
+                    .iter()
+                    .find(|(t, _)| *t == tenant)
+                    .expect("merged entry from a resident")
+                    .1
+            };
+            let mut batch = IoBatch::with_capacity(merged.len());
+            let mut owners = Vec::with_capacity(merged.len());
+            for m in &merged {
+                batch.push(IoRequest {
+                    kind: m.entry.kind,
+                    offset: m.entry.offset,
+                    len: m.entry.len,
+                    submit_time: m.entry.at,
+                });
+                owners.push(session_of(m.tenant));
+            }
+            let completions = self.devices[dev].submit_batch_shared(&owners, &batch)?;
+            for (m, c) in merged.iter().zip(&completions) {
+                let base = self
+                    .placement
+                    .base(self.placement.home(m.tenant).expect("resident").1);
+                let run = &mut self.tenants[m.tenant as usize];
+                // Latency from the budget grant: the shared-queue clamp
+                // (waiting behind other tenants) counts as interference.
+                let lat = c.completes - m.entry.at;
+                run.metrics.latency.record(lat);
+                run.metrics.ios += 1;
+                run.metrics.bytes += c.len as u64;
+                if m.entry.kind.is_write() {
+                    run.written_high = run.written_high.max(m.entry.offset - base + c.len as u64);
+                }
+                ep_bytes[m.tenant as usize] += c.len as u64;
+                ep_ios[m.tenant as usize] += 1;
+                ep_lat_ns[m.tenant as usize] += lat.as_nanos() as u128;
+                *dev_total += c.len as u64;
+                self.finished_at = self.finished_at.max(c.completes);
+            }
+        }
+        // Epoch cut: fairness over inverse mean latencies (equal service
+        // quality -> 1.0; a tenant queueing behind a noisy neighbor drags
+        // the index down). Budget self-throttling is excluded by
+        // construction (latency is measured from the grant).
+        let shares: Vec<f64> = (0..n)
+            .filter(|&t| ep_ios[t] > 0)
+            .map(|t| ep_ios[t] as f64 / ep_lat_ns[t] as f64)
+            .collect();
+        self.epoch_stats.push(EpochStat {
+            tenant_bytes: ep_bytes,
+            device_bytes: dev_bytes,
+            fairness: jain_index(&shares),
+        });
+        self.audit_boundary();
+        if let Some(policy) = self.config.rebalance {
+            if e + 1 < self.config.epochs {
+                let stat = self.epoch_stats.last().expect("just pushed").clone();
+                for mv in policy.plan(&stat, &self.placement) {
+                    self.migrate(mv.tenant, mv.to)?;
+                }
+            }
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Collects boundary contract audits into the violations log (never
+    /// panics — violations are findings, reported at the end).
+    fn audit_boundary(&mut self) {
+        let mut found = Vec::new();
+        if let Err(v) = self.placement.check() {
+            found.push(v.to_string());
+        }
+        if let Err(v) = self.buckets.check() {
+            found.push(v.to_string());
+        }
+        for d in &self.devices {
+            if let Err(v) = d.check() {
+                found.push(v.to_string());
+            }
+        }
+        self.violations.extend(found);
+    }
+
+    /// Migrates `tenant` to `to_device` through the checkpoint seam:
+    /// freeze the source state (fingerprinted into the record), copy the
+    /// tenant's written extent to its new region, and defer the tenant's
+    /// tail to the copy's completion instant.
+    fn migrate(&mut self, tenant: u32, to_device: usize) -> Result<(), IoError> {
+        let (from_device, from_slot) = self.placement.home(tenant).expect("migrant has a home");
+        let to_slot = match self.placement.free_slot(to_device) {
+            Some(s) => s,
+            None => return Ok(()), // plan raced headroom; skip, stay consistent
+        };
+        let boundary = self.window_end(self.epoch);
+        // Freeze: checkpoint the source device's complete state. The
+        // fingerprint lands in the migration record, so two runs of the
+        // same fleet prove they froze identical state.
+        let frozen_at = self.devices[from_device].queue_head().max(boundary);
+        let freeze_crc = {
+            let cp: DeviceCheckpoint = self.devices[from_device].inner().checkpoint();
+            let mut enc = Encoder::new();
+            match cp.encode_into(&mut enc) {
+                Ok(()) => uc_persist::crc32(enc.as_bytes()),
+                Err(_) => 0, // device without a persist codec
+            }
+        };
+        #[cfg(feature = "fault-injection")]
+        if self.drop_next_migrant {
+            self.drop_next_migrant = false;
+            // The injected bug: the migrant is dropped instead of
+            // re-homed. The conservation contract must catch this at the
+            // next boundary audit.
+            self.placement.drop_tenant(tenant);
+            return Ok(());
+        }
+        let src_base = self.placement.base(from_slot);
+        let dst_base = self.placement.base(to_slot);
+        let extent = self.tenants[tenant as usize].written_high;
+        let mut completed_at = frozen_at;
+        let mut copied = 0u64;
+        if extent > 0 {
+            // Read the written extent off the frozen source...
+            let src = &mut self.devices[from_device];
+            let session = src.open_session();
+            let mut reads = IoBatch::new();
+            let mut owners = Vec::new();
+            let mut off = 0u64;
+            while off < extent {
+                let len = COPY_CHUNK.min(extent - off) as u32;
+                reads.push(IoRequest::read(src_base + off, len, frozen_at));
+                owners.push(session);
+                off += len as u64;
+                copied += len as u64;
+            }
+            let read_done = src
+                .submit_batch_shared(&owners, &reads)?
+                .iter()
+                .fold(frozen_at, |acc, c| acc.max(c.completes));
+            // ...and thaw it onto the target region.
+            let dst = &mut self.devices[to_device];
+            let session = dst.open_session();
+            let start = dst.queue_head().max(read_done);
+            let mut writes = IoBatch::new();
+            let mut owners = Vec::new();
+            let mut off = 0u64;
+            while off < extent {
+                let len = COPY_CHUNK.min(extent - off) as u32;
+                writes.push(IoRequest::write(dst_base + off, len, start));
+                owners.push(session);
+                off += len as u64;
+            }
+            completed_at = dst
+                .submit_batch_shared(&owners, &writes)?
+                .iter()
+                .fold(start, |acc, c| acc.max(c.completes));
+        }
+        let before = self.placement.homes().to_vec();
+        self.placement.migrate(tenant, to_device, to_slot);
+        let audit_result = {
+            let audit = MigrationAudit {
+                tenant,
+                before: &before,
+                after: self.placement.homes(),
+            };
+            audit.check().and_then(|()| self.placement.check())
+        };
+        if let Err(v) = audit_result {
+            self.violations.push(v.to_string());
+        }
+        // Replay the tail: entries that arrived during the copy defer to
+        // its completion.
+        let run = &mut self.tenants[tenant as usize];
+        run.floor = run.floor.max(completed_at);
+        self.finished_at = self.finished_at.max(completed_at);
+        self.migrations.push(MigrationRecord {
+            epoch: self.epoch as u64,
+            tenant,
+            from: (from_device, from_slot),
+            to: (to_device, to_slot),
+            frozen_at,
+            completed_at,
+            bytes_copied: copied,
+            freeze_crc,
+        });
+        Ok(())
+    }
+
+    /// Runs every remaining epoch and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device [`IoError`].
+    pub fn run(&mut self) -> Result<FleetReport, IoError> {
+        while !self.is_finished() {
+            self.run_epoch()?;
+        }
+        Ok(self.report())
+    }
+
+    /// The report of everything run so far.
+    pub fn report(&self) -> FleetReport {
+        let per_tenant = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(t, run)| TenantSummary {
+                id: t as u32,
+                device: self.placement.home(t as u32).map_or(usize::MAX, |h| h.0),
+                ios: run.metrics.ios,
+                bytes: run.metrics.bytes,
+                mean_latency: run.metrics.latency.mean(),
+                p99_latency: run.metrics.latency.percentile(99.0),
+                max_latency: run.metrics.latency.max(),
+                throttle_events: run.metrics.throttle_events,
+                throttled: run.metrics.throttled,
+            })
+            .collect::<Vec<_>>();
+        FleetReport {
+            tenants: self.config.tenants,
+            devices: self.config.devices,
+            epochs: self.epoch,
+            fairness_per_epoch: self.epoch_stats.iter().map(|s| s.fairness).collect(),
+            migrations: self.migrations.clone(),
+            violations: self.violations.clone(),
+            total_ios: per_tenant.iter().map(|t| t.ios).sum(),
+            total_bytes: per_tenant.iter().map(|t| t.bytes).sum(),
+            finished_at: self.finished_at,
+            per_tenant,
+        }
+    }
+
+    /// Captures the fleet's resumable state (pair with
+    /// [`checkpoint_devices`](Self::checkpoint_devices) for a durable
+    /// cut).
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            epoch: self.epoch as u64,
+            placement: self.placement.clone(),
+            cursors: self.tenants.iter().map(|r| r.cursor as u64).collect(),
+            floors: self.tenants.iter().map(|r| r.floor).collect(),
+            written_highs: self.tenants.iter().map(|r| r.written_high).collect(),
+            metrics: self.tenants.iter().map(|r| r.metrics.clone()).collect(),
+            buckets: self.buckets.snapshot(),
+            epoch_stats: self.epoch_stats.clone(),
+            migrations: self.migrations.clone(),
+            violations: self.violations.clone(),
+            queue_heads: self.devices.iter().map(|d| d.queue_head()).collect(),
+            finished_at: self.finished_at,
+        }
+    }
+
+    /// Freezes every device in the pool (the durable layer stores these
+    /// alongside the [`FleetSnapshot`]).
+    pub fn checkpoint_devices(&self) -> Vec<DeviceCheckpoint> {
+        self.devices
+            .iter()
+            .map(|d| d.inner().checkpoint())
+            .collect()
+    }
+
+    /// The per-tenant specs (for rendering: shape, budget).
+    pub fn tenant_spec(&self, tenant: u32) -> &TenantSpec {
+        &self.tenants[tenant as usize].spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_essd::{Essd, EssdConfig};
+    use uc_persist::Persist;
+
+    fn pool(devices: usize, capacity: u64, seed: u64) -> Vec<FleetDevice> {
+        (0..devices)
+            .map(|i| {
+                let config = EssdConfig::alibaba_pl3(capacity)
+                    .with_name(format!("fleet-essd-{i}"))
+                    .with_seed(seed ^ i as u64);
+                Box::new(Essd::new(config)) as FleetDevice
+            })
+            .collect()
+    }
+
+    fn small_config() -> FleetConfig {
+        FleetConfig::new(12, 2).with_duration(SimDuration::from_millis(20))
+    }
+
+    fn encoded(snapshot: &FleetSnapshot) -> Vec<u8> {
+        let mut w = Encoder::new();
+        snapshot.encode(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn two_runs_are_byte_identical() {
+        let mut a = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        let mut b = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        let ra = a.run().expect("fleet a runs");
+        let rb = b.run().expect("fleet b runs");
+        assert_eq!(ra, rb);
+        assert_eq!(encoded(&a.snapshot()), encoded(&b.snapshot()));
+        assert!(ra.violations.is_empty(), "{:?}", ra.violations);
+        assert!(ra.total_ios > 0);
+        assert!(ra.min_fairness() > 0.0 && ra.min_fairness() <= 1.0);
+    }
+
+    #[test]
+    fn skewed_fleet_rebalances_cleanly() {
+        // All-steady mix plus heavy-tail hot tenants: contiguous
+        // placement concentrates load, so the planner must fire.
+        let config = small_config().with_rebalance(RebalancePolicy::default());
+        let mut sim = FleetSim::new(config, pool(2, 64 << 20, 7));
+        let report = sim.run().expect("fleet runs");
+        assert!(
+            !report.migrations.is_empty(),
+            "no migration despite skew: {:?}",
+            report.fairness_per_epoch
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let mv = &report.migrations[0];
+        assert_ne!(mv.from.0, mv.to.0, "migration must change device");
+        assert!(mv.completed_at >= mv.frozen_at);
+        assert!(mv.bytes_copied > 0, "hot tenant had written an extent");
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let config = small_config().with_rebalance(RebalancePolicy::default());
+        // Straight-through reference run.
+        let mut whole = FleetSim::new(config.clone(), pool(2, 64 << 20, 7));
+        let whole_report = whole.run().expect("reference runs");
+
+        // Interrupted run: stop after 2 epochs, freeze, thaw, finish.
+        let mut first = FleetSim::new(config.clone(), pool(2, 64 << 20, 7));
+        first.run_epoch().expect("epoch 0");
+        first.run_epoch().expect("epoch 1");
+        let snapshot = first.snapshot();
+        let frozen = first.checkpoint_devices();
+        drop(first); // the "kill"
+
+        let mut thawed = pool(2, 64 << 20, 7);
+        for (device, checkpoint) in thawed.iter_mut().zip(frozen) {
+            device.restore_from(checkpoint).expect("thaws");
+        }
+        let mut resumed = FleetSim::resume(config, thawed, &snapshot);
+        assert_eq!(resumed.epoch(), 2);
+        let resumed_report = resumed.run().expect("resumed runs");
+
+        assert_eq!(whole_report, resumed_report);
+        assert_eq!(encoded(&whole.snapshot()), encoded(&resumed.snapshot()));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_persist() {
+        let mut sim = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        sim.run_epoch().expect("epoch 0");
+        let snapshot = sim.snapshot();
+        let bytes = encoded(&snapshot);
+        let mut r = uc_persist::Decoder::new(&bytes);
+        let back = FleetSnapshot::decode(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(encoded(&back), bytes);
+    }
+
+    #[test]
+    #[cfg(feature = "fault-injection")]
+    fn dropped_migrant_is_caught_by_the_conservation_contract() {
+        let config = small_config().with_rebalance(RebalancePolicy::default());
+        let mut sim = FleetSim::new(config, pool(2, 64 << 20, 7));
+        sim.arm_migration_fault();
+        let report = sim.run().expect("fleet runs; violations are findings");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("every-tenant-placed")),
+            "conservation contract missed the dropped tenant: {:?}",
+            report.violations
+        );
+    }
+}

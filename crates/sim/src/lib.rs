@@ -59,4 +59,4 @@ pub use queue::EventQueue;
 pub use resource::{ParallelResource, ParallelResourceSnapshot, Resource, ResourceSnapshot};
 pub use rng::{RngSnapshot, SimRng};
 pub use time::{SimDuration, SimTime};
-pub use token::{TokenBucket, TokenBucketSnapshot};
+pub use token::{BucketSet, TokenBucket, TokenBucketSnapshot};

@@ -256,6 +256,113 @@ impl Contract for TokenBucket {
     }
 }
 
+/// An indexed set of per-tenant token buckets.
+///
+/// A fleet places many tenants on shared devices, each with its own
+/// throughput budget; this is the container that keeps those budgets
+/// together so they can be reserved against by tenant index, snapshotted
+/// as one unit at a checkpoint boundary, and audited as one conservation
+/// contract (every bucket sane, and the set-level grant ledger equal to
+/// the sum of per-bucket grants — a lost or double-counted grant is a
+/// structural violation, not a silent drift).
+#[derive(Debug, Clone, Default)]
+pub struct BucketSet {
+    buckets: Vec<TokenBucket>,
+    granted_total: u64,
+}
+
+impl BucketSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        BucketSet::default()
+    }
+
+    /// Appends a bucket, returning its index.
+    pub fn push(&mut self, bucket: TokenBucket) -> usize {
+        self.buckets.push(bucket);
+        self.buckets.len() - 1
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` if the set holds no buckets.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The bucket at `index`.
+    pub fn get(&self, index: usize) -> &TokenBucket {
+        &self.buckets[index]
+    }
+
+    /// Grants `tokens` from bucket `index` at the earliest instant
+    /// `>= now` (see [`TokenBucket::reserve`]), updating the set-level
+    /// grant ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn reserve(&mut self, index: usize, now: SimTime, tokens: u64) -> SimTime {
+        let grant = self.buckets[index].reserve(now, tokens);
+        self.granted_total += tokens;
+        // Contract hook (O(1) amortized over the touched bucket): the
+        // set-level ledger and the touched bucket stay mutually sane.
+        uc_invariant::enforce(|| self.buckets[index].check());
+        grant
+    }
+
+    /// Total tokens granted across every bucket since construction or
+    /// the last restore.
+    pub fn granted_total(&self) -> u64 {
+        self.granted_total
+    }
+
+    /// Captures every bucket's complete state, in index order.
+    pub fn snapshot(&self) -> Vec<TokenBucketSnapshot> {
+        self.buckets.iter().map(TokenBucket::snapshot).collect()
+    }
+
+    /// Rebuilds a set that continues exactly where `snapshots` were
+    /// taken (the ledger is recomputed from the buckets, so a restored
+    /// set always satisfies its own conservation contract).
+    pub fn restore(snapshots: &[TokenBucketSnapshot]) -> Self {
+        let buckets: Vec<TokenBucket> =
+            snapshots.iter().map(|s| TokenBucket::restore(*s)).collect();
+        let granted_total = buckets.iter().map(TokenBucket::granted_total).sum();
+        BucketSet {
+            buckets,
+            granted_total,
+        }
+    }
+}
+
+/// Conservation audit for the bucket set: every member bucket upholds its
+/// own contract, and the set-level grant ledger equals the sum of
+/// per-bucket grants. O(buckets).
+impl Contract for BucketSet {
+    fn contract_name(&self) -> &'static str {
+        "uc-sim/BucketSet"
+    }
+
+    fn check(&self) -> Result<(), Violation> {
+        for bucket in &self.buckets {
+            bucket.check()?;
+        }
+        let sum: u64 = self.buckets.iter().map(TokenBucket::granted_total).sum();
+        ensure!(
+            self,
+            "grant-ledger-conservation",
+            sum == self.granted_total,
+            "per-bucket grants sum to {sum} but the set ledger holds {}",
+            self.granted_total
+        );
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +460,51 @@ mod tests {
         let mut snap = TokenBucket::new(1.0, 1.0).snapshot();
         snap.rate_per_sec = f64::NAN;
         let _ = TokenBucket::restore(snap);
+    }
+
+    #[test]
+    fn bucket_set_grants_independently_per_index() {
+        let mut set = BucketSet::new();
+        assert!(set.is_empty());
+        let slow = set.push(TokenBucket::new(100.0, 100.0));
+        let fast = set.push(TokenBucket::new(100.0, 100_000.0));
+        assert_eq!((slow, fast, set.len()), (0, 1, 2));
+        // Drain both bursts, then ask again: only the slow tenant waits.
+        set.reserve(slow, SimTime::ZERO, 100);
+        set.reserve(fast, SimTime::ZERO, 100);
+        let g_slow = set.reserve(slow, SimTime::ZERO, 100);
+        let g_fast = set.reserve(fast, SimTime::ZERO, 100);
+        assert!(g_slow > g_fast, "budgets are isolated per tenant");
+        assert_eq!(set.granted_total(), 400);
+        assert_eq!(set.check(), Ok(()));
+    }
+
+    #[test]
+    fn bucket_set_snapshot_restore_preserves_schedules_and_ledger() {
+        let mut set = BucketSet::new();
+        set.push(TokenBucket::new(50.0, 1000.0));
+        set.push(TokenBucket::new(200.0, 500.0));
+        set.reserve(0, SimTime::ZERO, 80);
+        set.reserve(1, SimTime::ZERO, 150);
+        let snaps = set.snapshot();
+        let mut thawed = BucketSet::restore(&snaps);
+        assert_eq!(thawed.granted_total(), set.granted_total());
+        assert_eq!(thawed.check(), Ok(()));
+        let now = SimTime::ZERO + SimDuration::from_millis(3);
+        for idx in [0usize, 1, 0] {
+            assert_eq!(set.reserve(idx, now, 40), thawed.reserve(idx, now, 40));
+        }
+    }
+
+    #[test]
+    fn bucket_set_ledger_violation_is_reported() {
+        let mut set = BucketSet::new();
+        set.push(TokenBucket::new(10.0, 10.0));
+        set.reserve(0, SimTime::ZERO, 5);
+        // Corrupt the ledger the way a lost grant would.
+        set.granted_total += 1;
+        let v = set.check().unwrap_err();
+        assert_eq!(v.invariant, "grant-ledger-conservation");
+        assert_eq!(v.contract, "uc-sim/BucketSet");
     }
 }

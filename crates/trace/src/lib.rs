@@ -16,7 +16,12 @@
 //!   traces never sit in memory, with typed decode errors and
 //!   `From`/`TryFrom` interop with the text [`Trace`] format;
 //! * **generators** ([`TraceSpec`]) — synthetic arrival shapes (steady,
-//!   diurnal, bursty ON/OFF) parameterized like `uc-workload` job specs.
+//!   diurnal, bursty ON/OFF) parameterized like `uc-workload` job specs;
+//! * **interleaving** ([`merge_streams`] / [`validate_merged`]) — the
+//!   deterministic multi-tenant merge the fleet simulation (`uc-fleet`)
+//!   uses to put many tenants on one shared device: identical timestamps
+//!   tie-break by tenant id, and a merged sequence with a non-monotone
+//!   cross-tenant order is a typed error, never a panic.
 //!
 //! Replay itself lives in `uc-workload`
 //! ([`replay_with`](uc_workload::replay_with) /
@@ -56,6 +61,7 @@
 
 mod format;
 mod generate;
+mod merge;
 mod recorder;
 
 pub use format::{
@@ -63,6 +69,7 @@ pub use format::{
     TraceWriter, TRACE_RECORD_KIND,
 };
 pub use generate::{ArrivalShape, TraceSpec};
+pub use merge::{merge_streams, validate_merged, MergedEntry};
 pub use recorder::TraceRecorder;
 
 // The trace type and its replay drivers, re-exported so consumers of the

@@ -51,6 +51,7 @@
 //! | [`essd`] | the elastic-SSD device model (AWS io2 / Alibaba PL3) |
 //! | [`workload`] | FIO-like jobs, queue-pair batched drivers, trace replay |
 //! | [`trace`] | trace capture (`TraceRecorder`), the `uc.trace.v1` binary format, arrival-shape generators |
+//! | [`fleet`] | multi-tenant fleets: placement, shared-device interleaving, interference metrics, checkpoint-seam rebalancing |
 //! | [`core`] | experiments (parallel cell executor), contract checker, implication advisors |
 
 #![forbid(unsafe_code)]
@@ -61,6 +62,7 @@ pub use uc_cluster as cluster;
 pub use uc_core as core;
 pub use uc_essd as essd;
 pub use uc_flash as flash;
+pub use uc_fleet as fleet;
 pub use uc_ftl as ftl;
 pub use uc_invariant as invariant;
 pub use uc_metrics as metrics;
@@ -81,6 +83,7 @@ pub mod prelude {
     pub use uc_core::devices::{DeviceKind, DeviceRoster};
     pub use uc_core::experiments::Executor;
     pub use uc_essd::{Essd, EssdConfig};
+    pub use uc_fleet::{FleetConfig, FleetSim, RebalancePolicy, ShapeMix};
     pub use uc_invariant::{Contract, Violation};
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};

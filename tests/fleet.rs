@@ -1,0 +1,175 @@
+//! Fleet property suites: the multi-tenant seams driven with random
+//! fleet definitions and audited against their contracts.
+//!
+//! Two observational equivalences are pinned:
+//!
+//! * **suffix equivalence** — freezing the whole fleet at *any* epoch
+//!   boundary (simulation snapshot + every device's checkpoint), thawing
+//!   onto a fresh pool, and replaying the tail produces a final state
+//!   byte-identical to an uninterrupted run — with and without
+//!   checkpoint-seam migrations in the suffix;
+//! * **work conservation** — rebalancing migrates *where* a tenant's
+//!   work runs, never *how much* of it completes: per-tenant I/O and
+//!   byte totals are identical with rebalancing on and off.
+//!
+//! The fault-injection test at the bottom proves the conservation
+//! contract has teeth: a seeded migration bug that drops the migrant
+//! (behind the test-only `fault-injection` feature) is caught by the
+//! `every-tenant-placed` invariant at the next boundary audit.
+
+use proptest::prelude::*;
+use unwritten_contract::essd::{Essd, EssdConfig};
+use unwritten_contract::fleet::{
+    FleetConfig, FleetDevice, FleetSim, FleetSnapshot, RebalancePolicy,
+};
+use unwritten_contract::persist::{Encoder, Persist};
+use unwritten_contract::sim::SimDuration;
+
+/// A pool of small eSSDs, uniquely named (the checkpoint seam validates
+/// names on thaw) and deterministically seeded.
+fn pool(devices: usize, seed: u64) -> Vec<FleetDevice> {
+    (0..devices)
+        .map(|i| {
+            let config = EssdConfig::alibaba_pl3(64 << 20)
+                .with_name(format!("fleet-essd-{i}"))
+                .with_seed(seed ^ i as u64);
+            Box::new(Essd::new(config)) as FleetDevice
+        })
+        .collect()
+}
+
+/// A small fleet sized for per-case property runs.
+fn config(tenants: usize, devices: usize, seed: u64, rebalance: bool) -> FleetConfig {
+    let mut config = FleetConfig::new(tenants, devices)
+        .with_duration(SimDuration::from_millis(10))
+        .with_seed(seed);
+    if rebalance {
+        config = config.with_rebalance(RebalancePolicy::default());
+    }
+    config
+}
+
+/// The snapshot's canonical wire form — byte equality here is the
+/// strongest state-equality check the fleet offers (placement, cursors,
+/// floors, budgets, full latency histograms, migration log, queue heads).
+fn encoded(snapshot: &FleetSnapshot) -> Vec<u8> {
+    let mut w = Encoder::new();
+    snapshot.encode(&mut w);
+    w.into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Freeze at any epoch boundary, thaw onto a fresh pool, replay the
+    // tail: the final state is byte-identical to an uninterrupted run.
+    // `rebalance` folds checkpoint-seam migrations into both the prefix
+    // and the suffix.
+    #[test]
+    fn fleet_resume_at_any_boundary_is_suffix_equivalent(
+        tenants in 4usize..14,
+        seed in 0u64..1_000,
+        cut in 1usize..4,
+        rebalance in 0u8..2,
+    ) {
+        let devices = 2;
+        let cfg = config(tenants, devices, seed, rebalance == 1);
+
+        let mut whole = FleetSim::new(cfg.clone(), pool(devices, seed));
+        let whole_report = whole.run().expect("uninterrupted run");
+
+        let mut prefix = FleetSim::new(cfg.clone(), pool(devices, seed));
+        for _ in 0..cut {
+            prefix.run_epoch().expect("prefix epoch");
+        }
+        let snapshot = prefix.snapshot();
+        let frozen = prefix.checkpoint_devices();
+        drop(prefix); // the "kill": nothing survives but snapshot + checkpoints
+
+        let mut thawed = pool(devices, seed);
+        for (device, checkpoint) in thawed.iter_mut().zip(frozen) {
+            device.restore_from(checkpoint).expect("thaw");
+        }
+        let mut resumed = FleetSim::resume(cfg, thawed, &snapshot);
+        let resumed_report = resumed.run().expect("suffix run");
+
+        prop_assert_eq!(&whole_report, &resumed_report);
+        prop_assert_eq!(encoded(&whole.snapshot()), encoded(&resumed.snapshot()));
+        prop_assert!(whole_report.violations.is_empty(), "{:?}", whole_report.violations);
+    }
+
+    // Rebalancing moves work, it never loses or duplicates it: every
+    // tenant completes exactly the same I/Os and bytes with migrations
+    // as without (only placement and latency may differ).
+    #[test]
+    fn migration_is_work_conserving(
+        tenants in 4usize..14,
+        seed in 0u64..1_000,
+    ) {
+        let devices = 2;
+        let mut pinned = FleetSim::new(config(tenants, devices, seed, false), pool(devices, seed));
+        let mut moved = FleetSim::new(config(tenants, devices, seed, true), pool(devices, seed));
+        let pinned_report = pinned.run().expect("pinned run");
+        let moved_report = moved.run().expect("rebalanced run");
+
+        prop_assert!(pinned_report.violations.is_empty());
+        prop_assert!(moved_report.violations.is_empty());
+        prop_assert!(pinned_report.migrations.is_empty());
+        for (a, b) in pinned_report.per_tenant.iter().zip(&moved_report.per_tenant) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.ios, b.ios, "tenant {} i/o count drifted", a.id);
+            prop_assert_eq!(a.bytes, b.bytes, "tenant {} byte count drifted", a.id);
+        }
+        for m in &moved_report.migrations {
+            prop_assert!(m.from.0 != m.to.0, "a migration must change device");
+            prop_assert!(m.completed_at >= m.frozen_at);
+        }
+    }
+}
+
+/// Acceptance criterion: the known-skewed fleet (heavy-tail tenants
+/// concentrated by contiguous placement) actually migrates, and the
+/// suffix-equivalence above therefore covers real migrations, not just
+/// quiet fleets.
+#[test]
+fn skewed_fleet_migrates_and_the_record_fingerprints_the_freeze() {
+    let cfg = config(12, 2, 7, true);
+    let mut sim = FleetSim::new(cfg, pool(2, 7));
+    let report = sim.run().expect("skewed fleet runs");
+    assert!(
+        !report.migrations.is_empty(),
+        "expected the default policy to migrate: {:?}",
+        report.fairness_per_epoch
+    );
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    // The freeze fingerprint is the CRC of the source device's encoded
+    // checkpoint: nonzero for persistable devices, and stable run-to-run.
+    let mut again = FleetSim::new(config(12, 2, 7, true), pool(2, 7));
+    let report2 = again.run().expect("second run");
+    for (a, b) in report.migrations.iter().zip(&report2.migrations) {
+        assert_ne!(a.freeze_crc, 0, "eSSD checkpoints carry a codec");
+        assert_eq!(a.freeze_crc, b.freeze_crc, "freeze must be deterministic");
+    }
+}
+
+// ---- fault injection: the conservation contract has teeth -------------
+
+/// A seeded migration bug — the migrant is dropped instead of re-homed —
+/// is caught by the `every-tenant-placed` invariant of the placement
+/// contract at the next epoch-boundary audit, and reported as a finding
+/// rather than a panic (so operators see it in the run report).
+#[test]
+fn seeded_dropped_migrant_is_caught_by_tenant_conservation() {
+    let cfg = config(12, 2, 7, true);
+    let mut sim = FleetSim::new(cfg, pool(2, 7));
+    sim.arm_migration_fault();
+    let report = sim.run().expect("violations are findings, not I/O errors");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.contains("every-tenant-placed") && v.contains("uc-fleet/Placement")),
+        "conservation contract missed the dropped tenant: {:?}",
+        report.violations
+    );
+}
