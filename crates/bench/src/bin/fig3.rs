@@ -126,6 +126,7 @@ fn main() {
             .u64("simulated_bytes", simulated_bytes as u64)
             .f64("wall_seconds", wall)
             .f64("simulated_bytes_per_sec", simulated_bytes / wall.max(1e-9))
+            .opt_u64("peak_rss_bytes", uc_bench::peak_rss_bytes())
             .write_to(path)
             .expect("write bench json");
         eprintln!("wrote benchmark record to {path}");

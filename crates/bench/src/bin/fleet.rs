@@ -173,6 +173,7 @@ fn main() {
                 "simulated_bytes_per_sec",
                 verdict.report.total_bytes as f64 / wall.max(1e-9),
             )
+            .opt_u64("peak_rss_bytes", uc_bench::peak_rss_bytes())
             .write_to(&path)
             .expect("write bench json");
         eprintln!("wrote benchmark record to {path}");

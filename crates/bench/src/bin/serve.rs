@@ -1,0 +1,160 @@
+//! The served frontend: expose a pool of simulated devices to real
+//! network clients, or run the same pool in-process as the determinism
+//! baseline.
+//!
+//! Usage:
+//!
+//! * `serve --listen tcp:ADDR|uds:PATH [--devices <n>] [--sessions <n>]`
+//!   — bind, print the bound endpoint to stderr (`serving at …`), accept
+//!   exactly `--sessions` connections (thread per connection), then
+//!   print the device-side report and exit 0. Clients are `trace
+//!   --remote <endpoint> --remote-device <i>`.
+//! * `serve --inprocess [--devices <n>] [--sessions <n>]` — the same
+//!   pool, driven by in-process sessions replaying the same generated
+//!   traces (session `i` targets lane `i % devices` with seed
+//!   `0x7ACE + lane`). The report this mode prints is the baseline the
+//!   CI serve smoke diffs a networked run against, byte for byte.
+//!
+//! Common flags:
+//!
+//! * `--devices <n>` — device lanes, round-robin over the paper's roster
+//!   (ESSD-1, ESSD-2, local SSD); default 3.
+//! * `--sessions <n>` — sessions to serve/replay; default `--devices`.
+//! * `--scale <mult>` — multiply device capacities (`UC_SCALE`
+//!   fallback).
+//! * `--ring <n>` — per-doorbell submission ring (default 64, which
+//!   admits the replayer's 32-entry doorbells unsplit).
+//! * `--max-inflight <n>` — in-flight batch ceiling before overload
+//!   shedding (default 1024).
+//! * `--rate <bytes/s>` — per-session token-bucket rate budget.
+//! * `--quick` / `--shape bursty|steady|diurnal` — the generated trace
+//!   (in-process mode; remote clients pick their own).
+//! * `--report <path>` — write the rendered report there instead of
+//!   stdout.
+//! * `--bench-json <path>` — machine-readable run record (includes
+//!   `peak_rss_bytes` and the shed counters).
+//!
+//! Overload shedding is a served result, not a failure: the binary
+//! exits 0 even when `shed_overload` is positive.
+
+use std::sync::Arc;
+use uc_bench::{generated_trace, roster_from_args, BenchJson, DeviceKind};
+use uc_core::report::render_serve_report;
+use uc_serve::{Endpoint, Listener, PoolConfig, ServePool};
+use uc_trace::{replay_with, ReplayConfig};
+
+/// Reads the value of `--flag <n>` as a positive integer, if present.
+fn parse_count(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"));
+        let n = v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("{flag} expects a positive integer, got {v:?}"));
+        assert!(n > 0, "{flag} expects a positive integer, got 0");
+        n
+    })
+}
+
+/// Reads the value of `--flag <s>` as a string, if present.
+fn parse_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let inprocess = args.iter().any(|a| a == "--inprocess");
+    let shape = parse_value(&args, "--shape").unwrap_or_else(|| "bursty".to_string());
+    let devices = parse_count(&args, "--devices").unwrap_or(3);
+    let sessions = parse_count(&args, "--sessions").unwrap_or(devices);
+    let mut config = PoolConfig::default();
+    if let Some(ring) = parse_count(&args, "--ring") {
+        config.ring = ring;
+    }
+    if let Some(ceiling) = parse_count(&args, "--max-inflight") {
+        config.max_inflight = ceiling;
+    }
+    if let Some(rate) = parse_value(&args, "--rate") {
+        let parsed = rate
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("--rate expects bytes per second, got {rate:?}"));
+        config.rate = Some(parsed);
+    }
+
+    // Lanes round-robin the paper's roster, labeled deterministically so
+    // a networked run and the in-process baseline render identically.
+    let roster = roster_from_args(&args);
+    let lanes: Vec<(String, _)> = (0..devices)
+        .map(|i| {
+            let kind = DeviceKind::ALL[i % DeviceKind::ALL.len()];
+            (format!("lane{i}-{}", kind.label()), roster.build(kind))
+        })
+        .collect();
+    let pool = Arc::new(ServePool::new(lanes, config));
+
+    let started = std::time::Instant::now();
+    let mode = if inprocess {
+        // The determinism baseline: session i replays the same generated
+        // trace a remote client on lane i % devices would, sequentially
+        // (lanes are independent, so sequential == concurrent).
+        for i in 0..sessions {
+            let lane = i % devices;
+            let mut dev = pool.device(lane).expect("lane exists");
+            let info = uc_blockdev::BlockDevice::info(&dev);
+            let trace = generated_trace(&shape, quick, info.capacity(), 0x7ACE + lane as u64);
+            let report = replay_with(&mut dev, &trace, &ReplayConfig::open_loop()).expect("replay");
+            eprintln!(
+                "session {i} on lane {lane}: {} I/Os, {} MiB, finished at {:.3} ms",
+                report.ios,
+                report.bytes >> 20,
+                report.finished_at.as_nanos() as f64 / 1e6
+            );
+        }
+        "inprocess"
+    } else {
+        let listen = parse_value(&args, "--listen")
+            .unwrap_or_else(|| panic!("serve expects --listen tcp:ADDR|uds:PATH or --inprocess"));
+        let endpoint = Endpoint::parse(&listen).unwrap_or_else(|e| panic!("--listen: {e}"));
+        let listener =
+            Listener::bind(&endpoint).unwrap_or_else(|e| panic!("cannot bind {endpoint}: {e}"));
+        let bound = listener.local_endpoint().expect("local endpoint");
+        eprintln!("serving {devices} lane(s) at {bound}; waiting for {sessions} session(s)…");
+        uc_serve::serve_sessions(&listener, &pool, sessions).expect("serve sessions");
+        "network"
+    };
+    let wall = started.elapsed();
+
+    let report = pool.report();
+    let rendered = render_serve_report(&report);
+    match parse_value(&args, "--report") {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    if let Some(path) = parse_value(&args, "--bench-json") {
+        BenchJson::new("serve")
+            .str("mode", mode)
+            .u64("devices", devices as u64)
+            .u64("sessions", sessions as u64)
+            .u64("total_ios", report.total_ios())
+            .u64("total_bytes", report.total_bytes())
+            .u64("busy_ring_full", report.busy_ring_full)
+            .u64("shed_overload", report.shed_overload)
+            .u64("throttled", report.throttled)
+            .f64("wall_seconds", wall.as_secs_f64())
+            .opt_u64("peak_rss_bytes", uc_bench::peak_rss_bytes())
+            .write_to(&path)
+            .expect("write bench json");
+        eprintln!("bench json written to {path}");
+    }
+    // Shedding and throttling are served outcomes, not failures.
+}

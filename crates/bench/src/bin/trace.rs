@@ -26,17 +26,26 @@
 //!   pins this).
 //! * `--kill-after <n>` — crash-testing hook: exit 42 after the n-th
 //!   checkpoint save.
+//! * `--remote tcp:ADDR|uds:PATH` — client mode: instead of building
+//!   local devices, open a session on a `serve` frontend and replay the
+//!   generated trace over the wire (the replayer drives the
+//!   [`RemoteDevice`](uc_serve::RemoteDevice) through the same
+//!   [`BlockDevice`] seam). `--remote-device <i>` picks the served lane
+//!   (default 0); the trace seed is `0x7ACE + i` and the offset span is
+//!   the lane's advertised capacity, so concurrent clients on distinct
+//!   lanes stay deterministic.
 //!
-//! Exits nonzero if any phase violates the contract thresholds, so the
-//! report doubles as a gate.
+//! Exits nonzero if any phase violates the contract thresholds (local
+//! mode), so the report doubles as a gate; remote mode exits 0 unless
+//! the transport fails.
 
-use uc_bench::roster_from_args;
+use uc_bench::{generated_trace, roster_from_args};
 use uc_core::devices::DeviceKind;
 use uc_core::experiments::trace::{self as trace_exp, TraceRunConfig, TraceStore};
 use uc_core::experiments::Executor;
 use uc_core::report::render_trace_report;
 use uc_sim::SimDuration;
-use uc_trace::{load_trace, save_trace, ReplayConfig, Trace, TraceSpec};
+use uc_trace::{load_trace, replay_with, save_trace, ReplayConfig, Trace};
 
 /// Reads the value of `--flag <n>` as a positive integer, if present.
 fn parse_count(args: &[String], flag: &str) -> Option<usize> {
@@ -61,31 +70,57 @@ fn parse_value(args: &[String], flag: &str) -> Option<String> {
     })
 }
 
-/// The synthetic trace for the selected shape, sized to the roster (the
-/// offset span is the smallest device's capacity, so the same trace
-/// replays on every device at any `--scale`).
-fn generated(shape: &str, quick: bool, span: u64, seed: u64) -> Trace {
-    let duration = if quick {
-        SimDuration::from_millis(100)
-    } else {
-        SimDuration::from_secs(1)
-    };
-    let spec = match shape {
-        "bursty" => TraceSpec::bursty(
-            SimDuration::from_millis(2),
-            SimDuration::from_millis(6),
-            40_000.0,
-        ),
-        "steady" => TraceSpec::steady(10_000.0),
-        "diurnal" => TraceSpec::diurnal(2_000.0, 30_000.0, duration),
-        other => panic!("--shape expects bursty|steady|diurnal, got {other:?}"),
-    };
-    spec.with_duration(duration)
-        .with_io_size(64 << 10)
-        .with_write_ratio(0.8)
-        .with_span(span)
-        .with_seed(seed)
-        .generate()
+/// Client mode: replay a generated trace against one lane of a `serve`
+/// frontend, then print the device-side session ledger.
+fn run_remote(args: &[String], endpoint: &str, shape: &str, quick: bool) {
+    let endpoint = uc_serve::Endpoint::parse(endpoint).unwrap_or_else(|e| panic!("--remote: {e}"));
+    let device: u32 = parse_value(args, "--remote-device")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--remote-device expects a lane index, got {v:?}"))
+        })
+        .unwrap_or(0);
+    let mut dev = uc_serve::RemoteDevice::open(&endpoint, device)
+        .unwrap_or_else(|e| panic!("cannot open lane {device} at {endpoint}: {e}"));
+    let info = uc_blockdev::BlockDevice::info(&dev);
+    eprintln!(
+        "remote lane {device} at {endpoint}: {} ({} MiB)",
+        info.name(),
+        info.capacity() >> 20
+    );
+    // Seeded per lane so concurrent clients on distinct lanes generate
+    // distinct (but individually deterministic) traffic.
+    let trace = generated_trace(shape, quick, info.capacity(), 0x7ACE + device as u64);
+    eprintln!(
+        "trace: {} entries, {} MiB, {:.1} ms span",
+        trace.len(),
+        trace.total_bytes() >> 20,
+        trace.duration().as_secs_f64() * 1e3
+    );
+    let report = replay_with(&mut dev, &trace, &ReplayConfig::open_loop()).expect("remote replay");
+    println!(
+        "remote replay: {} I/Os, {} MiB, mean lat {}, finished at {:.3} ms \
+         ({} ring-full split(s), {} overload retries)",
+        report.ios,
+        report.bytes >> 20,
+        uc_core::report::paper_duration(report.latency.mean()),
+        report.finished_at.as_nanos() as f64 / 1e6,
+        dev.ring_full_splits(),
+        dev.overload_retries(),
+    );
+    let stats = dev.session_stats().expect("session stats");
+    println!(
+        "server ledger: {} I/Os, {} MiB, {} clamped, queue head at {:.3} ms",
+        stats.stats.ios,
+        stats.stats.bytes >> 20,
+        stats.stats.clamped,
+        stats.queue_head.as_nanos() as f64 / 1e6
+    );
+    assert_eq!(
+        stats.stats.ios, report.ios,
+        "server ledger disagrees with the client-side replay"
+    );
+    dev.close().expect("close session");
 }
 
 fn main() {
@@ -93,6 +128,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let resume = args.iter().any(|a| a == "--resume");
     let shape = parse_value(&args, "--shape").unwrap_or_else(|| "bursty".to_string());
+    if let Some(endpoint) = parse_value(&args, "--remote") {
+        run_remote(&args, &endpoint, &shape, quick);
+        return;
+    }
     let phases = parse_count(&args, "--phases").unwrap_or(8);
     let kill_after = parse_count(&args, "--kill-after");
     let checkpoint_dir = parse_value(&args, "--checkpoint-dir");
@@ -136,7 +175,7 @@ fn main() {
                 }
             }
         }
-        None => generated(&shape, quick, roster.ssd_capacity(), 0x7ACE),
+        None => generated_trace(&shape, quick, roster.ssd_capacity(), 0x7ACE),
     };
     eprintln!(
         "trace: {} entries, {} MiB, {:.1} ms span",

@@ -54,6 +54,56 @@ pub fn roster_from_args(args: &[String]) -> DeviceRoster {
     DeviceRoster::scaled_default().with_scale(scale_from_args(args))
 }
 
+/// The synthetic trace for a named arrival shape, sized to `span` bytes
+/// of offsets and seeded deterministically.
+///
+/// Shared between the `trace` binary (local and `--remote` replay) and
+/// the `serve` binary's in-process mode, so a networked client and the
+/// loopback-determinism baseline generate the *same* trace from the same
+/// `(shape, quick, span, seed)` tuple.
+///
+/// # Panics
+///
+/// Panics if `shape` is not `bursty`, `steady`, or `diurnal`.
+pub fn generated_trace(shape: &str, quick: bool, span: u64, seed: u64) -> uc_trace::Trace {
+    use uc_sim::SimDuration;
+    let duration = if quick {
+        SimDuration::from_millis(100)
+    } else {
+        SimDuration::from_secs(1)
+    };
+    let spec = match shape {
+        "bursty" => uc_trace::TraceSpec::bursty(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(6),
+            40_000.0,
+        ),
+        "steady" => uc_trace::TraceSpec::steady(10_000.0),
+        "diurnal" => uc_trace::TraceSpec::diurnal(2_000.0, 30_000.0, duration),
+        other => panic!("--shape expects bursty|steady|diurnal, got {other:?}"),
+    };
+    spec.with_duration(duration)
+        .with_io_size(64 << 10)
+        .with_write_ratio(0.8)
+        .with_span(span)
+        .with_seed(seed)
+        .generate()
+}
+
+/// The process's peak resident set size in bytes, if the platform
+/// exposes it (`VmHWM` in `/proc/self/status` on Linux; `None`
+/// elsewhere).
+///
+/// Benchmark binaries record this next to their wall-clock numbers so a
+/// perf regression that trades time for memory is still visible in the
+/// uploaded artifacts.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// A flat machine-readable benchmark record, hand-rolled (this workspace
 /// carries no JSON dependency): one object per file, insertion-ordered
 /// keys, written atomically enough for CI artifact upload (single
@@ -132,6 +182,17 @@ impl BenchJson {
         self
     }
 
+    /// Appends an optional unsigned-integer field (`None` becomes
+    /// `null`, keeping the key set stable across platforms).
+    pub fn opt_u64(mut self, key: &str, value: Option<u64>) -> Self {
+        let rendered = match value {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        self.push_raw(key, rendered);
+        self
+    }
+
     /// The rendered single-line JSON object.
     pub fn render(&self) -> String {
         let mut out = String::from("{");
@@ -183,6 +244,29 @@ mod tests {
     #[should_panic(expected = "expects a value")]
     fn scale_flag_requires_value() {
         let _ = scale_from_args(&args(&["bin", "--scale"]));
+    }
+
+    #[test]
+    fn opt_u64_renders_null_for_none() {
+        let json = BenchJson::new("x")
+            .opt_u64("present", Some(9))
+            .opt_u64("absent", None);
+        assert_eq!(json.render(), r#"{"bench":"x","present":9,"absent":null}"#);
+    }
+
+    #[test]
+    fn generated_trace_is_deterministic_per_seed() {
+        let a = generated_trace("steady", true, 1 << 30, 42);
+        let b = generated_trace("steady", true, 1 << 30, 42);
+        let c = generated_trace("steady", true, 1 << 30, 43);
+        assert_eq!(a.entries(), b.entries());
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(peak_rss_bytes().unwrap() > 0);
     }
 
     #[test]

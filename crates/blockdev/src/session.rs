@@ -100,6 +100,17 @@ impl<D: BlockDevice> SharedDevice<D> {
         &self.sessions[session.0]
     }
 
+    /// Every session's ledger, indexed by [`SessionId::index`] (open
+    /// order).
+    ///
+    /// This is the whole-device read-out a served frontend's STATS
+    /// frames and any dashboard consume: one pass over the slice yields
+    /// the per-tenant ledgers whose sums the [`Contract`] audits against
+    /// the device totals.
+    pub fn session_stats(&self) -> &[SessionStats] {
+        &self.sessions
+    }
+
     /// The queue head: the latest doorbelled instant across all sessions.
     pub fn queue_head(&self) -> SimTime {
         self.last_submit
@@ -342,6 +353,23 @@ mod tests {
         assert_eq!(dev.stats(a).ios, 2);
         assert_eq!(dev.stats(b).ios, 1);
         assert_eq!(dev.check(), Ok(()));
+    }
+
+    #[test]
+    fn session_stats_exposes_every_ledger_in_open_order() {
+        let mut dev = SharedDevice::new(Probe::new());
+        let a = dev.open_session();
+        let b = dev.open_session();
+        dev.submit_shared(a, &IoRequest::write(0, 4096, at(0)))
+            .unwrap();
+        dev.submit_shared(b, &IoRequest::read(8192, 512, at(10)))
+            .unwrap();
+        let all = dev.session_stats();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[a.index()], *dev.stats(a));
+        assert_eq!(all[b.index()], *dev.stats(b));
+        assert_eq!(all.iter().map(|s| s.ios).sum::<u64>(), 2);
+        assert_eq!(all.iter().map(|s| s.bytes).sum::<u64>(), 4608);
     }
 
     #[test]

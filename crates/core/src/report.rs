@@ -349,6 +349,56 @@ pub fn render_fleet_report(verdict: &FleetContractReport) -> String {
     out
 }
 
+/// Renders the served frontend's device-side report: one block per lane
+/// with its session ledgers, then the totals and the pool's backpressure
+/// counters.
+///
+/// Deterministic for deterministic inputs — the CI serve smoke diffs
+/// this rendering of a networked run against an in-process run byte for
+/// byte, which is the subsystem's acceptance bar.
+pub fn render_serve_report(report: &uc_serve::ServeReport) -> String {
+    let sessions: usize = report.devices.iter().map(|d| d.sessions.len()).sum();
+    let mut out = format!(
+        "==== serve — {} device lane(s), {} session(s) ====\n",
+        report.devices.len(),
+        sessions
+    );
+    for lane in &report.devices {
+        out.push_str(&format!(
+            "lane {} [{}] {} — {:.2} GiB, queue head {}\n",
+            lane.index,
+            lane.label,
+            lane.name,
+            lane.capacity as f64 / (1 << 30) as f64,
+            paper_duration(lane.queue_head.saturating_since(uc_sim::SimTime::ZERO))
+        ));
+        out.push_str(&format!(
+            "{:>9} {:>8} {:>10} {:>9} {:>12}\n",
+            "session", "I/Os", "MiB", "clamped", "last submit"
+        ));
+        for (index, s) in lane.sessions.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>9} {:>8} {:>10.2} {:>9} {:>12}\n",
+                index,
+                s.ios,
+                s.bytes as f64 / (1 << 20) as f64,
+                s.clamped,
+                paper_duration(s.last_submit.saturating_since(uc_sim::SimTime::ZERO))
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "total: {} I/Os, {:.2} MiB\n",
+        report.total_ios(),
+        report.total_bytes() as f64 / (1 << 20) as f64
+    ));
+    out.push_str(&format!(
+        "backpressure: {} ring-full, {} shed, {} throttled\n",
+        report.busy_ring_full, report.shed_overload, report.throttled
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +432,33 @@ mod tests {
         let text = render_series(&s, 40);
         let strip = text.lines().nth(1).unwrap();
         assert!(strip.chars().count() <= 40);
+    }
+
+    #[test]
+    fn serve_report_renders_lanes_and_counters() {
+        let report = uc_serve::ServeReport {
+            devices: vec![uc_serve::DeviceLaneReport {
+                index: 0,
+                label: "lane0".into(),
+                name: "ESSD-1".into(),
+                capacity: 2 << 30,
+                queue_head: uc_sim::SimTime::from_nanos(1_500_000),
+                sessions: vec![uc_blockdev::SessionStats {
+                    ios: 7,
+                    bytes: 7 << 20,
+                    clamped: 1,
+                    last_submit: uc_sim::SimTime::from_nanos(1_500_000),
+                }],
+            }],
+            busy_ring_full: 2,
+            shed_overload: 1,
+            throttled: 0,
+        };
+        let text = render_serve_report(&report);
+        assert!(text.contains("1 device lane(s), 1 session(s)"));
+        assert!(text.contains("lane 0 [lane0] ESSD-1"));
+        assert!(text.contains("total: 7 I/Os, 7.00 MiB"));
+        assert!(text.contains("2 ring-full, 1 shed, 0 throttled"));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! [`DecodeError::UnsupportedVersion`].
 
 use crate::codec::{DecodeError, Decoder, Encoder};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -158,6 +158,135 @@ pub fn decode_record(bytes: &[u8]) -> Result<(String, &[u8]), DecodeError> {
     Ok((kind, payload))
 }
 
+/// Largest kind tag [`read_record_from`] accepts (the longest real tags
+/// are tens of bytes; anything bigger is a corrupt length field, and the
+/// cap keeps a flipped bit from turning into a giant allocation).
+pub const MAX_STREAM_KIND_LEN: u64 = 1 << 10;
+
+/// Largest payload [`read_record_from`] accepts, for the same reason:
+/// a stream peer (or a corrupt record) must not be able to make the
+/// reader allocate an arbitrary amount of memory off an 8-byte length.
+pub const MAX_STREAM_PAYLOAD_LEN: u64 = 64 << 20;
+
+/// Reads exactly `buf.len()` bytes unless the stream ends first;
+/// returns how many bytes were actually read.
+fn fill<R: Read + ?Sized>(reader: &mut R, buf: &mut [u8]) -> Result<usize, DecodeError> {
+    let mut read = 0;
+    while read < buf.len() {
+        match reader.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(DecodeError::Io {
+                    path: "<stream>".to_string(),
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(read)
+}
+
+/// Reads `buf.len()` bytes or fails typed: end-of-stream mid-field is
+/// [`DecodeError::Truncated`].
+fn fill_exact<R: Read + ?Sized>(reader: &mut R, buf: &mut [u8]) -> Result<(), DecodeError> {
+    let got = fill(reader, buf)?;
+    if got < buf.len() {
+        return Err(DecodeError::Truncated {
+            needed: (buf.len() - got) as u64,
+            available: 0,
+        });
+    }
+    Ok(())
+}
+
+/// Reads the next record envelope off a byte stream, returning
+/// `Ok(None)` at a clean end of stream (end exactly at a record
+/// boundary) and `(kind, payload)` otherwise.
+///
+/// This is the incremental twin of [`decode_record`] for sources without
+/// random access — a socket serving `uc.wire.v1` frames, a pipe of
+/// streamed trace records. The envelope is self-describing, so no outer
+/// length prefix is needed; the reader walks the fields, bounds every
+/// length (see [`MAX_STREAM_KIND_LEN`] / [`MAX_STREAM_PAYLOAD_LEN`]), and
+/// then validates the assembled record through [`decode_record`] —
+/// checksum included.
+///
+/// # Errors
+///
+/// A stream ending *inside* a record is [`DecodeError::Truncated`];
+/// foreign bytes are [`DecodeError::BadMagic`]; a record from a future
+/// envelope is [`DecodeError::UnsupportedVersion`] (detected before its
+/// untrusted lengths are used); an implausible length field is
+/// [`DecodeError::InvalidValue`]; flipped bits are
+/// [`DecodeError::ChecksumMismatch`]; transport failures surface as
+/// [`DecodeError::Io`]. Corruption never panics.
+pub fn read_record_from<R: Read + ?Sized>(
+    reader: &mut R,
+) -> Result<Option<(String, Vec<u8>)>, DecodeError> {
+    let mut magic = [0u8; 8];
+    let got = fill(reader, &mut magic)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < magic.len() {
+        return Err(DecodeError::Truncated {
+            needed: (magic.len() - got) as u64,
+            available: 0,
+        });
+    }
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+
+    let mut version = [0u8; 2];
+    fill_exact(reader, &mut version)?;
+    let found = u16::from_le_bytes(version);
+    if found != FORMAT_VERSION {
+        // A future envelope may lay its fields out differently; bail
+        // before trusting any length read under the wrong layout.
+        return Err(DecodeError::UnsupportedVersion {
+            found,
+            supported: FORMAT_VERSION,
+        });
+    }
+
+    let mut record = Vec::with_capacity(64);
+    record.extend_from_slice(&magic);
+    record.extend_from_slice(&version);
+
+    let mut read_block = |record: &mut Vec<u8>, cap: u64, what| -> Result<(), DecodeError> {
+        let mut len_bytes = [0u8; 8];
+        fill_exact(reader, &mut len_bytes)?;
+        record.extend_from_slice(&len_bytes);
+        let len = u64::from_le_bytes(len_bytes);
+        if len > cap {
+            return Err(DecodeError::InvalidValue { what });
+        }
+        let start = record.len();
+        record.resize(start + len as usize, 0);
+        fill_exact(reader, &mut record[start..])
+    };
+    read_block(
+        &mut record,
+        MAX_STREAM_KIND_LEN,
+        "stream record kind length",
+    )?;
+    read_block(
+        &mut record,
+        MAX_STREAM_PAYLOAD_LEN,
+        "stream record payload length",
+    )?;
+
+    let mut checksum = [0u8; 4];
+    fill_exact(reader, &mut checksum)?;
+    record.extend_from_slice(&checksum);
+
+    let (kind, payload) = decode_record(&record)?;
+    Ok(Some((kind, payload.to_vec())))
+}
+
 /// Writes a record file atomically: the bytes go to `<path>.tmp` first
 /// and are renamed into place, so a crash mid-write never leaves a torn
 /// record at `path`.
@@ -293,6 +422,103 @@ mod tests {
             decode_record(&record),
             Err(DecodeError::TrailingBytes { count: 4 })
         );
+    }
+
+    #[test]
+    fn stream_reader_round_trips_back_to_back_records() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_record("a.v1", b"first"));
+        bytes.extend_from_slice(&encode_record("b.v1", b""));
+        bytes.extend_from_slice(&encode_record("c.v1", &[0xAB; 300]));
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            read_record_from(&mut cursor).unwrap(),
+            Some(("a.v1".to_string(), b"first".to_vec()))
+        );
+        assert_eq!(
+            read_record_from(&mut cursor).unwrap(),
+            Some(("b.v1".to_string(), Vec::new()))
+        );
+        assert_eq!(
+            read_record_from(&mut cursor).unwrap(),
+            Some(("c.v1".to_string(), vec![0xAB; 300]))
+        );
+        // Clean end of stream, exactly at a record boundary.
+        assert_eq!(read_record_from(&mut cursor).unwrap(), None);
+        assert_eq!(read_record_from(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_reader_types_mid_record_truncation() {
+        let record = encode_record("cut.v1", b"payload-bytes");
+        // A cut anywhere inside the record — including mid-magic — is a
+        // typed truncation, never a clean end of stream.
+        for cut in [1, 7, 9, 12, 20, record.len() - 1] {
+            let mut cursor = std::io::Cursor::new(record[..cut].to_vec());
+            assert!(
+                matches!(
+                    read_record_from(&mut cursor),
+                    Err(DecodeError::Truncated { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reader_rejects_foreign_bytes_and_future_versions() {
+        let mut wrong_magic = encode_record("t", b"x");
+        wrong_magic[0] ^= 0xFF;
+        assert_eq!(
+            read_record_from(&mut std::io::Cursor::new(wrong_magic)),
+            Err(DecodeError::BadMagic)
+        );
+        let mut future = encode_record("t", b"x");
+        future[8] = 0xEE;
+        future[9] = 0x7F;
+        assert_eq!(
+            read_record_from(&mut std::io::Cursor::new(future)),
+            Err(DecodeError::UnsupportedVersion {
+                found: 0x7FEE,
+                supported: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn stream_reader_bounds_hostile_length_fields() {
+        // A corrupt kind length must fail typed before any allocation of
+        // that size is attempted.
+        let mut bad_kind = encode_record("t", b"x");
+        bad_kind[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            read_record_from(&mut std::io::Cursor::new(bad_kind)),
+            Err(DecodeError::InvalidValue {
+                what: "stream record kind length"
+            })
+        );
+        let record = encode_record("t", b"x");
+        let payload_len_at = 10 + 8 + 1; // version + kind length + "t"
+        let mut bad_payload = record;
+        bad_payload[payload_len_at..payload_len_at + 8]
+            .copy_from_slice(&(MAX_STREAM_PAYLOAD_LEN + 1).to_le_bytes());
+        assert_eq!(
+            read_record_from(&mut std::io::Cursor::new(bad_payload)),
+            Err(DecodeError::InvalidValue {
+                what: "stream record payload length"
+            })
+        );
+    }
+
+    #[test]
+    fn stream_reader_checks_the_checksum() {
+        let mut record = encode_record("t", b"payload-bytes");
+        let payload_at = record.len() - 4 - 4;
+        record[payload_at] ^= 0x01;
+        assert!(matches!(
+            read_record_from(&mut std::io::Cursor::new(record)),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! The remote-device client: a [`BlockDevice`] over a `uc.wire.v1`
+//! connection.
+//!
+//! [`RemoteDevice`] opens a session on a served lane and speaks the
+//! plain [`BlockDevice`] interface, so the existing drivers — trace
+//! replay above all — become network load generators unchanged. The
+//! backpressure protocol is handled inside `submit_batch`:
+//!
+//! * BUSY/ring-full → the batch is split in half and resubmitted
+//!   (splitting a doorbell never changes the device-side schedule, since
+//!   every request carries its own submit instant); a refused
+//!   single-request batch is a server misconfiguration and panics;
+//! * BUSY/overload → back off briefly and resend the same batch;
+//! * a typed ERR frame carrying an [`IoError`] → returned as that error,
+//!   exactly as a local device would.
+//!
+//! Transport failures (connection reset, corrupt server frames) panic
+//! with a diagnostic: [`BlockDevice::submit`] can only carry an
+//! [`IoError`], and a dead connection mid-replay has no meaningful
+//! recovery — the replay's determinism contract is already broken.
+
+use crate::net::{Endpoint, Stream};
+use crate::wire::{BusyReason, Frame, WireStats};
+use std::io::{self, BufReader};
+use std::time::Duration;
+use uc_blockdev::{BlockDevice, Completion, DeviceInfo, IoBatch, IoError, IoRequest, IoResult};
+
+/// How long the client backs off before resending an overload-shed
+/// batch. Wall-clock, not simulated: overload is a property of the real
+/// server process.
+const OVERLOAD_BACKOFF: Duration = Duration::from_micros(200);
+
+/// A served device lane, driven over a connection.
+pub struct RemoteDevice {
+    reader: BufReader<Box<dyn Stream>>,
+    writer: Box<dyn Stream>,
+    info: DeviceInfo,
+    session: u32,
+    seq: u64,
+    ring_full_splits: u64,
+    overload_retries: u64,
+}
+
+impl RemoteDevice {
+    /// Connects to `endpoint` and opens a session on device lane
+    /// `device`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors propagate; a protocol-level refusal (unknown
+    /// lane, ERR reply) comes back as [`io::ErrorKind::InvalidData`]
+    /// with the server's message.
+    pub fn open(endpoint: &Endpoint, device: u32) -> io::Result<RemoteDevice> {
+        let stream = endpoint.connect()?;
+        let mut writer = stream.try_clone_stream()?;
+        let mut reader = BufReader::new(stream);
+        Frame::OpenSession { device }.write_to(&mut writer)?;
+        match Frame::read_from(&mut reader) {
+            Ok(Some(Frame::OpenOk {
+                session,
+                name,
+                capacity,
+                logical_block,
+            })) => Ok(RemoteDevice {
+                reader,
+                writer,
+                info: DeviceInfo::new(name, capacity, logical_block),
+                session,
+                seq: 0,
+                ring_full_splits: 0,
+                overload_retries: 0,
+            }),
+            Ok(Some(Frame::Err { message, .. })) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server refused session: {message}"),
+            )),
+            Ok(Some(other)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected OPEN_OK, got {}", other.kind()),
+            )),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection during the handshake",
+            )),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad OPEN_OK frame: {e}"),
+            )),
+        }
+    }
+
+    /// The session id the server assigned.
+    pub fn session(&self) -> u32 {
+        self.session
+    }
+
+    /// Ring-full refusals this client resolved by splitting.
+    pub fn ring_full_splits(&self) -> u64 {
+        self.ring_full_splits
+    }
+
+    /// Overload sheds this client resolved by backing off.
+    pub fn overload_retries(&self) -> u64 {
+        self.overload_retries
+    }
+
+    /// Fetches the session's server-side ledger.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors propagate; protocol violations come back as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn session_stats(&mut self) -> io::Result<WireStats> {
+        Frame::Stats {
+            session: self.session,
+        }
+        .write_to(&mut self.writer)?;
+        match Frame::read_from(&mut self.reader) {
+            Ok(Some(Frame::StatsOk { stats, .. })) => Ok(stats),
+            Ok(Some(other)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected STATS_OK, got {}", other.kind()),
+            )),
+            Ok(None) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-exchange",
+            )),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad STATS_OK frame: {e}"),
+            )),
+        }
+    }
+
+    /// Closes the session cleanly (CLOSE / CLOSE_OK) and shuts the
+    /// connection down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport error.
+    pub fn close(mut self) -> io::Result<()> {
+        Frame::Close.write_to(&mut self.writer)?;
+        match Frame::read_from(&mut self.reader) {
+            Ok(Some(Frame::CloseOk)) | Ok(None) => {}
+            Ok(Some(other)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected CLOSE_OK, got {}", other.kind()),
+                ))
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad CLOSE_OK frame: {e}"),
+                ))
+            }
+        }
+        self.writer.shutdown_both()
+    }
+
+    /// Submits `reqs` as one frame, resolving backpressure; completions
+    /// are appended to `out` with indices rebased to `base`.
+    fn submit_chunk(
+        &mut self,
+        reqs: &[IoRequest],
+        base: usize,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), IoError> {
+        self.seq += 1;
+        let frame = Frame::Submit {
+            session: self.session,
+            seq: self.seq,
+            reqs: reqs.to_vec(),
+        };
+        frame
+            .write_to(&mut self.writer)
+            .unwrap_or_else(|e| panic!("connection lost sending submit frame: {e}"));
+        loop {
+            match Frame::read_from(&mut self.reader) {
+                Ok(Some(Frame::Completions { seq, completions })) => {
+                    assert_eq!(seq, self.seq, "completions answer a different submit frame");
+                    out.extend(completions.into_iter().map(|c| Completion {
+                        index: base + c.index,
+                        ..c
+                    }));
+                    return Ok(());
+                }
+                Ok(Some(Frame::Busy { seq, reason })) => {
+                    assert_eq!(seq, self.seq, "busy answers a different submit frame");
+                    match reason {
+                        BusyReason::RingFull => {
+                            assert!(
+                                reqs.len() > 1,
+                                "server ring refused a single request — ring size zero?"
+                            );
+                            self.ring_full_splits += 1;
+                            let mid = reqs.len() / 2;
+                            self.submit_chunk(&reqs[..mid], base, out)?;
+                            return self.submit_chunk(&reqs[mid..], base + mid, out);
+                        }
+                        BusyReason::Overload => {
+                            self.overload_retries += 1;
+                            std::thread::sleep(OVERLOAD_BACKOFF);
+                            self.seq += 1;
+                            Frame::Submit {
+                                session: self.session,
+                                seq: self.seq,
+                                reqs: reqs.to_vec(),
+                            }
+                            .write_to(&mut self.writer)
+                            .unwrap_or_else(|e| {
+                                panic!("connection lost resending submit frame: {e}")
+                            });
+                        }
+                    }
+                }
+                Ok(Some(Frame::Err { io: Some(e), .. })) => return Err(e),
+                Ok(Some(Frame::Err { io: None, message })) => {
+                    panic!("server reported a protocol error: {message}")
+                }
+                Ok(Some(other)) => panic!("unexpected frame {} mid-submit", other.kind()),
+                Ok(None) => panic!("server closed the connection mid-submit"),
+                Err(e) => panic!("corrupt frame from server: {e}"),
+            }
+        }
+    }
+}
+
+impl BlockDevice for RemoteDevice {
+    fn info(&self) -> DeviceInfo {
+        self.info.clone()
+    }
+
+    fn submit(&mut self, req: &IoRequest) -> IoResult {
+        let mut out = Vec::with_capacity(1);
+        self.submit_chunk(std::slice::from_ref(req), 0, &mut out)?;
+        Ok(out[0].completes)
+    }
+
+    fn submit_batch(&mut self, batch: &IoBatch) -> Result<Vec<Completion>, IoError> {
+        let mut out = Vec::with_capacity(batch.len());
+        if !batch.is_empty() {
+            self.submit_chunk(batch.requests(), 0, &mut out)?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,83 @@
+//! The served frontend: the eSSD pool behind real network connections.
+//!
+//! Every workload so far was generated in-process; the paper's contract,
+//! though, is about how *tenants'* traffic meets elastic SSDs — over
+//! connections, with slow clients, bursts and overload. This crate
+//! exposes the [`SharedDevice`](uc_blockdev::SharedDevice) session seam
+//! as a storage target, std-only (hand-rolled threads, `std::net` TCP
+//! and Unix-domain sockets):
+//!
+//! * **wire** ([`Frame`]) — the `uc.wire.v1` request/response framing on
+//!   the `uc-persist` record envelope (magic, version, kind tag,
+//!   CRC-32): OPEN_SESSION / SUBMIT_BATCH / COMPLETIONS / STATS / CLOSE,
+//!   plus typed BUSY backpressure and ERR frames. Corruption closes the
+//!   connection with a typed error; it never panics the server;
+//! * **pool** ([`ServePool`]) — the served device lanes: per-connection
+//!   sessions with a bounded submission ring, overload shedding above an
+//!   in-flight ceiling, optional per-session token-bucket rate budgets,
+//!   and the device-side [`ServeReport`];
+//! * **server** ([`serve_sessions`]) — thread-per-connection serving
+//!   with a bounded accept count; the device mutex is never held across
+//!   a socket write, so a stalled reader cannot block other sessions;
+//! * **client** ([`RemoteDevice`]) — a
+//!   [`BlockDevice`](uc_blockdev::BlockDevice) over a connection, so the
+//!   trace replayer (`trace --remote`) becomes the load generator
+//!   unchanged, with ring-full splits and overload backoff built in.
+//!
+//! The acceptance bar is determinism: a replay driven through a loopback
+//! server produces a device-side report **equal** (and byte-identically
+//! rendered) to the same replay run in-process — the network adds
+//! wall-clock latency but must not perturb the simulated schedule.
+//!
+//! # Example: loopback serving
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uc_blockdev::{BlockDevice, IoRequest};
+//! use uc_serve::{Endpoint, Listener, PoolConfig, RemoteDevice, ServePool, serve_sessions};
+//! use uc_sim::SimTime;
+//! use uc_ssd::{Ssd, SsdConfig};
+//!
+//! let pool = Arc::new(ServePool::new(
+//!     vec![("ssd".to_string(),
+//!           Box::new(Ssd::new(SsdConfig::samsung_970_pro(256 << 20))) as _)],
+//!     PoolConfig::default(),
+//! ));
+//! let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap())?;
+//! let endpoint = listener.local_endpoint()?;
+//! let server = {
+//!     let pool = Arc::clone(&pool);
+//!     std::thread::spawn(move || serve_sessions(&listener, &pool, 1))
+//! };
+//!
+//! let mut dev = RemoteDevice::open(&endpoint, 0)?;
+//! let done = dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
+//! assert!(done > SimTime::ZERO);
+//! dev.close()?;
+//! server.join().unwrap()?;
+//! assert_eq!(pool.report().total_ios(), 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod net;
+mod pool;
+mod server;
+mod wire;
+
+pub use client::RemoteDevice;
+pub use net::{Endpoint, Listener, Stream};
+pub use pool::{
+    DeviceLaneReport, InflightGuard, PoolConfig, PoolDevice, PoolSession, Rejection, ServePool,
+    ServeReport,
+};
+pub use server::{serve_connection, serve_sessions};
+pub use wire::{BusyReason, Frame, WireStats, ALL_KINDS};
+
+/// Upper bound on the request (and completion) count one frame may
+/// claim, checked before any allocation: a hostile length field cannot
+/// balloon server memory. Far above any real doorbell ring.
+pub const MAX_FRAME_REQUESTS: u64 = 1 << 16;

@@ -1,0 +1,608 @@
+//! The served device pool: shared lanes, admission control, rate limits.
+//!
+//! [`ServePool`] owns the device lanes a server exposes. Each lane wraps
+//! one [`BlockDevice`] in a [`SharedDevice`] behind a mutex; every
+//! connection (or in-process [`PoolDevice`]) opens a session on one lane
+//! and submits batches through [`ServePool::submit`], which applies the
+//! three protection mechanisms in order:
+//!
+//! 1. **ring bound** — a batch larger than the per-connection submission
+//!    ring is refused with [`BusyReason::RingFull`] before admission;
+//! 2. **overload shedding** — a batch arriving while `max_inflight`
+//!    batches are already being serviced (including responses still being
+//!    written back to slow clients) is refused with
+//!    [`BusyReason::Overload`];
+//! 3. **token-bucket rate limiting** — an optional per-session
+//!    byte-rate budget ([`TokenBucket`]): a batch over budget is not
+//!    refused but *delayed*, its submit instants shifted to the bucket's
+//!    grant instant, exactly how the elastic devices themselves enforce
+//!    their throughput budgets (Observation 4).
+//!
+//! Refusals are typed and issue no I/O — backpressure is never a silent
+//! drop. Admission counts whole batches and is the only cross-lane
+//! state, so one lane's slow client cannot block another lane's traffic
+//! (the device mutex is never held across a socket write).
+
+use crate::wire::BusyReason;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use uc_blockdev::{
+    BlockDevice, Completion, DeviceInfo, IoBatch, IoError, IoRequest, IoResult, SessionId,
+    SessionStats, SharedDevice,
+};
+use uc_sim::{SimTime, TokenBucket};
+
+/// Tuning knobs of a [`ServePool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Maximum requests per submit frame (the per-connection submission
+    /// ring). Larger batches are refused with [`BusyReason::RingFull`].
+    pub ring: usize,
+    /// Maximum batches in flight across the whole pool (admission to
+    /// response write-back). Arrivals above the ceiling are refused with
+    /// [`BusyReason::Overload`].
+    pub max_inflight: usize,
+    /// Per-session byte-rate budget in bytes/second (burst = one
+    /// second's worth). `None` disables rate limiting.
+    pub rate: Option<f64>,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            ring: 64,
+            max_inflight: 1024,
+            rate: None,
+        }
+    }
+}
+
+/// One session's handle on a pool lane.
+#[derive(Debug)]
+pub struct PoolSession {
+    device: usize,
+    session: SessionId,
+    bucket: Option<TokenBucket>,
+    throttled: u64,
+}
+
+impl PoolSession {
+    /// The lane index the session is attached to.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// The lane-local session id.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Batches this session has had delayed by its rate budget.
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+}
+
+/// Why [`ServePool::submit`] refused or failed a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Backpressure: nothing was issued; the caller may retry.
+    Busy(BusyReason),
+    /// The device rejected a request (requests queued before the failing
+    /// one have been applied, as with any batch submission).
+    Io(IoError),
+}
+
+/// Decrements the pool's in-flight count when dropped.
+///
+/// [`ServePool::submit`] returns one guard per admitted batch; the
+/// server holds it across the response write so that a stalled reader
+/// keeps occupying its admission slot — which is precisely what the
+/// overload ceiling must see.
+pub struct InflightGuard<'a> {
+    pool: &'a ServePool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for InflightGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightGuard")
+            .field("inflight", &self.pool.inflight.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+struct Lane {
+    label: String,
+    shared: Mutex<SharedDevice<Box<dyn BlockDevice + Send>>>,
+}
+
+/// The set of device lanes one server exposes.
+pub struct ServePool {
+    lanes: Vec<Lane>,
+    config: PoolConfig,
+    inflight: AtomicUsize,
+    busy_ring_full: AtomicU64,
+    shed_overload: AtomicU64,
+    throttled: AtomicU64,
+}
+
+/// One lane's slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceLaneReport {
+    /// Lane index.
+    pub index: usize,
+    /// The label the lane was registered under.
+    pub label: String,
+    /// The device's name.
+    pub name: String,
+    /// The device's capacity in bytes.
+    pub capacity: u64,
+    /// The lane's queue head (latest doorbelled instant).
+    pub queue_head: SimTime,
+    /// Every session's ledger, in open order.
+    pub sessions: Vec<SessionStats>,
+}
+
+/// The device-side read-out of a serving run: per-lane session ledgers
+/// plus the pool-level backpressure counters.
+///
+/// Equality is exact, which is what the loopback-determinism acceptance
+/// bar compares: a replay through the server and the same replay
+/// in-process must produce `==` (and byte-identical rendered) reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// One entry per lane, in lane order.
+    pub devices: Vec<DeviceLaneReport>,
+    /// Submit frames refused because they exceeded the ring.
+    pub busy_ring_full: u64,
+    /// Submit frames shed above the in-flight ceiling.
+    pub shed_overload: u64,
+    /// Batches delayed by a session's rate budget.
+    pub throttled: u64,
+}
+
+impl ServeReport {
+    /// Total requests doorbelled across every lane and session.
+    pub fn total_ios(&self) -> u64 {
+        self.devices
+            .iter()
+            .flat_map(|d| d.sessions.iter())
+            .map(|s| s.ios)
+            .sum()
+    }
+
+    /// Total bytes doorbelled across every lane and session.
+    pub fn total_bytes(&self) -> u64 {
+        self.devices
+            .iter()
+            .flat_map(|d| d.sessions.iter())
+            .map(|s| s.bytes)
+            .sum()
+    }
+}
+
+impl ServePool {
+    /// Builds a pool of `(label, device)` lanes under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.ring` or `config.max_inflight` is zero, or a
+    /// configured rate is not positive and finite.
+    pub fn new(devices: Vec<(String, Box<dyn BlockDevice + Send>)>, config: PoolConfig) -> Self {
+        assert!(config.ring > 0, "submission ring must be positive");
+        assert!(
+            config.max_inflight > 0,
+            "in-flight ceiling must be positive"
+        );
+        if let Some(rate) = config.rate {
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "rate budget must be positive and finite"
+            );
+        }
+        ServePool {
+            lanes: devices
+                .into_iter()
+                .map(|(label, dev)| Lane {
+                    label,
+                    shared: Mutex::new(SharedDevice::new(dev)),
+                })
+                .collect(),
+            config,
+            inflight: AtomicUsize::new(0),
+            busy_ring_full: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Number of device lanes.
+    pub fn devices(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Opens a session on lane `device`; `None` if the index is out of
+    /// range.
+    pub fn open(&self, device: usize) -> Option<(PoolSession, DeviceInfo)> {
+        let lane = self.lanes.get(device)?;
+        let mut shared = lane.shared.lock().expect("lane lock");
+        let session = shared.open_session();
+        let info = shared.info();
+        Some((
+            PoolSession {
+                device,
+                session,
+                bucket: self.config.rate.map(|r| TokenBucket::new(r, r)),
+                throttled: 0,
+            },
+            info,
+        ))
+    }
+
+    /// Submits one batch under `sess`, applying ring bound, overload
+    /// shedding and the session's rate budget (see the [module
+    /// docs](self)).
+    ///
+    /// On success the returned [`InflightGuard`] holds the batch's
+    /// admission slot; drop it once the completions have been delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejection::Busy`] refusals issue no I/O. [`Rejection::Io`]
+    /// propagates the device's typed error.
+    pub fn submit(
+        &self,
+        sess: &mut PoolSession,
+        reqs: &[IoRequest],
+    ) -> Result<(Vec<Completion>, InflightGuard<'_>), Rejection> {
+        if reqs.len() > self.config.ring {
+            self.busy_ring_full.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Busy(BusyReason::RingFull));
+        }
+        // Admission: occupancy counts whole batches, admission-to-drop of
+        // the guard. CAS so a burst of arrivals cannot overshoot.
+        let mut current = self.inflight.load(Ordering::Acquire);
+        loop {
+            if current >= self.config.max_inflight {
+                self.shed_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::Busy(BusyReason::Overload));
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        let guard = InflightGuard { pool: self };
+
+        // Rate budget: shift the whole batch to the bucket's grant
+        // instant (relative spacing within the batch is preserved).
+        let mut delay_nanos = 0u64;
+        if let (Some(bucket), Some(first)) = (sess.bucket.as_mut(), reqs.first()) {
+            let bytes: u64 = reqs.iter().map(|r| r.len as u64).sum();
+            let grant = bucket.reserve(first.submit_time, bytes);
+            delay_nanos = grant
+                .as_nanos()
+                .saturating_sub(first.submit_time.as_nanos());
+            if delay_nanos > 0 {
+                sess.throttled += 1;
+                self.throttled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let mut batch = IoBatch::with_capacity(reqs.len());
+        for req in reqs {
+            let mut shifted = *req;
+            shifted.submit_time =
+                SimTime::from_nanos(shifted.submit_time.as_nanos().saturating_add(delay_nanos));
+            batch.push(shifted);
+        }
+        let owners = vec![sess.session; batch.len()];
+        let lane = &self.lanes[sess.device];
+        let completions = {
+            let mut shared = lane.shared.lock().expect("lane lock");
+            shared
+                .submit_batch_shared(&owners, &batch)
+                .map_err(Rejection::Io)?
+            // Lock released here — never held across a response write.
+        };
+        Ok((completions, guard))
+    }
+
+    /// The session's ledger and its lane's queue head.
+    pub fn stats(&self, sess: &PoolSession) -> (SessionStats, SimTime) {
+        let shared = self.lanes[sess.device].shared.lock().expect("lane lock");
+        (*shared.stats(sess.session), shared.queue_head())
+    }
+
+    /// Submit frames refused for exceeding the ring.
+    pub fn busy_ring_full(&self) -> u64 {
+        self.busy_ring_full.load(Ordering::Relaxed)
+    }
+
+    /// Submit frames shed above the in-flight ceiling.
+    pub fn shed_overload(&self) -> u64 {
+        self.shed_overload.load(Ordering::Relaxed)
+    }
+
+    /// Batches delayed by a session rate budget.
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    /// The device-side report: every lane's session ledgers plus the
+    /// pool-level backpressure counters.
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            devices: self
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(index, lane)| {
+                    let shared = lane.shared.lock().expect("lane lock");
+                    let info = shared.info();
+                    DeviceLaneReport {
+                        index,
+                        label: lane.label.clone(),
+                        name: info.name().to_string(),
+                        capacity: info.capacity(),
+                        queue_head: shared.queue_head(),
+                        sessions: shared.session_stats().to_vec(),
+                    }
+                })
+                .collect(),
+            busy_ring_full: self.busy_ring_full(),
+            shed_overload: self.shed_overload(),
+            throttled: self.throttled(),
+        }
+    }
+
+    /// Opens a session on lane `device` wrapped as an in-process
+    /// [`BlockDevice`] — the local twin of the remote client, used by
+    /// `serve --inprocess` to produce the determinism baseline.
+    pub fn device(&self, device: usize) -> Option<PoolDevice<'_>> {
+        let (session, info) = self.open(device)?;
+        Some(PoolDevice {
+            pool: self,
+            session,
+            info,
+        })
+    }
+}
+
+/// An in-process session on a [`ServePool`] lane, speaking the plain
+/// [`BlockDevice`] interface.
+///
+/// Batches larger than the pool's ring are split at the ring boundary
+/// (splitting never changes the schedule — every request carries its own
+/// submit instant), and an overload refusal is retried after yielding,
+/// so the adapter converges exactly like the network client's retry
+/// path.
+pub struct PoolDevice<'a> {
+    pool: &'a ServePool,
+    session: PoolSession,
+    info: DeviceInfo,
+}
+
+impl PoolDevice<'_> {
+    /// The underlying pool session.
+    pub fn session(&self) -> &PoolSession {
+        &self.session
+    }
+}
+
+impl BlockDevice for PoolDevice<'_> {
+    fn info(&self) -> DeviceInfo {
+        self.info.clone()
+    }
+
+    fn submit(&mut self, req: &IoRequest) -> IoResult {
+        let completions = self.submit_batch(&IoBatch::from(vec![*req]))?;
+        Ok(completions[0].completes)
+    }
+
+    fn submit_batch(&mut self, batch: &IoBatch) -> Result<Vec<Completion>, IoError> {
+        let ring = self.pool.config.ring;
+        let mut out = Vec::with_capacity(batch.len());
+        for chunk in batch.requests().chunks(ring) {
+            let base = out.len();
+            loop {
+                match self.pool.submit(&mut self.session, chunk) {
+                    Ok((completions, guard)) => {
+                        drop(guard);
+                        out.extend(completions.into_iter().map(|c| Completion {
+                            index: base + c.index,
+                            ..c
+                        }));
+                        break;
+                    }
+                    Err(Rejection::Busy(_)) => std::thread::yield_now(),
+                    Err(Rejection::Io(e)) => return Err(e),
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_sim::SimDuration;
+
+    /// A fixed-latency device.
+    struct Fixed;
+
+    impl BlockDevice for Fixed {
+        fn info(&self) -> DeviceInfo {
+            DeviceInfo::new("fixed", 1 << 30, 512)
+        }
+        fn submit(&mut self, req: &IoRequest) -> IoResult {
+            self.info().validate(req)?;
+            Ok(req.submit_time + SimDuration::from_micros(10))
+        }
+    }
+
+    fn pool(config: PoolConfig) -> ServePool {
+        ServePool::new(
+            vec![
+                (
+                    "a".to_string(),
+                    Box::new(Fixed) as Box<dyn BlockDevice + Send>,
+                ),
+                ("b".to_string(), Box::new(Fixed)),
+            ],
+            config,
+        )
+    }
+
+    fn at(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    #[test]
+    fn sessions_submit_and_account_per_lane() {
+        let pool = pool(PoolConfig::default());
+        let (mut s0, info) = pool.open(0).unwrap();
+        let (mut s1, _) = pool.open(1).unwrap();
+        assert_eq!(info.capacity(), 1 << 30);
+        let reqs = [
+            IoRequest::write(0, 4096, at(0)),
+            IoRequest::read(4096, 512, at(5)),
+        ];
+        let (completions, guard) = pool.submit(&mut s0, &reqs).unwrap();
+        assert_eq!(completions.len(), 2);
+        drop(guard);
+        let (completions, guard) = pool.submit(&mut s1, &reqs[..1]).unwrap();
+        assert_eq!(completions.len(), 1);
+        drop(guard);
+        let report = pool.report();
+        assert_eq!(report.devices.len(), 2);
+        assert_eq!(report.devices[0].sessions[0].ios, 2);
+        assert_eq!(report.devices[1].sessions[0].ios, 1);
+        assert_eq!(report.total_ios(), 3);
+        assert_eq!(report.total_bytes(), 4096 + 512 + 4096);
+        assert_eq!(report.busy_ring_full, 0);
+        assert_eq!(report.shed_overload, 0);
+    }
+
+    #[test]
+    fn oversized_batches_are_refused_with_ring_full() {
+        let pool = pool(PoolConfig {
+            ring: 2,
+            ..PoolConfig::default()
+        });
+        let (mut s, _) = pool.open(0).unwrap();
+        let reqs = [
+            IoRequest::write(0, 512, at(0)),
+            IoRequest::write(512, 512, at(0)),
+            IoRequest::write(1024, 512, at(0)),
+        ];
+        assert_eq!(
+            pool.submit(&mut s, &reqs).unwrap_err(),
+            Rejection::Busy(BusyReason::RingFull)
+        );
+        assert_eq!(pool.busy_ring_full(), 1);
+        // Nothing was issued.
+        assert_eq!(pool.report().total_ios(), 0);
+    }
+
+    #[test]
+    fn arrivals_above_the_ceiling_are_shed() {
+        let pool = pool(PoolConfig {
+            max_inflight: 1,
+            ..PoolConfig::default()
+        });
+        let (mut s, _) = pool.open(0).unwrap();
+        let reqs = [IoRequest::write(0, 512, at(0))];
+        let (_, guard) = pool.submit(&mut s, &reqs).unwrap();
+        // The first batch's guard is still alive: the next arrival sheds.
+        assert_eq!(
+            pool.submit(&mut s, &reqs).unwrap_err(),
+            Rejection::Busy(BusyReason::Overload)
+        );
+        assert_eq!(pool.shed_overload(), 1);
+        drop(guard);
+        // Slot free again: the retry is admitted.
+        let (_, guard) = pool.submit(&mut s, &reqs).unwrap();
+        drop(guard);
+        assert_eq!(pool.report().total_ios(), 2);
+    }
+
+    #[test]
+    fn rate_budget_delays_instead_of_refusing() {
+        // 1 MB/s budget, 2 MB batch: granted ~1 s after the burst.
+        let pool = pool(PoolConfig {
+            rate: Some(1e6),
+            ..PoolConfig::default()
+        });
+        let (mut s, _) = pool.open(0).unwrap();
+        let reqs: Vec<IoRequest> = (0..4)
+            .map(|i| IoRequest::write(i * (512 << 10), 512 << 10, at(0)))
+            .collect();
+        let (completions, guard) = pool.submit(&mut s, &reqs).unwrap();
+        drop(guard);
+        // 2 MB against a 1 MB burst: 1 MB of deficit at 1 MB/s = 1 s.
+        assert!(completions[0].submitted >= at(999_000_000));
+        assert_eq!(s.throttled(), 1);
+        assert_eq!(pool.throttled(), 1);
+    }
+
+    #[test]
+    fn device_errors_propagate_typed() {
+        let pool = pool(PoolConfig::default());
+        let (mut s, _) = pool.open(0).unwrap();
+        let reqs = [IoRequest::write(1 << 40, 512, at(0))];
+        assert!(matches!(
+            pool.submit(&mut s, &reqs),
+            Err(Rejection::Io(IoError::OutOfRange { .. }))
+        ));
+        // The failed batch's admission slot was released with its guard.
+        let ok = [IoRequest::write(0, 512, at(0))];
+        assert!(pool.submit(&mut s, &ok).is_ok());
+    }
+
+    #[test]
+    fn unknown_lane_is_refused() {
+        let pool = pool(PoolConfig::default());
+        assert!(pool.open(2).is_none());
+        assert!(pool.device(7).is_none());
+    }
+
+    #[test]
+    fn pool_device_matches_direct_device_exactly() {
+        // The in-process adapter is transparent: the same batch sequence
+        // against a bare device produces identical completions.
+        let pool = pool(PoolConfig {
+            ring: 3, // force mid-batch splits
+            ..PoolConfig::default()
+        });
+        let mut via_pool = pool.device(0).unwrap();
+        let mut direct = Fixed;
+        let batch: IoBatch = (0..8u64)
+            .map(|i| IoRequest::write(i * 4096, 4096, at(i * 100)))
+            .collect();
+        let a = via_pool.submit_batch(&batch).unwrap();
+        let b = direct.submit_batch(&batch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(via_pool.info().name(), "fixed");
+        // Single-request path too.
+        let req = IoRequest::read(0, 4096, at(10_000));
+        assert_eq!(via_pool.submit(&req).unwrap(), direct.submit(&req).unwrap());
+    }
+}

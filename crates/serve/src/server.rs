@@ -1,0 +1,212 @@
+//! The serving loop: thread-per-connection over a [`ServePool`].
+//!
+//! Each accepted connection runs a synchronous request/response handler:
+//! the first frame must be OPEN_SESSION, after which SUBMIT_BATCH /
+//! STATS / CLOSE frames are serviced until the client closes. The
+//! protection ordering matters:
+//!
+//! * the device lane's mutex is held only for the doorbell itself, never
+//!   across a socket write — a stalled reader blocks its own handler
+//!   thread, not other sessions;
+//! * the batch's [`InflightGuard`](crate::InflightGuard) *is* held
+//!   across the response write, so slow clients keep occupying their
+//!   admission slot and the overload ceiling sees them;
+//! * any decode error — corruption, a foreign kind tag, a truncated
+//!   frame — is answered with a best-effort typed ERR frame and the
+//!   connection is closed. The server never panics on hostile bytes.
+
+use crate::net::{Listener, Stream};
+use crate::pool::{Rejection, ServePool};
+use crate::wire::{Frame, WireStats};
+use std::io::{self, BufReader};
+use std::sync::Arc;
+
+/// Writes `frame`, ignoring transport errors (the peer may already be
+/// gone; the handler is ending either way).
+fn best_effort(writer: &mut dyn io::Write, frame: &Frame) {
+    let _ = frame.write_to(writer);
+}
+
+/// Serves one connection to completion. See the [module docs](self) for
+/// the protocol.
+///
+/// # Errors
+///
+/// Propagates transport errors on the response path (a decode error on
+/// the request path is answered with an ERR frame and `Ok(())`).
+pub fn serve_connection(stream: Box<dyn Stream>, pool: &ServePool) -> io::Result<()> {
+    let mut writer = stream.try_clone_stream()?;
+    let mut reader = BufReader::new(stream);
+
+    // The handshake: exactly one OPEN_SESSION before anything else.
+    let (mut session, info) = match Frame::read_from(&mut reader) {
+        Ok(Some(Frame::OpenSession { device })) => match pool.open(device as usize) {
+            Some(opened) => opened,
+            None => {
+                best_effort(
+                    &mut writer,
+                    &Frame::Err {
+                        io: None,
+                        message: format!(
+                            "device index {device} out of range ({} lanes)",
+                            pool.devices()
+                        ),
+                    },
+                );
+                return Ok(());
+            }
+        },
+        Ok(Some(other)) => {
+            best_effort(
+                &mut writer,
+                &Frame::Err {
+                    io: None,
+                    message: format!("expected OPEN_SESSION, got {}", other.kind()),
+                },
+            );
+            return Ok(());
+        }
+        Ok(None) => return Ok(()), // connected and left; nothing to do
+        Err(e) => {
+            best_effort(
+                &mut writer,
+                &Frame::Err {
+                    io: None,
+                    message: format!("bad OPEN_SESSION frame: {e}"),
+                },
+            );
+            return Ok(());
+        }
+    };
+    let session_id = session.session().index() as u32;
+    Frame::OpenOk {
+        session: session_id,
+        name: info.name().to_string(),
+        capacity: info.capacity(),
+        logical_block: info.logical_block(),
+    }
+    .write_to(&mut writer)?;
+
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(Frame::Submit {
+                session: claimed,
+                seq,
+                reqs,
+            })) => {
+                if claimed != session_id {
+                    best_effort(
+                        &mut writer,
+                        &Frame::Err {
+                            io: None,
+                            message: format!(
+                                "submit names session {claimed}, connection owns {session_id}"
+                            ),
+                        },
+                    );
+                    return Ok(());
+                }
+                match pool.submit(&mut session, &reqs) {
+                    Ok((completions, guard)) => {
+                        // The guard outlives the write: a client that
+                        // stalls reading this response keeps holding its
+                        // admission slot.
+                        Frame::Completions { seq, completions }.write_to(&mut writer)?;
+                        drop(guard);
+                    }
+                    Err(Rejection::Busy(reason)) => {
+                        Frame::Busy { seq, reason }.write_to(&mut writer)?;
+                    }
+                    Err(Rejection::Io(e)) => {
+                        best_effort(
+                            &mut writer,
+                            &Frame::Err {
+                                io: Some(e),
+                                message: format!("device rejected request: {e}"),
+                            },
+                        );
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(Some(Frame::Stats { session: claimed })) => {
+                if claimed != session_id {
+                    best_effort(
+                        &mut writer,
+                        &Frame::Err {
+                            io: None,
+                            message: format!(
+                                "stats names session {claimed}, connection owns {session_id}"
+                            ),
+                        },
+                    );
+                    return Ok(());
+                }
+                let (stats, queue_head) = pool.stats(&session);
+                Frame::StatsOk {
+                    session: session_id,
+                    stats: WireStats { stats, queue_head },
+                }
+                .write_to(&mut writer)?;
+            }
+            Ok(Some(Frame::Close)) => {
+                best_effort(&mut writer, &Frame::CloseOk);
+                return Ok(());
+            }
+            Ok(Some(other)) => {
+                best_effort(
+                    &mut writer,
+                    &Frame::Err {
+                        io: None,
+                        message: format!("unexpected frame {}", other.kind()),
+                    },
+                );
+                return Ok(());
+            }
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => {
+                // Corruption anywhere on the stream: answer typed, close.
+                best_effort(
+                    &mut writer,
+                    &Frame::Err {
+                        io: None,
+                        message: format!("bad frame: {e}"),
+                    },
+                );
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accepts exactly `sessions` connections on `listener`, serves each on
+/// its own thread, and returns once every handler has finished.
+///
+/// The bounded accept count is the pool-thread discipline of a
+/// dependency-free server: the caller decides how many concurrent
+/// clients one serving run admits (the `serve` binary's `--sessions`),
+/// and the run has a well-defined end — after which the pool's
+/// [`report`](ServePool::report) is the complete device-side record.
+///
+/// # Errors
+///
+/// Propagates accept errors; per-connection transport errors end that
+/// connection's handler without failing the run.
+pub fn serve_sessions(
+    listener: &Listener,
+    pool: &Arc<ServePool>,
+    sessions: usize,
+) -> io::Result<()> {
+    let mut handlers = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let conn = listener.accept()?;
+        let pool = Arc::clone(pool);
+        handlers.push(std::thread::spawn(move || {
+            let _ = serve_connection(conn, &pool);
+        }));
+    }
+    for handler in handlers {
+        handler.join().expect("connection handler panicked");
+    }
+    Ok(())
+}

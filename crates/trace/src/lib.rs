@@ -27,7 +27,11 @@
 //! ([`replay_with`](uc_workload::replay_with) /
 //! [`TraceReplayJob`](uc_workload::TraceReplayJob)): batched through the
 //! queue-pair API, timestamp-honouring with a `speed` factor, and
-//! resumable under the PR-3 checkpoint contract.
+//! resumable under the PR-3 checkpoint contract. Because the replayer
+//! only sees the `BlockDevice` seam, it drives remote devices too: point
+//! it at a `uc-serve` session (`trace --remote`) and the same trace
+//! replays over a real connection with an identical device-side
+//! schedule.
 //!
 //! # Example: capture a run, replay it elsewhere
 //!

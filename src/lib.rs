@@ -52,6 +52,7 @@
 //! | [`workload`] | FIO-like jobs, queue-pair batched drivers, trace replay |
 //! | [`trace`] | trace capture (`TraceRecorder`), the `uc.trace.v1` binary format, arrival-shape generators |
 //! | [`fleet`] | multi-tenant fleets: placement, shared-device interleaving, interference metrics, checkpoint-seam rebalancing |
+//! | [`serve`] | the served frontend: `uc.wire.v1` framing, the `ServePool` lanes with backpressure, thread-per-connection serving, the `RemoteDevice` client |
 //! | [`core`] | experiments (parallel cell executor), contract checker, implication advisors |
 
 #![forbid(unsafe_code)]
@@ -68,6 +69,7 @@ pub use uc_invariant as invariant;
 pub use uc_metrics as metrics;
 pub use uc_net as net;
 pub use uc_persist as persist;
+pub use uc_serve as serve;
 pub use uc_sim as sim;
 pub use uc_ssd as ssd;
 pub use uc_trace as trace;

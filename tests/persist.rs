@@ -312,6 +312,152 @@ fn corruption_table_over_every_record_codec() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One sample frame per `uc.wire.v1` kind, with every field populated.
+fn sample_wire_frames() -> Vec<unwritten_contract::serve::Frame> {
+    use unwritten_contract::blockdev::{Completion, IoKind, IoRequest, SessionStats};
+    use unwritten_contract::serve::{BusyReason, Frame, WireStats};
+    vec![
+        Frame::OpenSession { device: 2 },
+        Frame::OpenOk {
+            session: 7,
+            name: "ESSD-1".to_string(),
+            capacity: 2 << 30,
+            logical_block: 512,
+        },
+        Frame::Submit {
+            session: 7,
+            seq: 3,
+            reqs: vec![
+                IoRequest::write(0, 4096, SimTime::from_nanos(10)),
+                IoRequest::read(8192, 4096, SimTime::from_nanos(20)),
+            ],
+        },
+        Frame::Completions {
+            seq: 3,
+            completions: vec![Completion {
+                index: 0,
+                kind: IoKind::Write,
+                len: 4096,
+                submitted: SimTime::from_nanos(10),
+                completes: SimTime::from_nanos(110),
+            }],
+        },
+        Frame::Busy {
+            seq: 3,
+            reason: BusyReason::RingFull,
+        },
+        Frame::Stats { session: 7 },
+        Frame::StatsOk {
+            session: 7,
+            stats: WireStats {
+                stats: SessionStats {
+                    ios: 9,
+                    bytes: 9 << 12,
+                    clamped: 1,
+                    last_submit: SimTime::from_nanos(20),
+                },
+                queue_head: SimTime::from_nanos(120),
+            },
+        },
+        Frame::Close,
+        Frame::CloseOk,
+        Frame::Err {
+            io: Some(unwritten_contract::blockdev::IoError::ZeroLength),
+            message: "zero-length request".to_string(),
+        },
+    ]
+}
+
+/// The corruption table extended to the served frontend: every
+/// `uc.wire.v1` frame kind, corrupted any way a hostile or failing peer
+/// can produce, decodes to a **typed** error — truncation mid-frame,
+/// flipped payload bits, wrong magic, future envelope versions and
+/// foreign kind tags all close the connection typed; none panic the
+/// server.
+#[test]
+fn corruption_table_over_every_wire_frame_kind() {
+    use unwritten_contract::serve::{Frame, ALL_KINDS};
+
+    let frames = sample_wire_frames();
+    // The sample set covers the whole protocol, by construction.
+    let mut kinds: Vec<&str> = frames.iter().map(|f| f.kind()).collect();
+    kinds.sort_unstable();
+    let mut all = ALL_KINDS.to_vec();
+    all.sort_unstable();
+    assert_eq!(kinds, all, "sample frames must cover every wire kind");
+
+    for frame in &frames {
+        let good = frame.encode();
+        let kind = frame.kind();
+
+        // Intact frame round-trips off a stream, then clean EOF.
+        let mut stream = std::io::Cursor::new(good.clone());
+        let back = Frame::read_from(&mut stream).unwrap().unwrap();
+        assert_eq!(&back, frame, "{kind}: intact frame must round-trip");
+        assert_eq!(
+            Frame::read_from(&mut stream).unwrap(),
+            None,
+            "{kind}: a frame boundary is a clean EOF"
+        );
+
+        // Every strict prefix is a typed mid-frame truncation.
+        for cut in 1..good.len() {
+            let mut stream = std::io::Cursor::new(good[..cut].to_vec());
+            let err = Frame::read_from(&mut stream)
+                .expect_err(&format!("{kind}: truncation at byte {cut} must fail"));
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }),
+                "{kind}: truncation at byte {cut} decoded to unexpected error {err:?}"
+            );
+        }
+
+        // A flipped payload bit is a checksum mismatch. Flip inside the
+        // kind/payload proper (not a length field, whose corruption the
+        // truncation sweep above already covers as `Truncated`): the
+        // kind tag starts right after 8 magic + 2 version + 8 kind-len.
+        let mut flipped = good.clone();
+        flipped[18] ^= 0x20;
+        let mut stream = std::io::Cursor::new(flipped);
+        assert!(
+            matches!(
+                Frame::read_from(&mut stream),
+                Err(DecodeError::ChecksumMismatch { .. })
+            ),
+            "{kind}: flipped payload bit must be a checksum mismatch"
+        );
+
+        // Foreign bytes where the envelope should start.
+        let mut alien = good.clone();
+        alien[..8].copy_from_slice(b"NOTAWIRE");
+        let mut stream = std::io::Cursor::new(alien);
+        assert!(
+            matches!(Frame::read_from(&mut stream), Err(DecodeError::BadMagic)),
+            "{kind}: wrong magic must fail typed"
+        );
+
+        // A future envelope version bails before trusting any length.
+        let mut future = good.clone();
+        future[8] = 0xFF;
+        future[9] = 0xFF;
+        let mut stream = std::io::Cursor::new(future);
+        assert!(
+            matches!(
+                Frame::read_from(&mut stream),
+                Err(DecodeError::UnsupportedVersion { found: 0xFFFF, .. })
+            ),
+            "{kind}: future version must fail typed"
+        );
+    }
+
+    // A valid envelope whose kind tag names no wire frame is typed too.
+    let foreign = unwritten_contract::persist::encode_record("uc.wire.nope.v1", b"?");
+    let mut stream = std::io::Cursor::new(foreign);
+    assert!(matches!(
+        Frame::read_from(&mut stream),
+        Err(DecodeError::UnknownKind { .. })
+    ));
+}
+
 /// A record whose kind tag no reader knows dispatches to
 /// `UnknownKind` — for both the device reader and the fig3 reader.
 #[test]

@@ -1,0 +1,178 @@
+//! Facade-level end-to-end tests of the served frontend: real sockets,
+//! real threads, concurrent replay clients.
+//!
+//! The contract under test is the subsystem's acceptance bar: driving a
+//! replay through a loopback server must produce a device-side report
+//! **equal** (and byte-identically rendered) to the same replay run
+//! in-process — plus the liveness properties around it (a stalled
+//! client cannot block other sessions; ring-full backpressure always
+//! converges).
+
+use std::sync::Arc;
+use unwritten_contract::core::report::render_serve_report;
+use unwritten_contract::prelude::*;
+use unwritten_contract::serve::{
+    serve_sessions, Endpoint, Listener, PoolConfig, RemoteDevice, ServePool,
+};
+use unwritten_contract::workload::TraceEntry;
+
+/// The lanes both the server under test and the in-process baseline
+/// build: one per device class, in roster order.
+fn lanes() -> Vec<(String, Box<dyn BlockDevice + Send>)> {
+    let roster = DeviceRoster::scaled_default();
+    DeviceKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| (format!("lane{i}-{}", kind.label()), roster.build(kind)))
+        .collect()
+}
+
+/// The per-lane replay trace: seeded by lane so concurrent clients make
+/// distinct (but individually deterministic) traffic.
+fn lane_trace(lane: usize) -> Trace {
+    Trace::bursty_writes(
+        4,
+        8,
+        SimDuration::from_millis(1),
+        4096,
+        16 << 20,
+        0x7ACE + lane as u64,
+    )
+}
+
+/// A TCP loopback server, one concurrent replay client per lane: the
+/// device-side report equals — and renders byte-identically to — the
+/// same replays driven in-process. The network must not perturb the
+/// simulated schedule.
+#[test]
+fn loopback_replay_matches_in_process_report() {
+    let pool = Arc::new(ServePool::new(lanes(), PoolConfig::default()));
+    let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let server = {
+        let pool = Arc::clone(&pool);
+        let sessions = DeviceKind::ALL.len();
+        std::thread::spawn(move || serve_sessions(&listener, &pool, sessions))
+    };
+
+    let clients: Vec<_> = (0..DeviceKind::ALL.len())
+        .map(|lane| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut dev = RemoteDevice::open(&endpoint, lane as u32).unwrap();
+                let trace = lane_trace(lane);
+                let report = replay_with(&mut dev, &trace, &ReplayConfig::open_loop()).unwrap();
+                assert_eq!(report.ios as usize, trace.len(), "lane {lane}");
+                dev.close().unwrap();
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    server.join().unwrap().unwrap();
+    let over_the_wire = pool.report();
+
+    // The same replays, in-process on a fresh pool (lanes are
+    // independent, so sequential == concurrent).
+    let baseline_pool = ServePool::new(lanes(), PoolConfig::default());
+    for lane in 0..DeviceKind::ALL.len() {
+        let mut dev = baseline_pool.device(lane).unwrap();
+        replay_with(&mut dev, &lane_trace(lane), &ReplayConfig::open_loop()).unwrap();
+    }
+    let in_process = baseline_pool.report();
+
+    assert_eq!(over_the_wire, in_process);
+    assert_eq!(
+        render_serve_report(&over_the_wire),
+        render_serve_report(&in_process)
+    );
+    assert_eq!(over_the_wire.busy_ring_full, 0);
+    assert_eq!(over_the_wire.shed_overload, 0);
+}
+
+/// A client that opens a session and then stalls holds its connection —
+/// but not the pool: another session's full replay completes while the
+/// slow client sits silent.
+#[test]
+fn stalled_client_does_not_block_other_sessions() {
+    let pool = Arc::new(ServePool::new(lanes(), PoolConfig::default()));
+    let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let server = {
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || serve_sessions(&listener, &pool, 2))
+    };
+
+    // The slow client: opens lane 0, then does nothing until told.
+    let (release, released) = std::sync::mpsc::channel::<()>();
+    let slow = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let dev = RemoteDevice::open(&endpoint, 0).unwrap();
+            released.recv().unwrap();
+            dev.close().unwrap();
+        })
+    };
+
+    // The fast client replays a full trace on lane 1 while the slow one
+    // is still stalled mid-session.
+    let mut dev = RemoteDevice::open(&endpoint, 1).unwrap();
+    let trace = lane_trace(1);
+    let report = replay_with(&mut dev, &trace, &ReplayConfig::open_loop()).unwrap();
+    assert_eq!(report.ios as usize, trace.len());
+    let stats = dev.session_stats().unwrap();
+    assert_eq!(stats.stats.ios as usize, trace.len());
+    dev.close().unwrap();
+
+    release.send(()).unwrap();
+    slow.join().unwrap();
+    server.join().unwrap().unwrap();
+    assert_eq!(pool.report().total_ios() as usize, trace.len());
+}
+
+/// A server ring smaller than the client's doorbells: every submit is
+/// refused ring-full, the client splits until batches fit, and the
+/// replay still lands every I/O — backpressure converges, with the
+/// device-side ledger intact.
+#[test]
+fn ring_full_splits_converge_and_account_every_io() {
+    let config = PoolConfig {
+        ring: 4,
+        ..Default::default()
+    };
+    let pool = Arc::new(ServePool::new(lanes(), config));
+    let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let server = {
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || serve_sessions(&listener, &pool, 1))
+    };
+
+    // Three 16-wide same-instant bursts: the open-loop replayer
+    // doorbells each burst whole, which the 4-slot server ring refuses.
+    let entries: Vec<TraceEntry> = (0..48)
+        .map(|i| TraceEntry {
+            at: SimTime::from_nanos((i / 16) * 1_000_000),
+            kind: unwritten_contract::blockdev::IoKind::Write,
+            offset: (i % 16) * 8192,
+            len: 4096,
+        })
+        .collect();
+    let trace = Trace::from_entries(entries);
+
+    let mut dev = RemoteDevice::open(&endpoint, 0).unwrap();
+    let report = replay_with(&mut dev, &trace, &ReplayConfig::open_loop()).unwrap();
+    assert_eq!(report.ios, 48);
+    assert!(
+        dev.ring_full_splits() > 0,
+        "a 16-wide doorbell must have been refused by the 4-slot ring"
+    );
+    dev.close().unwrap();
+    server.join().unwrap().unwrap();
+
+    let report = pool.report();
+    assert!(report.busy_ring_full > 0);
+    assert_eq!(report.total_ios(), 48);
+    assert_eq!(report.total_bytes(), 48 * 4096);
+}
