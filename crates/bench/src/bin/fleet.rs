@@ -24,21 +24,35 @@
 //! * `--bench-json <path>` — write a machine-readable benchmark record
 //!   (wall clock, simulated bytes/sec, tenants/devices) for CI
 //!   artifacts.
+//! * `--report <path>` — write the rendered fleet report there instead
+//!   of stdout (the serve smoke diffs it against a `serve --fleet`
+//!   run's report byte for byte).
 //! * `--checkpoint-dir <dir>` — persist every epoch boundary; a killed
 //!   run restarted with `--resume` continues from disk and prints a
 //!   report byte-identical to an uninterrupted run (the fleet CI smoke
 //!   pins this).
 //! * `--kill-after <n>` — crash-testing hook: exit 42 after the n-th
 //!   checkpoint save.
+//! * `--remote tcp:ADDR|uds:PATH` — client mode: instead of running the
+//!   fleet in-process, attach this client's share of the tenants as
+//!   `uc.wire.v2` lanes on a `serve --fleet` frontend, push each
+//!   tenant's synthesized arrival stream over the wire, and flush every
+//!   epoch barrier. `--clients <n>` / `--client-index <i>` partition the
+//!   tenant population (tenant `t` belongs to client `t % n`); the
+//!   *server* renders the fleet report, byte-identical to an in-process
+//!   run of the same flags. `--kill-conn-after <f>` kills the connection
+//!   after `f` frame writes to exercise reconnect-and-resume mid-run.
 //!
 //! Exits nonzero if the run recorded any contract violation (tenant
 //! conservation, ledger conservation, queue-head monotonicity) — flagged
 //! interference findings are measurements, not failures.
 
 use uc_bench::{scale_from_args, BenchJson};
+use uc_blockdev::IoRequest;
 use uc_core::experiments::fleet::{self as fleet_exp, FleetRunConfig, FleetStore};
 use uc_core::report::render_fleet_report;
-use uc_fleet::{RebalancePolicy, ShapeMix};
+use uc_fleet::{RebalancePolicy, ShapeMix, TenantSpec};
+use uc_serve::{Body, LaneTarget, WireClient};
 use uc_sim::SimDuration;
 
 /// Reads the value of `--flag <n>` as a positive integer, if present.
@@ -84,6 +98,112 @@ fn parse_mix(v: &str) -> ShapeMix {
     }
 }
 
+/// Reads the value of `--flag <n>` as a non-negative integer (zero
+/// allowed — client indices start at 0).
+fn parse_index(args: &[String], flag: &str) -> Option<usize> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} expects a value"));
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("{flag} expects a non-negative integer, got {v:?}"))
+    })
+}
+
+/// How many trace entries one push frame carries (well under the wire's
+/// per-frame request cap).
+const PUSH_CHUNK: usize = 1024;
+
+/// Client mode: attach this client's share of the tenants on a
+/// `serve --fleet` frontend, push their synthesized arrival streams, and
+/// flush every epoch barrier. The synthesis inputs are the same flags
+/// the server built the fleet from; the region span and I/O size come
+/// back on the wire in ATTACH_OK, so the pushed entries are exactly the
+/// ones an in-process run would generate.
+fn run_remote(args: &[String], endpoint: &str, config: &FleetRunConfig) {
+    let endpoint = uc_serve::Endpoint::parse(endpoint).unwrap_or_else(|e| panic!("--remote: {e}"));
+    let clients = parse_count(args, "--clients").unwrap_or(1);
+    let index = parse_index(args, "--client-index").unwrap_or(0);
+    assert!(
+        index < clients,
+        "--client-index {index} out of range for --clients {clients}"
+    );
+    // The server may still be binding when the clients launch.
+    let mut client = None;
+    for _ in 0..200 {
+        match WireClient::connect(&endpoint) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+    let mut client = client.unwrap_or_else(|| panic!("cannot reach serve --fleet at {endpoint}"));
+    if let Some(frames) = parse_count(args, "--kill-conn-after") {
+        client.set_kill_after(frames as u64);
+    }
+    let tenants: Vec<u32> = (index..config.fleet.tenants)
+        .step_by(clients)
+        .map(|t| t as u32)
+        .collect();
+    eprintln!(
+        "fleet client {index}/{clients} at {endpoint}: {} tenant(s), session {}",
+        tenants.len(),
+        client.token()
+    );
+    let mut lanes = Vec::with_capacity(tenants.len());
+    let mut pushed = 0u64;
+    for &t in &tenants {
+        let (lane, _name, span, io_size) = client
+            .attach(LaneTarget::Tenant(t))
+            .unwrap_or_else(|e| panic!("attach tenant {t}: {e}"));
+        let spec = TenantSpec::synthesize(
+            t,
+            &config.fleet.mix,
+            config.fleet.seed,
+            span,
+            config.fleet.duration,
+            io_size,
+        );
+        let entries = spec.trace.generate().entries().to_vec();
+        for chunk in entries.chunks(PUSH_CHUNK) {
+            let reqs: Vec<IoRequest> = chunk
+                .iter()
+                .map(|e| IoRequest {
+                    kind: e.kind,
+                    offset: e.offset,
+                    len: e.len,
+                    submit_time: e.at,
+                })
+                .collect();
+            match client
+                .call(lane, Body::Submit { reqs })
+                .unwrap_or_else(|e| panic!("push tenant {t}: {e}"))
+            {
+                Body::PushOk { accepted } => pushed += accepted,
+                Body::Err { message, .. } => panic!("push tenant {t} refused: {message}"),
+                other => panic!("expected PUSH_OK for tenant {t}, got {other:?}"),
+            }
+        }
+        lanes.push(lane);
+    }
+    let mut moved = 0usize;
+    for epoch in 0..config.fleet.epochs as u64 {
+        let moves = client
+            .flush_epoch(&lanes, epoch)
+            .unwrap_or_else(|e| panic!("flush epoch {epoch}: {e}"));
+        moved += moves.iter().filter(|(_, to)| to.is_some()).count();
+    }
+    let resumes = client.resumes();
+    client.close().expect("close session");
+    eprintln!(
+        "fleet client {index}/{clients}: pushed {pushed} entr(ies), \
+         {} epoch(s) flushed, {moved} lane move(s), {resumes} resume(s)",
+        config.fleet.epochs
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tenants = parse_count(&args, "--tenants").unwrap_or(256);
@@ -122,6 +242,11 @@ fn main() {
         config.fleet = config.fleet.with_rebalance(RebalancePolicy::default());
     }
 
+    if let Some(endpoint) = parse_value(&args, "--remote") {
+        run_remote(&args, &endpoint, &config);
+        return;
+    }
+
     eprintln!(
         "fleet: {tenants} tenant(s) on {devices} shared device(s) \
          ({} MiB each), {epochs} epoch(s), {duration_ms} ms horizon, \
@@ -146,7 +271,14 @@ fn main() {
     };
     let wall = started.elapsed().as_secs_f64();
 
-    print!("{}", render_fleet_report(&verdict));
+    let rendered = render_fleet_report(&verdict);
+    match parse_value(&args, "--report") {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
     println!(
         "Reference shapes: co-located bursty tenants drag epoch fairness and \
          flag latency blow-ups on their neighbors; rebalancing migrates the \

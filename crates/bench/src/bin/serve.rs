@@ -1,25 +1,43 @@
-//! The served frontend: expose a pool of simulated devices to real
-//! network clients, or run the same pool in-process as the determinism
-//! baseline.
+//! The served frontend: expose a pool of simulated devices — or a whole
+//! multi-tenant fleet — to real network clients over `uc.wire.v2`, with
+//! one epoll event-loop thread driving every connection.
 //!
 //! Usage:
 //!
 //! * `serve --listen tcp:ADDR|uds:PATH [--devices <n>] [--sessions <n>]`
-//!   — bind, print the bound endpoint to stderr (`serving at …`), accept
-//!   exactly `--sessions` connections (thread per connection), then
-//!   print the device-side report and exit 0. Clients are `trace
-//!   --remote <endpoint> --remote-device <i>`.
+//!   — bind, print the bound endpoint to stderr (`serving at …`), drive
+//!   connections through the event loop until exactly `--sessions`
+//!   sessions have closed, then print the device-side report and exit 0.
+//!   Clients are `trace --remote <endpoint> --remote-device <i>`; a
+//!   client whose connection dies (or is killed with
+//!   `--kill-conn-after`) reconnects and RESUMEs without perturbing the
+//!   report.
 //! * `serve --inprocess [--devices <n>] [--sessions <n>]` — the same
 //!   pool, driven by in-process sessions replaying the same generated
 //!   traces (session `i` targets lane `i % devices` with seed
 //!   `0x7ACE + lane`). The report this mode prints is the baseline the
 //!   CI serve smoke diffs a networked run against, byte for byte.
+//! * `serve --fleet --listen … [--sessions <n>]` — fleet mode: the wire
+//!   lanes are fleet *tenants*, not devices. The server hosts a fed
+//!   [`FleetSim`] (same flags as the `fleet` binary: `--tenants`,
+//!   `--devices`, `--epochs`, `--duration-ms`, `--seed`, `--shape-mix`,
+//!   `--rebalance`, `--scale`); `--sessions` (default 4) `fleet
+//!   --remote` clients attach tenant lanes, push arrival streams, and
+//!   flush epoch barriers. The rendered fleet report is byte-identical
+//!   to an in-process `fleet` run of the same flags — including when a
+//!   client's connection is killed and resumed mid-epoch.
+//! * `serve --connbench <n> [--devices <d>]` — concurrency measurement:
+//!   bind an ephemeral endpoint, hold `n` client sessions open
+//!   *simultaneously* against one serving thread, submit on each, and
+//!   record the loop's peak connection count in the bench record (the
+//!   "hundreds of connections, one thread" claim, measured).
 //!
 //! Common flags:
 //!
-//! * `--devices <n>` — device lanes, round-robin over the paper's roster
-//!   (ESSD-1, ESSD-2, local SSD); default 3.
-//! * `--sessions <n>` — sessions to serve/replay; default `--devices`.
+//! * `--devices <n>` — device lanes (roster round-robin; default 3), or
+//!   the fleet pool size in `--fleet` mode (default 8).
+//! * `--sessions <n>` — sessions to serve/replay; default `--devices`
+//!   (4 in fleet mode).
 //! * `--scale <mult>` — multiply device capacities (`UC_SCALE`
 //!   fallback).
 //! * `--ring <n>` — per-doorbell submission ring (default 64, which
@@ -32,15 +50,21 @@
 //! * `--report <path>` — write the rendered report there instead of
 //!   stdout.
 //! * `--bench-json <path>` — machine-readable run record (includes
-//!   `peak_rss_bytes` and the shed counters).
+//!   `peak_connections`, `resumes`, `peak_rss_bytes`, and the shed
+//!   counters).
 //!
 //! Overload shedding is a served result, not a failure: the binary
 //! exits 0 even when `shed_overload` is positive.
 
 use std::sync::Arc;
-use uc_bench::{generated_trace, roster_from_args, BenchJson, DeviceKind};
-use uc_core::report::render_serve_report;
-use uc_serve::{Endpoint, Listener, PoolConfig, ServePool};
+use uc_bench::{generated_trace, roster_from_args, scale_from_args, BenchJson, DeviceKind};
+use uc_core::experiments::fleet::{self as fleet_exp, FleetRunConfig};
+use uc_core::report::{render_fleet_report, render_serve_report};
+use uc_fleet::{FleetSim, RebalancePolicy, ShapeMix};
+use uc_serve::{
+    serve_events, Endpoint, EventLoopStats, Listener, PoolConfig, RemoteDevice, ServePool,
+};
+use uc_sim::{SimDuration, SimTime};
 use uc_trace::{replay_with, ReplayConfig};
 
 /// Reads the value of `--flag <n>` as a positive integer, if present.
@@ -66,13 +90,106 @@ fn parse_value(args: &[String], flag: &str) -> Option<String> {
     })
 }
 
+/// Parses `s:d:b` into a [`ShapeMix`].
+fn parse_mix(v: &str) -> ShapeMix {
+    let parts: Vec<u32> = v
+        .split(':')
+        .map(|p| {
+            p.parse::<u32>()
+                .unwrap_or_else(|_| panic!("--shape-mix expects s:d:b integers, got {v:?}"))
+        })
+        .collect();
+    assert!(
+        parts.len() == 3 && parts.iter().any(|&p| p > 0),
+        "--shape-mix expects three ratios with at least one nonzero, got {v:?}"
+    );
+    ShapeMix {
+        steady: parts[0],
+        diurnal: parts[1],
+        bursty: parts[2],
+    }
+}
+
+/// Builds the fleet definition `--fleet` serves — field for field the
+/// same construction the `fleet` binary runs in-process, so the two
+/// reports can be diffed byte for byte.
+fn fleet_run_config(args: &[String]) -> FleetRunConfig {
+    let tenants = parse_count(args, "--tenants").unwrap_or(256);
+    let devices = parse_count(args, "--devices").unwrap_or(8);
+    let epochs = parse_count(args, "--epochs").unwrap_or(4);
+    let duration_ms = parse_count(args, "--duration-ms").unwrap_or(200);
+    let seed = parse_value(args, "--seed")
+        .map(|v| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| panic!("--seed expects an integer, got {v:?}"))
+        })
+        .unwrap_or(0xF1EE7);
+    let mix = parse_value(args, "--shape-mix")
+        .map(|v| parse_mix(&v))
+        .unwrap_or_else(ShapeMix::default_mix);
+    let mut config = FleetRunConfig::new(tenants, devices).with_scale(scale_from_args(args));
+    config.fleet = config
+        .fleet
+        .with_mix(mix)
+        .with_epochs(epochs)
+        .with_duration(SimDuration::from_millis(duration_ms as u64))
+        .with_seed(seed);
+    if args.iter().any(|a| a == "--rebalance") {
+        config.fleet = config.fleet.with_rebalance(RebalancePolicy::default());
+    }
+    config
+}
+
+/// The connection-concurrency bench: `count` sessions held open at once
+/// against one serving thread, each submitting a small batch while every
+/// other connection stays live, so the loop's `peak_connections` is an
+/// honest simultaneous count.
+fn run_connbench(pool: &Arc<ServePool>, listen: &str, count: usize) -> EventLoopStats {
+    let endpoint = Endpoint::parse(listen).unwrap_or_else(|e| panic!("--listen: {e}"));
+    let listener =
+        Listener::bind(&endpoint).unwrap_or_else(|e| panic!("cannot bind {endpoint}: {e}"));
+    let bound = listener.local_endpoint().expect("local endpoint");
+    let devices = pool.devices();
+    let server = {
+        let pool = Arc::clone(pool);
+        std::thread::spawn(move || serve_events(&listener, &pool, count))
+    };
+    let barrier = Arc::new(std::sync::Barrier::new(count));
+    let clients: Vec<_> = (0..count)
+        .map(|i| {
+            let bound = bound.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut dev = RemoteDevice::open(&bound, (i % devices) as u32)
+                    .unwrap_or_else(|e| panic!("client {i} cannot open: {e}"));
+                // Everyone holds their connection until the whole cohort
+                // is attached — the peak is all of them at once.
+                barrier.wait();
+                let info = uc_blockdev::BlockDevice::info(&dev);
+                let req = uc_blockdev::IoRequest::write(0, info.logical_block(), SimTime::ZERO);
+                uc_blockdev::BlockDevice::submit(&mut dev, &req).expect("bench submit");
+                barrier.wait();
+                dev.close().expect("close");
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    server.join().expect("server thread").expect("serve events")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let inprocess = args.iter().any(|a| a == "--inprocess");
+    let fleet = args.iter().any(|a| a == "--fleet");
+    let connbench = parse_count(&args, "--connbench");
     let shape = parse_value(&args, "--shape").unwrap_or_else(|| "bursty".to_string());
-    let devices = parse_count(&args, "--devices").unwrap_or(3);
-    let sessions = parse_count(&args, "--sessions").unwrap_or(devices);
+    let devices = parse_count(&args, "--devices").unwrap_or(if fleet { 8 } else { 3 });
+    let sessions = connbench
+        .or_else(|| parse_count(&args, "--sessions"))
+        .unwrap_or(if fleet { 4 } else { devices });
     let mut config = PoolConfig::default();
     if let Some(ring) = parse_count(&args, "--ring") {
         config.ring = ring;
@@ -86,20 +203,47 @@ fn main() {
             .unwrap_or_else(|_| panic!("--rate expects bytes per second, got {rate:?}"));
         config.rate = Some(parsed);
     }
+    assert!(
+        !(fleet && (inprocess || connbench.is_some())),
+        "--fleet serves tenant lanes over the network; combine it with --listen only"
+    );
 
-    // Lanes round-robin the paper's roster, labeled deterministically so
-    // a networked run and the in-process baseline render identically.
-    let roster = roster_from_args(&args);
-    let lanes: Vec<(String, _)> = (0..devices)
-        .map(|i| {
-            let kind = DeviceKind::ALL[i % DeviceKind::ALL.len()];
-            (format!("lane{i}-{}", kind.label()), roster.build(kind))
-        })
-        .collect();
-    let pool = Arc::new(ServePool::new(lanes, config));
+    let fleet_config = fleet.then(|| fleet_run_config(&args));
+    let pool = match &fleet_config {
+        Some(run) => {
+            // The wire lanes are tenants of a *fed* fleet: geometry and
+            // budgets identical to the in-process run, arrival streams
+            // supplied by the remote clients.
+            let sim = FleetSim::new_fed(run.fleet.clone(), fleet_exp::build_pool(run));
+            Arc::new(ServePool::new_fleet(sim, config))
+        }
+        None => {
+            // Lanes round-robin the paper's roster, labeled
+            // deterministically so a networked run and the in-process
+            // baseline render identically.
+            let roster = roster_from_args(&args);
+            let lanes: Vec<(String, _)> = (0..devices)
+                .map(|i| {
+                    let kind = DeviceKind::ALL[i % DeviceKind::ALL.len()];
+                    (format!("lane{i}-{}", kind.label()), roster.build(kind))
+                })
+                .collect();
+            Arc::new(ServePool::new(lanes, config))
+        }
+    };
 
     let started = std::time::Instant::now();
-    let mode = if inprocess {
+    let mut stats = EventLoopStats::default();
+    let mode = if let Some(count) = connbench {
+        let listen = parse_value(&args, "--listen").unwrap_or_else(|| "tcp:127.0.0.1:0".into());
+        eprintln!("connbench: {count} concurrent session(s) on one serving thread…");
+        stats = run_connbench(&pool, &listen, count);
+        assert_eq!(
+            stats.peak_connections, count,
+            "every bench session must be open at once"
+        );
+        "connbench"
+    } else if inprocess {
         // The determinism baseline: session i replays the same generated
         // trace a remote client on lane i % devices would, sequentially
         // (lanes are independent, so sequential == concurrent).
@@ -124,14 +268,35 @@ fn main() {
         let listener =
             Listener::bind(&endpoint).unwrap_or_else(|e| panic!("cannot bind {endpoint}: {e}"));
         let bound = listener.local_endpoint().expect("local endpoint");
-        eprintln!("serving {devices} lane(s) at {bound}; waiting for {sessions} session(s)…");
-        uc_serve::serve_sessions(&listener, &pool, sessions).expect("serve sessions");
-        "network"
+        if fleet {
+            eprintln!(
+                "serving {} fleet tenant(s) on {devices} device(s) at {bound}; \
+                 waiting for {sessions} session(s)…",
+                pool.fleet_tenants()
+            );
+        } else {
+            eprintln!("serving {devices} lane(s) at {bound}; waiting for {sessions} session(s)…");
+        }
+        stats = serve_events(&listener, &pool, sessions).expect("serve events");
+        if fleet {
+            "fleet"
+        } else {
+            "network"
+        }
     };
     let wall = started.elapsed();
+    eprintln!(
+        "event loop: {} accepted, {} peak, {} session(s), {} resume(s)",
+        stats.connections_accepted, stats.peak_connections, stats.sessions_served, stats.resumes
+    );
 
     let report = pool.report();
-    let rendered = render_serve_report(&report);
+    let rendered = match pool.fleet_report() {
+        // Fleet mode renders the *fleet* verdict — the byte-identity bar
+        // against an in-process `fleet` run of the same flags.
+        Some(fleet_report) => render_fleet_report(&fleet_exp::evaluate(fleet_report)),
+        None => render_serve_report(&report),
+    };
     match parse_value(&args, "--report") {
         Some(path) => {
             std::fs::write(&path, &rendered).expect("write report");
@@ -150,6 +315,10 @@ fn main() {
             .u64("busy_ring_full", report.busy_ring_full)
             .u64("shed_overload", report.shed_overload)
             .u64("throttled", report.throttled)
+            .u64("connections_accepted", stats.connections_accepted)
+            .u64("peak_connections", stats.peak_connections as u64)
+            .u64("sessions_served", stats.sessions_served)
+            .u64("resumes", stats.resumes)
             .f64("wall_seconds", wall.as_secs_f64())
             .opt_u64("peak_rss_bytes", uc_bench::peak_rss_bytes())
             .write_to(&path)

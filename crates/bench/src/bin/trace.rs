@@ -33,7 +33,10 @@
 //!   [`BlockDevice`] seam). `--remote-device <i>` picks the served lane
 //!   (default 0); the trace seed is `0x7ACE + i` and the offset span is
 //!   the lane's advertised capacity, so concurrent clients on distinct
-//!   lanes stay deterministic.
+//!   lanes stay deterministic. `--kill-conn-after <f>` kills the
+//!   connection after `f` frame writes — the client reconnects and
+//!   RESUMEs, and the replay must come out identical (the CI
+//!   connection-churn smoke pins this).
 //!
 //! Exits nonzero if any phase violates the contract thresholds (local
 //! mode), so the report doubles as a gate; remote mode exits 0 unless
@@ -82,6 +85,9 @@ fn run_remote(args: &[String], endpoint: &str, shape: &str, quick: bool) {
         .unwrap_or(0);
     let mut dev = uc_serve::RemoteDevice::open(&endpoint, device)
         .unwrap_or_else(|e| panic!("cannot open lane {device} at {endpoint}: {e}"));
+    if let Some(frames) = parse_count(args, "--kill-conn-after") {
+        dev.set_kill_after(frames as u64);
+    }
     let info = uc_blockdev::BlockDevice::info(&dev);
     eprintln!(
         "remote lane {device} at {endpoint}: {} ({} MiB)",
@@ -108,6 +114,11 @@ fn run_remote(args: &[String], endpoint: &str, shape: &str, quick: bool) {
         dev.ring_full_splits(),
         dev.overload_retries(),
     );
+    if dev.resumes() > 0 {
+        // Stderr, not stdout: the churn smoke diffs stdout between a
+        // killed and an uninterrupted run.
+        eprintln!("connection resumed {} time(s) mid-replay", dev.resumes());
+    }
     let stats = dev.session_stats().expect("session stats");
     println!(
         "server ledger: {} I/Os, {} MiB, {} clamped, queue head at {:.3} ms",

@@ -256,6 +256,15 @@ pub enum IoError {
         /// Device capacity in bytes.
         capacity: u64,
     },
+    /// A served ring stayed full past the submitter's retry budget: the
+    /// batch could not be split small enough to ever be admitted.
+    RingSaturated {
+        /// The server's ring size the batch was split down against.
+        ring: u32,
+        /// How many ring-full refusals the submitter absorbed before
+        /// giving up.
+        refusals: u32,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -273,6 +282,10 @@ impl fmt::Display for IoError {
             IoError::OutOfRange { end, capacity } => {
                 write!(f, "i/o extends to byte {end} beyond capacity {capacity}")
             }
+            IoError::RingSaturated { ring, refusals } => write!(
+                f,
+                "{ring}-slot ring still refusing after {refusals} split retries"
+            ),
         }
     }
 }

@@ -27,6 +27,13 @@ impl SessionId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Rebuild a handle from a table index — the inverse of
+    /// [`SessionId::index`], for resuming a session identified over a
+    /// wire. Pair with [`SharedDevice::has_session`] before use.
+    pub fn from_index(index: usize) -> Self {
+        SessionId(index)
+    }
 }
 
 /// Per-session accounting: what one tenant has pushed through the shared
@@ -89,6 +96,13 @@ impl<D: BlockDevice> SharedDevice<D> {
     /// Number of open sessions.
     pub fn sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Whether `session` was opened on this device — the resume hook a
+    /// served frontend uses to validate a reconnecting client's lane
+    /// before replaying onto it.
+    pub fn has_session(&self, session: SessionId) -> bool {
+        session.0 < self.sessions.len()
     }
 
     /// The accounting ledger of `session`.
@@ -297,6 +311,15 @@ mod tests {
 
     fn at(nanos: u64) -> SimTime {
         SimTime::from_nanos(nanos)
+    }
+
+    #[test]
+    fn has_session_tracks_open_order() {
+        let mut dev = SharedDevice::new(Probe::new());
+        assert!(!dev.has_session(SessionId::from_index(0)));
+        let a = dev.open_session();
+        assert!(dev.has_session(a));
+        assert!(!dev.has_session(SessionId::from_index(a.index() + 1)));
     }
 
     #[test]

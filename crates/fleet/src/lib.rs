@@ -49,5 +49,5 @@ mod tenant;
 pub use metrics::{jain_index, EpochStat, FleetReport, TenantMetrics, TenantSummary};
 pub use placement::{MigrationAudit, MigrationRecord, Placement};
 pub use rebalance::{PlannedMove, RebalancePolicy};
-pub use sim::{FleetConfig, FleetDevice, FleetSim, FleetSnapshot};
+pub use sim::{FeedError, FleetConfig, FleetDevice, FleetSim, FleetSnapshot};
 pub use tenant::{ShapeMix, TenantSpec};

@@ -31,6 +31,55 @@ use uc_workload::TraceEntry;
 /// movable across the executor boundary.
 pub type FleetDevice = Box<dyn CheckpointDevice + Send>;
 
+/// Errors from feeding a fed-mode fleet ([`FleetSim::push_entries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedError {
+    /// The sim was built with [`FleetSim::new`], which synthesizes its
+    /// own tenant traces — external entries are not accepted.
+    NotFed,
+    /// Every epoch has already run; there is nothing left to feed.
+    Finished,
+    /// No such tenant in the fleet.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: u32,
+    },
+    /// An entry's arrival instant regressed below the tenant's last
+    /// pushed entry — fed streams must be monotone like generated ones.
+    NonMonotone {
+        /// The offending tenant id.
+        tenant: u32,
+    },
+    /// An entry reached past the tenant's region span.
+    OutOfRegion {
+        /// The offending tenant id.
+        tenant: u32,
+        /// First byte past the entry's range.
+        end: u64,
+        /// The per-tenant region span.
+        span: u64,
+    },
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::NotFed => write!(f, "fleet was not built in fed mode"),
+            FeedError::Finished => write!(f, "fleet already finished"),
+            FeedError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            FeedError::NonMonotone { tenant } => {
+                write!(f, "tenant {tenant}: pushed entries regress in time")
+            }
+            FeedError::OutOfRegion { tenant, end, span } => write!(
+                f,
+                "tenant {tenant}: entry reaches byte {end} past the {span}-byte region"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
 /// Parameters of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -161,6 +210,7 @@ pub struct FleetSim {
     migrations: Vec<MigrationRecord>,
     violations: Vec<String>,
     finished_at: SimTime,
+    fed: bool,
     #[cfg(feature = "fault-injection")]
     drop_next_migrant: bool,
 }
@@ -178,7 +228,22 @@ impl FleetSim {
     /// zero, or the devices are too small to give every tenant a region
     /// of at least one I/O.
     pub fn new(config: FleetConfig, pool: Vec<FleetDevice>) -> Self {
-        let (placement, tenants, buckets) = Self::build(&config, &pool, None);
+        Self::with_mode(config, pool, false)
+    }
+
+    /// Builds a *fed* fleet: the geometry, placement, budgets, and
+    /// per-tenant specs are identical to [`new`](FleetSim::new), but
+    /// tenant traces start empty and are supplied by an external driver
+    /// via [`push_entries`](FleetSim::push_entries) — the seam a served
+    /// frontend uses to mount wire clients as tenants. A fed fleet whose
+    /// pushed entries equal the generated ones produces a byte-identical
+    /// report.
+    pub fn new_fed(config: FleetConfig, pool: Vec<FleetDevice>) -> Self {
+        Self::with_mode(config, pool, true)
+    }
+
+    fn with_mode(config: FleetConfig, pool: Vec<FleetDevice>, fed: bool) -> Self {
+        let (placement, tenants, buckets) = Self::build(&config, &pool, None, fed);
         FleetSim {
             devices: pool.into_iter().map(SharedDevice::new).collect(),
             config,
@@ -190,6 +255,7 @@ impl FleetSim {
             migrations: Vec::new(),
             violations: Vec::new(),
             finished_at: SimTime::ZERO,
+            fed,
             #[cfg(feature = "fault-injection")]
             drop_next_migrant: false,
         }
@@ -207,7 +273,7 @@ impl FleetSim {
     /// fleet definition is a caller bug; the durable store fingerprints
     /// configs to prevent it.
     pub fn resume(config: FleetConfig, pool: Vec<FleetDevice>, snapshot: &FleetSnapshot) -> Self {
-        let (_, mut tenants, _) = Self::build(&config, &pool, Some(&snapshot.placement));
+        let (_, mut tenants, _) = Self::build(&config, &pool, Some(&snapshot.placement), false);
         assert_eq!(snapshot.cursors.len(), tenants.len(), "tenant count drift");
         assert_eq!(snapshot.queue_heads.len(), pool.len(), "device count drift");
         for (t, run) in tenants.iter_mut().enumerate() {
@@ -234,6 +300,7 @@ impl FleetSim {
             migrations: snapshot.migrations.clone(),
             violations: snapshot.violations.clone(),
             finished_at: snapshot.finished_at,
+            fed: false,
             #[cfg(feature = "fault-injection")]
             drop_next_migrant: false,
         }
@@ -246,6 +313,7 @@ impl FleetSim {
         config: &FleetConfig,
         pool: &[FleetDevice],
         resumed: Option<&Placement>,
+        fed: bool,
     ) -> (Placement, Vec<TenantRun>, BucketSet) {
         assert!(config.tenants > 0, "fleet needs tenants");
         assert!(config.epochs > 0, "fleet needs at least one epoch");
@@ -290,7 +358,11 @@ impl FleetSim {
             );
             buckets.push(TokenBucket::new(spec.burst_bytes, spec.rate_bytes_per_sec));
             tenants.push(TenantRun {
-                entries: spec.trace.generate().entries().to_vec(),
+                entries: if fed {
+                    Vec::new()
+                } else {
+                    spec.trace.generate().entries().to_vec()
+                },
                 spec,
                 cursor: 0,
                 floor: SimTime::ZERO,
@@ -319,6 +391,53 @@ impl FleetSim {
     /// The current placement.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The fleet's configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Completed migrations so far, in completion order.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Appends externally supplied arrival entries to a fed tenant's
+    /// stream (see [`new_fed`](FleetSim::new_fed)). Entries are taken in
+    /// region-relative offsets, exactly like generated traces, and must
+    /// keep the tenant's arrival axis monotone.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`FeedError`]s: rejects non-fed fleets, finished fleets,
+    /// unknown tenants, time regressions, and entries past the region
+    /// span. On error nothing is appended.
+    pub fn push_entries(&mut self, tenant: u32, entries: &[TraceEntry]) -> Result<(), FeedError> {
+        if !self.fed {
+            return Err(FeedError::NotFed);
+        }
+        if self.is_finished() {
+            return Err(FeedError::Finished);
+        }
+        let span = self.placement.region_span();
+        let run = self
+            .tenants
+            .get_mut(tenant as usize)
+            .ok_or(FeedError::UnknownTenant { tenant })?;
+        let mut floor = run.entries.last().map_or(SimTime::ZERO, |e| e.at);
+        for e in entries {
+            if e.at < floor {
+                return Err(FeedError::NonMonotone { tenant });
+            }
+            let end = e.offset + e.len as u64;
+            if end > span {
+                return Err(FeedError::OutOfRegion { tenant, end, span });
+            }
+            floor = e.at;
+        }
+        run.entries.extend_from_slice(entries);
+        Ok(())
     }
 
     /// Arms a one-shot fault: the next migration "forgets" to re-home
@@ -704,6 +823,70 @@ mod tests {
         assert!(ra.violations.is_empty(), "{:?}", ra.violations);
         assert!(ra.total_ios > 0);
         assert!(ra.min_fairness() > 0.0 && ra.min_fairness() <= 1.0);
+    }
+
+    #[test]
+    fn fed_fleet_matches_generated_fleet_byte_for_byte() {
+        let mut generated = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        let mut fed = FleetSim::new_fed(small_config(), pool(2, 64 << 20, 7));
+        // Feed exactly the entries the generated fleet synthesized,
+        // chunked to exercise incremental pushes.
+        for t in 0..small_config().tenants as u32 {
+            let entries = fed.tenant_spec(t).trace.generate().entries().to_vec();
+            for chunk in entries.chunks(7) {
+                fed.push_entries(t, chunk).expect("valid feed");
+            }
+        }
+        let ra = generated.run().expect("generated runs");
+        let rb = fed.run().expect("fed runs");
+        assert_eq!(ra, rb);
+        assert_eq!(encoded(&generated.snapshot()), encoded(&fed.snapshot()));
+    }
+
+    #[test]
+    fn feed_errors_are_typed() {
+        let mut generated = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        let entry = TraceEntry {
+            at: SimTime::from_nanos(10),
+            kind: uc_blockdev::IoKind::Write,
+            offset: 0,
+            len: 4096,
+        };
+        assert_eq!(generated.push_entries(0, &[entry]), Err(FeedError::NotFed));
+
+        let mut fed = FleetSim::new_fed(small_config(), pool(2, 64 << 20, 7));
+        assert_eq!(
+            fed.push_entries(99, &[entry]),
+            Err(FeedError::UnknownTenant { tenant: 99 })
+        );
+        let span = fed.region_span();
+        assert_eq!(
+            fed.push_entries(
+                0,
+                &[TraceEntry {
+                    offset: span,
+                    ..entry
+                }]
+            ),
+            Err(FeedError::OutOfRegion {
+                tenant: 0,
+                end: span + 4096,
+                span,
+            })
+        );
+        fed.push_entries(0, &[entry]).expect("in-region feed");
+        assert_eq!(
+            fed.push_entries(
+                0,
+                &[TraceEntry {
+                    at: SimTime::from_nanos(5),
+                    ..entry
+                }]
+            ),
+            Err(FeedError::NonMonotone { tenant: 0 })
+        );
+        fed.run().expect("fed fleet drains");
+        assert_eq!(fed.push_entries(0, &[entry]), Err(FeedError::Finished));
     }
 
     #[test]

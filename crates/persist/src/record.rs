@@ -287,6 +287,72 @@ pub fn read_record_from<R: Read + ?Sized>(
     Ok(Some((kind, payload.to_vec())))
 }
 
+/// Reports whether `buf` starts with one complete record, and how long
+/// it is — the incremental framing primitive for non-blocking readers.
+///
+/// A readiness-driven server accumulates partial reads in a buffer and
+/// must know, without consuming anything, whether a whole record has
+/// arrived yet. `Ok(Some(len))` means `buf[..len]` is exactly one record
+/// (hand it to [`decode_record`]); `Ok(None)` means the prefix is
+/// consistent with a record still in flight — read more bytes and ask
+/// again.
+///
+/// # Errors
+///
+/// Corruption that can be diagnosed from the prefix alone is typed
+/// immediately: [`DecodeError::BadMagic`] the moment a byte disagrees
+/// with the magic, [`DecodeError::UnsupportedVersion`] on a foreign
+/// envelope version, and [`DecodeError::InvalidValue`] for a length
+/// field past the stream caps ([`MAX_STREAM_KIND_LEN`] /
+/// [`MAX_STREAM_PAYLOAD_LEN`]) — a flipped length bit must not make the
+/// caller buffer gigabytes waiting for a record that never completes.
+pub fn peek_record_len(buf: &[u8]) -> Result<Option<usize>, DecodeError> {
+    let prefix = buf.len().min(MAGIC.len());
+    if buf[..prefix] != MAGIC[..prefix] {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf.len() < MAGIC.len() + 2 {
+        return Ok(None);
+    }
+    let found = u16::from_le_bytes([buf[8], buf[9]]);
+    if found != FORMAT_VERSION {
+        return Err(DecodeError::UnsupportedVersion {
+            found,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if buf.len() < 18 {
+        return Ok(None);
+    }
+    let kind_len = u64::from_le_bytes(buf[10..18].try_into().expect("8 bytes"));
+    if kind_len > MAX_STREAM_KIND_LEN {
+        return Err(DecodeError::InvalidValue {
+            what: "stream record kind length",
+        });
+    }
+    let kind_len = kind_len as usize;
+    if buf.len() < 18 + kind_len + 8 {
+        return Ok(None);
+    }
+    let payload_len = u64::from_le_bytes(
+        buf[18 + kind_len..26 + kind_len]
+            .try_into()
+            .expect("8 bytes"),
+    );
+    if payload_len > MAX_STREAM_PAYLOAD_LEN {
+        return Err(DecodeError::InvalidValue {
+            what: "stream record payload length",
+        });
+    }
+    // magic 8 + version 2 + kind len 8 + kind + payload len 8 + payload
+    // + CRC 4.
+    let total = 30 + kind_len + payload_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(total))
+}
+
 /// Writes a record file atomically: the bytes go to `<path>.tmp` first
 /// and are renamed into place, so a crash mid-write never leaves a torn
 /// record at `path`.
@@ -347,6 +413,61 @@ mod tests {
         let _ = hasher.finalize();
         hasher.update(b"56789");
         assert_eq!(hasher.finalize(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn peek_sees_the_whole_record_exactly_at_its_boundary() {
+        let record = encode_record("peek.v1", b"incremental");
+        // Every strict prefix: not yet a whole record.
+        for cut in 0..record.len() {
+            assert_eq!(
+                peek_record_len(&record[..cut]),
+                Ok(None),
+                "prefix of {cut} bytes"
+            );
+        }
+        // The exact boundary — and any trailing bytes — report the length.
+        assert_eq!(peek_record_len(&record), Ok(Some(record.len())));
+        let mut padded = record.clone();
+        padded.extend_from_slice(b"next frame starts here");
+        assert_eq!(peek_record_len(&padded), Ok(Some(record.len())));
+    }
+
+    #[test]
+    fn peek_rejects_corruption_as_early_as_it_is_visible() {
+        let record = encode_record("peek.v1", b"x");
+        // A wrong magic byte is rejected even before the prefix is whole.
+        let mut bad = record.clone();
+        bad[3] ^= 0xFF;
+        assert_eq!(peek_record_len(&bad[..4]), Err(DecodeError::BadMagic));
+        // A future version is rejected as soon as both bytes arrive.
+        let mut bad = record.clone();
+        bad[9] = 0x7F;
+        assert_eq!(
+            peek_record_len(&bad[..10]),
+            Err(DecodeError::UnsupportedVersion {
+                found: u16::from_le_bytes([bad[8], 0x7F]),
+                supported: FORMAT_VERSION
+            })
+        );
+        // Hostile length prefixes trip the caps before any allocation.
+        let mut bad = record.clone();
+        bad[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            peek_record_len(&bad),
+            Err(DecodeError::InvalidValue {
+                what: "stream record kind length"
+            })
+        );
+        let mut bad = record;
+        let kind_len = u64::from_le_bytes(bad[10..18].try_into().unwrap()) as usize;
+        bad[18 + kind_len..26 + kind_len].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            peek_record_len(&bad),
+            Err(DecodeError::InvalidValue {
+                what: "stream record payload length"
+            })
+        );
     }
 
     #[test]

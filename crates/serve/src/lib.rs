@@ -2,39 +2,52 @@
 //!
 //! Every workload so far was generated in-process; the paper's contract,
 //! though, is about how *tenants'* traffic meets elastic SSDs — over
-//! connections, with slow clients, bursts and overload. This crate
-//! exposes the [`SharedDevice`](uc_blockdev::SharedDevice) session seam
-//! as a storage target, std-only (hand-rolled threads, `std::net` TCP
-//! and Unix-domain sockets):
+//! connections, with slow clients, bursts, overload, and connections
+//! that die mid-exchange. This crate exposes both the
+//! [`SharedDevice`](uc_blockdev::SharedDevice) session seam and the
+//! fleet tenant seam as a storage target, std-only (`std::net` TCP and
+//! Unix-domain sockets, raw `epoll` behind a tiny wrapper):
 //!
-//! * **wire** ([`Frame`]) — the `uc.wire.v1` request/response framing on
-//!   the `uc-persist` record envelope (magic, version, kind tag,
-//!   CRC-32): OPEN_SESSION / SUBMIT_BATCH / COMPLETIONS / STATS / CLOSE,
-//!   plus typed BUSY backpressure and ERR frames. Corruption closes the
-//!   connection with a typed error; it never panics the server;
-//! * **pool** ([`ServePool`]) — the served device lanes: per-connection
+//! * **wire** ([`Frame`]) — the `uc.wire.v2` framing on the `uc-persist`
+//!   record envelope (magic, version, kind tag, CRC-32). Every frame
+//!   carries a [`FrameHeader`] — session token, lane id, sequence
+//!   number — and a typed [`Body`]. Sessions are first-class resumable
+//!   objects: OPEN issues a token, ATTACH mounts device or fleet-tenant
+//!   lanes, and RESUME replays exactly the unacknowledged responses
+//!   after a reconnect. `uc.wire.v1` clients are refused with a typed
+//!   `UnsupportedVersion` error ([`wire_v1`] keeps the old framing
+//!   decodable for the negotiation test surface);
+//! * **poll** ([`Poller`]) — readiness without dependencies: Linux
+//!   `epoll` through a minimal FFI shim, `poll(2)` elsewhere;
+//! * **pool** ([`ServePool`]) — the served backend: per-lane device
 //!   sessions with a bounded submission ring, overload shedding above an
-//!   in-flight ceiling, optional per-session token-bucket rate budgets,
-//!   and the device-side [`ServeReport`];
-//! * **server** ([`serve_sessions`]) — thread-per-connection serving
-//!   with a bounded accept count; the device mutex is never held across
-//!   a socket write, so a stalled reader cannot block other sessions;
-//! * **client** ([`RemoteDevice`]) — a
-//!   [`BlockDevice`](uc_blockdev::BlockDevice) over a connection, so the
-//!   trace replayer (`trace --remote`) becomes the load generator
-//!   unchanged, with ring-full splits and overload backoff built in.
+//!   in-flight ceiling, optional rate budgets, and — in fleet mode — the
+//!   multi-tenant placement engine with epoch barriers and rebalance
+//!   decisions surfaced per tenant;
+//! * **server** ([`serve_events`]) — one serving thread drives every
+//!   connection through an epoll event loop: non-blocking sockets,
+//!   per-connection read/write buffers, partial-frame state machines. A
+//!   stalled reader keeps its own admission slots parked but cannot
+//!   block any other session;
+//! * **client** ([`WireClient`], [`RemoteDevice`]) — the resumable
+//!   multi-lane client. [`RemoteDevice`] keeps the
+//!   [`BlockDevice`](uc_blockdev::BlockDevice) seam, so the trace
+//!   replayer (`trace --remote`) is the load generator unchanged —
+//!   ring-full refusals split iteratively (typed
+//!   `RingSaturated` past the retry cap), overload backs off, and a dead
+//!   connection resumes transparently.
 //!
-//! The acceptance bar is determinism: a replay driven through a loopback
-//! server produces a device-side report **equal** (and byte-identically
-//! rendered) to the same replay run in-process — the network adds
-//! wall-clock latency but must not perturb the simulated schedule.
+//! The acceptance bar is determinism *through failure*: kill the TCP
+//! connection mid-replay, reconnect, and the resumed session must
+//! produce a device-side report byte-identical to the uninterrupted run
+//! — the replay list in RESUME_OK makes every response exactly-once.
 //!
 //! # Example: loopback serving
 //!
 //! ```
 //! use std::sync::Arc;
 //! use uc_blockdev::{BlockDevice, IoRequest};
-//! use uc_serve::{Endpoint, Listener, PoolConfig, RemoteDevice, ServePool, serve_sessions};
+//! use uc_serve::{Endpoint, Listener, PoolConfig, RemoteDevice, ServePool, serve_events};
 //! use uc_sim::SimTime;
 //! use uc_ssd::{Ssd, SsdConfig};
 //!
@@ -47,35 +60,43 @@
 //! let endpoint = listener.local_endpoint()?;
 //! let server = {
 //!     let pool = Arc::clone(&pool);
-//!     std::thread::spawn(move || serve_sessions(&listener, &pool, 1))
+//!     std::thread::spawn(move || serve_events(&listener, &pool, 1))
 //! };
 //!
 //! let mut dev = RemoteDevice::open(&endpoint, 0)?;
 //! let done = dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO)).unwrap();
 //! assert!(done > SimTime::ZERO);
 //! dev.close()?;
-//! server.join().unwrap()?;
+//! let stats = server.join().unwrap()?;
+//! assert_eq!(stats.sessions_served, 1);
 //! assert_eq!(pool.report().total_ios(), 1);
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod client;
 mod net;
+mod poll;
 mod pool;
 mod server;
 mod wire;
+mod wire_v1;
 
-pub use client::RemoteDevice;
+pub use client::{RemoteDevice, WireClient};
 pub use net::{Endpoint, Listener, Stream};
+pub use poll::{Event, Poller};
 pub use pool::{
-    DeviceLaneReport, InflightGuard, PoolConfig, PoolDevice, PoolSession, Rejection, ServePool,
-    ServeReport,
+    DeviceLaneReport, FleetError, FlushOutcome, InflightGuard, OwnedInflightGuard, PoolConfig,
+    PoolDevice, PoolSession, Rejection, ServePool, ServeReport, TenantMove,
 };
-pub use server::{serve_connection, serve_sessions};
-pub use wire::{BusyReason, Frame, WireStats, ALL_KINDS};
+pub use server::{serve_events, EventLoopStats};
+pub use wire::{
+    Body, BusyReason, ErrCode, Frame, FrameHeader, LaneAck, LaneTarget, WireStats, ALL_KINDS,
+    CONTROL_LANE, WIRE_VERSION,
+};
+pub use wire_v1::{FrameV1, ALL_KINDS_V1};
 
 /// Upper bound on the request (and completion) count one frame may
 /// claim, checked before any allocation: a hostile length field cannot

@@ -30,6 +30,18 @@ pub trait Stream: Read + Write + Send {
     ///
     /// Propagates the OS error.
     fn shutdown_both(&self) -> io::Result<()>;
+
+    /// Switches the connection between blocking and non-blocking mode
+    /// (the event loop runs every connection non-blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()>;
+
+    /// The raw fd, for poller registration.
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::fd::RawFd;
 }
 
 impl Stream for TcpStream {
@@ -39,6 +51,15 @@ impl Stream for TcpStream {
 
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::fd::RawFd {
+        std::os::fd::AsRawFd::as_raw_fd(self)
     }
 }
 
@@ -50,6 +71,15 @@ impl Stream for std::os::unix::net::UnixStream {
 
     fn shutdown_both(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Both)
+    }
+
+    fn set_nonblocking_stream(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::fd::RawFd {
+        std::os::fd::AsRawFd::as_raw_fd(self)
     }
 }
 
@@ -165,6 +195,30 @@ impl Listener {
                     addr.as_pathname().map(PathBuf::from).unwrap_or_default(),
                 ))
             }
+        }
+    }
+
+    /// Switches the listener between blocking and non-blocking accepts
+    /// (the event loop polls the listener like any other fd).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The raw fd, for poller registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Uds(l) => l.as_raw_fd(),
         }
     }
 

@@ -22,15 +22,26 @@
 //! drop. Admission counts whole batches and is the only cross-lane
 //! state, so one lane's slow client cannot block another lane's traffic
 //! (the device mutex is never held across a socket write).
+//!
+//! **Fleet mode** ([`ServePool::new_fleet`]) mounts a fed
+//! [`FleetSim`](uc_fleet::FleetSim) behind the same pool: wire clients
+//! attach *tenant* lanes, push arrival entries
+//! ([`tenant_push`](ServePool::tenant_push)) and flush epochs
+//! ([`tenant_flush`](ServePool::tenant_flush)). An epoch runs only when
+//! every tenant in the fleet has flushed it — the wire-facing form of
+//! the fleet's epoch barrier — and completed rebalances surface as
+//! typed moves for the server to translate into `LANE_MOVED` frames.
 
 use crate::wire::BusyReason;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use uc_blockdev::{
     BlockDevice, Completion, DeviceInfo, IoBatch, IoError, IoRequest, IoResult, SessionId,
     SessionStats, SharedDevice,
 };
+use uc_fleet::{FeedError, FleetReport, FleetSim};
 use uc_sim::{SimTime, TokenBucket};
+use uc_workload::TraceEntry;
 
 /// Tuning knobs of a [`ServePool`].
 #[derive(Debug, Clone, Copy)]
@@ -117,14 +128,111 @@ impl std::fmt::Debug for InflightGuard<'_> {
     }
 }
 
+/// The `'static` form of [`InflightGuard`]: holds the pool by [`Arc`],
+/// so the event loop — whose connections outlive any one stack frame —
+/// can park the admission slot inside a per-connection state machine
+/// until the response bytes have actually drained to the socket.
+pub struct OwnedInflightGuard {
+    pool: Arc<ServePool>,
+}
+
+impl Drop for OwnedInflightGuard {
+    fn drop(&mut self) {
+        self.pool.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for OwnedInflightGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnedInflightGuard")
+            .field("inflight", &self.pool.inflight.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
 struct Lane {
     label: String,
     shared: Mutex<SharedDevice<Box<dyn BlockDevice + Send>>>,
 }
 
-/// The set of device lanes one server exposes.
+/// Errors from the fleet-mode tenant seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The pool is not serving a fleet.
+    NotFleet,
+    /// No such tenant.
+    UnknownTenant,
+    /// The tenant is already mounted on another lane.
+    AlreadyAttached,
+    /// A flush named an epoch that is not the fleet's next.
+    EpochMismatch {
+        /// The epoch the fleet will run next.
+        expected: u64,
+    },
+    /// The feed seam refused the pushed entries.
+    Feed(FeedError),
+    /// The epoch run hit a device error (a placement/geometry bug).
+    Io(IoError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::NotFleet => write!(f, "pool is not serving a fleet"),
+            FleetError::UnknownTenant => write!(f, "unknown tenant"),
+            FleetError::AlreadyAttached => write!(f, "tenant already attached"),
+            FleetError::EpochMismatch { expected } => {
+                write!(f, "flush out of order: fleet expects epoch {expected}")
+            }
+            FleetError::Feed(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One completed rebalance move, as surfaced to the server for
+/// `LANE_MOVED` framing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantMove {
+    /// The migrated tenant.
+    pub tenant: u32,
+    /// Its new home device index.
+    pub to_device: u32,
+}
+
+/// What [`ServePool::tenant_flush`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Other tenants have not flushed this epoch yet; the caller's
+    /// `FLUSH_OK` is owed once the barrier clears.
+    Waiting,
+    /// This flush completed the barrier and the epoch ran: every lane
+    /// pending on `epoch` is owed its `FLUSH_OK` now (preceded by a
+    /// `LANE_MOVED` for tenants in `moves`).
+    EpochComplete {
+        /// The epoch that ran.
+        epoch: u64,
+        /// Rebalance moves the epoch completed, in completion order.
+        moves: Vec<TenantMove>,
+    },
+}
+
+/// The wire-facing face of a fed [`FleetSim`]: attachment bookkeeping
+/// plus the all-tenants flush barrier.
+struct FleetFrontend {
+    sim: FleetSim,
+    attached: Vec<bool>,
+    flushed: Vec<bool>,
+    flushed_count: usize,
+}
+
+/// The set of device lanes one server exposes, plus (in fleet mode) the
+/// tenant seam.
 pub struct ServePool {
     lanes: Vec<Lane>,
+    fleet: Option<Mutex<FleetFrontend>>,
     config: PoolConfig,
     inflight: AtomicUsize,
     busy_ring_full: AtomicU64,
@@ -214,12 +322,137 @@ impl ServePool {
                     shared: Mutex::new(SharedDevice::new(dev)),
                 })
                 .collect(),
+            fleet: None,
             config,
             inflight: AtomicUsize::new(0),
             busy_ring_full: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
         }
+    }
+
+    /// Builds a fleet-mode pool: no device lanes, every wire lane is a
+    /// tenant of `sim`, which must have been built with
+    /// [`FleetSim::new_fed`] (external drivers supply the arrival
+    /// streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid `config` values as
+    /// [`new`](ServePool::new).
+    pub fn new_fleet(sim: FleetSim, config: PoolConfig) -> Self {
+        let tenants = sim.config().tenants;
+        let mut pool = ServePool::new(Vec::new(), config);
+        pool.fleet = Some(Mutex::new(FleetFrontend {
+            sim,
+            attached: vec![false; tenants],
+            flushed: vec![false; tenants],
+            flushed_count: 0,
+        }));
+        pool
+    }
+
+    /// Whether the pool is serving a fleet.
+    pub fn is_fleet(&self) -> bool {
+        self.fleet.is_some()
+    }
+
+    /// Number of tenants in fleet mode (0 otherwise).
+    pub fn fleet_tenants(&self) -> usize {
+        self.fleet
+            .as_ref()
+            .map_or(0, |f| f.lock().expect("fleet lock").attached.len())
+    }
+
+    /// Mounts `tenant` as a wire lane: returns the lane's advertised
+    /// facts — tenant-region name, region span as capacity, and the
+    /// fleet's I/O size as the block granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NotFleet`] / [`FleetError::UnknownTenant`] /
+    /// [`FleetError::AlreadyAttached`].
+    pub fn attach_tenant(&self, tenant: u32) -> Result<(String, u64, u32), FleetError> {
+        let mut f = self.fleet_frontend()?;
+        let slot = f
+            .attached
+            .get_mut(tenant as usize)
+            .ok_or(FleetError::UnknownTenant)?;
+        if *slot {
+            return Err(FleetError::AlreadyAttached);
+        }
+        *slot = true;
+        let span = f.sim.region_span();
+        let io_size = f.sim.config().io_size;
+        Ok((format!("tenant{tenant}@fleet"), span, io_size))
+    }
+
+    /// Appends pushed arrival entries to `tenant`'s stream; returns how
+    /// many were accepted (all of them — the feed is transactional).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Feed`] with the seam's typed refusal.
+    pub fn tenant_push(&self, tenant: u32, entries: &[TraceEntry]) -> Result<u64, FleetError> {
+        let mut f = self.fleet_frontend()?;
+        f.sim
+            .push_entries(tenant, entries)
+            .map_err(FleetError::Feed)?;
+        Ok(entries.len() as u64)
+    }
+
+    /// Marks `tenant` flushed for `epoch`. When this flush is the last
+    /// one the barrier was waiting on, the epoch runs and the outcome
+    /// lists the rebalance moves it completed.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::EpochMismatch`] for an out-of-order flush,
+    /// [`FleetError::Io`] if the epoch run hit a device error.
+    pub fn tenant_flush(&self, tenant: u32, epoch: u64) -> Result<FlushOutcome, FleetError> {
+        let mut f = self.fleet_frontend()?;
+        if tenant as usize >= f.attached.len() {
+            return Err(FleetError::UnknownTenant);
+        }
+        let expected = f.sim.epoch() as u64;
+        if epoch != expected {
+            return Err(FleetError::EpochMismatch { expected });
+        }
+        if !f.flushed[tenant as usize] {
+            f.flushed[tenant as usize] = true;
+            f.flushed_count += 1;
+        }
+        if f.flushed_count < f.flushed.len() {
+            return Ok(FlushOutcome::Waiting);
+        }
+        f.sim.run_epoch().map_err(FleetError::Io)?;
+        f.flushed.fill(false);
+        f.flushed_count = 0;
+        let moves = f
+            .sim
+            .migrations()
+            .iter()
+            .filter(|m| m.epoch == epoch)
+            .map(|m| TenantMove {
+                tenant: m.tenant,
+                to_device: m.to.0 as u32,
+            })
+            .collect();
+        Ok(FlushOutcome::EpochComplete { epoch, moves })
+    }
+
+    /// The fleet's report so far (`None` for a roster pool).
+    pub fn fleet_report(&self) -> Option<FleetReport> {
+        self.fleet
+            .as_ref()
+            .map(|f| f.lock().expect("fleet lock").sim.report())
+    }
+
+    fn fleet_frontend(&self) -> Result<std::sync::MutexGuard<'_, FleetFrontend>, FleetError> {
+        self.fleet
+            .as_ref()
+            .map(|f| f.lock().expect("fleet lock"))
+            .ok_or(FleetError::NotFleet)
     }
 
     /// The pool's configuration.
@@ -322,6 +555,44 @@ impl ServePool {
             // Lock released here — never held across a response write.
         };
         Ok((completions, guard))
+    }
+
+    /// [`submit`](ServePool::submit), but the admission slot comes back
+    /// as an [`OwnedInflightGuard`]: the event loop parks it in the
+    /// connection's state machine until the completions frame has fully
+    /// drained to the socket, so a stalled reader keeps occupying its
+    /// slot exactly as in the thread-per-connection design.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](ServePool::submit).
+    pub fn submit_owned(
+        self: &Arc<Self>,
+        sess: &mut PoolSession,
+        reqs: &[IoRequest],
+    ) -> Result<(Vec<Completion>, OwnedInflightGuard), Rejection> {
+        let (completions, guard) = self.submit(sess, reqs)?;
+        // Transfer the decrement duty from the borrowed guard to the
+        // owned one: exactly one of them may run its destructor.
+        std::mem::forget(guard);
+        Ok((
+            completions,
+            OwnedInflightGuard {
+                pool: Arc::clone(self),
+            },
+        ))
+    }
+
+    /// Whether `sess` still names a live session on its lane — the
+    /// sanity check the server runs before re-arming a resumed session's
+    /// lanes onto the pool.
+    pub fn validate_session(&self, sess: &PoolSession) -> bool {
+        self.lanes.get(sess.device).is_some_and(|lane| {
+            lane.shared
+                .lock()
+                .expect("lane lock")
+                .has_session(sess.session)
+        })
     }
 
     /// The session's ledger and its lane's queue head.
@@ -582,6 +853,86 @@ mod tests {
         let pool = pool(PoolConfig::default());
         assert!(pool.open(2).is_none());
         assert!(pool.device(7).is_none());
+    }
+
+    #[test]
+    fn owned_guards_hold_the_same_admission_slot() {
+        let pool = Arc::new(pool(PoolConfig {
+            max_inflight: 1,
+            ..PoolConfig::default()
+        }));
+        let (mut s, _) = pool.open(0).unwrap();
+        let reqs = [IoRequest::write(0, 512, at(0))];
+        let (_, guard) = pool.submit_owned(&mut s, &reqs).unwrap();
+        assert_eq!(
+            pool.submit(&mut s, &reqs).unwrap_err(),
+            Rejection::Busy(BusyReason::Overload)
+        );
+        drop(guard);
+        let (_, guard) = pool.submit_owned(&mut s, &reqs).unwrap();
+        drop(guard);
+        assert_eq!(pool.report().total_ios(), 2);
+        assert!(pool.validate_session(&s));
+    }
+
+    #[test]
+    fn fleet_mode_serves_tenants_behind_the_epoch_barrier() {
+        use uc_essd::{Essd, EssdConfig};
+        use uc_fleet::{FleetConfig, FleetDevice};
+
+        let fleet_config =
+            FleetConfig::new(3, 1).with_duration(uc_sim::SimDuration::from_millis(4));
+        let devices: Vec<FleetDevice> = vec![Box::new(Essd::new(
+            EssdConfig::alibaba_pl3(64 << 20).with_name("fleet-essd-0".to_string()),
+        ))];
+        let sim = FleetSim::new_fed(fleet_config, devices);
+        let pool = ServePool::new_fleet(sim, PoolConfig::default());
+        assert!(pool.is_fleet());
+        assert_eq!(pool.fleet_tenants(), 3);
+
+        let (name, span, io_size) = pool.attach_tenant(0).unwrap();
+        assert_eq!(name, "tenant0@fleet");
+        assert!(span >= io_size as u64);
+        assert_eq!(pool.attach_tenant(0), Err(FleetError::AlreadyAttached));
+        assert_eq!(pool.attach_tenant(9), Err(FleetError::UnknownTenant));
+
+        let entry = TraceEntry {
+            at: at(10),
+            kind: uc_blockdev::IoKind::Write,
+            offset: 0,
+            len: io_size,
+        };
+        assert_eq!(pool.tenant_push(0, &[entry]).unwrap(), 1);
+        assert!(matches!(
+            pool.tenant_push(
+                0,
+                &[TraceEntry {
+                    offset: span,
+                    ..entry
+                }]
+            ),
+            Err(FleetError::Feed(uc_fleet::FeedError::OutOfRegion { .. }))
+        ));
+
+        // The barrier: the epoch runs only once every tenant flushed.
+        assert_eq!(
+            pool.tenant_flush(0, 1),
+            Err(FleetError::EpochMismatch { expected: 0 })
+        );
+        assert_eq!(pool.tenant_flush(0, 0).unwrap(), FlushOutcome::Waiting);
+        assert_eq!(pool.tenant_flush(1, 0).unwrap(), FlushOutcome::Waiting);
+        match pool.tenant_flush(2, 0).unwrap() {
+            FlushOutcome::EpochComplete { epoch: 0, moves } => assert!(moves.is_empty()),
+            other => panic!("barrier did not clear: {other:?}"),
+        }
+        let report = pool.fleet_report().expect("fleet report");
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.total_ios, 1);
+
+        // A roster pool has no tenant seam.
+        let roster = super::tests::pool(PoolConfig::default());
+        assert_eq!(roster.attach_tenant(0), Err(FleetError::NotFleet));
+        assert!(roster.fleet_report().is_none());
     }
 
     #[test]

@@ -1,212 +1,971 @@
-//! The serving loop: thread-per-connection over a [`ServePool`].
+//! The serving event loop: one thread, hundreds of connections.
 //!
-//! Each accepted connection runs a synchronous request/response handler:
-//! the first frame must be OPEN_SESSION, after which SUBMIT_BATCH /
-//! STATS / CLOSE frames are serviced until the client closes. The
-//! protection ordering matters:
+//! PR 8's server spent one thread per connection; this one is a single
+//! readiness-driven loop over a [`Poller`]: non-blocking sockets, a
+//! per-connection state machine for partial frame reads and writes, and
+//! a session table that outlives connections. A connection is just a
+//! *carrier* for a session — when it drops, the session parks (its
+//! per-lane response caches intact), and a `RESUME` on a fresh
+//! connection replays exactly the responses the client never
+//! acknowledged.
 //!
-//! * the device lane's mutex is held only for the doorbell itself, never
-//!   across a socket write — a stalled reader blocks its own handler
-//!   thread, not other sessions;
-//! * the batch's [`InflightGuard`](crate::InflightGuard) *is* held
-//!   across the response write, so slow clients keep occupying their
-//!   admission slot and the overload ceiling sees them;
-//! * any decode error — corruption, a foreign kind tag, a truncated
-//!   frame — is answered with a best-effort typed ERR frame and the
-//!   connection is closed. The server never panics on hostile bytes.
+//! Admission guards behave exactly as in the threaded design: an
+//! admitted batch's [`OwnedInflightGuard`] is parked in the connection
+//! until the response bytes fully drain to the socket, so a stalled
+//! reader still occupies its in-flight slot and the overload ceiling
+//! sees it.
+//!
+//! Sequence discipline per lane (`next_seq` starts at 1):
+//!
+//! * `seq == next_seq` — new request: process, cache the encoded
+//!   response under `seq`, advance;
+//! * `seq == next_seq - 1` with the cache holding `seq` — duplicate of
+//!   an unacknowledged request (a resume raced the response): resend
+//!   the cached bytes, byte-identical;
+//! * `seq` equal to an unanswered flush's seq — duplicate of a flush
+//!   still parked on the epoch barrier: ignored; the barrier answers it
+//!   once;
+//! * anything else — protocol error; the connection closes (the session
+//!   parks and may resume).
 
 use crate::net::{Listener, Stream};
-use crate::pool::{Rejection, ServePool};
-use crate::wire::{Frame, WireStats};
-use std::io::{self, BufReader};
+use crate::poll::Poller;
+use crate::pool::{FleetError, FlushOutcome, OwnedInflightGuard, Rejection, ServePool};
+use crate::wire::{
+    Body, ErrCode, Frame, FrameHeader, LaneAck, LaneTarget, WireStats, CONTROL_LANE, WIRE_VERSION,
+};
+use std::io::{self, Read, Write};
 use std::sync::Arc;
+use uc_blockdev::IoRequest;
+use uc_persist::{decode_record, peek_record_len, DecodeError};
+use uc_workload::TraceEntry;
 
-/// Writes `frame`, ignoring transport errors (the peer may already be
-/// gone; the handler is ending either way).
-fn best_effort(writer: &mut dyn io::Write, frame: &Frame) {
-    let _ = frame.write_to(writer);
+/// The event loop's own counters, returned when it exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventLoopStats {
+    /// Connections accepted over the loop's lifetime.
+    pub connections_accepted: u64,
+    /// The most connections alive at once — the "one thread, N
+    /// connections" claim, measured.
+    pub peak_connections: usize,
+    /// Sessions that reached an orderly `CLOSE`.
+    pub sessions_served: u64,
+    /// Successful `RESUME` handshakes.
+    pub resumes: u64,
 }
 
-/// Serves one connection to completion. See the [module docs](self) for
-/// the protocol.
-///
-/// # Errors
-///
-/// Propagates transport errors on the response path (a decode error on
-/// the request path is answered with an ERR frame and `Ok(())`).
-pub fn serve_connection(stream: Box<dyn Stream>, pool: &ServePool) -> io::Result<()> {
-    let mut writer = stream.try_clone_stream()?;
-    let mut reader = BufReader::new(stream);
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Per-readiness read budget: polling is level-triggered, so capping one
+/// connection's drain keeps the loop fair under floods without losing
+/// the wakeup.
+const READ_BUDGET: usize = 256 << 10;
 
-    // The handshake: exactly one OPEN_SESSION before anything else.
-    let (mut session, info) = match Frame::read_from(&mut reader) {
-        Ok(Some(Frame::OpenSession { device })) => match pool.open(device as usize) {
-            Some(opened) => opened,
-            None => {
-                best_effort(
-                    &mut writer,
-                    &Frame::Err {
-                        io: None,
-                        message: format!(
-                            "device index {device} out of range ({} lanes)",
-                            pool.devices()
-                        ),
-                    },
-                );
-                return Ok(());
-            }
-        },
-        Ok(Some(other)) => {
-            best_effort(
-                &mut writer,
-                &Frame::Err {
-                    io: None,
-                    message: format!("expected OPEN_SESSION, got {}", other.kind()),
-                },
-            );
-            return Ok(());
-        }
-        Ok(None) => return Ok(()), // connected and left; nothing to do
-        Err(e) => {
-            best_effort(
-                &mut writer,
-                &Frame::Err {
-                    io: None,
-                    message: format!("bad OPEN_SESSION frame: {e}"),
-                },
-            );
-            return Ok(());
-        }
-    };
-    let session_id = session.session().index() as u32;
-    Frame::OpenOk {
-        session: session_id,
-        name: info.name().to_string(),
-        capacity: info.capacity(),
-        logical_block: info.logical_block(),
-    }
-    .write_to(&mut writer)?;
+enum LaneBackend {
+    Control,
+    Device(crate::pool::PoolSession),
+    Tenant(u32),
+}
 
-    loop {
-        match Frame::read_from(&mut reader) {
-            Ok(Some(Frame::Submit {
-                session: claimed,
-                seq,
-                reqs,
-            })) => {
-                if claimed != session_id {
-                    best_effort(
-                        &mut writer,
-                        &Frame::Err {
-                            io: None,
-                            message: format!(
-                                "submit names session {claimed}, connection owns {session_id}"
-                            ),
-                        },
-                    );
-                    return Ok(());
-                }
-                match pool.submit(&mut session, &reqs) {
-                    Ok((completions, guard)) => {
-                        // The guard outlives the write: a client that
-                        // stalls reading this response keeps holding its
-                        // admission slot.
-                        Frame::Completions { seq, completions }.write_to(&mut writer)?;
-                        drop(guard);
-                    }
-                    Err(Rejection::Busy(reason)) => {
-                        Frame::Busy { seq, reason }.write_to(&mut writer)?;
-                    }
-                    Err(Rejection::Io(e)) => {
-                        best_effort(
-                            &mut writer,
-                            &Frame::Err {
-                                io: Some(e),
-                                message: format!("device rejected request: {e}"),
-                            },
-                        );
-                        return Ok(());
-                    }
-                }
-            }
-            Ok(Some(Frame::Stats { session: claimed })) => {
-                if claimed != session_id {
-                    best_effort(
-                        &mut writer,
-                        &Frame::Err {
-                            io: None,
-                            message: format!(
-                                "stats names session {claimed}, connection owns {session_id}"
-                            ),
-                        },
-                    );
-                    return Ok(());
-                }
-                let (stats, queue_head) = pool.stats(&session);
-                Frame::StatsOk {
-                    session: session_id,
-                    stats: WireStats { stats, queue_head },
-                }
-                .write_to(&mut writer)?;
-            }
-            Ok(Some(Frame::Close)) => {
-                best_effort(&mut writer, &Frame::CloseOk);
-                return Ok(());
-            }
-            Ok(Some(other)) => {
-                best_effort(
-                    &mut writer,
-                    &Frame::Err {
-                        io: None,
-                        message: format!("unexpected frame {}", other.kind()),
-                    },
-                );
-                return Ok(());
-            }
-            Ok(None) => return Ok(()), // clean EOF
-            Err(e) => {
-                // Corruption anywhere on the stream: answer typed, close.
-                best_effort(
-                    &mut writer,
-                    &Frame::Err {
-                        io: None,
-                        message: format!("bad frame: {e}"),
-                    },
-                );
-                return Ok(());
-            }
+/// Copyable shape of a lane's backend, so dispatch does not hold a
+/// borrow of the session table across handler calls.
+#[derive(Clone, Copy)]
+enum BackendKind {
+    Control,
+    Device,
+    Tenant(u32),
+}
+
+struct LaneSrv {
+    backend: LaneBackend,
+    next_seq: u64,
+    /// The encoded bytes of the last response on this lane (possibly
+    /// several frames, e.g. `LANE_MOVED` + `FLUSH_OK`), keyed by the
+    /// request seq they answer — the resume replay source.
+    cached: Option<(u64, Vec<u8>)>,
+    /// A flush parked on the epoch barrier: `(seq, epoch)`.
+    pending_flush: Option<(u64, u64)>,
+}
+
+impl LaneSrv {
+    fn new(backend: LaneBackend) -> Self {
+        LaneSrv {
+            backend,
+            next_seq: 1,
+            cached: None,
+            pending_flush: None,
         }
     }
 }
 
-/// Accepts exactly `sessions` connections on `listener`, serves each on
-/// its own thread, and returns once every handler has finished.
-///
-/// The bounded accept count is the pool-thread discipline of a
-/// dependency-free server: the caller decides how many concurrent
-/// clients one serving run admits (the `serve` binary's `--sessions`),
-/// and the run has a well-defined end — after which the pool's
-/// [`report`](ServePool::report) is the complete device-side record.
+struct SessionSrv {
+    token: u64,
+    lanes: Vec<LaneSrv>,
+    /// The connection currently carrying the session; `None` = parked.
+    conn: Option<usize>,
+    closed: bool,
+}
+
+struct Conn {
+    stream: Box<dyn Stream>,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Admission slots held until `wbuf` fully drains.
+    guards: Vec<OwnedInflightGuard>,
+    session: Option<usize>,
+    /// Close the connection once `wbuf` drains.
+    closing: bool,
+    write_interest: bool,
+}
+
+enum SeqCheck {
+    Ignore,
+    Resend(Vec<u8>),
+    OutOfOrder,
+    New,
+}
+
+struct EventLoop {
+    pool: Arc<ServePool>,
+    poller: Poller,
+    conns: Vec<Option<Conn>>,
+    sessions: Vec<SessionSrv>,
+    stats: EventLoopStats,
+    closed_sessions: usize,
+    live_conns: usize,
+}
+
+/// Serves connections on `listener` until `sessions` wire sessions have
+/// closed in an orderly way, driving every connection from this one
+/// thread. Connection churn does not count against the target: a killed
+/// connection parks its session, and the session's eventual `CLOSE`
+/// (over any later connection) is what counts.
 ///
 /// # Errors
 ///
-/// Propagates accept errors; per-connection transport errors end that
-/// connection's handler without failing the run.
-pub fn serve_sessions(
+/// Propagates fatal listener/poller errors. Per-connection I/O errors
+/// only drop that connection.
+pub fn serve_events(
     listener: &Listener,
     pool: &Arc<ServePool>,
     sessions: usize,
-) -> io::Result<()> {
-    let mut handlers = Vec::with_capacity(sessions);
-    for _ in 0..sessions {
-        let conn = listener.accept()?;
-        let pool = Arc::clone(pool);
-        handlers.push(std::thread::spawn(move || {
-            let _ = serve_connection(conn, &pool);
-        }));
+) -> io::Result<EventLoopStats> {
+    listener.set_nonblocking(true)?;
+    let mut lp = EventLoop {
+        pool: Arc::clone(pool),
+        poller: Poller::new()?,
+        conns: Vec::new(),
+        sessions: Vec::new(),
+        stats: EventLoopStats::default(),
+        closed_sessions: 0,
+        live_conns: 0,
+    };
+    lp.poller.add(listener.raw_fd(), LISTENER_TOKEN, false)?;
+    let mut events = Vec::new();
+    while lp.closed_sessions < sessions || lp.has_undelivered_bytes() {
+        lp.poller.wait(&mut events, 1000)?;
+        for ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                lp.accept_ready(listener);
+            } else if ev.readable {
+                lp.read_ready(ev.token as usize);
+            }
+        }
+        lp.flush_writes();
     }
-    for handler in handlers {
-        handler.join().expect("connection handler panicked");
+    Ok(lp.stats)
+}
+
+impl EventLoop {
+    fn has_undelivered_bytes(&self) -> bool {
+        self.conns.iter().flatten().any(|c| c.wpos < c.wbuf.len())
     }
-    Ok(())
+
+    fn accept_ready(&mut self, listener: &Listener) {
+        loop {
+            match listener.accept() {
+                Ok(stream) => {
+                    if stream.set_nonblocking_stream(true).is_err() {
+                        continue;
+                    }
+                    let slot = self
+                        .conns
+                        .iter()
+                        .position(Option::is_none)
+                        .unwrap_or_else(|| {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        });
+                    if self
+                        .poller
+                        .add(stream.raw_fd(), slot as u64, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns[slot] = Some(Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        guards: Vec::new(),
+                        session: None,
+                        closing: false,
+                        write_interest: false,
+                    });
+                    self.live_conns += 1;
+                    self.stats.connections_accepted += 1;
+                    self.stats.peak_connections = self.stats.peak_connections.max(self.live_conns);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_ready(&mut self, ci: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) else {
+                return;
+            };
+            let mut total = 0;
+            let mut buf = [0u8; 16 << 10];
+            loop {
+                match conn.stream.read(&mut buf) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                        total += n;
+                        if total >= READ_BUDGET {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.disconnect(ci);
+            return;
+        }
+        self.process_frames(ci);
+    }
+
+    fn process_frames(&mut self, ci: usize) {
+        let mut pos = 0;
+        loop {
+            let decoded = {
+                let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) else {
+                    return;
+                };
+                if conn.closing {
+                    break;
+                }
+                match peek_record_len(&conn.rbuf[pos..]) {
+                    Ok(None) => break,
+                    Ok(Some(len)) => {
+                        let record = &conn.rbuf[pos..pos + len];
+                        pos += len;
+                        decode_record(record)
+                            .and_then(|(kind, payload)| Frame::from_parts(&kind, payload))
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match decoded {
+                Ok(frame) => self.handle_frame(ci, frame),
+                Err(DecodeError::UnknownKind { found })
+                    if found.starts_with("uc.wire.") && found.ends_with(".v1") =>
+                {
+                    // Version negotiation: a v1 client is recognized by
+                    // its kind tags and refused with a typed reject, not
+                    // a generic decode failure.
+                    self.send_err_close(
+                        ci,
+                        ErrCode::UnsupportedVersion {
+                            found: 1,
+                            supported: WIRE_VERSION,
+                        },
+                        "this server speaks uc.wire.v2; re-open with a v2 client",
+                    );
+                }
+                Err(e) => {
+                    self.send_err_close(ci, ErrCode::Protocol, &format!("bad frame: {e}"));
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) {
+            conn.rbuf.drain(..pos);
+        }
+    }
+
+    fn handle_frame(&mut self, ci: usize, frame: Frame) {
+        let session_idx = self
+            .conns
+            .get(ci)
+            .and_then(|c| c.as_ref())
+            .and_then(|c| c.session);
+        match session_idx {
+            None => match frame.body {
+                Body::Open { version } => {
+                    if version != WIRE_VERSION {
+                        self.send_err_close(
+                            ci,
+                            ErrCode::UnsupportedVersion {
+                                found: version,
+                                supported: WIRE_VERSION,
+                            },
+                            "unsupported protocol version",
+                        );
+                        return;
+                    }
+                    let token = self.sessions.len() as u64 + 1;
+                    self.sessions.push(SessionSrv {
+                        token,
+                        lanes: vec![LaneSrv::new(LaneBackend::Control)],
+                        conn: Some(ci),
+                        closed: false,
+                    });
+                    let si = self.sessions.len() - 1;
+                    if let Some(conn) = self.conns[ci].as_mut() {
+                        conn.session = Some(si);
+                    }
+                    self.queue_frame(
+                        ci,
+                        Frame::new(
+                            FrameHeader {
+                                session: token,
+                                lane: CONTROL_LANE,
+                                seq: 0,
+                            },
+                            Body::OpenOk { token },
+                        ),
+                    );
+                }
+                Body::Resume { acks } => self.handle_resume(ci, frame.header.session, &acks),
+                _ => self.send_err_close(ci, ErrCode::Protocol, "expected OPEN or RESUME"),
+            },
+            Some(si) => self.handle_session_frame(ci, si, frame),
+        }
+    }
+
+    fn handle_resume(&mut self, ci: usize, token: u64, acks: &[LaneAck]) {
+        let Some(si) = self
+            .sessions
+            .iter()
+            .position(|s| s.token == token && !s.closed)
+        else {
+            self.send_err_close(ci, ErrCode::UnknownSession, "no such session token");
+            return;
+        };
+        // A resume while the old carrier is still registered evicts it:
+        // the client owns the session, not the socket.
+        if let Some(old) = self.sessions[si].conn.take() {
+            if old != ci {
+                self.disconnect(old);
+            }
+        }
+        // Session-resume sanity: every device lane must still name a
+        // live session on its pool lane.
+        let valid = self.sessions[si].lanes.iter().all(|l| match &l.backend {
+            LaneBackend::Device(psess) => self.pool.validate_session(psess),
+            _ => true,
+        });
+        if !valid {
+            self.send_err_close(ci, ErrCode::Protocol, "stale pool session on resume");
+            return;
+        }
+        self.sessions[si].conn = Some(ci);
+        if let Some(conn) = self.conns[ci].as_mut() {
+            conn.session = Some(si);
+        }
+        self.stats.resumes += 1;
+        let acked = |lane: u32| acks.iter().find(|a| a.lane == lane).map_or(0, |a| a.seq);
+        let replay: Vec<LaneAck> = self.sessions[si]
+            .lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(li, l)| {
+                l.cached.as_ref().and_then(|(cs, _)| {
+                    (*cs > acked(li as u32)).then_some(LaneAck {
+                        lane: li as u32,
+                        seq: *cs,
+                    })
+                })
+            })
+            .collect();
+        let lanes = (self.sessions[si].lanes.len() - 1) as u32;
+        let replay_bytes: Vec<Vec<u8>> = replay
+            .iter()
+            .map(|a| {
+                self.sessions[si].lanes[a.lane as usize]
+                    .cached
+                    .as_ref()
+                    .expect("replay lane has a cache")
+                    .1
+                    .clone()
+            })
+            .collect();
+        self.queue_frame(
+            ci,
+            Frame::new(
+                FrameHeader {
+                    session: token,
+                    lane: CONTROL_LANE,
+                    seq: 0,
+                },
+                Body::ResumeOk { lanes, replay },
+            ),
+        );
+        for bytes in replay_bytes {
+            self.queue_bytes(ci, bytes);
+        }
+    }
+
+    fn handle_session_frame(&mut self, ci: usize, si: usize, frame: Frame) {
+        let token = self.sessions[si].token;
+        if frame.header.session != token {
+            self.send_err_close(ci, ErrCode::Protocol, "frame for a foreign session");
+            return;
+        }
+        let lane = frame.header.lane as usize;
+        let seq = frame.header.seq;
+        if lane >= self.sessions[si].lanes.len() {
+            self.queue_frame(
+                ci,
+                Frame::new(
+                    frame.header,
+                    Body::Err {
+                        code: ErrCode::UnknownLane,
+                        io: None,
+                        message: format!("lane {lane} never attached"),
+                    },
+                ),
+            );
+            return;
+        }
+        let check = {
+            let l = &mut self.sessions[si].lanes[lane];
+            if l.pending_flush.is_some_and(|(ps, _)| ps == seq) {
+                SeqCheck::Ignore
+            } else if seq + 1 == l.next_seq {
+                match l.cached.as_ref().filter(|(cs, _)| *cs == seq) {
+                    Some((_, bytes)) => SeqCheck::Resend(bytes.clone()),
+                    None => SeqCheck::Ignore,
+                }
+            } else if seq != l.next_seq {
+                SeqCheck::OutOfOrder
+            } else {
+                l.next_seq += 1;
+                SeqCheck::New
+            }
+        };
+        match check {
+            SeqCheck::Ignore => return,
+            SeqCheck::Resend(bytes) => {
+                self.queue_bytes(ci, bytes);
+                return;
+            }
+            SeqCheck::OutOfOrder => {
+                self.send_err_close(ci, ErrCode::Protocol, "lane sequence out of order");
+                return;
+            }
+            SeqCheck::New => {}
+        }
+        let header = FrameHeader {
+            session: token,
+            lane: lane as u32,
+            seq,
+        };
+        let backend = match &self.sessions[si].lanes[lane].backend {
+            LaneBackend::Control => BackendKind::Control,
+            LaneBackend::Device(_) => BackendKind::Device,
+            LaneBackend::Tenant(t) => BackendKind::Tenant(*t),
+        };
+        match (backend, frame.body) {
+            (BackendKind::Control, Body::Attach { target }) => {
+                self.handle_attach(ci, si, header, target);
+            }
+            (BackendKind::Control, Body::Close) => {
+                if !self.sessions[si].closed {
+                    self.sessions[si].closed = true;
+                    self.closed_sessions += 1;
+                    self.stats.sessions_served += 1;
+                }
+                self.respond_cached(ci, si, lane, seq, Frame::new(header, Body::CloseOk));
+                if let Some(conn) = self.conns[ci].as_mut() {
+                    conn.closing = true;
+                }
+            }
+            (BackendKind::Device, Body::Submit { reqs }) => {
+                self.handle_device_submit(ci, si, lane, header, &reqs);
+            }
+            (BackendKind::Device, Body::Stats) => {
+                let (stats, queue_head) = {
+                    let LaneBackend::Device(psess) = &self.sessions[si].lanes[lane].backend else {
+                        unreachable!("backend kind matched Device");
+                    };
+                    self.pool.stats(psess)
+                };
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    seq,
+                    Frame::new(
+                        header,
+                        Body::StatsOk {
+                            stats: WireStats { stats, queue_head },
+                        },
+                    ),
+                );
+            }
+            (BackendKind::Tenant(t), Body::Submit { reqs }) => {
+                let entries: Vec<TraceEntry> = reqs
+                    .iter()
+                    .map(|r| TraceEntry {
+                        at: r.submit_time,
+                        kind: r.kind,
+                        offset: r.offset,
+                        len: r.len,
+                    })
+                    .collect();
+                let resp = match self.pool.tenant_push(t, &entries) {
+                    Ok(accepted) => Frame::new(header, Body::PushOk { accepted }),
+                    Err(e) => Frame::new(
+                        header,
+                        Body::Err {
+                            code: ErrCode::Protocol,
+                            io: None,
+                            message: format!("push refused: {e}"),
+                        },
+                    ),
+                };
+                self.respond_cached(ci, si, lane, seq, resp);
+            }
+            (BackendKind::Tenant(t), Body::Flush { epoch }) => {
+                self.handle_tenant_flush(ci, si, lane, seq, t, epoch);
+            }
+            _ => self.send_err_close(ci, ErrCode::Protocol, "frame not valid on this lane"),
+        }
+    }
+
+    fn handle_attach(&mut self, ci: usize, si: usize, header: FrameHeader, target: LaneTarget) {
+        let attached = match target {
+            LaneTarget::Device(i) => match self.pool.open(i as usize) {
+                Some((psess, info)) => Ok((
+                    LaneBackend::Device(psess),
+                    info.name().to_string(),
+                    info.capacity(),
+                    info.logical_block(),
+                )),
+                None => Err(format!(
+                    "device index {i} out of range ({} lanes)",
+                    self.pool.devices()
+                )),
+            },
+            LaneTarget::Tenant(t) => match self.pool.attach_tenant(t) {
+                Ok((name, span, io_size)) => Ok((LaneBackend::Tenant(t), name, span, io_size)),
+                Err(e) => Err(format!("tenant attach refused: {e}")),
+            },
+        };
+        let resp = match attached {
+            Ok((backend, name, capacity, logical_block)) => {
+                self.sessions[si].lanes.push(LaneSrv::new(backend));
+                let lane = (self.sessions[si].lanes.len() - 1) as u32;
+                Frame::new(
+                    header,
+                    Body::AttachOk {
+                        lane,
+                        name,
+                        capacity,
+                        logical_block,
+                    },
+                )
+            }
+            Err(message) => Frame::new(
+                header,
+                Body::Err {
+                    code: ErrCode::Protocol,
+                    io: None,
+                    message,
+                },
+            ),
+        };
+        self.respond_cached(ci, si, CONTROL_LANE as usize, header.seq, resp);
+    }
+
+    fn handle_device_submit(
+        &mut self,
+        ci: usize,
+        si: usize,
+        lane: usize,
+        header: FrameHeader,
+        reqs: &[IoRequest],
+    ) {
+        let pool = Arc::clone(&self.pool);
+        let result = {
+            let LaneBackend::Device(psess) = &mut self.sessions[si].lanes[lane].backend else {
+                unreachable!("backend kind matched Device");
+            };
+            pool.submit_owned(psess, reqs)
+        };
+        match result {
+            Ok((completions, guard)) => {
+                if let Some(conn) = self.conns[ci].as_mut() {
+                    conn.guards.push(guard);
+                }
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    header.seq,
+                    Frame::new(header, Body::Completions { completions }),
+                );
+            }
+            Err(Rejection::Busy(reason)) => {
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    header.seq,
+                    Frame::new(header, Body::Busy { reason }),
+                );
+            }
+            Err(Rejection::Io(e)) => {
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    header.seq,
+                    Frame::new(
+                        header,
+                        Body::Err {
+                            code: ErrCode::Io,
+                            io: Some(e),
+                            message: format!("device rejected request: {e}"),
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn handle_tenant_flush(
+        &mut self,
+        ci: usize,
+        si: usize,
+        lane: usize,
+        seq: u64,
+        tenant: u32,
+        epoch: u64,
+    ) {
+        // Park the flush first so the barrier fan-out below answers this
+        // lane uniformly with every other waiter.
+        self.sessions[si].lanes[lane].pending_flush = Some((seq, epoch));
+        let header = FrameHeader {
+            session: self.sessions[si].token,
+            lane: lane as u32,
+            seq,
+        };
+        match self.pool.tenant_flush(tenant, epoch) {
+            Ok(FlushOutcome::Waiting) => {}
+            Ok(FlushOutcome::EpochComplete { epoch, moves }) => {
+                // The epoch ran: answer every lane (across every session)
+                // parked on it, in deterministic session-then-lane order.
+                // Moved tenants get a typed LANE_MOVED ahead of their
+                // FLUSH_OK, same lane and seq, cached as one replay unit.
+                for si2 in 0..self.sessions.len() {
+                    let token2 = self.sessions[si2].token;
+                    let conn2 = self.sessions[si2].conn;
+                    for li2 in 0..self.sessions[si2].lanes.len() {
+                        let Some((pseq, pepoch)) = self.sessions[si2].lanes[li2].pending_flush
+                        else {
+                            continue;
+                        };
+                        if pepoch != epoch {
+                            continue;
+                        }
+                        let header2 = FrameHeader {
+                            session: token2,
+                            lane: li2 as u32,
+                            seq: pseq,
+                        };
+                        let mut bytes = Vec::new();
+                        if let LaneBackend::Tenant(t2) = &self.sessions[si2].lanes[li2].backend {
+                            if let Some(mv) = moves.iter().find(|m| m.tenant == *t2) {
+                                bytes.extend_from_slice(
+                                    &Frame::new(
+                                        header2,
+                                        Body::LaneMoved {
+                                            to_device: mv.to_device,
+                                        },
+                                    )
+                                    .encode(),
+                                );
+                            }
+                        }
+                        bytes.extend_from_slice(
+                            &Frame::new(header2, Body::FlushOk { epoch }).encode(),
+                        );
+                        let l = &mut self.sessions[si2].lanes[li2];
+                        l.pending_flush = None;
+                        l.cached = Some((pseq, bytes.clone()));
+                        if let Some(c2) = conn2 {
+                            self.queue_bytes(c2, bytes);
+                        }
+                    }
+                }
+            }
+            Err(FleetError::Io(e)) => {
+                self.sessions[si].lanes[lane].pending_flush = None;
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    seq,
+                    Frame::new(
+                        header,
+                        Body::Err {
+                            code: ErrCode::Io,
+                            io: Some(e),
+                            message: "epoch run failed".to_string(),
+                        },
+                    ),
+                );
+            }
+            Err(e) => {
+                // Lane-scoped refusal (epoch mismatch etc.): the session
+                // stays up.
+                self.sessions[si].lanes[lane].pending_flush = None;
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    seq,
+                    Frame::new(
+                        header,
+                        Body::Err {
+                            code: ErrCode::Protocol,
+                            io: None,
+                            message: format!("flush refused: {e}"),
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Queues `resp` to `ci` and caches its bytes on the lane for resume
+    /// replay.
+    fn respond_cached(&mut self, ci: usize, si: usize, lane: usize, seq: u64, resp: Frame) {
+        let bytes = resp.encode();
+        self.sessions[si].lanes[lane].cached = Some((seq, bytes.clone()));
+        self.queue_bytes(ci, bytes);
+    }
+
+    fn queue_frame(&mut self, ci: usize, frame: Frame) {
+        self.queue_bytes(ci, frame.encode());
+    }
+
+    fn queue_bytes(&mut self, ci: usize, bytes: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) {
+            conn.wbuf.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Best-effort typed reject, then close once it drains.
+    fn send_err_close(&mut self, ci: usize, code: ErrCode, message: &str) {
+        let session = self
+            .conns
+            .get(ci)
+            .and_then(|c| c.as_ref())
+            .and_then(|c| c.session)
+            .map_or(0, |si| self.sessions[si].token);
+        self.queue_frame(
+            ci,
+            Frame::new(
+                FrameHeader {
+                    session,
+                    lane: CONTROL_LANE,
+                    seq: 0,
+                },
+                Body::Err {
+                    code,
+                    io: None,
+                    message: message.to_string(),
+                },
+            ),
+        );
+        if let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) {
+            conn.closing = true;
+        }
+    }
+
+    fn flush_writes(&mut self) {
+        for ci in 0..self.conns.len() {
+            self.try_write(ci);
+        }
+    }
+
+    fn try_write(&mut self, ci: usize) {
+        let mut dead = false;
+        let mut modify = None;
+        {
+            let Some(conn) = self.conns.get_mut(ci).and_then(Option::as_mut) else {
+                return;
+            };
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                if conn.wpos == conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    // Responses delivered to the kernel: the admission
+                    // slots they were holding are released.
+                    conn.guards.clear();
+                    if conn.closing {
+                        dead = true;
+                    }
+                }
+                let want_write = conn.wpos < conn.wbuf.len();
+                if !dead && want_write != conn.write_interest {
+                    conn.write_interest = want_write;
+                    modify = Some((conn.stream.raw_fd(), want_write));
+                }
+            }
+        }
+        if dead {
+            self.disconnect(ci);
+            return;
+        }
+        if let Some((fd, want_write)) = modify {
+            let _ = self.poller.modify(fd, ci as u64, want_write);
+        }
+    }
+
+    fn disconnect(&mut self, ci: usize) {
+        let Some(conn) = self.conns.get_mut(ci).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.remove(conn.stream.raw_fd());
+        let _ = conn.stream.shutdown_both();
+        self.live_conns -= 1;
+        if let Some(si) = conn.session {
+            if self.sessions[si].conn == Some(ci) {
+                self.sessions[si].conn = None;
+                // Zombie GC: a session that never attached a data lane
+                // has nothing to resume — destroy it so a client killed
+                // mid-handshake cannot park a session forever.
+                if !self.sessions[si].closed && self.sessions[si].lanes.len() == 1 {
+                    self.sessions[si].closed = true;
+                }
+            }
+        }
+        // `conn.guards` drop here: undelivered responses release their
+        // admission slots with the connection.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Endpoint;
+    use crate::pool::PoolConfig;
+    use crate::wire_v1::FrameV1;
+    use uc_blockdev::BlockDevice;
+    use uc_ssd::{Ssd, SsdConfig};
+
+    #[test]
+    fn v1_clients_are_rejected_with_a_typed_unsupported_version() {
+        let pool = Arc::new(ServePool::new(
+            vec![(
+                "ssd".to_string(),
+                Box::new(Ssd::new(SsdConfig::samsung_970_pro(64 << 20)))
+                    as Box<dyn BlockDevice + Send>,
+            )],
+            PoolConfig::default(),
+        ));
+        let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let endpoint = listener.local_endpoint().unwrap();
+        let server = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || serve_events(&listener, &pool, 1))
+        };
+
+        // A legacy client speaks v1 straight at the v2 server and gets a
+        // typed reject, not a decode failure.
+        let mut conn = endpoint.connect().unwrap();
+        FrameV1::OpenSession { device: 0 }
+            .write_to(&mut conn)
+            .unwrap();
+        let reply = Frame::read_from(&mut conn).unwrap().expect("reject frame");
+        match reply.body {
+            Body::Err {
+                code: ErrCode::UnsupportedVersion { found, supported },
+                ..
+            } => assert_eq!((found, supported), (1, WIRE_VERSION)),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // The server closes the connection after the reject.
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        drop(conn);
+
+        // A proper v2 session lets the loop reach its target and exit.
+        let mut conn = endpoint.connect().unwrap();
+        Frame::new(
+            FrameHeader::connection(),
+            Body::Open {
+                version: WIRE_VERSION,
+            },
+        )
+        .write_to(&mut conn)
+        .unwrap();
+        let open_ok = Frame::read_from(&mut conn).unwrap().expect("open-ok");
+        let Body::OpenOk { token } = open_ok.body else {
+            panic!("expected OPEN_OK, got {open_ok:?}");
+        };
+        Frame::new(
+            FrameHeader {
+                session: token,
+                lane: CONTROL_LANE,
+                seq: 1,
+            },
+            Body::Close,
+        )
+        .write_to(&mut conn)
+        .unwrap();
+        let close_ok = Frame::read_from(&mut conn).unwrap().expect("close-ok");
+        assert_eq!(close_ok.body, Body::CloseOk);
+
+        let stats = server.join().unwrap().unwrap();
+        assert_eq!(stats.sessions_served, 1);
+        assert_eq!(stats.connections_accepted, 2);
+        assert_eq!(stats.resumes, 0);
+    }
 }

@@ -1,32 +1,58 @@
-//! The `uc.wire.v1` frame vocabulary.
+//! The `uc.wire.v2` frame vocabulary: multi-lane, resumable sessions.
 //!
 //! Every frame rides the `uc-persist` record envelope (8-byte magic,
 //! format version, kind tag, payload, CRC-32), so corruption anywhere on
 //! the connection — a truncated read, a flipped bit, a foreign kind tag —
-//! decodes to a typed [`DecodeError`], never a panic. The frame kinds:
+//! decodes to a typed [`DecodeError`], never a panic.
 //!
-//! | kind tag                 | direction | payload |
-//! |--------------------------|-----------|---------|
-//! | `uc.wire.open.v1`        | C → S     | device index |
-//! | `uc.wire.open-ok.v1`     | S → C     | session id, device name, capacity, logical block |
-//! | `uc.wire.submit.v1`      | C → S     | session id, sequence number, request list |
-//! | `uc.wire.completions.v1` | S → C     | sequence number, completion list |
-//! | `uc.wire.busy.v1`        | S → C     | sequence number, backpressure reason |
-//! | `uc.wire.stats.v1`       | C → S     | session id |
-//! | `uc.wire.stats-ok.v1`    | S → C     | session ledger + queue head |
-//! | `uc.wire.close.v1`       | C → S     | (empty) |
-//! | `uc.wire.close-ok.v1`    | S → C     | (empty) |
-//! | `uc.wire.err.v1`         | S → C     | optional [`IoError`], diagnostic message |
+//! v2 collapses v1's ten flat frame shapes into one
+//! [`Frame`] `{ header, body }`: every frame carries the same
+//! [`FrameHeader`] (session token, lane id, per-lane sequence number),
+//! and the [`Body`] says what it means. The header is what makes
+//! sessions resumable: a reconnecting client presents its token and the
+//! highest seq it has *received* per lane, and the server replays only
+//! the responses past those acks.
 //!
-//! A submit frame's request list is validated on decode: submit instants
-//! must be non-decreasing (the [`IoBatch`](uc_blockdev::IoBatch) queue
-//! discipline), so a hostile client cannot push a time-travelling batch
-//! past the wire layer and trip a server-side debug assertion.
+//! | kind tag                   | direction | lane    | body |
+//! |----------------------------|-----------|---------|------|
+//! | `uc.wire.open.v2`          | C → S     | —       | protocol version |
+//! | `uc.wire.open-ok.v2`       | S → C     | —       | session token |
+//! | `uc.wire.resume.v2`        | C → S     | —       | per-lane received-seq acks |
+//! | `uc.wire.resume-ok.v2`     | S → C     | —       | lane count, replay list |
+//! | `uc.wire.attach.v2`        | C → S     | control | device or tenant target |
+//! | `uc.wire.attach-ok.v2`     | S → C     | control | name, capacity, logical block |
+//! | `uc.wire.submit.v2`        | C → S     | data    | request list |
+//! | `uc.wire.completions.v2`   | S → C     | device  | completion list |
+//! | `uc.wire.push-ok.v2`       | S → C     | tenant  | accepted entry count |
+//! | `uc.wire.busy.v2`          | S → C     | device  | backpressure reason |
+//! | `uc.wire.stats.v2`         | C → S     | data    | (empty) |
+//! | `uc.wire.stats-ok.v2`      | S → C     | data    | session ledger + queue head |
+//! | `uc.wire.flush.v2`         | C → S     | tenant  | epoch index |
+//! | `uc.wire.flush-ok.v2`      | S → C     | tenant  | epoch index |
+//! | `uc.wire.lane-moved.v2`    | S → C     | tenant  | new home device |
+//! | `uc.wire.close.v2`         | C → S     | control | (empty) |
+//! | `uc.wire.close-ok.v2`      | S → C     | control | (empty) |
+//! | `uc.wire.err.v2`           | S → C     | any     | [`ErrCode`], optional [`IoError`], message |
+//!
+//! On a *device* lane a submit frame's request list is a doorbelled
+//! batch (instants validated non-decreasing on decode, exactly as in
+//! v1); on a *tenant* lane the same list carries the tenant's arrival
+//! entries, answered with `push-ok`. Rebalancing surfaces as a typed
+//! `lane-moved` frame ahead of the epoch's `flush-ok` instead of an
+//! error.
 
 use std::io::{Read, Write};
 use uc_blockdev::{Completion, IoError, IoKind, IoRequest, SessionStats};
 use uc_persist::{encode_record, read_record_from, DecodeError, Decoder, Encoder};
 use uc_sim::SimTime;
+
+/// The protocol version this module speaks, sent in `OPEN`.
+pub const WIRE_VERSION: u16 = 2;
+
+/// The control lane every session starts with: `ATTACH`, session-wide
+/// `CLOSE`, and their replies ride lane 0; data lanes are numbered from
+/// 1 in attach order.
+pub const CONTROL_LANE: u32 = 0;
 
 /// Why the server refused a submit frame (backpressure, not failure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,14 +65,14 @@ pub enum BusyReason {
 }
 
 impl BusyReason {
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             BusyReason::RingFull => 0,
             BusyReason::Overload => 1,
         }
     }
 
-    fn from_tag(tag: u8) -> Result<Self, DecodeError> {
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, DecodeError> {
         match tag {
             0 => Ok(BusyReason::RingFull),
             1 => Ok(BusyReason::Overload),
@@ -67,100 +93,228 @@ pub struct WireStats {
     pub queue_head: SimTime,
 }
 
-/// One `uc.wire.v1` frame.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Frame {
-    /// Open a session on device lane `device`. Must be the first frame
-    /// on every connection.
-    OpenSession {
-        /// Index of the device lane to attach to.
-        device: u32,
+/// The shared prefix of every v2 frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The server-issued session token (0 until `OPEN_OK` assigns one).
+    pub session: u64,
+    /// The lane the frame belongs to; [`CONTROL_LANE`] for session
+    /// control, data lanes from 1.
+    pub lane: u32,
+    /// Per-lane sequence number. Requests number the client's stream,
+    /// replies echo the request's seq; connection-level frames
+    /// (`OPEN`/`RESUME` and their replies) carry 0.
+    pub seq: u64,
+}
+
+impl FrameHeader {
+    /// A connection-level header: no session yet, control lane, seq 0.
+    pub fn connection() -> Self {
+        FrameHeader {
+            session: 0,
+            lane: CONTROL_LANE,
+            seq: 0,
+        }
+    }
+}
+
+/// One per-lane acknowledgement inside `RESUME`/`RESUME_OK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneAck {
+    /// The lane.
+    pub lane: u32,
+    /// In `RESUME`: the highest response seq the client has received on
+    /// the lane. In `RESUME_OK`: the seq of the cached response the
+    /// server is about to replay.
+    pub seq: u64,
+}
+
+/// What a data lane attaches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneTarget {
+    /// A roster device lane (by pool index) — the v1-style block target.
+    Device(u32),
+    /// A fleet tenant (by tenant id) — the lane feeds the tenant's
+    /// arrival stream and observes its epochs.
+    Tenant(u32),
+}
+
+/// The typed failure class of an `ERR` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The peer broke the protocol (the message says how).
+    Protocol,
+    /// The client's `OPEN` offered a version this server does not speak.
+    UnsupportedVersion {
+        /// The version the client offered.
+        found: u16,
+        /// The version the server speaks.
+        supported: u16,
     },
-    /// The server's reply to [`Frame::OpenSession`].
+    /// `RESUME` named a token the server does not hold.
+    UnknownSession,
+    /// The frame named a lane the session never attached.
+    UnknownLane,
+    /// The device rejected a request; the frame's `io` field says why.
+    Io,
+}
+
+/// The payload of one v2 frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// Client hello; must be the first frame on a fresh connection.
+    Open {
+        /// The protocol version the client speaks.
+        version: u16,
+    },
+    /// The server's reply to [`Body::Open`]: the session is live.
     OpenOk {
-        /// The session id the connection was assigned.
-        session: u32,
-        /// The device's name.
+        /// The token that names this session across reconnects.
+        token: u64,
+    },
+    /// Client hello on a *re*connection: take over session `header.session`.
+    Resume {
+        /// Per-lane highest received response seqs.
+        acks: Vec<LaneAck>,
+    },
+    /// The server's reply to [`Body::Resume`]: the session is re-armed.
+    ResumeOk {
+        /// Number of data lanes the session holds.
+        lanes: u32,
+        /// The cached responses the server will replay, in lane order.
+        /// A pending request whose lane is *not* listed here was never
+        /// processed and must be resent by the client.
+        replay: Vec<LaneAck>,
+    },
+    /// Attach a new data lane (control lane).
+    Attach {
+        /// What the lane drives.
+        target: LaneTarget,
+    },
+    /// The server's reply to [`Body::Attach`]: rides the control lane
+    /// (echoing the attach's seq) and names the new data lane in `lane`.
+    AttachOk {
+        /// The id assigned to the new lane.
+        lane: u32,
+        /// Device or tenant-region name.
         name: String,
-        /// The device's capacity in bytes.
+        /// Capacity (device) or region span (tenant), in bytes.
         capacity: u64,
-        /// The device's logical block size in bytes.
+        /// Logical block size in bytes.
         logical_block: u32,
     },
-    /// Submit a batch of requests under an open session.
+    /// A batch of requests on a data lane: a doorbelled I/O batch on a
+    /// device lane, arrival entries on a tenant lane.
     Submit {
-        /// The session the requests belong to.
-        session: u32,
-        /// Client-chosen sequence number, echoed in the reply.
-        seq: u64,
         /// The requests, submit instants non-decreasing.
         reqs: Vec<IoRequest>,
     },
-    /// The completions of an accepted submit frame, index-aligned with
-    /// its request list.
+    /// The completions of an accepted device-lane submit, index-aligned
+    /// with its request list.
     Completions {
-        /// The submit frame's sequence number.
-        seq: u64,
         /// One completion per request, in submission order.
         completions: Vec<Completion>,
     },
+    /// A tenant lane accepted a pushed entry batch.
+    PushOk {
+        /// How many entries were appended to the tenant's stream.
+        accepted: u64,
+    },
     /// Backpressure: the submit frame was refused, nothing was issued.
     Busy {
-        /// The submit frame's sequence number.
-        seq: u64,
         /// Why the frame was refused.
         reason: BusyReason,
     },
-    /// Ask for the session's server-side ledger.
-    Stats {
-        /// The session to report on.
-        session: u32,
-    },
-    /// The server's reply to [`Frame::Stats`].
+    /// Ask for the lane's server-side ledger.
+    Stats,
+    /// The server's reply to [`Body::Stats`].
     StatsOk {
-        /// The session reported on.
-        session: u32,
         /// The ledger and the lane's queue head.
         stats: WireStats,
     },
-    /// Orderly shutdown of the connection.
+    /// Tenant lane: all entries for `epoch` are pushed; run it when
+    /// every tenant has flushed.
+    Flush {
+        /// The epoch index being flushed.
+        epoch: u64,
+    },
+    /// The epoch ran; the tenant's entries up to its cut are on the
+    /// device.
+    FlushOk {
+        /// The epoch index that ran.
+        epoch: u64,
+    },
+    /// The epoch's rebalance moved this lane's tenant; subsequent
+    /// entries land on the new home. Sent ahead of the same seq's
+    /// `FlushOk`.
+    LaneMoved {
+        /// The tenant's new home device index.
+        to_device: u32,
+    },
+    /// Orderly shutdown of the session (control lane).
     Close,
-    /// The server's reply to [`Frame::Close`]; the connection ends after
+    /// The server's reply to [`Body::Close`]; the connection ends after
     /// this frame.
     CloseOk,
-    /// A typed failure. `io` carries the device's [`IoError`] when the
-    /// device rejected a request; `None` means a protocol error (the
-    /// message says which). The server closes the connection after
-    /// sending this frame.
+    /// A typed failure. The server closes the connection after sending
+    /// one with code `Protocol`/`UnsupportedVersion`/`UnknownSession`;
+    /// lane-scoped errors (`UnknownLane`, `Io`) leave the session up.
     Err {
-        /// The device error, if the failure was an I/O rejection.
+        /// The failure class.
+        code: ErrCode,
+        /// The device error, when `code` is [`ErrCode::Io`].
         io: Option<IoError>,
         /// Human-readable diagnostic.
         message: String,
     },
 }
 
-const KIND_OPEN: &str = "uc.wire.open.v1";
-const KIND_OPEN_OK: &str = "uc.wire.open-ok.v1";
-const KIND_SUBMIT: &str = "uc.wire.submit.v1";
-const KIND_COMPLETIONS: &str = "uc.wire.completions.v1";
-const KIND_BUSY: &str = "uc.wire.busy.v1";
-const KIND_STATS: &str = "uc.wire.stats.v1";
-const KIND_STATS_OK: &str = "uc.wire.stats-ok.v1";
-const KIND_CLOSE: &str = "uc.wire.close.v1";
-const KIND_CLOSE_OK: &str = "uc.wire.close-ok.v1";
-const KIND_ERR: &str = "uc.wire.err.v1";
+/// One `uc.wire.v2` frame: shared header + typed body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Session token, lane, sequence number.
+    pub header: FrameHeader,
+    /// What the frame means.
+    pub body: Body,
+}
 
-/// Every `uc.wire.v1` kind tag, in protocol order (the corruption sweeps
+const KIND_OPEN: &str = "uc.wire.open.v2";
+const KIND_OPEN_OK: &str = "uc.wire.open-ok.v2";
+const KIND_RESUME: &str = "uc.wire.resume.v2";
+const KIND_RESUME_OK: &str = "uc.wire.resume-ok.v2";
+const KIND_ATTACH: &str = "uc.wire.attach.v2";
+const KIND_ATTACH_OK: &str = "uc.wire.attach-ok.v2";
+const KIND_SUBMIT: &str = "uc.wire.submit.v2";
+const KIND_COMPLETIONS: &str = "uc.wire.completions.v2";
+const KIND_PUSH_OK: &str = "uc.wire.push-ok.v2";
+const KIND_BUSY: &str = "uc.wire.busy.v2";
+const KIND_STATS: &str = "uc.wire.stats.v2";
+const KIND_STATS_OK: &str = "uc.wire.stats-ok.v2";
+const KIND_FLUSH: &str = "uc.wire.flush.v2";
+const KIND_FLUSH_OK: &str = "uc.wire.flush-ok.v2";
+const KIND_LANE_MOVED: &str = "uc.wire.lane-moved.v2";
+const KIND_CLOSE: &str = "uc.wire.close.v2";
+const KIND_CLOSE_OK: &str = "uc.wire.close-ok.v2";
+const KIND_ERR: &str = "uc.wire.err.v2";
+
+/// Every `uc.wire.v2` kind tag, in protocol order (the corruption sweeps
 /// iterate this).
-pub const ALL_KINDS: [&str; 10] = [
+pub const ALL_KINDS: [&str; 18] = [
     KIND_OPEN,
     KIND_OPEN_OK,
+    KIND_RESUME,
+    KIND_RESUME_OK,
+    KIND_ATTACH,
+    KIND_ATTACH_OK,
     KIND_SUBMIT,
     KIND_COMPLETIONS,
+    KIND_PUSH_OK,
     KIND_BUSY,
     KIND_STATS,
     KIND_STATS_OK,
+    KIND_FLUSH,
+    KIND_FLUSH_OK,
+    KIND_LANE_MOVED,
     KIND_CLOSE,
     KIND_CLOSE_OK,
     KIND_ERR,
@@ -178,7 +332,7 @@ fn get_kind(r: &mut Decoder<'_>) -> Result<IoKind, DecodeError> {
     }
 }
 
-fn put_io_error(w: &mut Encoder, e: &IoError) {
+pub(crate) fn put_io_error(w: &mut Encoder, e: &IoError) {
     match e {
         IoError::ZeroLength => w.put_u8(0),
         IoError::Misaligned {
@@ -196,10 +350,15 @@ fn put_io_error(w: &mut Encoder, e: &IoError) {
             w.put_u64(*end);
             w.put_u64(*capacity);
         }
+        IoError::RingSaturated { ring, refusals } => {
+            w.put_u8(3);
+            w.put_u32(*ring);
+            w.put_u32(*refusals);
+        }
     }
 }
 
-fn get_io_error(r: &mut Decoder<'_>) -> Result<IoError, DecodeError> {
+pub(crate) fn get_io_error(r: &mut Decoder<'_>) -> Result<IoError, DecodeError> {
     match r.get_u8()? {
         0 => Ok(IoError::ZeroLength),
         1 => Ok(IoError::Misaligned {
@@ -211,48 +370,107 @@ fn get_io_error(r: &mut Decoder<'_>) -> Result<IoError, DecodeError> {
             end: r.get_u64()?,
             capacity: r.get_u64()?,
         }),
+        3 => Ok(IoError::RingSaturated {
+            ring: r.get_u32()?,
+            refusals: r.get_u32()?,
+        }),
         _ => Err(DecodeError::InvalidValue {
             what: "IoError tag",
         }),
     }
 }
 
+fn put_acks(w: &mut Encoder, acks: &[LaneAck]) {
+    w.put_u64(acks.len() as u64);
+    for a in acks {
+        w.put_u32(a.lane);
+        w.put_u64(a.seq);
+    }
+}
+
+fn get_acks(r: &mut Decoder<'_>) -> Result<Vec<LaneAck>, DecodeError> {
+    let count = r.get_u64()?;
+    if count > crate::MAX_FRAME_REQUESTS {
+        return Err(DecodeError::InvalidValue {
+            what: "resume ack count",
+        });
+    }
+    let mut acks = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        acks.push(LaneAck {
+            lane: r.get_u32()?,
+            seq: r.get_u64()?,
+        });
+    }
+    Ok(acks)
+}
+
 impl Frame {
-    /// The frame's `uc.wire.v1` kind tag.
+    /// A frame under `header`.
+    pub fn new(header: FrameHeader, body: Body) -> Self {
+        Frame { header, body }
+    }
+
+    /// The frame's `uc.wire.v2` kind tag.
     pub fn kind(&self) -> &'static str {
-        match self {
-            Frame::OpenSession { .. } => KIND_OPEN,
-            Frame::OpenOk { .. } => KIND_OPEN_OK,
-            Frame::Submit { .. } => KIND_SUBMIT,
-            Frame::Completions { .. } => KIND_COMPLETIONS,
-            Frame::Busy { .. } => KIND_BUSY,
-            Frame::Stats { .. } => KIND_STATS,
-            Frame::StatsOk { .. } => KIND_STATS_OK,
-            Frame::Close => KIND_CLOSE,
-            Frame::CloseOk => KIND_CLOSE_OK,
-            Frame::Err { .. } => KIND_ERR,
+        match &self.body {
+            Body::Open { .. } => KIND_OPEN,
+            Body::OpenOk { .. } => KIND_OPEN_OK,
+            Body::Resume { .. } => KIND_RESUME,
+            Body::ResumeOk { .. } => KIND_RESUME_OK,
+            Body::Attach { .. } => KIND_ATTACH,
+            Body::AttachOk { .. } => KIND_ATTACH_OK,
+            Body::Submit { .. } => KIND_SUBMIT,
+            Body::Completions { .. } => KIND_COMPLETIONS,
+            Body::PushOk { .. } => KIND_PUSH_OK,
+            Body::Busy { .. } => KIND_BUSY,
+            Body::Stats => KIND_STATS,
+            Body::StatsOk { .. } => KIND_STATS_OK,
+            Body::Flush { .. } => KIND_FLUSH,
+            Body::FlushOk { .. } => KIND_FLUSH_OK,
+            Body::LaneMoved { .. } => KIND_LANE_MOVED,
+            Body::Close => KIND_CLOSE,
+            Body::CloseOk => KIND_CLOSE_OK,
+            Body::Err { .. } => KIND_ERR,
         }
     }
 
     /// Encodes the frame as one complete `uc-persist` record.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Encoder::new();
-        match self {
-            Frame::OpenSession { device } => w.put_u32(*device),
-            Frame::OpenOk {
-                session,
+        w.put_u64(self.header.session);
+        w.put_u32(self.header.lane);
+        w.put_u64(self.header.seq);
+        match &self.body {
+            Body::Open { version } => w.put_u16(*version),
+            Body::OpenOk { token } => w.put_u64(*token),
+            Body::Resume { acks } => put_acks(&mut w, acks),
+            Body::ResumeOk { lanes, replay } => {
+                w.put_u32(*lanes);
+                put_acks(&mut w, replay);
+            }
+            Body::Attach { target } => match target {
+                LaneTarget::Device(i) => {
+                    w.put_u8(0);
+                    w.put_u32(*i);
+                }
+                LaneTarget::Tenant(t) => {
+                    w.put_u8(1);
+                    w.put_u32(*t);
+                }
+            },
+            Body::AttachOk {
+                lane,
                 name,
                 capacity,
                 logical_block,
             } => {
-                w.put_u32(*session);
+                w.put_u32(*lane);
                 w.put_str(name);
                 w.put_u64(*capacity);
                 w.put_u32(*logical_block);
             }
-            Frame::Submit { session, seq, reqs } => {
-                w.put_u32(*session);
-                w.put_u64(*seq);
+            Body::Submit { reqs } => {
                 w.put_u64(reqs.len() as u64);
                 for req in reqs {
                     put_kind(&mut w, req.kind);
@@ -261,8 +479,7 @@ impl Frame {
                     w.put_u64(req.submit_time.as_nanos());
                 }
             }
-            Frame::Completions { seq, completions } => {
-                w.put_u64(*seq);
+            Body::Completions { completions } => {
                 w.put_u64(completions.len() as u64);
                 for c in completions {
                     w.put_u64(c.index as u64);
@@ -272,21 +489,32 @@ impl Frame {
                     w.put_u64(c.completes.as_nanos());
                 }
             }
-            Frame::Busy { seq, reason } => {
-                w.put_u64(*seq);
-                w.put_u8(reason.tag());
-            }
-            Frame::Stats { session } => w.put_u32(*session),
-            Frame::StatsOk { session, stats } => {
-                w.put_u32(*session);
+            Body::PushOk { accepted } => w.put_u64(*accepted),
+            Body::Busy { reason } => w.put_u8(reason.tag()),
+            Body::Stats => {}
+            Body::StatsOk { stats } => {
                 w.put_u64(stats.stats.ios);
                 w.put_u64(stats.stats.bytes);
                 w.put_u64(stats.stats.clamped);
                 w.put_u64(stats.stats.last_submit.as_nanos());
                 w.put_u64(stats.queue_head.as_nanos());
             }
-            Frame::Close | Frame::CloseOk => {}
-            Frame::Err { io, message } => {
+            Body::Flush { epoch } => w.put_u64(*epoch),
+            Body::FlushOk { epoch } => w.put_u64(*epoch),
+            Body::LaneMoved { to_device } => w.put_u32(*to_device),
+            Body::Close | Body::CloseOk => {}
+            Body::Err { code, io, message } => {
+                match code {
+                    ErrCode::Protocol => w.put_u8(0),
+                    ErrCode::UnsupportedVersion { found, supported } => {
+                        w.put_u8(1);
+                        w.put_u16(*found);
+                        w.put_u16(*supported);
+                    }
+                    ErrCode::UnknownSession => w.put_u8(2),
+                    ErrCode::UnknownLane => w.put_u8(3),
+                    ErrCode::Io => w.put_u8(4),
+                }
                 match io {
                     None => w.put_u8(0),
                     Some(e) => {
@@ -308,20 +536,52 @@ impl Frame {
     /// [`DecodeError::InvalidValue`] / [`DecodeError::Truncated`] /
     /// [`DecodeError::TrailingBytes`] for a malformed payload.
     pub fn from_parts(kind: &str, payload: &[u8]) -> Result<Frame, DecodeError> {
+        // The kind gate comes first: a foreign frame (a v1 client, say)
+        // must surface as `UnknownKind` for version negotiation, not as
+        // a truncation error from misreading its payload as a v2 header.
+        if !ALL_KINDS.contains(&kind) {
+            return Err(DecodeError::UnknownKind {
+                found: kind.to_string(),
+            });
+        }
         let mut r = Decoder::new(payload);
-        let frame = match kind {
-            KIND_OPEN => Frame::OpenSession {
-                device: r.get_u32()?,
+        let header = FrameHeader {
+            session: r.get_u64()?,
+            lane: r.get_u32()?,
+            seq: r.get_u64()?,
+        };
+        let body = match kind {
+            KIND_OPEN => Body::Open {
+                version: r.get_u16()?,
             },
-            KIND_OPEN_OK => Frame::OpenOk {
-                session: r.get_u32()?,
+            KIND_OPEN_OK => Body::OpenOk {
+                token: r.get_u64()?,
+            },
+            KIND_RESUME => Body::Resume {
+                acks: get_acks(&mut r)?,
+            },
+            KIND_RESUME_OK => Body::ResumeOk {
+                lanes: r.get_u32()?,
+                replay: get_acks(&mut r)?,
+            },
+            KIND_ATTACH => Body::Attach {
+                target: match r.get_u8()? {
+                    0 => LaneTarget::Device(r.get_u32()?),
+                    1 => LaneTarget::Tenant(r.get_u32()?),
+                    _ => {
+                        return Err(DecodeError::InvalidValue {
+                            what: "LaneTarget tag",
+                        })
+                    }
+                },
+            },
+            KIND_ATTACH_OK => Body::AttachOk {
+                lane: r.get_u32()?,
                 name: r.get_string()?,
                 capacity: r.get_u64()?,
                 logical_block: r.get_u32()?,
             },
             KIND_SUBMIT => {
-                let session = r.get_u32()?;
-                let seq = r.get_u64()?;
                 let count = r.get_u64()?;
                 if count > crate::MAX_FRAME_REQUESTS {
                     return Err(DecodeError::InvalidValue {
@@ -348,10 +608,9 @@ impl Frame {
                         submit_time,
                     });
                 }
-                Frame::Submit { session, seq, reqs }
+                Body::Submit { reqs }
             }
             KIND_COMPLETIONS => {
-                let seq = r.get_u64()?;
                 let count = r.get_u64()?;
                 if count > crate::MAX_FRAME_REQUESTS {
                     return Err(DecodeError::InvalidValue {
@@ -373,17 +632,16 @@ impl Frame {
                         completes,
                     });
                 }
-                Frame::Completions { seq, completions }
+                Body::Completions { completions }
             }
-            KIND_BUSY => Frame::Busy {
-                seq: r.get_u64()?,
+            KIND_PUSH_OK => Body::PushOk {
+                accepted: r.get_u64()?,
+            },
+            KIND_BUSY => Body::Busy {
                 reason: BusyReason::from_tag(r.get_u8()?)?,
             },
-            KIND_STATS => Frame::Stats {
-                session: r.get_u32()?,
-            },
-            KIND_STATS_OK => Frame::StatsOk {
-                session: r.get_u32()?,
+            KIND_STATS => Body::Stats,
+            KIND_STATS_OK => Body::StatsOk {
                 stats: WireStats {
                     stats: SessionStats {
                         ios: r.get_u64()?,
@@ -394,9 +652,33 @@ impl Frame {
                     queue_head: SimTime::from_nanos(r.get_u64()?),
                 },
             },
-            KIND_CLOSE => Frame::Close,
-            KIND_CLOSE_OK => Frame::CloseOk,
+            KIND_FLUSH => Body::Flush {
+                epoch: r.get_u64()?,
+            },
+            KIND_FLUSH_OK => Body::FlushOk {
+                epoch: r.get_u64()?,
+            },
+            KIND_LANE_MOVED => Body::LaneMoved {
+                to_device: r.get_u32()?,
+            },
+            KIND_CLOSE => Body::Close,
+            KIND_CLOSE_OK => Body::CloseOk,
             KIND_ERR => {
+                let code = match r.get_u8()? {
+                    0 => ErrCode::Protocol,
+                    1 => ErrCode::UnsupportedVersion {
+                        found: r.get_u16()?,
+                        supported: r.get_u16()?,
+                    },
+                    2 => ErrCode::UnknownSession,
+                    3 => ErrCode::UnknownLane,
+                    4 => ErrCode::Io,
+                    _ => {
+                        return Err(DecodeError::InvalidValue {
+                            what: "ErrCode tag",
+                        })
+                    }
+                };
                 let io = match r.get_u8()? {
                     0 => None,
                     1 => Some(get_io_error(&mut r)?),
@@ -406,7 +688,8 @@ impl Frame {
                         })
                     }
                 };
-                Frame::Err {
+                Body::Err {
+                    code,
                     io,
                     message: r.get_string()?,
                 }
@@ -418,7 +701,7 @@ impl Frame {
             }
         };
         r.finish()?;
-        Ok(frame)
+        Ok(Frame { header, body })
     }
 
     /// Reads the next frame off `reader`.
@@ -457,80 +740,161 @@ mod tests {
         SimTime::from_nanos(nanos)
     }
 
+    fn hdr(session: u64, lane: u32, seq: u64) -> FrameHeader {
+        FrameHeader { session, lane, seq }
+    }
+
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame::OpenSession { device: 2 },
-            Frame::OpenOk {
-                session: 0,
-                name: "essd (aws io2 class)".to_string(),
-                capacity: 2 << 30,
-                logical_block: 4096,
-            },
-            Frame::Submit {
-                session: 0,
-                seq: 7,
-                reqs: vec![
-                    IoRequest::write(0, 65536, at(10)),
-                    IoRequest::read(65536, 4096, at(10)),
-                    IoRequest::write(131072, 4096, at(25)),
-                ],
-            },
-            Frame::Completions {
-                seq: 7,
-                completions: vec![Completion {
-                    index: 0,
-                    kind: IoKind::Write,
-                    len: 65536,
-                    submitted: at(10),
-                    completes: at(90),
-                }],
-            },
-            Frame::Busy {
-                seq: 8,
-                reason: BusyReason::RingFull,
-            },
-            Frame::Busy {
-                seq: 9,
-                reason: BusyReason::Overload,
-            },
-            Frame::Stats { session: 0 },
-            Frame::StatsOk {
-                session: 0,
-                stats: WireStats {
-                    stats: SessionStats {
-                        ios: 3,
-                        bytes: 73728,
-                        clamped: 1,
-                        last_submit: at(25),
-                    },
-                    queue_head: at(40),
+            Frame::new(FrameHeader::connection(), Body::Open { version: 2 }),
+            Frame::new(FrameHeader::connection(), Body::OpenOk { token: 7 }),
+            Frame::new(
+                hdr(7, 0, 0),
+                Body::Resume {
+                    acks: vec![LaneAck { lane: 1, seq: 12 }, LaneAck { lane: 2, seq: 3 }],
                 },
-            },
-            Frame::Close,
-            Frame::CloseOk,
-            Frame::Err {
-                io: None,
-                message: "expected OPEN_SESSION".to_string(),
-            },
-            Frame::Err {
-                io: Some(IoError::Misaligned {
-                    offset: 3,
-                    len: 100,
+            ),
+            Frame::new(
+                hdr(7, 0, 0),
+                Body::ResumeOk {
+                    lanes: 2,
+                    replay: vec![LaneAck { lane: 1, seq: 13 }],
+                },
+            ),
+            Frame::new(
+                hdr(7, 0, 1),
+                Body::Attach {
+                    target: LaneTarget::Device(2),
+                },
+            ),
+            Frame::new(
+                hdr(7, 0, 2),
+                Body::Attach {
+                    target: LaneTarget::Tenant(41),
+                },
+            ),
+            Frame::new(
+                hdr(7, 0, 1),
+                Body::AttachOk {
+                    lane: 1,
+                    name: "essd (aws io2 class)".to_string(),
+                    capacity: 2 << 30,
                     logical_block: 4096,
-                }),
-                message: "device rejected request".to_string(),
-            },
-            Frame::Err {
-                io: Some(IoError::OutOfRange {
-                    end: 100,
-                    capacity: 50,
-                }),
-                message: "device rejected request".to_string(),
-            },
-            Frame::Err {
-                io: Some(IoError::ZeroLength),
-                message: String::new(),
-            },
+                },
+            ),
+            Frame::new(
+                hdr(7, 1, 1),
+                Body::Submit {
+                    reqs: vec![
+                        IoRequest::write(0, 65536, at(10)),
+                        IoRequest::read(65536, 4096, at(10)),
+                        IoRequest::write(131072, 4096, at(25)),
+                    ],
+                },
+            ),
+            Frame::new(
+                hdr(7, 1, 1),
+                Body::Completions {
+                    completions: vec![Completion {
+                        index: 0,
+                        kind: IoKind::Write,
+                        len: 65536,
+                        submitted: at(10),
+                        completes: at(90),
+                    }],
+                },
+            ),
+            Frame::new(hdr(7, 2, 4), Body::PushOk { accepted: 512 }),
+            Frame::new(
+                hdr(7, 1, 2),
+                Body::Busy {
+                    reason: BusyReason::RingFull,
+                },
+            ),
+            Frame::new(
+                hdr(7, 1, 3),
+                Body::Busy {
+                    reason: BusyReason::Overload,
+                },
+            ),
+            Frame::new(hdr(7, 1, 4), Body::Stats),
+            Frame::new(
+                hdr(7, 1, 4),
+                Body::StatsOk {
+                    stats: WireStats {
+                        stats: SessionStats {
+                            ios: 3,
+                            bytes: 73728,
+                            clamped: 1,
+                            last_submit: at(25),
+                        },
+                        queue_head: at(40),
+                    },
+                },
+            ),
+            Frame::new(hdr(7, 2, 5), Body::Flush { epoch: 1 }),
+            Frame::new(hdr(7, 2, 5), Body::FlushOk { epoch: 1 }),
+            Frame::new(hdr(7, 2, 5), Body::LaneMoved { to_device: 3 }),
+            Frame::new(hdr(7, 0, 3), Body::Close),
+            Frame::new(hdr(7, 0, 3), Body::CloseOk),
+            Frame::new(
+                hdr(0, 0, 0),
+                Body::Err {
+                    code: ErrCode::UnsupportedVersion {
+                        found: 1,
+                        supported: 2,
+                    },
+                    io: None,
+                    message: "speak uc.wire.v2".to_string(),
+                },
+            ),
+            Frame::new(
+                hdr(7, 0, 0),
+                Body::Err {
+                    code: ErrCode::UnknownSession,
+                    io: None,
+                    message: "no such token".to_string(),
+                },
+            ),
+            Frame::new(
+                hdr(7, 9, 1),
+                Body::Err {
+                    code: ErrCode::UnknownLane,
+                    io: None,
+                    message: "lane 9 never attached".to_string(),
+                },
+            ),
+            Frame::new(
+                hdr(7, 1, 5),
+                Body::Err {
+                    code: ErrCode::Io,
+                    io: Some(IoError::Misaligned {
+                        offset: 3,
+                        len: 100,
+                        logical_block: 4096,
+                    }),
+                    message: "device rejected request".to_string(),
+                },
+            ),
+            Frame::new(
+                hdr(7, 1, 6),
+                Body::Err {
+                    code: ErrCode::Io,
+                    io: Some(IoError::RingSaturated {
+                        ring: 1,
+                        refusals: 32,
+                    }),
+                    message: String::new(),
+                },
+            ),
+            Frame::new(
+                hdr(7, 0, 0),
+                Body::Err {
+                    code: ErrCode::Protocol,
+                    io: None,
+                    message: "expected OPEN".to_string(),
+                },
+            ),
         ]
     }
 
@@ -552,8 +916,8 @@ mod tests {
     #[test]
     fn kinds_are_distinct_and_listed() {
         let frames = sample_frames();
-        for f in &frames {
-            assert!(ALL_KINDS.contains(&f.kind()), "{} unlisted", f.kind());
+        for kind in ALL_KINDS {
+            assert!(frames.iter().any(|f| f.kind() == kind), "{kind} unsampled");
         }
         let mut kinds: Vec<&str> = ALL_KINDS.to_vec();
         kinds.sort_unstable();
@@ -562,8 +926,13 @@ mod tests {
     }
 
     #[test]
-    fn foreign_kind_tags_are_typed() {
-        let err = Frame::from_parts("uc.trace.v1", &[]).unwrap_err();
+    fn v1_frames_are_foreign_to_v2_and_vice_versa() {
+        // The version seam is the kind tag: a v1 open does not decode as
+        // any v2 frame (and a v2 open is foreign to v1), so negotiation
+        // happens on typed UnknownKind, never mis-parsed payloads.
+        let err = Frame::from_parts("uc.wire.open.v1", &[]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownKind { .. }));
+        let err = crate::wire_v1::FrameV1::from_parts(KIND_OPEN, &[]).unwrap_err();
         assert!(matches!(err, DecodeError::UnknownKind { .. }));
     }
 
@@ -572,7 +941,8 @@ mod tests {
         // A hostile client encodes a batch whose submit instants regress;
         // the decoder must refuse it before it can reach an IoBatch.
         let mut w = Encoder::new();
-        w.put_u32(0); // session
+        w.put_u64(7); // session
+        w.put_u32(1); // lane
         w.put_u64(1); // seq
         w.put_u64(2); // count
         for t in [100u64, 50] {
@@ -591,27 +961,37 @@ mod tests {
     }
 
     #[test]
-    fn hostile_request_counts_are_bounded() {
-        let mut w = Encoder::new();
-        w.put_u32(0);
-        w.put_u64(1);
-        w.put_u64(u64::MAX); // claimed count far past any real frame
-        let err = Frame::from_parts(KIND_SUBMIT, w.as_bytes()).unwrap_err();
-        assert!(matches!(err, DecodeError::InvalidValue { .. }));
+    fn hostile_counts_are_bounded() {
+        for (kind, what) in [
+            (KIND_SUBMIT, "submit frame request count"),
+            (KIND_COMPLETIONS, "completions frame entry count"),
+            (KIND_RESUME, "resume ack count"),
+        ] {
+            let mut w = Encoder::new();
+            w.put_u64(7);
+            w.put_u32(1);
+            w.put_u64(1);
+            w.put_u64(u64::MAX); // claimed count far past any real frame
+            let err = Frame::from_parts(kind, w.as_bytes()).unwrap_err();
+            assert_eq!(err, DecodeError::InvalidValue { what }, "{kind}");
+        }
     }
 
     #[test]
     fn trailing_payload_bytes_are_typed() {
         let mut w = Encoder::new();
-        w.put_u32(3);
-        w.put_u8(0xEE); // junk after the device index
+        w.put_u64(7);
+        w.put_u32(0);
+        w.put_u64(0);
+        w.put_u16(2);
+        w.put_u8(0xEE); // junk after the version
         let err = Frame::from_parts(KIND_OPEN, w.as_bytes()).unwrap_err();
         assert!(matches!(err, DecodeError::TrailingBytes { count: 1 }));
     }
 
     #[test]
     fn mid_frame_truncation_is_typed() {
-        let bytes = Frame::Close.encode();
+        let bytes = Frame::new(hdr(7, 0, 3), Body::Close).encode();
         for cut in 1..bytes.len() {
             let mut reader = &bytes[..cut];
             let err = Frame::read_from(&mut reader).expect_err(&format!("cut at {cut} must fail"));

@@ -1,0 +1,559 @@
+//! The legacy `uc.wire.v1` frame vocabulary.
+//!
+//! v1 is the single-lane, thread-per-connection protocol PR 8 shipped.
+//! The live protocol is [`uc.wire.v2`](crate::wire); v1 remains fully
+//! decodable so the version negotiation in v2's `OPEN` can recognize an
+//! old client and reject it with a typed `UnsupportedVersion` instead of
+//! a checksum error — and so archived captures still parse.
+//!
+//! Every frame rides the `uc-persist` record envelope (8-byte magic,
+//! format version, kind tag, payload, CRC-32), so corruption anywhere on
+//! the connection — a truncated read, a flipped bit, a foreign kind tag —
+//! decodes to a typed [`DecodeError`], never a panic. The frame kinds:
+//!
+//! | kind tag                 | direction | payload |
+//! |--------------------------|-----------|---------|
+//! | `uc.wire.open.v1`        | C → S     | device index |
+//! | `uc.wire.open-ok.v1`     | S → C     | session id, device name, capacity, logical block |
+//! | `uc.wire.submit.v1`      | C → S     | session id, sequence number, request list |
+//! | `uc.wire.completions.v1` | S → C     | sequence number, completion list |
+//! | `uc.wire.busy.v1`        | S → C     | sequence number, backpressure reason |
+//! | `uc.wire.stats.v1`       | C → S     | session id |
+//! | `uc.wire.stats-ok.v1`    | S → C     | session ledger + queue head |
+//! | `uc.wire.close.v1`       | C → S     | (empty) |
+//! | `uc.wire.close-ok.v1`    | S → C     | (empty) |
+//! | `uc.wire.err.v1`         | S → C     | optional [`IoError`], diagnostic message |
+//!
+//! A submit frame's request list is validated on decode: submit instants
+//! must be non-decreasing (the [`IoBatch`](uc_blockdev::IoBatch) queue
+//! discipline), so a hostile client cannot push a time-travelling batch
+//! past the wire layer and trip a server-side debug assertion.
+
+use crate::wire::{BusyReason, WireStats};
+use std::io::{Read, Write};
+use uc_blockdev::{Completion, IoError, IoKind, IoRequest, SessionStats};
+use uc_persist::{encode_record, read_record_from, DecodeError, Decoder, Encoder};
+use uc_sim::SimTime;
+
+/// One `uc.wire.v1` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameV1 {
+    /// Open a session on device lane `device`. Must be the first frame
+    /// on every connection.
+    OpenSession {
+        /// Index of the device lane to attach to.
+        device: u32,
+    },
+    /// The server's reply to [`FrameV1::OpenSession`].
+    OpenOk {
+        /// The session id the connection was assigned.
+        session: u32,
+        /// The device's name.
+        name: String,
+        /// The device's capacity in bytes.
+        capacity: u64,
+        /// The device's logical block size in bytes.
+        logical_block: u32,
+    },
+    /// Submit a batch of requests under an open session.
+    Submit {
+        /// The session the requests belong to.
+        session: u32,
+        /// Client-chosen sequence number, echoed in the reply.
+        seq: u64,
+        /// The requests, submit instants non-decreasing.
+        reqs: Vec<IoRequest>,
+    },
+    /// The completions of an accepted submit frame, index-aligned with
+    /// its request list.
+    Completions {
+        /// The submit frame's sequence number.
+        seq: u64,
+        /// One completion per request, in submission order.
+        completions: Vec<Completion>,
+    },
+    /// Backpressure: the submit frame was refused, nothing was issued.
+    Busy {
+        /// The submit frame's sequence number.
+        seq: u64,
+        /// Why the frame was refused.
+        reason: BusyReason,
+    },
+    /// Ask for the session's server-side ledger.
+    Stats {
+        /// The session to report on.
+        session: u32,
+    },
+    /// The server's reply to [`FrameV1::Stats`].
+    StatsOk {
+        /// The session reported on.
+        session: u32,
+        /// The ledger and the lane's queue head.
+        stats: WireStats,
+    },
+    /// Orderly shutdown of the connection.
+    Close,
+    /// The server's reply to [`FrameV1::Close`]; the connection ends after
+    /// this frame.
+    CloseOk,
+    /// A typed failure. `io` carries the device's [`IoError`] when the
+    /// device rejected a request; `None` means a protocol error (the
+    /// message says which). The server closes the connection after
+    /// sending this frame.
+    Err {
+        /// The device error, if the failure was an I/O rejection.
+        io: Option<IoError>,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+const KIND_OPEN: &str = "uc.wire.open.v1";
+const KIND_OPEN_OK: &str = "uc.wire.open-ok.v1";
+const KIND_SUBMIT: &str = "uc.wire.submit.v1";
+const KIND_COMPLETIONS: &str = "uc.wire.completions.v1";
+const KIND_BUSY: &str = "uc.wire.busy.v1";
+const KIND_STATS: &str = "uc.wire.stats.v1";
+const KIND_STATS_OK: &str = "uc.wire.stats-ok.v1";
+const KIND_CLOSE: &str = "uc.wire.close.v1";
+const KIND_CLOSE_OK: &str = "uc.wire.close-ok.v1";
+const KIND_ERR: &str = "uc.wire.err.v1";
+
+/// Every `uc.wire.v1` kind tag, in protocol order (the corruption sweeps
+/// iterate this).
+pub const ALL_KINDS_V1: [&str; 10] = [
+    KIND_OPEN,
+    KIND_OPEN_OK,
+    KIND_SUBMIT,
+    KIND_COMPLETIONS,
+    KIND_BUSY,
+    KIND_STATS,
+    KIND_STATS_OK,
+    KIND_CLOSE,
+    KIND_CLOSE_OK,
+    KIND_ERR,
+];
+
+fn put_kind(w: &mut Encoder, kind: IoKind) {
+    w.put_u8(kind.is_write() as u8);
+}
+
+fn get_kind(r: &mut Decoder<'_>) -> Result<IoKind, DecodeError> {
+    match r.get_u8()? {
+        0 => Ok(IoKind::Read),
+        1 => Ok(IoKind::Write),
+        _ => Err(DecodeError::InvalidValue { what: "IoKind tag" }),
+    }
+}
+
+use crate::wire::{get_io_error, put_io_error};
+
+impl FrameV1 {
+    /// The frame's `uc.wire.v1` kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FrameV1::OpenSession { .. } => KIND_OPEN,
+            FrameV1::OpenOk { .. } => KIND_OPEN_OK,
+            FrameV1::Submit { .. } => KIND_SUBMIT,
+            FrameV1::Completions { .. } => KIND_COMPLETIONS,
+            FrameV1::Busy { .. } => KIND_BUSY,
+            FrameV1::Stats { .. } => KIND_STATS,
+            FrameV1::StatsOk { .. } => KIND_STATS_OK,
+            FrameV1::Close => KIND_CLOSE,
+            FrameV1::CloseOk => KIND_CLOSE_OK,
+            FrameV1::Err { .. } => KIND_ERR,
+        }
+    }
+
+    /// Encodes the frame as one complete `uc-persist` record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Encoder::new();
+        match self {
+            FrameV1::OpenSession { device } => w.put_u32(*device),
+            FrameV1::OpenOk {
+                session,
+                name,
+                capacity,
+                logical_block,
+            } => {
+                w.put_u32(*session);
+                w.put_str(name);
+                w.put_u64(*capacity);
+                w.put_u32(*logical_block);
+            }
+            FrameV1::Submit { session, seq, reqs } => {
+                w.put_u32(*session);
+                w.put_u64(*seq);
+                w.put_u64(reqs.len() as u64);
+                for req in reqs {
+                    put_kind(&mut w, req.kind);
+                    w.put_u64(req.offset);
+                    w.put_u32(req.len);
+                    w.put_u64(req.submit_time.as_nanos());
+                }
+            }
+            FrameV1::Completions { seq, completions } => {
+                w.put_u64(*seq);
+                w.put_u64(completions.len() as u64);
+                for c in completions {
+                    w.put_u64(c.index as u64);
+                    put_kind(&mut w, c.kind);
+                    w.put_u32(c.len);
+                    w.put_u64(c.submitted.as_nanos());
+                    w.put_u64(c.completes.as_nanos());
+                }
+            }
+            FrameV1::Busy { seq, reason } => {
+                w.put_u64(*seq);
+                w.put_u8(reason.tag());
+            }
+            FrameV1::Stats { session } => w.put_u32(*session),
+            FrameV1::StatsOk { session, stats } => {
+                w.put_u32(*session);
+                w.put_u64(stats.stats.ios);
+                w.put_u64(stats.stats.bytes);
+                w.put_u64(stats.stats.clamped);
+                w.put_u64(stats.stats.last_submit.as_nanos());
+                w.put_u64(stats.queue_head.as_nanos());
+            }
+            FrameV1::Close | FrameV1::CloseOk => {}
+            FrameV1::Err { io, message } => {
+                match io {
+                    None => w.put_u8(0),
+                    Some(e) => {
+                        w.put_u8(1);
+                        put_io_error(&mut w, e);
+                    }
+                }
+                w.put_str(message);
+            }
+        }
+        encode_record(self.kind(), w.as_bytes())
+    }
+
+    /// Rebuilds a frame from a decoded record's kind tag and payload.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnknownKind`] for a foreign kind tag,
+    /// [`DecodeError::InvalidValue`] / [`DecodeError::Truncated`] /
+    /// [`DecodeError::TrailingBytes`] for a malformed payload.
+    pub fn from_parts(kind: &str, payload: &[u8]) -> Result<FrameV1, DecodeError> {
+        let mut r = Decoder::new(payload);
+        let frame = match kind {
+            KIND_OPEN => FrameV1::OpenSession {
+                device: r.get_u32()?,
+            },
+            KIND_OPEN_OK => FrameV1::OpenOk {
+                session: r.get_u32()?,
+                name: r.get_string()?,
+                capacity: r.get_u64()?,
+                logical_block: r.get_u32()?,
+            },
+            KIND_SUBMIT => {
+                let session = r.get_u32()?;
+                let seq = r.get_u64()?;
+                let count = r.get_u64()?;
+                if count > crate::MAX_FRAME_REQUESTS {
+                    return Err(DecodeError::InvalidValue {
+                        what: "submit frame request count",
+                    });
+                }
+                let mut reqs = Vec::with_capacity(count as usize);
+                let mut last = SimTime::ZERO;
+                for _ in 0..count {
+                    let kind = get_kind(&mut r)?;
+                    let offset = r.get_u64()?;
+                    let len = r.get_u32()?;
+                    let submit_time = SimTime::from_nanos(r.get_u64()?);
+                    if submit_time < last {
+                        return Err(DecodeError::InvalidValue {
+                            what: "submit frame request order",
+                        });
+                    }
+                    last = submit_time;
+                    reqs.push(IoRequest {
+                        kind,
+                        offset,
+                        len,
+                        submit_time,
+                    });
+                }
+                FrameV1::Submit { session, seq, reqs }
+            }
+            KIND_COMPLETIONS => {
+                let seq = r.get_u64()?;
+                let count = r.get_u64()?;
+                if count > crate::MAX_FRAME_REQUESTS {
+                    return Err(DecodeError::InvalidValue {
+                        what: "completions frame entry count",
+                    });
+                }
+                let mut completions = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let index = r.get_u64()? as usize;
+                    let kind = get_kind(&mut r)?;
+                    let len = r.get_u32()?;
+                    let submitted = SimTime::from_nanos(r.get_u64()?);
+                    let completes = SimTime::from_nanos(r.get_u64()?);
+                    completions.push(Completion {
+                        index,
+                        kind,
+                        len,
+                        submitted,
+                        completes,
+                    });
+                }
+                FrameV1::Completions { seq, completions }
+            }
+            KIND_BUSY => FrameV1::Busy {
+                seq: r.get_u64()?,
+                reason: BusyReason::from_tag(r.get_u8()?)?,
+            },
+            KIND_STATS => FrameV1::Stats {
+                session: r.get_u32()?,
+            },
+            KIND_STATS_OK => FrameV1::StatsOk {
+                session: r.get_u32()?,
+                stats: WireStats {
+                    stats: SessionStats {
+                        ios: r.get_u64()?,
+                        bytes: r.get_u64()?,
+                        clamped: r.get_u64()?,
+                        last_submit: SimTime::from_nanos(r.get_u64()?),
+                    },
+                    queue_head: SimTime::from_nanos(r.get_u64()?),
+                },
+            },
+            KIND_CLOSE => FrameV1::Close,
+            KIND_CLOSE_OK => FrameV1::CloseOk,
+            KIND_ERR => {
+                let io = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(get_io_error(&mut r)?),
+                    _ => {
+                        return Err(DecodeError::InvalidValue {
+                            what: "error frame io tag",
+                        })
+                    }
+                };
+                FrameV1::Err {
+                    io,
+                    message: r.get_string()?,
+                }
+            }
+            _ => {
+                return Err(DecodeError::UnknownKind {
+                    found: kind.to_string(),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Reads the next frame off `reader`.
+    ///
+    /// Returns `Ok(None)` on a clean end of stream (the peer closed the
+    /// connection between frames).
+    ///
+    /// # Errors
+    ///
+    /// Any corruption — truncation mid-frame, a checksum mismatch, a
+    /// foreign kind tag, a malformed payload — is a typed
+    /// [`DecodeError`].
+    pub fn read_from<R: Read + ?Sized>(reader: &mut R) -> Result<Option<FrameV1>, DecodeError> {
+        match read_record_from(reader)? {
+            None => Ok(None),
+            Some((kind, payload)) => FrameV1::from_parts(&kind, &payload).map(Some),
+        }
+    }
+
+    /// Writes the frame to `writer` as one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport error.
+    pub fn write_to<W: Write + ?Sized>(&self, writer: &mut W) -> std::io::Result<()> {
+        writer.write_all(&self.encode())?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(nanos: u64) -> SimTime {
+        SimTime::from_nanos(nanos)
+    }
+
+    fn sample_frames() -> Vec<FrameV1> {
+        vec![
+            FrameV1::OpenSession { device: 2 },
+            FrameV1::OpenOk {
+                session: 0,
+                name: "essd (aws io2 class)".to_string(),
+                capacity: 2 << 30,
+                logical_block: 4096,
+            },
+            FrameV1::Submit {
+                session: 0,
+                seq: 7,
+                reqs: vec![
+                    IoRequest::write(0, 65536, at(10)),
+                    IoRequest::read(65536, 4096, at(10)),
+                    IoRequest::write(131072, 4096, at(25)),
+                ],
+            },
+            FrameV1::Completions {
+                seq: 7,
+                completions: vec![Completion {
+                    index: 0,
+                    kind: IoKind::Write,
+                    len: 65536,
+                    submitted: at(10),
+                    completes: at(90),
+                }],
+            },
+            FrameV1::Busy {
+                seq: 8,
+                reason: BusyReason::RingFull,
+            },
+            FrameV1::Busy {
+                seq: 9,
+                reason: BusyReason::Overload,
+            },
+            FrameV1::Stats { session: 0 },
+            FrameV1::StatsOk {
+                session: 0,
+                stats: WireStats {
+                    stats: SessionStats {
+                        ios: 3,
+                        bytes: 73728,
+                        clamped: 1,
+                        last_submit: at(25),
+                    },
+                    queue_head: at(40),
+                },
+            },
+            FrameV1::Close,
+            FrameV1::CloseOk,
+            FrameV1::Err {
+                io: None,
+                message: "expected OPEN_SESSION".to_string(),
+            },
+            FrameV1::Err {
+                io: Some(IoError::Misaligned {
+                    offset: 3,
+                    len: 100,
+                    logical_block: 4096,
+                }),
+                message: "device rejected request".to_string(),
+            },
+            FrameV1::Err {
+                io: Some(IoError::OutOfRange {
+                    end: 100,
+                    capacity: 50,
+                }),
+                message: "device rejected request".to_string(),
+            },
+            FrameV1::Err {
+                io: Some(IoError::ZeroLength),
+                message: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_through_a_byte_stream() {
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut reader = &stream[..];
+        for expected in &frames {
+            let got = FrameV1::read_from(&mut reader).unwrap().expect("frame");
+            assert_eq!(&got, expected);
+        }
+        assert_eq!(FrameV1::read_from(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_listed() {
+        let frames = sample_frames();
+        for f in &frames {
+            assert!(ALL_KINDS_V1.contains(&f.kind()), "{} unlisted", f.kind());
+        }
+        let mut kinds: Vec<&str> = ALL_KINDS_V1.to_vec();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), ALL_KINDS_V1.len());
+    }
+
+    #[test]
+    fn foreign_kind_tags_are_typed() {
+        let err = FrameV1::from_parts("uc.trace.v1", &[]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownKind { .. }));
+    }
+
+    #[test]
+    fn time_travelling_submit_frames_are_rejected_on_decode() {
+        // A hostile client encodes a batch whose submit instants regress;
+        // the decoder must refuse it before it can reach an IoBatch.
+        let mut w = Encoder::new();
+        w.put_u32(0); // session
+        w.put_u64(1); // seq
+        w.put_u64(2); // count
+        for t in [100u64, 50] {
+            w.put_u8(1);
+            w.put_u64(0);
+            w.put_u32(4096);
+            w.put_u64(t);
+        }
+        let err = FrameV1::from_parts(KIND_SUBMIT, w.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::InvalidValue {
+                what: "submit frame request order"
+            }
+        ));
+    }
+
+    #[test]
+    fn hostile_request_counts_are_bounded() {
+        let mut w = Encoder::new();
+        w.put_u32(0);
+        w.put_u64(1);
+        w.put_u64(u64::MAX); // claimed count far past any real frame
+        let err = FrameV1::from_parts(KIND_SUBMIT, w.as_bytes()).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_typed() {
+        let mut w = Encoder::new();
+        w.put_u32(3);
+        w.put_u8(0xEE); // junk after the device index
+        let err = FrameV1::from_parts(KIND_OPEN, w.as_bytes()).unwrap_err();
+        assert!(matches!(err, DecodeError::TrailingBytes { count: 1 }));
+    }
+
+    #[test]
+    fn mid_frame_truncation_is_typed() {
+        let bytes = FrameV1::Close.encode();
+        for cut in 1..bytes.len() {
+            let mut reader = &bytes[..cut];
+            let err =
+                FrameV1::read_from(&mut reader).expect_err(&format!("cut at {cut} must fail"));
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated { .. } | DecodeError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+}

@@ -52,7 +52,7 @@
 //! | [`workload`] | FIO-like jobs, queue-pair batched drivers, trace replay |
 //! | [`trace`] | trace capture (`TraceRecorder`), the `uc.trace.v1` binary format, arrival-shape generators |
 //! | [`fleet`] | multi-tenant fleets: placement, shared-device interleaving, interference metrics, checkpoint-seam rebalancing |
-//! | [`serve`] | the served frontend: `uc.wire.v1` framing, the `ServePool` lanes with backpressure, thread-per-connection serving, the `RemoteDevice` client |
+//! | [`serve`] | the served frontend: `uc.wire.v2` resumable multi-lane sessions, the single-thread readiness event loop (`serve_events`), the `ServePool` lanes with backpressure, the `WireClient`/`RemoteDevice` clients |
 //! | [`core`] | experiments (parallel cell executor), contract checker, implication advisors |
 
 #![forbid(unsafe_code)]

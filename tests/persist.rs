@@ -312,64 +312,120 @@ fn corruption_table_over_every_record_codec() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// One sample frame per `uc.wire.v1` kind, with every field populated.
+/// One sample frame per `uc.wire.v2` kind, with every field populated
+/// (session token, lane and seq in the shared header included).
 fn sample_wire_frames() -> Vec<unwritten_contract::serve::Frame> {
     use unwritten_contract::blockdev::{Completion, IoKind, IoRequest, SessionStats};
-    use unwritten_contract::serve::{BusyReason, Frame, WireStats};
+    use unwritten_contract::serve::{
+        Body, BusyReason, ErrCode, Frame, FrameHeader, LaneAck, LaneTarget, WireStats, WIRE_VERSION,
+    };
+    let control = |seq: u64| FrameHeader {
+        session: 7,
+        lane: 0,
+        seq,
+    };
+    let data = FrameHeader {
+        session: 7,
+        lane: 1,
+        seq: 3,
+    };
     vec![
-        Frame::OpenSession { device: 2 },
-        Frame::OpenOk {
-            session: 7,
-            name: "ESSD-1".to_string(),
-            capacity: 2 << 30,
-            logical_block: 512,
-        },
-        Frame::Submit {
-            session: 7,
-            seq: 3,
-            reqs: vec![
-                IoRequest::write(0, 4096, SimTime::from_nanos(10)),
-                IoRequest::read(8192, 4096, SimTime::from_nanos(20)),
-            ],
-        },
-        Frame::Completions {
-            seq: 3,
-            completions: vec![Completion {
-                index: 0,
-                kind: IoKind::Write,
-                len: 4096,
-                submitted: SimTime::from_nanos(10),
-                completes: SimTime::from_nanos(110),
-            }],
-        },
-        Frame::Busy {
-            seq: 3,
-            reason: BusyReason::RingFull,
-        },
-        Frame::Stats { session: 7 },
-        Frame::StatsOk {
-            session: 7,
-            stats: WireStats {
-                stats: SessionStats {
-                    ios: 9,
-                    bytes: 9 << 12,
-                    clamped: 1,
-                    last_submit: SimTime::from_nanos(20),
-                },
-                queue_head: SimTime::from_nanos(120),
+        Frame::new(
+            FrameHeader::connection(),
+            Body::Open {
+                version: WIRE_VERSION,
             },
-        },
-        Frame::Close,
-        Frame::CloseOk,
-        Frame::Err {
-            io: Some(unwritten_contract::blockdev::IoError::ZeroLength),
-            message: "zero-length request".to_string(),
-        },
+        ),
+        Frame::new(FrameHeader::connection(), Body::OpenOk { token: 7 }),
+        Frame::new(
+            control(0),
+            Body::Resume {
+                acks: vec![LaneAck { lane: 1, seq: 2 }],
+            },
+        ),
+        Frame::new(
+            control(0),
+            Body::ResumeOk {
+                lanes: 2,
+                replay: vec![LaneAck { lane: 1, seq: 3 }],
+            },
+        ),
+        Frame::new(
+            control(1),
+            Body::Attach {
+                target: LaneTarget::Tenant(5),
+            },
+        ),
+        Frame::new(
+            control(1),
+            Body::AttachOk {
+                lane: 1,
+                name: "ESSD-1".to_string(),
+                capacity: 2 << 30,
+                logical_block: 512,
+            },
+        ),
+        Frame::new(
+            data,
+            Body::Submit {
+                reqs: vec![
+                    IoRequest::write(0, 4096, SimTime::from_nanos(10)),
+                    IoRequest::read(8192, 4096, SimTime::from_nanos(20)),
+                ],
+            },
+        ),
+        Frame::new(
+            data,
+            Body::Completions {
+                completions: vec![Completion {
+                    index: 0,
+                    kind: IoKind::Write,
+                    len: 4096,
+                    submitted: SimTime::from_nanos(10),
+                    completes: SimTime::from_nanos(110),
+                }],
+            },
+        ),
+        Frame::new(data, Body::PushOk { accepted: 512 }),
+        Frame::new(
+            data,
+            Body::Busy {
+                reason: BusyReason::RingFull,
+            },
+        ),
+        Frame::new(data, Body::Stats),
+        Frame::new(
+            data,
+            Body::StatsOk {
+                stats: WireStats {
+                    stats: SessionStats {
+                        ios: 9,
+                        bytes: 9 << 12,
+                        clamped: 1,
+                        last_submit: SimTime::from_nanos(20),
+                    },
+                    queue_head: SimTime::from_nanos(120),
+                },
+            },
+        ),
+        Frame::new(data, Body::Flush { epoch: 1 }),
+        Frame::new(data, Body::FlushOk { epoch: 1 }),
+        Frame::new(data, Body::LaneMoved { to_device: 1 }),
+        Frame::new(control(2), Body::Close),
+        Frame::new(control(2), Body::CloseOk),
+        Frame::new(
+            control(2),
+            Body::Err {
+                code: ErrCode::Io,
+                io: Some(unwritten_contract::blockdev::IoError::ZeroLength),
+                message: "zero-length request".to_string(),
+            },
+        ),
     ]
 }
 
 /// The corruption table extended to the served frontend: every
-/// `uc.wire.v1` frame kind, corrupted any way a hostile or failing peer
+/// `uc.wire.v2` frame kind, corrupted any way a hostile or failing peer
 /// can produce, decodes to a **typed** error — truncation mid-frame,
 /// flipped payload bits, wrong magic, future envelope versions and
 /// foreign kind tags all close the connection typed; none panic the
@@ -456,6 +512,22 @@ fn corruption_table_over_every_wire_frame_kind() {
         Frame::read_from(&mut stream),
         Err(DecodeError::UnknownKind { .. })
     ));
+
+    // Cross-version: a genuine `uc.wire.v1` frame is a typed
+    // `UnknownKind` to the v2 decoder (the hook version negotiation
+    // hangs off), while the retained v1 codec still reads it.
+    use unwritten_contract::serve::FrameV1;
+    let v1 = FrameV1::OpenSession { device: 2 }.encode();
+    let mut stream = std::io::Cursor::new(v1.clone());
+    assert!(matches!(
+        Frame::read_from(&mut stream),
+        Err(DecodeError::UnknownKind { .. })
+    ));
+    let mut stream = std::io::Cursor::new(v1);
+    assert_eq!(
+        FrameV1::read_from(&mut stream).unwrap().unwrap(),
+        FrameV1::OpenSession { device: 2 }
+    );
 }
 
 /// A record whose kind tag no reader knows dispatches to
