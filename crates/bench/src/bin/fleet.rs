@@ -22,8 +22,15 @@
 //! * `--scale <mult>` — multiply per-device capacity (`UC_SCALE`
 //!   fallback; 1 = 256 MiB per device).
 //! * `--bench-json <path>` — write a machine-readable benchmark record
-//!   (wall clock, simulated bytes/sec, tenants/devices) for CI
-//!   artifacts.
+//!   (wall clock, simulated bytes/sec, tenants/devices, and the
+//!   fleet-wide tenant-latency percentiles) for CI artifacts.
+//! * `--obs-dump <path>` — persist the run's `uc.obs.v1` telemetry
+//!   record (every metric plus the flight-recorder tail). Two same-seed
+//!   runs dump byte-identical records — the CI obs-determinism step
+//!   pins this. When the run records a contract violation the dump is
+//!   written even without this flag (to `fleet-violation.obs`), and the
+//!   flight tail — whose last events name the violating seam — is
+//!   echoed to stderr.
 //! * `--report <path>` — write the rendered fleet report there instead
 //!   of stdout (the serve smoke diffs it against a `serve --fleet`
 //!   run's report byte for byte).
@@ -289,13 +296,43 @@ fn main() {
         verdict.report.total_bytes as f64 / (1 << 20) as f64 / wall.max(1e-9)
     );
 
+    // The telemetry dump: on demand at the named path, and always on a
+    // contract violation — the flight tail names the violating seam.
+    let obs_dump = parse_value(&args, "--obs-dump");
+    let violated = !verdict.report.violations.is_empty();
+    if let Some(path) = obs_dump
+        .clone()
+        .or_else(|| violated.then(|| "fleet-violation.obs".to_string()))
+    {
+        verdict
+            .obs
+            .save_to(std::path::Path::new(&path))
+            .expect("write obs dump");
+        eprintln!("uc.obs.v1 telemetry written to {path}");
+    }
+    if violated {
+        eprintln!(
+            "flight tail ({} event(s), {} dropped):",
+            verdict.obs.events.len(),
+            verdict.obs.dropped_events
+        );
+        for e in verdict.obs.events.iter().rev().take(8).rev() {
+            eprintln!("  {}", e.render());
+        }
+    }
+
     if let Some(path) = bench_json {
+        let latency = verdict.obs.snapshot.histogram("fleet.tenant_latency_ns");
         BenchJson::new("fleet")
             .u64("tenants", tenants as u64)
             .u64("devices", devices as u64)
             .u64("epochs", verdict.report.epochs as u64)
             .u64("total_ios", verdict.report.total_ios)
             .u64("total_bytes", verdict.report.total_bytes)
+            .u64("latency_p50_ns", latency.map_or(0, |h| h.p50_ns))
+            .u64("latency_p99_ns", latency.map_or(0, |h| h.p99_ns))
+            .u64("latency_p999_ns", latency.map_or(0, |h| h.p999_ns))
+            .u64("latency_max_ns", latency.map_or(0, |h| h.max_ns))
             .u64("migrations", verdict.report.migrations.len() as u64)
             .u64("violations", verdict.report.violations.len() as u64)
             .u64("findings", verdict.findings.len() as u64)

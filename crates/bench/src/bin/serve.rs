@@ -50,8 +50,16 @@
 //! * `--report <path>` — write the rendered report there instead of
 //!   stdout.
 //! * `--bench-json <path>` — machine-readable run record (includes
-//!   `peak_connections`, `resumes`, `peak_rss_bytes`, and the shed
-//!   counters).
+//!   `peak_connections`, `resumes`, `peak_rss_bytes`, the shed
+//!   counters, the event loop's poll/dispatch/stall counts, and the
+//!   pool-wide service-latency percentiles).
+//! * `--metrics tcp:ADDR|uds:PATH` — serve live telemetry in Prometheus
+//!   text exposition format on a second endpoint (one scrape per
+//!   connection), next to the wire endpoint.
+//! * `--obs-dump <path>` — after the run, persist the full `uc.obs.v1`
+//!   telemetry record (metrics snapshot + flight-recorder tail). Two
+//!   same-seed `--inprocess` runs dump byte-identical records — the CI
+//!   obs-determinism step pins this.
 //!
 //! Overload shedding is a served result, not a failure: the binary
 //! exits 0 even when `shed_overload` is positive.
@@ -232,6 +240,18 @@ fn main() {
         }
     };
 
+    // The Prometheus endpoint scrapes the live pool from its own thread
+    // for as long as the process runs.
+    if let Some(listen) = parse_value(&args, "--metrics") {
+        let endpoint = Endpoint::parse(&listen).unwrap_or_else(|e| panic!("--metrics: {e}"));
+        let listener = Listener::bind(&endpoint)
+            .unwrap_or_else(|e| panic!("cannot bind metrics endpoint {endpoint}: {e}"));
+        let bound = listener.local_endpoint().expect("metrics endpoint");
+        eprintln!("metrics at {bound}");
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || uc_serve::serve_metrics(&listener, &pool, usize::MAX));
+    }
+
     let started = std::time::Instant::now();
     let mut stats = EventLoopStats::default();
     let mode = if let Some(count) = connbench {
@@ -305,7 +325,15 @@ fn main() {
         None => print!("{rendered}"),
     }
 
+    if let Some(path) = parse_value(&args, "--obs-dump") {
+        pool.obs_report()
+            .save_to(std::path::Path::new(&path))
+            .expect("write obs dump");
+        eprintln!("uc.obs.v1 telemetry written to {path}");
+    }
+
     if let Some(path) = parse_value(&args, "--bench-json") {
+        let service = pool.service_summary();
         BenchJson::new("serve")
             .str("mode", mode)
             .u64("devices", devices as u64)
@@ -319,6 +347,16 @@ fn main() {
             .u64("peak_connections", stats.peak_connections as u64)
             .u64("sessions_served", stats.sessions_served)
             .u64("resumes", stats.resumes)
+            .u64("loop_polls", stats.polls)
+            .u64("loop_dispatches", stats.dispatches)
+            .u64("loop_frames", stats.frames)
+            .u64("loop_read_stalls", stats.read_stalls)
+            .u64("loop_write_stalls", stats.write_stalls)
+            .u64("loop_replays", stats.replays)
+            .u64("service_p50_ns", service.p50_ns)
+            .u64("service_p99_ns", service.p99_ns)
+            .u64("service_p999_ns", service.p999_ns)
+            .u64("service_max_ns", service.max_ns)
             .f64("wall_seconds", wall.as_secs_f64())
             .opt_u64("peak_rss_bytes", uc_bench::peak_rss_bytes())
             .write_to(&path)

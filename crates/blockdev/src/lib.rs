@@ -342,6 +342,21 @@ pub trait BlockDevice {
     fn idle_until(&mut self, now: SimTime) {
         let _ = now;
     }
+
+    /// Publishes the device's internal telemetry into `obs`, naming every
+    /// metric `{prefix}.…`.
+    ///
+    /// This is the observability seam: callers that hold a device only as
+    /// `dyn BlockDevice` (the fleet, the serve pool) can still pull FTL
+    /// churn, queue depths, and throttle state into one
+    /// [`MetricsRegistry`](uc_obs::MetricsRegistry) without knowing the
+    /// concrete type. Registration order inside an implementation must be
+    /// deterministic (fixed, not map-ordered) so snapshots stay
+    /// byte-identical across same-seed runs. The default publishes
+    /// nothing.
+    fn observe_into(&self, prefix: &str, obs: &mut uc_obs::MetricsRegistry) {
+        let _ = (prefix, obs);
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
@@ -357,6 +372,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for &mut D {
     fn idle_until(&mut self, now: SimTime) {
         (**self).idle_until(now)
     }
+    fn observe_into(&self, prefix: &str, obs: &mut uc_obs::MetricsRegistry) {
+        (**self).observe_into(prefix, obs)
+    }
 }
 
 impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
@@ -371,6 +389,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     }
     fn idle_until(&mut self, now: SimTime) {
         (**self).idle_until(now)
+    }
+    fn observe_into(&self, prefix: &str, obs: &mut uc_obs::MetricsRegistry) {
+        (**self).observe_into(prefix, obs)
     }
 }
 

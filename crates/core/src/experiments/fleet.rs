@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 use uc_blockdev::{CheckpointError, DeviceCheckpoint, IoError, PersistError};
 use uc_essd::{Essd, EssdConfig};
 use uc_fleet::{FleetConfig, FleetDevice, FleetReport, FleetSim, FleetSnapshot};
+use uc_obs::ObsReport;
 use uc_persist::{DecodeError, Decoder, Encoder, Persist};
 
 /// Parameters of a fleet experiment run.
@@ -137,6 +138,10 @@ pub struct FleetContractReport {
     /// Every flagged tenant and epoch, tenants first (ascending id),
     /// then epochs in order.
     pub findings: Vec<FleetFinding>,
+    /// Telemetry captured at the end of the run: the fleet's metric
+    /// snapshot (including each pool device's counters) plus the flight
+    /// recorder's trailing events. Byte-identical across same-seed runs.
+    pub obs: ObsReport,
 }
 
 impl FleetContractReport {
@@ -172,7 +177,11 @@ pub fn evaluate(report: FleetReport) -> FleetContractReport {
             findings.push(FleetFinding::FairnessCollapse { epoch, fairness });
         }
     }
-    FleetContractReport { report, findings }
+    FleetContractReport {
+        report,
+        findings,
+        obs: ObsReport::default(),
+    }
 }
 
 /// Runs the fleet experiment in one piece (no durability) and evaluates
@@ -184,7 +193,11 @@ pub fn evaluate(report: FleetReport) -> FleetContractReport {
 /// healthy fleets never hit one).
 pub fn run(config: &FleetRunConfig) -> Result<FleetContractReport, IoError> {
     let mut sim = FleetSim::new(config.fleet.clone(), build_pool(config));
-    Ok(evaluate(sim.run()?))
+    let report = sim.run()?;
+    let obs = sim.obs_report();
+    let mut verdict = evaluate(report);
+    verdict.obs = obs;
+    Ok(verdict)
 }
 
 /// A frozen fleet between epochs: the simulation snapshot plus every
@@ -359,6 +372,18 @@ impl FleetStore {
         self.dir.join("fleet.ckpt")
     }
 
+    /// Where a crash-hook telemetry dump lands (`crash.obs`, a
+    /// `uc.obs.v1` record next to the checkpoint).
+    pub fn obs_dump_path(&self) -> PathBuf {
+        self.dir.join("crash.obs")
+    }
+
+    /// `true` if the *next* successful save will trip the simulated
+    /// crash, i.e. the caller's last chance to dump telemetry.
+    pub fn kill_imminent(&self) -> bool {
+        self.kill_after.is_some_and(|limit| self.saves + 1 >= limit)
+    }
+
     /// Persists one epoch-boundary checkpoint (atomically overwriting
     /// the previous boundary), returning its path.
     ///
@@ -457,9 +482,18 @@ pub fn run_durable(
             snapshot: sim.snapshot(),
             devices: sim.checkpoint_devices(),
         };
+        // The crash hook kills the process inside `save`; flush the
+        // flight recorder first so the dump names what the fleet was
+        // doing at the boundary that "crashed".
+        if store.kill_imminent() {
+            let _ = sim.obs_report().save_to(&store.obs_dump_path());
+        }
         store.save(&checkpoint).map_err(FleetRunError::Save)?;
     }
-    Ok(evaluate(sim.report()))
+    let obs = sim.obs_report();
+    let mut verdict = evaluate(sim.report());
+    verdict.obs = obs;
+    Ok(verdict)
 }
 
 #[cfg(test)]
@@ -506,6 +540,9 @@ mod tests {
         let durable = run_durable(&config, &mut store, false).unwrap();
         assert_eq!(store.saves(), config.fleet.epochs as u64);
         assert_eq!(render_fleet_report(&plain), render_fleet_report(&durable));
+        // Telemetry is observational state: an uninterrupted durable run
+        // sees the same history as a plain run, byte for byte.
+        assert_eq!(plain.obs.render_text(), durable.obs.render_text());
 
         // "Kill" after two epochs: run a fresh sim two epochs, persist,
         // then resume from disk and finish.
@@ -573,6 +610,39 @@ mod tests {
         std::fs::write(&path, &flipped).unwrap();
         assert!(FleetCheckpoint::load_from(&path).is_err());
         assert!(store.load_matching(checkpoint.fingerprint).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_carries_a_populated_obs_report() {
+        let config = small();
+        let verdict = run(&config).unwrap();
+        assert!(
+            verdict.obs.snapshot.counter("fleet.ios").unwrap_or(0) > 0,
+            "obs snapshot should carry fleet counters"
+        );
+        assert!(
+            verdict
+                .obs
+                .snapshot
+                .counter("fleet.device0.cluster.bytes_written")
+                .unwrap_or(0)
+                > 0,
+            "obs snapshot should reach into pool devices"
+        );
+    }
+
+    #[test]
+    fn kill_imminent_fires_exactly_before_the_fatal_save() {
+        let dir = tempdir("imminent");
+        let store = FleetStore::create(&dir).unwrap().with_kill_after(2);
+        // saves == 0: the next save is #1, the crash fires after #2.
+        assert!(!store.kill_imminent());
+        let mut armed = store.clone();
+        armed.saves = 1; // next save is the killing one
+        assert!(armed.kill_imminent());
+        let unarmed = FleetStore::create(&dir).unwrap();
+        assert!(!unarmed.kill_imminent());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

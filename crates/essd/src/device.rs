@@ -197,6 +197,46 @@ impl Essd {
 }
 
 impl BlockDevice for Essd {
+    fn observe_into(&self, prefix: &str, obs: &mut uc_obs::MetricsRegistry) {
+        let cluster = self.cluster.stats();
+        for (name, v) in [
+            ("host.reads", self.stats.reads),
+            ("host.writes", self.stats.writes),
+            ("host.read_bytes", self.stats.read_bytes),
+            ("host.write_bytes", self.stats.write_bytes),
+            ("cluster.write_fragments", cluster.write_fragments),
+            ("cluster.read_fragments", cluster.read_fragments),
+            ("cluster.bytes_written", cluster.bytes_written),
+            ("cluster.bytes_read", cluster.bytes_read),
+        ] {
+            let id = obs.counter(&format!("{prefix}.{name}"));
+            obs.set_counter(id, v);
+        }
+        // Budgets are configured in whole bytes/second; the integer cast
+        // is exact for every profile and keeps the snapshot float-free.
+        for (name, v) in [
+            ("throttled", self.stats.throttled as i64),
+            ("budget_bytes_per_sec", self.bandwidth_budget() as i64),
+            ("rate_bytes_per_sec", self.current_rate() as i64),
+        ] {
+            let id = obs.gauge(&format!("{prefix}.{name}"));
+            obs.set(id, v);
+        }
+        // Per-node load spread: how evenly chunk placement fans fragments
+        // out across the backend (node order is fixed by construction).
+        for (i, node) in self.cluster.node_stats().iter().enumerate() {
+            for (name, v) in [
+                ("reads", node.reads),
+                ("writes", node.writes),
+                ("bytes_read", node.bytes_read),
+                ("bytes_written", node.bytes_written),
+            ] {
+                let id = obs.counter(&format!("{prefix}.node{i}.{name}"));
+                obs.set_counter(id, v);
+            }
+        }
+    }
+
     fn info(&self) -> DeviceInfo {
         self.info.clone()
     }

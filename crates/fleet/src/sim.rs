@@ -22,6 +22,8 @@ use uc_blockdev::{
     CheckpointDevice, DeviceCheckpoint, IoBatch, IoError, IoRequest, SessionId, SharedDevice,
 };
 use uc_invariant::Contract;
+use uc_metrics::LatencyHistogram;
+use uc_obs::{CounterId, FlightRecorder, GaugeId, HistId, MetricsRegistry, ObsReport, ObsSnapshot};
 use uc_persist::Encoder;
 use uc_sim::{BucketSet, SimDuration, SimTime, TokenBucket, TokenBucketSnapshot};
 use uc_trace::merge_streams;
@@ -186,6 +188,43 @@ pub struct FleetSnapshot {
 /// Extent-copy chunk size during migration.
 const COPY_CHUNK: u64 = 1 << 20;
 
+/// Pre-registered telemetry handles for the fleet's hot paths.
+///
+/// Registered once at construction (and again, identically, on resume) so
+/// every epoch's recording is index-indexed — no name formatting while
+/// streams are being driven.
+struct FleetObsIds {
+    epochs: CounterId,
+    ios: CounterId,
+    bytes: CounterId,
+    throttle_events: CounterId,
+    throttled_ns: CounterId,
+    migrations: CounterId,
+    migration_bytes: CounterId,
+    violations: CounterId,
+    grant_wait: HistId,
+    latency: HistId,
+    fairness_milli: GaugeId,
+}
+
+impl FleetObsIds {
+    fn register(obs: &mut MetricsRegistry) -> Self {
+        FleetObsIds {
+            epochs: obs.counter("fleet.epochs"),
+            ios: obs.counter("fleet.ios"),
+            bytes: obs.counter("fleet.bytes"),
+            throttle_events: obs.counter("fleet.throttle_events"),
+            throttled_ns: obs.counter("fleet.throttled_ns"),
+            migrations: obs.counter("fleet.migrations"),
+            migration_bytes: obs.counter("fleet.migration_bytes"),
+            violations: obs.counter("fleet.violations"),
+            grant_wait: obs.hist("fleet.grant_wait_ns"),
+            latency: obs.hist("fleet.io_latency_ns"),
+            fairness_milli: obs.gauge("fleet.last_fairness_milli"),
+        }
+    }
+}
+
 struct TenantRun {
     spec: TenantSpec,
     entries: Vec<TraceEntry>,
@@ -211,6 +250,12 @@ pub struct FleetSim {
     violations: Vec<String>,
     finished_at: SimTime,
     fed: bool,
+    // Telemetry is observational state: it is excluded from
+    // `snapshot()`/`report()` identity and starts fresh on resume (the
+    // determinism bar compares uninterrupted same-seed runs).
+    obs: MetricsRegistry,
+    flight: FlightRecorder,
+    ids: FleetObsIds,
     #[cfg(feature = "fault-injection")]
     drop_next_migrant: bool,
 }
@@ -244,6 +289,8 @@ impl FleetSim {
 
     fn with_mode(config: FleetConfig, pool: Vec<FleetDevice>, fed: bool) -> Self {
         let (placement, tenants, buckets) = Self::build(&config, &pool, None, fed);
+        let mut obs = MetricsRegistry::new();
+        let ids = FleetObsIds::register(&mut obs);
         FleetSim {
             devices: pool.into_iter().map(SharedDevice::new).collect(),
             config,
@@ -256,6 +303,9 @@ impl FleetSim {
             violations: Vec::new(),
             finished_at: SimTime::ZERO,
             fed,
+            obs,
+            flight: FlightRecorder::default(),
+            ids,
             #[cfg(feature = "fault-injection")]
             drop_next_migrant: false,
         }
@@ -289,6 +339,8 @@ impl FleetSim {
             .zip(&snapshot.queue_heads)
             .map(|(d, &head)| SharedDevice::with_queue_head(d, head))
             .collect();
+        let mut obs = MetricsRegistry::new();
+        let ids = FleetObsIds::register(&mut obs);
         FleetSim {
             devices,
             config,
@@ -301,6 +353,9 @@ impl FleetSim {
             violations: snapshot.violations.clone(),
             finished_at: snapshot.finished_at,
             fed: false,
+            obs,
+            flight: FlightRecorder::default(),
+            ids,
             #[cfg(feature = "fault-injection")]
             drop_next_migrant: false,
         }
@@ -493,9 +548,16 @@ impl FleetSim {
                     let entry = run.entries[run.cursor];
                     let arrival = entry.at.max(run.floor);
                     let grant = self.buckets.reserve(t as usize, arrival, entry.len as u64);
+                    // Grant latency: how long the budget made this entry
+                    // wait (zero for unthrottled entries, so the histogram
+                    // covers the whole population).
+                    let wait = grant.saturating_since(arrival);
+                    self.obs.record(self.ids.grant_wait, wait);
                     if grant > arrival {
                         run.metrics.throttle_events += 1;
-                        run.metrics.throttled += grant - arrival;
+                        run.metrics.throttled += wait;
+                        self.obs.inc(self.ids.throttle_events);
+                        self.obs.add(self.ids.throttled_ns, wait.as_nanos());
                     }
                     stream.push(TraceEntry {
                         at: grant,
@@ -548,6 +610,9 @@ impl FleetSim {
                 run.metrics.latency.record(lat);
                 run.metrics.ios += 1;
                 run.metrics.bytes += c.len as u64;
+                self.obs.record(self.ids.latency, lat);
+                self.obs.inc(self.ids.ios);
+                self.obs.add(self.ids.bytes, c.len as u64);
                 if m.entry.kind.is_write() {
                     run.written_high = run.written_high.max(m.entry.offset - base + c.len as u64);
                 }
@@ -566,11 +631,20 @@ impl FleetSim {
             .filter(|&t| ep_ios[t] > 0)
             .map(|t| ep_ios[t] as f64 / ep_lat_ns[t] as f64)
             .collect();
+        let fairness = jain_index(&shares);
+        let epoch_ios: u64 = ep_ios.iter().sum();
         self.epoch_stats.push(EpochStat {
             tenant_bytes: ep_bytes,
             device_bytes: dev_bytes,
-            fairness: jain_index(&shares),
+            fairness,
         });
+        self.obs.inc(self.ids.epochs);
+        // Fairness is an f64 in [0,1]; milli-units keep the snapshot
+        // integer-only (truncation of a deterministic computation).
+        self.obs
+            .set(self.ids.fairness_milli, (fairness * 1000.0) as i64);
+        self.flight
+            .record(self.finished_at, "epoch-end", e as u64, epoch_ios);
         self.audit_boundary();
         if let Some(policy) = self.config.rebalance {
             if e + 1 < self.config.epochs {
@@ -599,7 +673,22 @@ impl FleetSim {
                 found.push(v.to_string());
             }
         }
+        for v in &found {
+            self.record_violation(v);
+        }
         self.violations.extend(found);
+    }
+
+    /// Puts a contract violation on the flight recorder so a postmortem
+    /// dump's last events name the violating seam verbatim.
+    fn record_violation(&mut self, rendered: &str) {
+        self.obs.inc(self.ids.violations);
+        self.flight.record(
+            self.finished_at,
+            format!("contract-violation: {rendered}"),
+            self.epoch as u64,
+            0,
+        );
     }
 
     /// Migrates `tenant` to `to_device` through the checkpoint seam:
@@ -625,6 +714,12 @@ impl FleetSim {
                 Err(_) => 0, // device without a persist codec
             }
         };
+        self.flight.record(
+            frozen_at,
+            "migration-freeze",
+            tenant as u64,
+            from_device as u64,
+        );
         #[cfg(feature = "fault-injection")]
         if self.drop_next_migrant {
             self.drop_next_migrant = false;
@@ -686,13 +781,19 @@ impl FleetSim {
             audit.check().and_then(|()| self.placement.check())
         };
         if let Err(v) = audit_result {
-            self.violations.push(v.to_string());
+            let rendered = v.to_string();
+            self.record_violation(&rendered);
+            self.violations.push(rendered);
         }
         // Replay the tail: entries that arrived during the copy defer to
         // its completion.
         let run = &mut self.tenants[tenant as usize];
         run.floor = run.floor.max(completed_at);
         self.finished_at = self.finished_at.max(completed_at);
+        self.obs.inc(self.ids.migrations);
+        self.obs.add(self.ids.migration_bytes, copied);
+        self.flight
+            .record(completed_at, "migration-complete", tenant as u64, copied);
         self.migrations.push(MigrationRecord {
             epoch: self.epoch as u64,
             tenant,
@@ -782,6 +883,37 @@ impl FleetSim {
     /// The per-tenant specs (for rendering: shape, budget).
     pub fn tenant_spec(&self, tenant: u32) -> &TenantSpec {
         &self.tenants[tenant as usize].spec
+    }
+
+    /// Telemetry snapshot: fleet-level rows, the merged per-tenant latency
+    /// distribution, then every device's internals (FTL/cluster counters)
+    /// in roster order under `fleet.device{i}.…`.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut reg = self.obs.clone();
+        // Pool-level tenant latency: per-tenant histograms merged into one
+        // (the aggregation seam `LatencyHistogram::merge` exists for).
+        let mut merged = LatencyHistogram::new();
+        for run in &self.tenants {
+            merged.merge(&run.metrics.latency);
+        }
+        let id = reg.hist("fleet.tenant_latency_ns");
+        *reg.hist_mut(id) = merged;
+        for (i, dev) in self.devices.iter().enumerate() {
+            dev.inner()
+                .observe_into(&format!("fleet.device{i}"), &mut reg);
+        }
+        reg.snapshot()
+    }
+
+    /// Full telemetry report: [`obs_snapshot`](Self::obs_snapshot) plus
+    /// the flight-recorder tail (dump this as `uc.obs.v1` on violation,
+    /// crash-hook exit, or demand).
+    pub fn obs_report(&self) -> ObsReport {
+        ObsReport {
+            snapshot: self.obs_snapshot(),
+            events: self.flight.to_vec(),
+            dropped_events: self.flight.dropped(),
+        }
     }
 }
 
@@ -945,6 +1077,86 @@ mod tests {
         let back = FleetSnapshot::decode(&mut r).expect("decodes");
         r.finish().expect("no trailing bytes");
         assert_eq!(encoded(&back), bytes);
+    }
+
+    #[test]
+    fn obs_reports_are_byte_identical_across_same_seed_runs() {
+        let mut a = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        let mut b = FleetSim::new(small_config(), pool(2, 64 << 20, 7));
+        a.run().expect("fleet a runs");
+        b.run().expect("fleet b runs");
+        let ra = a.obs_report();
+        let rb = b.obs_report();
+        assert_eq!(ra.render_text(), rb.render_text());
+        assert_eq!(ra.to_record_bytes(), rb.to_record_bytes());
+        // The instrumentation actually measured the run.
+        assert!(ra.snapshot.counter("fleet.ios").unwrap() > 0);
+        assert_eq!(ra.snapshot.counter("fleet.ios"), Some(a.report().total_ios));
+        let lat = ra.snapshot.histogram("fleet.io_latency_ns").unwrap();
+        assert_eq!(lat.count, a.report().total_ios);
+        assert!(lat.p99_ns >= lat.p50_ns);
+        // Merged per-tenant latency covers the same population.
+        let merged = ra.snapshot.histogram("fleet.tenant_latency_ns").unwrap();
+        assert_eq!(merged.count, lat.count);
+        // Per-device internals came through the observe seam.
+        assert!(
+            ra.snapshot
+                .counter("fleet.device0.cluster.bytes_written")
+                .unwrap()
+                > 0
+        );
+        // Every epoch left a flight event.
+        assert_eq!(
+            ra.events.iter().filter(|e| e.what == "epoch-end").count(),
+            small_config().epochs
+        );
+    }
+
+    #[test]
+    fn migrations_leave_phase_events_on_the_flight_recorder() {
+        let config = small_config().with_rebalance(RebalancePolicy::default());
+        let mut sim = FleetSim::new(config, pool(2, 64 << 20, 7));
+        let report = sim.run().expect("fleet runs");
+        assert!(!report.migrations.is_empty());
+        let obs = sim.obs_report();
+        let freezes = obs
+            .events
+            .iter()
+            .filter(|e| e.what == "migration-freeze")
+            .count();
+        let completes = obs
+            .events
+            .iter()
+            .filter(|e| e.what == "migration-complete")
+            .count();
+        assert_eq!(freezes, report.migrations.len());
+        assert_eq!(completes, report.migrations.len());
+        assert_eq!(
+            obs.snapshot.counter("fleet.migrations"),
+            Some(report.migrations.len() as u64)
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "fault-injection")]
+    fn violation_dump_names_the_violating_seam() {
+        let config = small_config().with_rebalance(RebalancePolicy::default());
+        let mut sim = FleetSim::new(config, pool(2, 64 << 20, 7));
+        sim.arm_migration_fault();
+        let report = sim.run().expect("violations are findings");
+        assert!(!report.violations.is_empty());
+        let obs = sim.obs_report();
+        // The flight tail must carry the violation verbatim — a postmortem
+        // reader sees which contract fired without any other artifact.
+        assert!(
+            obs.events
+                .iter()
+                .any(|e| e.what.starts_with("contract-violation:")
+                    && e.what.contains("every-tenant-placed")),
+            "flight tail misses the violating seam: {:#?}",
+            obs.events
+        );
+        assert!(obs.snapshot.counter("fleet.violations").unwrap() > 0);
     }
 
     #[test]

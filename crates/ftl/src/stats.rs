@@ -39,6 +39,21 @@ impl FtlStats {
             self.total_pages_written() as f64 / self.host_pages_written as f64
         }
     }
+
+    /// Total L2P map mutations: every host program, GC rebinding, and TRIM
+    /// unmap rewrites exactly one map entry, so map churn is derivable
+    /// rather than stored (keeping the persisted checkpoint layout fixed).
+    pub fn map_updates(&self) -> u64 {
+        self.host_pages_written + self.gc_pages_relocated + self.pages_trimmed
+    }
+
+    /// Write amplification in milli-units (×1000, truncated) — the
+    /// integer form telemetry snapshots use to stay byte-stable.
+    pub fn wa_milli(&self) -> u64 {
+        (self.total_pages_written() * 1000)
+            .checked_div(self.host_pages_written)
+            .unwrap_or(0)
+    }
 }
 
 /// Wear-leveling summary across all blocks.
@@ -110,6 +125,29 @@ mod tests {
     #[test]
     fn wa_zero_before_writes() {
         assert_eq!(FtlStats::default().write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn map_updates_counts_every_l2p_mutation() {
+        let s = FtlStats {
+            host_pages_written: 10,
+            gc_pages_relocated: 4,
+            pages_trimmed: 3,
+            host_pages_read: 99, // reads never touch the map
+            ..Default::default()
+        };
+        assert_eq!(s.map_updates(), 17);
+    }
+
+    #[test]
+    fn wa_milli_matches_float_wa() {
+        let s = FtlStats {
+            host_pages_written: 100,
+            gc_pages_relocated: 150,
+            ..Default::default()
+        };
+        assert_eq!(s.wa_milli(), 2500);
+        assert_eq!(FtlStats::default().wa_milli(), 0);
     }
 
     #[test]

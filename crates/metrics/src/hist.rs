@@ -58,15 +58,20 @@ impl LatencyHistogram {
     }
 
     /// Records `n` identical latency samples.
+    ///
+    /// All accumulators saturate instead of wrapping: a histogram that has
+    /// absorbed astronomically many samples pins `count`/`sum` at their
+    /// maxima rather than silently restarting from zero, which would
+    /// corrupt every percentile downstream.
     pub fn record_n(&mut self, value: SimDuration, n: u64) {
         if n == 0 {
             return;
         }
         let v = value.as_nanos();
         let idx = Self::index_for(v);
-        self.buckets[idx] += n;
-        self.count += n;
-        self.sum_ns += v as u128 * n as u128;
+        self.buckets[idx] = self.buckets[idx].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum_ns = self.sum_ns.saturating_add(v as u128 * n as u128);
         self.min_ns = self.min_ns.min(v);
         self.max_ns = self.max_ns.max(v);
     }
@@ -144,12 +149,16 @@ impl LatencyHistogram {
     }
 
     /// Merges all samples of `other` into `self`.
+    ///
+    /// Used to aggregate per-lane histograms into pool-level percentiles;
+    /// saturates like [`LatencyHistogram::record_n`] so merging two
+    /// near-full histograms cannot wrap.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
-        self.count += other.count;
-        self.sum_ns += other.sum_ns;
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
@@ -388,6 +397,61 @@ mod tests {
                 what: "LatencyHistogram.buckets"
             })
         ));
+    }
+
+    #[test]
+    fn record_n_saturates_count_and_sum() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(SimDuration::from_nanos(1), u64::MAX);
+        h.record_n(SimDuration::from_nanos(1), u64::MAX);
+        assert_eq!(h.count(), u64::MAX, "count must pin, not wrap");
+        // Percentiles stay answerable on a saturated histogram.
+        assert_eq!(h.percentile(99.9), SimDuration::from_nanos(1));
+        assert_eq!(h.max(), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn sum_saturates_at_u128_max() {
+        let mut h = LatencyHistogram::new();
+        // Each call adds (2^64-1)^2 ≈ 2^128 - 2^65; two of them overflow
+        // u128 and must clamp instead of wrapping to a tiny sum.
+        h.record_n(SimDuration::from_nanos(u64::MAX), u64::MAX);
+        h.record_n(SimDuration::from_nanos(u64::MAX), u64::MAX);
+        assert_eq!(h.sum_nanos(), u128::MAX);
+        // Mean degrades gracefully (clamped sum / saturated count).
+        assert!(h.mean() >= SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_n(SimDuration::from_nanos(7), u64::MAX);
+        b.record_n(SimDuration::from_nanos(7), u64::MAX);
+        b.record(SimDuration::from_nanos(1_000_000));
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.max(), SimDuration::from_nanos(1_000_000));
+        assert_eq!(a.min(), SimDuration::from_nanos(7));
+        // The saturated bucket cannot shrink percentiles below min.
+        assert!(a.percentile(50.0) >= a.min());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(5));
+        let before_count = a.count();
+        let before_p99 = a.percentile(99.0);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), before_count);
+        assert_eq!(a.percentile(99.0), before_p99);
+        assert_eq!(a.min(), SimDuration::from_micros(5));
+
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), before_count);
+        assert_eq!(empty.min(), SimDuration::from_micros(5));
     }
 
     #[test]

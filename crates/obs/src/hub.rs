@@ -1,0 +1,172 @@
+//! Cloneable shared handle over a registry + flight recorder.
+
+use std::sync::{Arc, Mutex};
+
+use uc_metrics::LatencyHistogram;
+use uc_sim::{SimDuration, SimTime};
+
+use crate::flight::FlightRecorder;
+use crate::registry::{CounterId, GaugeId, HistId, MetricsRegistry};
+use crate::report::ObsReport;
+use crate::snapshot::ObsSnapshot;
+
+#[derive(Debug, Default)]
+struct ObsCore {
+    registry: MetricsRegistry,
+    flight: FlightRecorder,
+}
+
+/// Shared telemetry hub for contexts touched from several places at once.
+///
+/// The serve pool is hit by the event loop, the Prometheus endpoint
+/// thread, and control-lane metrics frames concurrently; they all clone
+/// one `ObsHub`. Single-owner contexts (a `FleetSim`) hold a plain
+/// [`MetricsRegistry`] instead — no locking on the hot path.
+///
+/// Handle registration goes through the same dedupe rules as the
+/// registry, so cloning the hub and re-registering a name yields the same
+/// handle.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHub {
+    inner: Arc<Mutex<ObsCore>>,
+}
+
+impl ObsHub {
+    /// A fresh hub with an empty registry and a default-capacity ring.
+    pub fn new() -> Self {
+        ObsHub::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ObsCore> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or re-fetches) a counter.
+    pub fn counter(&self, name: &str) -> CounterId {
+        self.lock().registry.counter(name)
+    }
+
+    /// Registers (or re-fetches) a gauge.
+    pub fn gauge(&self, name: &str) -> GaugeId {
+        self.lock().registry.gauge(name)
+    }
+
+    /// Registers (or re-fetches) a histogram.
+    pub fn hist(&self, name: &str) -> HistId {
+        self.lock().registry.hist(name)
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&self, id: CounterId) {
+        self.lock().registry.inc(id);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, id: CounterId, n: u64) {
+        self.lock().registry.add(id, n);
+    }
+
+    /// Sets a gauge.
+    pub fn set(&self, id: GaugeId, v: i64) {
+        self.lock().registry.set(id, v);
+    }
+
+    /// Raises a gauge high-water mark.
+    pub fn set_max(&self, id: GaugeId, v: i64) {
+        self.lock().registry.set_max(id, v);
+    }
+
+    /// Records a latency sample.
+    pub fn record(&self, id: HistId, value: SimDuration) {
+        self.lock().registry.record(id, value);
+    }
+
+    /// Records a raw nanosecond latency value.
+    pub fn record_ns(&self, id: HistId, nanos: u64) {
+        self.lock().registry.record_ns(id, nanos);
+    }
+
+    /// Records a flight event.
+    pub fn event(&self, at: SimTime, what: impl Into<String>, a: u64, b: u64) {
+        self.lock().flight.record(at, what, a, b);
+    }
+
+    /// Clones a registered histogram (for merge-based aggregation).
+    pub fn hist_clone(&self, id: HistId) -> LatencyHistogram {
+        self.lock().registry.hist_value(id).clone()
+    }
+
+    /// Merges the named histograms into one (per-lane → pool-level).
+    pub fn merged_hist(&self, ids: &[HistId]) -> LatencyHistogram {
+        let core = self.lock();
+        let mut merged = LatencyHistogram::new();
+        for &id in ids {
+            merged.merge(core.registry.hist_value(id));
+        }
+        merged
+    }
+
+    /// Runs `f` with the registry locked (escape hatch for bulk work).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.lock().registry)
+    }
+
+    /// Current snapshot of every metric, registration-ordered.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.lock().registry.snapshot()
+    }
+
+    /// Full report: snapshot plus flight tail.
+    pub fn report(&self) -> ObsReport {
+        let core = self.lock();
+        ObsReport::capture(&core.registry, &core.flight)
+    }
+
+    /// Counter value by name (slow; tests and rendering only).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.lock().registry.counter_by_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let hub = ObsHub::new();
+        let c = hub.counter("x.n");
+        let other = hub.clone();
+        other.add(c, 3);
+        assert_eq!(hub.counter_by_name("x.n"), Some(3));
+    }
+
+    #[test]
+    fn reregistration_across_clones_yields_same_handle() {
+        let hub = ObsHub::new();
+        let a = hub.counter("x.same");
+        let b = hub.clone().counter("x.same");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merged_hist_aggregates_lanes() {
+        let hub = ObsHub::new();
+        let l0 = hub.hist("lane0.svc");
+        let l1 = hub.hist("lane1.svc");
+        hub.record(l0, SimDuration::from_micros(10));
+        hub.record(l1, SimDuration::from_micros(30));
+        let merged = hub.merged_hist(&[l0, l1]);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), SimDuration::from_micros(30));
+    }
+
+    #[test]
+    fn report_includes_flight_tail() {
+        let hub = ObsHub::new();
+        hub.event(SimTime::from_nanos(9), "poll", 1, 0);
+        let report = hub.report();
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].what, "poll");
+    }
+}

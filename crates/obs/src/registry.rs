@@ -1,0 +1,282 @@
+//! Insertion-ordered registry of named counters, gauges, and histograms.
+
+use uc_metrics::LatencyHistogram;
+use uc_sim::SimDuration;
+
+use crate::snapshot::{HistSummary, MetricValue, ObsSnapshot};
+
+/// Handle to a registered counter. Copy it into the owning struct once;
+/// incrementing through it is an indexed add with no name lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Counter(usize),
+    Gauge(usize),
+    Hist(usize),
+}
+
+/// A registry of named metrics with deterministic snapshot order.
+///
+/// Names are hierarchical `subsystem.component.metric` strings. Registering
+/// the same name twice returns the same handle, so components can be
+/// re-instantiated (e.g. across a crash-resume boundary) without duplicating
+/// rows. Snapshots list metrics in first-registration order — never sorted,
+/// never hashed — which is what makes two same-seed runs byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    names: Vec<(String, Slot)>,
+    counters: Vec<u64>,
+    gauges: Vec<i64>,
+    hists: Vec<LatencyHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lookup(&self, name: &str) -> Option<Slot> {
+        self.names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, slot)| slot)
+    }
+
+    /// Registers (or re-fetches) a counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type;
+    /// a name means one thing forever.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match self.lookup(name) {
+            Some(Slot::Counter(i)) => CounterId(i),
+            Some(_) => panic!("metric {name:?} already registered with a different type"),
+            None => {
+                let i = self.counters.len();
+                self.counters.push(0);
+                self.names.push((name.to_string(), Slot::Counter(i)));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match self.lookup(name) {
+            Some(Slot::Gauge(i)) => GaugeId(i),
+            Some(_) => panic!("metric {name:?} already registered with a different type"),
+            None => {
+                let i = self.gauges.len();
+                self.gauges.push(0);
+                self.names.push((name.to_string(), Slot::Gauge(i)));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or re-fetches) a latency histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        match self.lookup(name) {
+            Some(Slot::Hist(i)) => HistId(i),
+            Some(_) => panic!("metric {name:?} already registered with a different type"),
+            None => {
+                let i = self.hists.len();
+                self.hists.push(LatencyHistogram::new());
+                self.names.push((name.to_string(), Slot::Hist(i)));
+                HistId(i)
+            }
+        }
+    }
+
+    /// Increments a counter by one (saturating).
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `n` to a counter (saturating).
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        let c = &mut self.counters[id.0];
+        *c = c.saturating_add(n);
+    }
+
+    /// Overwrites a counter with an absolute total.
+    ///
+    /// For mirror-style publication (`observe_into`): a device that is
+    /// observed repeatedly into the same registry re-states its cumulative
+    /// totals instead of double-counting them.
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0] = v;
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn set(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0] = v;
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (high-water mark).
+    pub fn set_max(&mut self, id: GaugeId, v: i64) {
+        let g = &mut self.gauges[id.0];
+        *g = (*g).max(v);
+    }
+
+    /// Records one latency sample into a histogram.
+    pub fn record(&mut self, id: HistId, value: SimDuration) {
+        self.hists[id.0].record(value);
+    }
+
+    /// Records a raw nanosecond value into a histogram.
+    pub fn record_ns(&mut self, id: HistId, nanos: u64) {
+        self.hists[id.0].record(SimDuration::from_nanos(nanos));
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0]
+    }
+
+    /// Borrow of a registered histogram (for merging/aggregation).
+    pub fn hist_value(&self, id: HistId) -> &LatencyHistogram {
+        &self.hists[id.0]
+    }
+
+    /// Mutable borrow of a registered histogram.
+    pub fn hist_mut(&mut self, id: HistId) -> &mut LatencyHistogram {
+        &mut self.hists[id.0]
+    }
+
+    /// Looks up a counter's value by name (slow; for tests and rendering).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        match self.lookup(name)? {
+            Slot::Counter(i) => Some(self.counters[i]),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Renders every metric into an [`ObsSnapshot`] in registration order.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::new();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Appends every metric to an existing snapshot in registration order.
+    pub fn snapshot_into(&self, snap: &mut ObsSnapshot) {
+        for (name, slot) in &self.names {
+            let value = match *slot {
+                Slot::Counter(i) => MetricValue::Counter(self.counters[i]),
+                Slot::Gauge(i) => MetricValue::Gauge(self.gauges[i]),
+                Slot::Hist(i) => MetricValue::Histogram(HistSummary::of(&self.hists[i])),
+            };
+            snap.push(name.clone(), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_deduplicated() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x.a");
+        let b = reg.counter("x.b");
+        assert_ne!(a, b);
+        assert_eq!(reg.counter("x.a"), a);
+        reg.inc(a);
+        reg.add(a, 4);
+        assert_eq!(reg.counter_value(a), 5);
+        assert_eq!(reg.counter_value(b), 0);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("x.near_max");
+        reg.add(c, u64::MAX - 1);
+        reg.add(c, 5);
+        assert_eq!(reg.counter_value(c), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_set_and_high_water() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("x.depth");
+        reg.set(g, -3);
+        assert_eq!(reg.gauge_value(g), -3);
+        reg.set_max(g, 7);
+        reg.set_max(g, 2);
+        assert_eq!(reg.gauge_value(g), 7);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z.last_registered_first");
+        reg.gauge("a.gauge");
+        reg.hist("m.hist");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["z.last_registered_first", "a.gauge", "m.hist"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("x.same");
+        reg.gauge("x.same");
+    }
+
+    #[test]
+    fn hist_records_flow_into_summary() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.hist("x.lat");
+        reg.record(h, SimDuration::from_micros(10));
+        reg.record_ns(h, 30_000);
+        let snap = reg.snapshot();
+        match snap.get("x.lat") {
+            Some(MetricValue::Histogram(s)) => {
+                assert_eq!(s.count, 2);
+                assert_eq!(s.min_ns, 10_000);
+                assert_eq!(s.max_ns, 30_000);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -288,6 +288,22 @@ impl WireClient {
         Ok(moves)
     }
 
+    /// Pulls the server's live telemetry snapshot over the control lane
+    /// (`METRICS`/`METRICS_OK`): every pool counter, per-lane latency
+    /// percentile, and event-loop counter the server exports.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors propagate; a refusal comes back as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn metrics(&mut self) -> io::Result<uc_obs::ObsSnapshot> {
+        match self.call(CONTROL_LANE, Body::Metrics)? {
+            Body::MetricsOk { snapshot } => Ok(snapshot),
+            Body::Err { message, .. } => Err(proto_err(format!("metrics refused: {message}"))),
+            other => Err(proto_err(format!("expected METRICS_OK, got {other:?}"))),
+        }
+    }
+
     /// Closes the session cleanly (`CLOSE`/`CLOSE_OK`) and shuts the
     /// connection down.
     ///
@@ -551,6 +567,16 @@ impl RemoteDevice {
     /// writes (see [`WireClient::set_kill_after`]).
     pub fn set_kill_after(&mut self, frames: u64) {
         self.client.set_kill_after(frames);
+    }
+
+    /// Pulls the server's live telemetry snapshot (see
+    /// [`WireClient::metrics`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::metrics`].
+    pub fn metrics(&mut self) -> io::Result<uc_obs::ObsSnapshot> {
+        self.client.metrics()
     }
 
     /// Fetches the lane's server-side ledger.

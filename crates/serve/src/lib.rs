@@ -77,6 +77,7 @@
 #![warn(missing_docs)]
 
 mod client;
+mod metrics;
 mod net;
 mod poll;
 mod pool;
@@ -85,6 +86,7 @@ mod wire;
 mod wire_v1;
 
 pub use client::{RemoteDevice, WireClient};
+pub use metrics::serve_metrics;
 pub use net::{Endpoint, Listener, Stream};
 pub use poll::{Event, Poller};
 pub use pool::{

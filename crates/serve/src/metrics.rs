@@ -1,0 +1,119 @@
+//! The Prometheus-text metrics endpoint.
+//!
+//! A minimal std-only HTTP responder over the same [`Listener`]
+//! abstraction the wire server uses (`tcp:` or `unix:`): every accepted
+//! connection gets one `HTTP/1.0 200` response whose body is the pool's
+//! live [`ObsSnapshot`](uc_obs::ObsSnapshot) rendered in Prometheus text
+//! exposition format, then the connection closes. No routing, no
+//! keep-alive, no HTTP parsing beyond draining the request head — the
+//! endpoint exists so `curl` and a scraper can watch a serving run
+//! without speaking `uc.wire.v2`.
+//!
+//! The responder is blocking and single-threaded by design; metric
+//! scrapes are rare and the snapshot is cheap. `serve --metrics tcp:…`
+//! runs it on its own thread next to the event loop.
+
+use crate::net::Listener;
+use crate::pool::ServePool;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Serves `requests` metric scrapes on `listener`, one per connection,
+/// then returns how many were answered. Pass `usize::MAX` to serve until
+/// the process exits.
+///
+/// Each response is `200 OK`, `text/plain; version=0.0.4`, body =
+/// [`ServePool::obs_snapshot`] rendered as Prometheus text.
+///
+/// # Errors
+///
+/// Propagates fatal accept errors; per-connection I/O failures only drop
+/// that scrape (and still count it).
+pub fn serve_metrics(
+    listener: &Listener,
+    pool: &Arc<ServePool>,
+    requests: usize,
+) -> io::Result<u64> {
+    let mut served: u64 = 0;
+    while (served as usize) < requests {
+        let mut conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Drain the request head best-effort; the response is the same
+        // whatever was asked.
+        let mut buf = [0u8; 4096];
+        let _ = conn.read(&mut buf);
+        let body = pool.obs_snapshot().render_prometheus();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = conn.write_all(response.as_bytes());
+        let _ = conn.flush();
+        let _ = conn.shutdown_both();
+        served += 1;
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Endpoint;
+    use crate::pool::PoolConfig;
+    use uc_blockdev::{BlockDevice, IoRequest};
+    use uc_sim::SimTime;
+    use uc_ssd::{Ssd, SsdConfig};
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let pool = Arc::new(ServePool::new(
+            vec![(
+                "ssd".to_string(),
+                Box::new(Ssd::new(SsdConfig::samsung_970_pro(64 << 20)))
+                    as Box<dyn BlockDevice + Send>,
+            )],
+            PoolConfig::default(),
+        ));
+        // Put some traffic on the pool so the scrape carries real values.
+        let mut dev = pool.device(0).unwrap();
+        dev.submit(&IoRequest::write(0, 4096, SimTime::ZERO))
+            .unwrap();
+        drop(dev);
+
+        let listener = Listener::bind(&Endpoint::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+        let endpoint = listener.local_endpoint().unwrap();
+        let server = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || serve_metrics(&listener, &pool, 1))
+        };
+
+        let mut conn = endpoint.connect().unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        conn.flush().unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(
+            response.contains("# TYPE serve_pool_ios counter"),
+            "{response}"
+        );
+        assert!(response.contains("serve_pool_ios 1"), "{response}");
+        assert!(
+            response.contains("serve_lane0_service_ns_count 1"),
+            "{response}"
+        );
+        // The device's own internals ride the same scrape.
+        assert!(
+            response.contains("serve_device0_ftl_host_pages_written"),
+            "{response}"
+        );
+        assert_eq!(server.join().unwrap().unwrap(), 1);
+    }
+}

@@ -40,6 +40,7 @@ use uc_blockdev::{
     SessionStats, SharedDevice,
 };
 use uc_fleet::{FeedError, FleetReport, FleetSim};
+use uc_obs::{CounterId, GaugeId, HistId, ObsHub, ObsSnapshot};
 use uc_sim::{SimTime, TokenBucket};
 use uc_workload::TraceEntry;
 
@@ -155,6 +156,56 @@ struct Lane {
     shared: Mutex<SharedDevice<Box<dyn BlockDevice + Send>>>,
 }
 
+/// Typed handles into the pool's [`ObsHub`] for one lane.
+#[derive(Debug, Clone, Copy)]
+struct LaneObsIds {
+    ios: CounterId,
+    bytes: CounterId,
+    batch_size: HistId,
+    service: HistId,
+    queue_depth: GaugeId,
+}
+
+/// Typed handles into the pool's [`ObsHub`], registered once at
+/// construction so the hot path never allocates a metric name.
+#[derive(Debug, Clone)]
+struct PoolObsIds {
+    batches: CounterId,
+    ios: CounterId,
+    bytes: CounterId,
+    busy_ring_full: CounterId,
+    shed_overload: CounterId,
+    throttled: CounterId,
+    inflight_peak: GaugeId,
+    lanes: Vec<LaneObsIds>,
+}
+
+impl PoolObsIds {
+    /// Registration order is the snapshot's row order: pool-level
+    /// metrics first, then each lane's, in lane order — deterministic
+    /// for any pool shape.
+    fn register(obs: &ObsHub, lanes: usize) -> Self {
+        PoolObsIds {
+            batches: obs.counter("serve.pool.batches"),
+            ios: obs.counter("serve.pool.ios"),
+            bytes: obs.counter("serve.pool.bytes"),
+            busy_ring_full: obs.counter("serve.pool.busy_ring_full"),
+            shed_overload: obs.counter("serve.pool.shed_overload"),
+            throttled: obs.counter("serve.pool.throttled"),
+            inflight_peak: obs.gauge("serve.pool.inflight_peak"),
+            lanes: (0..lanes)
+                .map(|i| LaneObsIds {
+                    ios: obs.counter(&format!("serve.lane{i}.ios")),
+                    bytes: obs.counter(&format!("serve.lane{i}.bytes")),
+                    batch_size: obs.hist(&format!("serve.lane{i}.batch_size")),
+                    service: obs.hist(&format!("serve.lane{i}.service_ns")),
+                    queue_depth: obs.gauge(&format!("serve.lane{i}.queue_depth")),
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Errors from the fleet-mode tenant seam.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FleetError {
@@ -238,6 +289,8 @@ pub struct ServePool {
     busy_ring_full: AtomicU64,
     shed_overload: AtomicU64,
     throttled: AtomicU64,
+    obs: ObsHub,
+    oids: PoolObsIds,
 }
 
 /// One lane's slice of a [`ServeReport`].
@@ -314,20 +367,25 @@ impl ServePool {
                 "rate budget must be positive and finite"
             );
         }
+        let lanes: Vec<Lane> = devices
+            .into_iter()
+            .map(|(label, dev)| Lane {
+                label,
+                shared: Mutex::new(SharedDevice::new(dev)),
+            })
+            .collect();
+        let obs = ObsHub::new();
+        let oids = PoolObsIds::register(&obs, lanes.len());
         ServePool {
-            lanes: devices
-                .into_iter()
-                .map(|(label, dev)| Lane {
-                    label,
-                    shared: Mutex::new(SharedDevice::new(dev)),
-                })
-                .collect(),
+            lanes,
             fleet: None,
             config,
             inflight: AtomicUsize::new(0),
             busy_ring_full: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
+            obs,
+            oids,
         }
     }
 
@@ -501,6 +559,7 @@ impl ServePool {
     ) -> Result<(Vec<Completion>, InflightGuard<'_>), Rejection> {
         if reqs.len() > self.config.ring {
             self.busy_ring_full.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc(self.oids.busy_ring_full);
             return Err(Rejection::Busy(BusyReason::RingFull));
         }
         // Admission: occupancy counts whole batches, admission-to-drop of
@@ -509,6 +568,7 @@ impl ServePool {
         loop {
             if current >= self.config.max_inflight {
                 self.shed_overload.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc(self.oids.shed_overload);
                 return Err(Rejection::Busy(BusyReason::Overload));
             }
             match self.inflight.compare_exchange_weak(
@@ -522,6 +582,8 @@ impl ServePool {
             }
         }
         let guard = InflightGuard { pool: self };
+        self.obs
+            .set_max(self.oids.inflight_peak, (current + 1) as i64);
 
         // Rate budget: shift the whole batch to the bucket's grant
         // instant (relative spacing within the batch is preserved).
@@ -535,6 +597,7 @@ impl ServePool {
             if delay_nanos > 0 {
                 sess.throttled += 1;
                 self.throttled.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc(self.oids.throttled);
             }
         }
 
@@ -552,8 +615,26 @@ impl ServePool {
             shared
                 .submit_batch_shared(&owners, &batch)
                 .map_err(Rejection::Io)?
-            // Lock released here — never held across a response write.
+            // Lock released here — never held across a response write
+            // (and never while touching the obs hub: the hub-then-lane
+            // order in obs_snapshot stays deadlock-free).
         };
+        self.obs.inc(self.oids.batches);
+        let bytes: u64 = reqs.iter().map(|r| r.len as u64).sum();
+        self.obs.add(self.oids.ios, reqs.len() as u64);
+        self.obs.add(self.oids.bytes, bytes);
+        if let Some(ids) = self.oids.lanes.get(sess.device).copied() {
+            self.obs.add(ids.ios, reqs.len() as u64);
+            self.obs.add(ids.bytes, bytes);
+            self.obs.record_ns(ids.batch_size, reqs.len() as u64);
+            self.obs.set_max(ids.queue_depth, reqs.len() as i64);
+            for c in &completions {
+                self.obs.record_ns(
+                    ids.service,
+                    c.completes.saturating_since(c.submitted).as_nanos(),
+                );
+            }
+        }
         Ok((completions, guard))
     }
 
@@ -641,6 +722,59 @@ impl ServePool {
             shed_overload: self.shed_overload(),
             throttled: self.throttled(),
         }
+    }
+
+    /// The pool's shared telemetry hub — the event loop and the metrics
+    /// endpoint clone this to record their own counters alongside the
+    /// pool's.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// A live telemetry snapshot: the hub's rows (pool counters, per-lane
+    /// histograms, whatever the event loop registered) in registration
+    /// order, then each lane's underlying device observed under
+    /// `serve.device{i}.*`, then — in fleet mode — the fleet simulation's
+    /// whole snapshot. Deterministic: same run, same bytes.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        // Clone the registry out of the hub first, then observe devices
+        // into the clone: no lane lock is ever taken under the hub lock
+        // (submit records hub-side only after releasing its lane lock).
+        let mut reg = self.obs.with_registry(|r| r.clone());
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let shared = lane.shared.lock().expect("lane lock");
+            shared
+                .inner()
+                .observe_into(&format!("serve.device{i}"), &mut reg);
+        }
+        let mut snap = reg.snapshot();
+        if let Some(f) = self.fleet.as_ref() {
+            let fleet_snap = f.lock().expect("fleet lock").sim.obs_snapshot();
+            snap.extend_prefixed("", &fleet_snap);
+        }
+        snap
+    }
+
+    /// A full `uc.obs.v1` telemetry capture: the combined snapshot from
+    /// [`ServePool::obs_snapshot`] plus the flight-recorder tail — the
+    /// hub's own events followed, in fleet mode, by the fleet
+    /// simulation's (migration phases, contract violations).
+    pub fn obs_report(&self) -> uc_obs::ObsReport {
+        let mut report = self.obs.report();
+        report.snapshot = self.obs_snapshot();
+        if let Some(f) = self.fleet.as_ref() {
+            let fleet_report = f.lock().expect("fleet lock").sim.obs_report();
+            report.events.extend(fleet_report.events);
+            report.dropped_events += fleet_report.dropped_events;
+        }
+        report
+    }
+
+    /// Service-latency percentiles merged across every lane — the
+    /// summary `serve --bench-json` publishes.
+    pub fn service_summary(&self) -> uc_obs::HistSummary {
+        let ids: Vec<HistId> = self.oids.lanes.iter().map(|l| l.service).collect();
+        uc_obs::HistSummary::of(&self.obs.merged_hist(&ids))
     }
 
     /// Opens a session on lane `device` wrapped as an in-process
@@ -933,6 +1067,49 @@ mod tests {
         let roster = super::tests::pool(PoolConfig::default());
         assert_eq!(roster.attach_tenant(0), Err(FleetError::NotFleet));
         assert!(roster.fleet_report().is_none());
+    }
+
+    #[test]
+    fn obs_snapshot_mirrors_the_report_and_is_deterministic() {
+        let drive = |pool: &ServePool| {
+            let (mut s0, _) = pool.open(0).unwrap();
+            let (mut s1, _) = pool.open(1).unwrap();
+            for i in 0..4u64 {
+                let reqs = [
+                    IoRequest::write(i * 8192, 4096, at(i * 100)),
+                    IoRequest::read(i * 8192, 512, at(i * 100 + 10)),
+                ];
+                let (_, g) = pool.submit(&mut s0, &reqs).unwrap();
+                drop(g);
+            }
+            let (_, g) = pool
+                .submit(&mut s1, &[IoRequest::write(0, 4096, at(9))])
+                .unwrap();
+            drop(g);
+        };
+        let a = pool(PoolConfig::default());
+        drive(&a);
+        let snap = a.obs_snapshot();
+        assert_eq!(snap.counter("serve.pool.ios"), Some(a.report().total_ios()));
+        assert_eq!(
+            snap.counter("serve.pool.bytes"),
+            Some(a.report().total_bytes())
+        );
+        assert_eq!(snap.counter("serve.lane1.ios"), Some(1));
+        let svc = snap.histogram("serve.lane0.service_ns").unwrap();
+        assert_eq!(svc.count, 8);
+        assert!(svc.p99_ns >= svc.p50_ns);
+        let sizes = snap.histogram("serve.lane0.batch_size").unwrap();
+        assert_eq!((sizes.count, sizes.max_ns), (4, 2));
+
+        // Same traffic on a twin pool: byte-identical snapshots.
+        let b = pool(PoolConfig::default());
+        drive(&b);
+        assert_eq!(snap.render_text(), b.obs_snapshot().render_text());
+        assert_eq!(
+            snap.render_prometheus(),
+            b.obs_snapshot().render_prometheus()
+        );
     }
 
     #[test]

@@ -52,6 +52,43 @@ pub struct EventLoopStats {
     pub sessions_served: u64,
     /// Successful `RESUME` handshakes.
     pub resumes: u64,
+    /// Poller wait calls (loop iterations).
+    pub polls: u64,
+    /// Readiness events dispatched to connections or the listener.
+    pub dispatches: u64,
+    /// Complete frames decoded and handled.
+    pub frames: u64,
+    /// Reads that drained a socket dry (`WouldBlock`) — how often a
+    /// connection's request stream out-ran the kernel buffer.
+    pub read_stalls: u64,
+    /// Writes parked on a full socket buffer (`WouldBlock`) — slow
+    /// readers holding their admission slots.
+    pub write_stalls: u64,
+    /// Cached responses re-sent byte-identically: duplicate-seq resends
+    /// plus resume replay-list entries.
+    pub replays: u64,
+}
+
+impl EventLoopStats {
+    /// Appends this loop's counters to `snapshot` as `serve.loop.*`
+    /// rows — the shape the metrics frame and the bench JSON share.
+    pub fn append_to(&self, snapshot: &mut uc_obs::ObsSnapshot) {
+        use uc_obs::MetricValue;
+        for (name, v) in [
+            ("serve.loop.connections_accepted", self.connections_accepted),
+            ("serve.loop.peak_connections", self.peak_connections as u64),
+            ("serve.loop.sessions_served", self.sessions_served),
+            ("serve.loop.resumes", self.resumes),
+            ("serve.loop.polls", self.polls),
+            ("serve.loop.dispatches", self.dispatches),
+            ("serve.loop.frames", self.frames),
+            ("serve.loop.read_stalls", self.read_stalls),
+            ("serve.loop.write_stalls", self.write_stalls),
+            ("serve.loop.replays", self.replays),
+        ] {
+            snapshot.push(name.to_string(), MetricValue::Counter(v));
+        }
+    }
 }
 
 const LISTENER_TOKEN: u64 = u64::MAX;
@@ -164,6 +201,8 @@ pub fn serve_events(
     let mut events = Vec::new();
     while lp.closed_sessions < sessions || lp.has_undelivered_bytes() {
         lp.poller.wait(&mut events, 1000)?;
+        lp.stats.polls += 1;
+        lp.stats.dispatches += events.len() as u64;
         for ev in &events {
             if ev.token == LISTENER_TOKEN {
                 lp.accept_ready(listener);
@@ -245,7 +284,10 @@ impl EventLoop {
                             break;
                         }
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.stats.read_stalls += 1;
+                        break;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
                         dead = true;
@@ -283,7 +325,10 @@ impl EventLoop {
                 }
             };
             match decoded {
-                Ok(frame) => self.handle_frame(ci, frame),
+                Ok(frame) => {
+                    self.stats.frames += 1;
+                    self.handle_frame(ci, frame);
+                }
                 Err(DecodeError::UnknownKind { found })
                     if found.starts_with("uc.wire.") && found.ends_with(".v1") =>
                 {
@@ -428,6 +473,7 @@ impl EventLoop {
             ),
         );
         for bytes in replay_bytes {
+            self.stats.replays += 1;
             self.queue_bytes(ci, bytes);
         }
     }
@@ -473,6 +519,7 @@ impl EventLoop {
         match check {
             SeqCheck::Ignore => return,
             SeqCheck::Resend(bytes) => {
+                self.stats.replays += 1;
                 self.queue_bytes(ci, bytes);
                 return;
             }
@@ -495,6 +542,19 @@ impl EventLoop {
         match (backend, frame.body) {
             (BackendKind::Control, Body::Attach { target }) => {
                 self.handle_attach(ci, si, header, target);
+            }
+            (BackendKind::Control, Body::Metrics) => {
+                // Live pull: the pool's full snapshot plus this loop's own
+                // counters, all integer-valued.
+                let mut snapshot = self.pool.obs_snapshot();
+                self.stats.append_to(&mut snapshot);
+                self.respond_cached(
+                    ci,
+                    si,
+                    lane,
+                    seq,
+                    Frame::new(header, Body::MetricsOk { snapshot }),
+                );
             }
             (BackendKind::Control, Body::Close) => {
                 if !self.sessions[si].closed {
@@ -832,7 +892,10 @@ impl EventLoop {
                         break;
                     }
                     Ok(n) => conn.wpos += n,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.stats.write_stalls += 1;
+                        break;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
                         dead = true;

@@ -27,6 +27,8 @@
 //! | `uc.wire.busy.v2`          | S → C     | device  | backpressure reason |
 //! | `uc.wire.stats.v2`         | C → S     | data    | (empty) |
 //! | `uc.wire.stats-ok.v2`      | S → C     | data    | session ledger + queue head |
+//! | `uc.wire.metrics.v2`       | C → S     | control | (empty) |
+//! | `uc.wire.metrics-ok.v2`    | S → C     | control | live [`ObsSnapshot`] |
 //! | `uc.wire.flush.v2`         | C → S     | tenant  | epoch index |
 //! | `uc.wire.flush-ok.v2`      | S → C     | tenant  | epoch index |
 //! | `uc.wire.lane-moved.v2`    | S → C     | tenant  | new home device |
@@ -43,7 +45,8 @@
 
 use std::io::{Read, Write};
 use uc_blockdev::{Completion, IoError, IoKind, IoRequest, SessionStats};
-use uc_persist::{encode_record, read_record_from, DecodeError, Decoder, Encoder};
+use uc_obs::ObsSnapshot;
+use uc_persist::{encode_record, read_record_from, DecodeError, Decoder, Encoder, Persist};
 use uc_sim::SimTime;
 
 /// The protocol version this module speaks, sent in `OPEN`.
@@ -232,6 +235,14 @@ pub enum Body {
         /// The ledger and the lane's queue head.
         stats: WireStats,
     },
+    /// Pull the server's live telemetry (control lane): every pool
+    /// counter, gauge, and latency percentile the server exports.
+    Metrics,
+    /// The server's reply to [`Body::Metrics`].
+    MetricsOk {
+        /// The live snapshot, in the server's registration order.
+        snapshot: ObsSnapshot,
+    },
     /// Tenant lane: all entries for `epoch` are pushed; run it when
     /// every tenant has flushed.
     Flush {
@@ -290,6 +301,8 @@ const KIND_PUSH_OK: &str = "uc.wire.push-ok.v2";
 const KIND_BUSY: &str = "uc.wire.busy.v2";
 const KIND_STATS: &str = "uc.wire.stats.v2";
 const KIND_STATS_OK: &str = "uc.wire.stats-ok.v2";
+const KIND_METRICS: &str = "uc.wire.metrics.v2";
+const KIND_METRICS_OK: &str = "uc.wire.metrics-ok.v2";
 const KIND_FLUSH: &str = "uc.wire.flush.v2";
 const KIND_FLUSH_OK: &str = "uc.wire.flush-ok.v2";
 const KIND_LANE_MOVED: &str = "uc.wire.lane-moved.v2";
@@ -299,7 +312,7 @@ const KIND_ERR: &str = "uc.wire.err.v2";
 
 /// Every `uc.wire.v2` kind tag, in protocol order (the corruption sweeps
 /// iterate this).
-pub const ALL_KINDS: [&str; 18] = [
+pub const ALL_KINDS: [&str; 20] = [
     KIND_OPEN,
     KIND_OPEN_OK,
     KIND_RESUME,
@@ -312,6 +325,8 @@ pub const ALL_KINDS: [&str; 18] = [
     KIND_BUSY,
     KIND_STATS,
     KIND_STATS_OK,
+    KIND_METRICS,
+    KIND_METRICS_OK,
     KIND_FLUSH,
     KIND_FLUSH_OK,
     KIND_LANE_MOVED,
@@ -426,6 +441,8 @@ impl Frame {
             Body::Busy { .. } => KIND_BUSY,
             Body::Stats => KIND_STATS,
             Body::StatsOk { .. } => KIND_STATS_OK,
+            Body::Metrics => KIND_METRICS,
+            Body::MetricsOk { .. } => KIND_METRICS_OK,
             Body::Flush { .. } => KIND_FLUSH,
             Body::FlushOk { .. } => KIND_FLUSH_OK,
             Body::LaneMoved { .. } => KIND_LANE_MOVED,
@@ -499,6 +516,8 @@ impl Frame {
                 w.put_u64(stats.stats.last_submit.as_nanos());
                 w.put_u64(stats.queue_head.as_nanos());
             }
+            Body::Metrics => {}
+            Body::MetricsOk { snapshot } => snapshot.encode(&mut w),
             Body::Flush { epoch } => w.put_u64(*epoch),
             Body::FlushOk { epoch } => w.put_u64(*epoch),
             Body::LaneMoved { to_device } => w.put_u32(*to_device),
@@ -651,6 +670,10 @@ impl Frame {
                     },
                     queue_head: SimTime::from_nanos(r.get_u64()?),
                 },
+            },
+            KIND_METRICS => Body::Metrics,
+            KIND_METRICS_OK => Body::MetricsOk {
+                snapshot: ObsSnapshot::decode(&mut r)?,
             },
             KIND_FLUSH => Body::Flush {
                 epoch: r.get_u64()?,
@@ -829,6 +852,31 @@ mod tests {
                             last_submit: at(25),
                         },
                         queue_head: at(40),
+                    },
+                },
+            ),
+            Frame::new(hdr(7, 0, 5), Body::Metrics),
+            Frame::new(
+                hdr(7, 0, 5),
+                Body::MetricsOk {
+                    snapshot: {
+                        use uc_obs::{HistSummary, MetricValue, ObsSnapshot};
+                        let mut s = ObsSnapshot::default();
+                        s.push("serve.pool.ios".to_string(), MetricValue::Counter(3));
+                        s.push("serve.loop.polls".to_string(), MetricValue::Gauge(12));
+                        s.push(
+                            "serve.lane0.service_ns".to_string(),
+                            MetricValue::Histogram(HistSummary {
+                                count: 3,
+                                sum_ns: 300,
+                                min_ns: 80,
+                                max_ns: 120,
+                                p50_ns: 100,
+                                p99_ns: 120,
+                                p999_ns: 120,
+                            }),
+                        );
+                        s
                     },
                 },
             ),

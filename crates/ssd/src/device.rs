@@ -266,6 +266,44 @@ impl BlockDevice for Ssd {
     // body is monomorphized per impl, so batched submission is already a
     // loop of statically dispatched `submit` calls with identical
     // completion instants (asserted by `batch_submission_matches_sequential`).
+
+    fn observe_into(&self, prefix: &str, obs: &mut uc_obs::MetricsRegistry) {
+        let f = self.ftl.stats();
+        let flash = self.ftl.flash_stats();
+        let wear = self.ftl.wear();
+        for (name, v) in [
+            ("host.reads", self.stats.reads),
+            ("host.writes", self.stats.writes),
+            ("host.read_bytes", self.stats.read_bytes),
+            ("host.write_bytes", self.stats.write_bytes),
+            ("buffer.hits", self.stats.buffer_hits),
+            ("prefetch.hits", self.stats.prefetch_hits),
+            ("prefetch.issued", self.stats.prefetch_issued),
+            ("ftl.host_pages_written", f.host_pages_written),
+            ("ftl.host_pages_read", f.host_pages_read),
+            ("ftl.gc_pages_relocated", f.gc_pages_relocated),
+            ("ftl.gc_blocks_erased", f.gc_blocks_erased),
+            ("ftl.gc_invocations", f.gc_invocations),
+            ("ftl.pages_trimmed", f.pages_trimmed),
+            ("ftl.map_updates", f.map_updates()),
+            ("flash.reads", flash.reads),
+            ("flash.programs", flash.programs),
+            ("flash.erases", flash.erases),
+        ] {
+            let id = obs.counter(&format!("{prefix}.{name}"));
+            obs.set_counter(id, v);
+        }
+        for (name, v) in [
+            ("ftl.mapped_pages", self.ftl.mapped_pages() as i64),
+            ("ftl.valid_pages", self.ftl.total_valid_pages() as i64),
+            ("ftl.free_blocks", self.ftl.free_blocks() as i64),
+            ("ftl.wa_milli", f.wa_milli() as i64),
+            ("ftl.wear_spread", wear.spread() as i64),
+        ] {
+            let id = obs.gauge(&format!("{prefix}.{name}"));
+            obs.set(id, v);
+        }
+    }
 }
 
 impl CheckpointDevice for Ssd {

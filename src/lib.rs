@@ -45,6 +45,7 @@
 //! | [`flash`] | NAND geometry/timing and die/channel scheduling |
 //! | [`ftl`] | page-mapping FTL with garbage collection |
 //! | [`invariant`] | the `Contract` trait, structured `Violation` reports, `strict-invariants` enforcement hooks |
+//! | [`obs`] | deterministic telemetry: `MetricsRegistry`, flight recorder, `uc.obs.v1` snapshots, Prometheus rendering |
 //! | [`ssd`] | the local-SSD device model (Samsung 970 Pro profile) |
 //! | [`net`] | datacenter fabric + host stack model |
 //! | [`cluster`] | chunked, replicated storage cluster |
@@ -68,6 +69,7 @@ pub use uc_ftl as ftl;
 pub use uc_invariant as invariant;
 pub use uc_metrics as metrics;
 pub use uc_net as net;
+pub use uc_obs as obs;
 pub use uc_persist as persist;
 pub use uc_serve as serve;
 pub use uc_sim as sim;
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use uc_fleet::{FleetConfig, FleetSim, RebalancePolicy, ShapeMix};
     pub use uc_invariant::{Contract, Violation};
     pub use uc_metrics::{LatencyHistogram, Series, SummaryStats, ThroughputTracker};
+    pub use uc_obs::{FlightRecorder, MetricsRegistry, ObsReport, ObsSnapshot};
     pub use uc_sim::{LatencyDist, SimDuration, SimRng, SimTime};
     pub use uc_ssd::{Ssd, SsdConfig};
     pub use uc_trace::{TraceRecorder, TraceSpec};

@@ -100,13 +100,40 @@ fn trace_run_checkpoint() -> unwritten_contract::core::experiments::TraceRunChec
     run.checkpoint()
 }
 
+/// A populated `uc.obs.v1` telemetry record: counters, gauges and
+/// histograms in the snapshot, plus a flight tail that has wrapped.
+fn obs_report() -> unwritten_contract::obs::ObsReport {
+    use unwritten_contract::obs::{FlightRecorder, MetricsRegistry, ObsReport};
+    let mut reg = MetricsRegistry::new();
+    let ios = reg.counter("ftl.host_pages_written");
+    let depth = reg.gauge("essd.lane0.queue_depth");
+    let lat = reg.hist("fleet.tenant_latency_ns");
+    reg.add(ios, 4096);
+    reg.set(depth, -3);
+    for i in 1..=100u64 {
+        reg.record(lat, SimDuration::from_micros(i));
+    }
+    let mut flight = FlightRecorder::new(4);
+    for i in 0..6u64 {
+        flight.record(
+            SimTime::from_nanos(i * 100),
+            format!("epoch-barrier e={i}"),
+            i,
+            i * 2,
+        );
+    }
+    ObsReport::capture(&reg, &flight)
+}
+
 /// How a checkpoint file decodes: through the device-checkpoint reader,
-/// the fig3 reader, the trace-run reader, or the binary-trace decoder.
+/// the fig3 reader, the trace-run reader, the binary-trace decoder, or
+/// the `uc.obs.v1` telemetry reader.
 enum Reader {
     Device,
     Fig3,
     TraceRun,
     Trace,
+    Obs,
 }
 
 impl Reader {
@@ -114,6 +141,7 @@ impl Reader {
         match self {
             Reader::Device => DeviceCheckpoint::load_from(path, &payload_codecs()).map(|_| ()),
             Reader::Fig3 => Fig3Checkpoint::load_from(path).map(|_| ()),
+            Reader::Obs => unwritten_contract::obs::ObsReport::load_from(path).map(|_| ()),
             Reader::TraceRun => {
                 unwritten_contract::core::experiments::TraceRunCheckpoint::load_from(path)
                     .map(|_| ())
@@ -164,13 +192,16 @@ fn corruption_table_over_every_record_codec() {
     trace_run_checkpoint().save_to(&trace_run_path).unwrap();
     let trace_path = dir.join("t.trace");
     unwritten_contract::trace::save_trace(&trace_path, &sample_trace()).unwrap();
+    let obs_path = dir.join("telemetry.obs");
+    obs_report().save_to(&obs_path).unwrap();
 
-    let files: [(&str, PathBuf, Reader); 5] = [
+    let files: [(&str, PathBuf, Reader); 6] = [
         ("ssd", ssd_path, Reader::Device),
         ("essd", essd_path, Reader::Device),
         ("fig3", fig3_path, Reader::Fig3),
         ("trace-run", trace_run_path, Reader::TraceRun),
         ("trace", trace_path, Reader::Trace),
+        ("obs", obs_path, Reader::Obs),
     ];
 
     for (codec, path, reader) in &files {
@@ -408,6 +439,15 @@ fn sample_wire_frames() -> Vec<unwritten_contract::serve::Frame> {
                 },
             },
         ),
+        Frame::new(control(2), Body::Metrics),
+        Frame::new(
+            control(2),
+            Body::MetricsOk {
+                // A populated live-telemetry pull: counter, (negative)
+                // gauge and histogram rows all cross the wire.
+                snapshot: obs_report().snapshot,
+            },
+        ),
         Frame::new(data, Body::Flush { epoch: 1 }),
         Frame::new(data, Body::FlushOk { epoch: 1 }),
         Frame::new(data, Body::LaneMoved { to_device: 1 }),
@@ -554,6 +594,10 @@ fn unknown_record_kinds_are_typed() {
         Err(unwritten_contract::trace::TraceFileError::Decode(
             DecodeError::UnknownKind { .. }
         ))
+    ));
+    assert!(matches!(
+        unwritten_contract::obs::ObsReport::load_from(&path),
+        Err(DecodeError::UnknownKind { .. })
     ));
 
     // A device record whose *payload* tag is foreign also fails typed:
